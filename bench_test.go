@@ -1,0 +1,482 @@
+package geomob
+
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// DESIGN.md §3), timing the regeneration of each artefact from a shared
+// pre-generated corpus, plus ablation benches for the design choices the
+// experiments exercise. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The corpus size is deliberately moderate (benchUsers users) so the whole
+// suite completes in minutes; scale-up happens via cmd/mobrepro -users.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"geomob/internal/census"
+	"geomob/internal/epidemic"
+	"geomob/internal/experiments"
+	"geomob/internal/geo"
+	"geomob/internal/heatmap"
+	"geomob/internal/index"
+	"geomob/internal/models"
+	"geomob/internal/randx"
+	"geomob/internal/stats"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+const benchUsers = 10000
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// env lazily builds the shared corpus + study used by all table/figure
+// benches; the build cost itself is measured by BenchmarkFullStudy.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.DefaultEnv(benchUsers, 42, 43, "")
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkFullStudy measures the end-to-end pipeline: corpus generation
+// plus the complete multi-scale study (everything behind Tables I-II and
+// Figures 2-4).
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tweets, err := GenerateCorpus(DefaultCorpusConfig(2000, uint64(i+1), 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewStudy(SliceSource(tweets)).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates the dataset statistics table.
+func BenchmarkTableI(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the tweet density map.
+func BenchmarkFigure1(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2a regenerates the tweets-per-user distribution.
+func BenchmarkFigure2a(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure2a(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2b regenerates the waiting-time distribution.
+func BenchmarkFigure2b(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2b(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3a regenerates the population-vs-census comparison.
+func BenchmarkFigure3a(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3a(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3b regenerates the metro radius-sensitivity comparison.
+func BenchmarkFigure3b(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3b(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the per-model scatter data at all scales.
+func BenchmarkFigure4(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the model-performance table.
+func BenchmarkTableII(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRadius sweeps the metropolitan search radius (A1).
+func BenchmarkAblationRadius(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRadius(e, []float64{500, 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSample reruns the study on a 30% user subsample (A2).
+func BenchmarkAblationSample(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSampleSize(e, []float64{0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGamma regenerates a corpus per planted exponent and
+// refits (A3).
+func BenchmarkAblationGamma(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGamma(e, []float64{2.0}, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpidemic runs the SIR metapopulation extension (E1).
+func BenchmarkEpidemic(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Epidemic(e, epidemic.DefaultParams(), "Sydney"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpidemicStochastic runs the stochastic ensemble extension (E1b).
+func BenchmarkEpidemicStochastic(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EpidemicStochastic(e, 20, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigureDisplacement regenerates the displacement distribution.
+func BenchmarkFigureDisplacement(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigureDisplacement(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIIExtended fits all four models at all scales.
+func BenchmarkTableIIExtended(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIIExtended(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootstrapCI measures the pooled-correlation bootstrap.
+func BenchmarkBootstrapCI(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PooledCorrelationCI(e, 0.95, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks -----------------------------------------
+
+// BenchmarkSynthGenerate measures raw corpus generation throughput.
+func BenchmarkSynthGenerate(b *testing.B) {
+	gen, err := synth.NewGenerator(synth.DefaultConfig(2000, 1, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		n, err := gen.Generate(func(tweet.Tweet) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = n
+	}
+	b.ReportMetric(float64(total), "tweets/op")
+}
+
+// BenchmarkHaversine measures the geodesic kernel.
+func BenchmarkHaversine(b *testing.B) {
+	p1 := geo.Point{Lat: -33.8688, Lon: 151.2093}
+	p2 := geo.Point{Lat: -37.8136, Lon: 144.9631}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += geo.Haversine(p1, p2)
+	}
+	_ = sink
+}
+
+// BenchmarkKDTreeNearest measures area assignment lookups.
+func BenchmarkKDTreeNearest(b *testing.B) {
+	rs, err := census.Australia().Regions(census.ScaleNational)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]index.Entry, rs.Len())
+	for i, a := range rs.Areas {
+		entries[i] = index.Entry{ID: int64(i), P: a.Center}
+	}
+	tree, err := index.NewKDTree(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(3, 4)
+	queries := make([]geo.Point, 1024)
+	for i := range queries {
+		queries[i] = geo.Point{Lat: -44 + rng.Float64()*30, Lon: 114 + rng.Float64()*40}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Nearest(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkTweetEncode measures the storage codec write path.
+func BenchmarkTweetEncode(b *testing.B) {
+	tweets := makeBenchTweets(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := tweet.NewEncoder()
+		for _, t := range tweets {
+			if err := enc.Append(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(len(tweets)))
+}
+
+// BenchmarkTweetDecode measures the storage codec read path.
+func BenchmarkTweetDecode(b *testing.B) {
+	tweets := makeBenchTweets(10000)
+	enc := tweet.NewEncoder()
+	for _, t := range tweets {
+		if err := enc.Append(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	block := append([]byte(nil), enc.Bytes()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tweet.DecodeAll(block, len(tweets)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(tweets)))
+}
+
+// BenchmarkStoreScan measures full-store scan throughput including
+// checksum verification.
+func BenchmarkStoreScan(b *testing.B) {
+	dir := b.TempDir()
+	store, err := tweetdb.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append(makeBenchTweets(50000)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := store.Scan(tweetdb.Query{})
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 50000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+	b.SetBytes(50000)
+}
+
+// BenchmarkStorePrunedScan measures a time-windowed scan where predicate
+// pushdown skips most segments.
+func BenchmarkStorePrunedScan(b *testing.B) {
+	dir := b.TempDir()
+	store, err := tweetdb.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Ten disjoint time batches → ten prunable segments.
+	for batch := 0; batch < 10; batch++ {
+		tweets := make([]tweet.Tweet, 5000)
+		base := int64(1378000000000) + int64(batch)*1_000_000_000
+		for i := range tweets {
+			tweets[i] = tweet.Tweet{
+				ID: int64(batch*5000 + i), UserID: int64(i % 100),
+				TS: base + int64(i), Lat: -33.9, Lon: 151.2,
+			}
+		}
+		if err := store.Append(tweets); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := tweetdb.Query{FromTS: 1378000000000 + 5_000_000_000, ToTS: 1378000000000 + 6_000_000_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := store.Scan(q)
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 5000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+// BenchmarkGravityFit measures model fitting on a national-scale OD set.
+func BenchmarkGravityFit(b *testing.B) {
+	e := env(b)
+	od := e.Result.Mobility[census.ScaleNational].OD
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &models.Gravity4{}
+		if err := m.Fit(od); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRadiationFit measures the radiation fit (dominated by the
+// s-term already precomputed in the OD build).
+func BenchmarkRadiationFit(b *testing.B) {
+	e := env(b)
+	od := e.Result.Mobility[census.ScaleNational].OD
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &models.Radiation{}
+		if err := m.Fit(od); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPearsonTest measures the correlation + p-value kernel on
+// Fig. 3-sized inputs.
+func BenchmarkPearsonTest(b *testing.B) {
+	rng := randx.New(5, 6)
+	x := make([]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.Float64() * 1e6
+		y[i] = x[i] * (0.9 + 0.2*rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.PearsonTest(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeatmapRender measures Fig. 1 rendering.
+func BenchmarkHeatmapRender(b *testing.B) {
+	grid, err := heatmap.NewGrid(geo.AustraliaBBox, 360, 280)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(9, 10)
+	for i := 0; i < 100000; i++ {
+		grid.Add(geo.Point{Lat: -34 + rng.NormFloat64(), Lon: 151 + rng.NormFloat64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := grid.WritePNG(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// makeBenchTweets builds a deterministic sorted corpus for codec/storage
+// benches.
+func makeBenchTweets(n int) []tweet.Tweet {
+	rng := randx.New(7, 8)
+	tweets := make([]tweet.Tweet, n)
+	ts := int64(1378000000000)
+	for i := range tweets {
+		ts += int64(rng.IntN(60000))
+		tweets[i] = tweet.Tweet{
+			ID: int64(i), UserID: int64(i / 20), TS: ts,
+			Lat: -35 + rng.Float64()*2, Lon: 150 + rng.Float64()*2,
+		}
+	}
+	return tweets
+}

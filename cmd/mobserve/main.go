@@ -1,0 +1,241 @@
+// mobserve exposes a tweetdb store over HTTP: corpus statistics, windowed
+// queries, density tiles and on-demand flow matrices. It demonstrates the
+// "responsive prediction" deployment the paper motivates — an always-on
+// service answering population and mobility queries from a live store.
+//
+// Usage:
+//
+//	mobserve -db /tmp/tweets.db -addr :8080
+//
+// Endpoints:
+//
+//	GET /stats                         store-level statistics
+//	GET /tweets?user=ID&limit=N        tweets of one user
+//	GET /tweets?from=RFC3339&to=...    tweets in a time window
+//	GET /density.png?nx=360&ny=280     tweet density heat map
+//	GET /flows?scale=national          OD flow matrix at a scale
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/geo"
+	"geomob/internal/heatmap"
+	"geomob/internal/mobility"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+type server struct {
+	store *tweetdb.Store
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mobserve: ")
+
+	var (
+		dbDir = flag.String("db", "", "tweetdb store directory (required)")
+		addr  = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		log.Fatal("-db is required")
+	}
+	store, err := tweetdb.Open(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{store: store}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /tweets", s.handleTweets)
+	mux.HandleFunc("GET /density.png", s.handleDensity)
+	mux.HandleFunc("GET /flows", s.handleFlows)
+
+	log.Printf("serving %s on %s", *dbDir, *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// writeJSON writes v with the proper content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	segs := s.store.Segments()
+	var bytes int64
+	box := geo.EmptyBBox()
+	minTS, maxTS := int64(0), int64(0)
+	for _, seg := range segs {
+		bytes += seg.Bytes
+		box = box.Union(seg.BBox())
+		if minTS == 0 || seg.MinTS < minTS {
+			minTS = seg.MinTS
+		}
+		if seg.MaxTS > maxTS {
+			maxTS = seg.MaxTS
+		}
+	}
+	writeJSON(w, map[string]any{
+		"tweets":   s.store.Count(),
+		"segments": len(segs),
+		"bytes":    bytes,
+		"bbox":     box,
+		"first":    time.UnixMilli(minTS).UTC(),
+		"last":     time.UnixMilli(maxTS).UTC(),
+	})
+}
+
+func (s *server) handleTweets(w http.ResponseWriter, r *http.Request) {
+	q := tweetdb.Query{}
+	if v := r.URL.Query().Get("user"); v != "" {
+		uid, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad user id %q", v)
+			return
+		}
+		q.UserID = &uid
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad from time %q", v)
+			return
+		}
+		q.FromTS = t.UnixMilli()
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad to time %q", v)
+			return
+		}
+		q.ToTS = t.UnixMilli()
+	}
+	limit := 1000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	it := s.store.Scan(q)
+	var out []tweet.Tweet
+	for len(out) < limit {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := it.Err(); err != nil {
+		httpError(w, http.StatusInternalServerError, "scan: %v", err)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	nx, ny := 360, 280
+	if v := r.URL.Query().Get("nx"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 2000 {
+			nx = n
+		}
+	}
+	if v := r.URL.Query().Get("ny"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 2000 {
+			ny = n
+		}
+	}
+	grid, err := heatmap.NewGrid(geo.AustraliaBBox, nx, ny)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "grid: %v", err)
+		return
+	}
+	it := s.store.Scan(tweetdb.Query{})
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		grid.Add(t.Point())
+	}
+	if err := it.Err(); err != nil {
+		httpError(w, http.StatusInternalServerError, "scan: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := grid.WritePNG(w); err != nil {
+		log.Printf("density render: %v", err)
+	}
+}
+
+func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	var scale census.Scale
+	switch r.URL.Query().Get("scale") {
+	case "", "national":
+		scale = census.ScaleNational
+	case "state":
+		scale = census.ScaleState
+	case "metropolitan", "metro":
+		scale = census.ScaleMetropolitan
+	default:
+		httpError(w, http.StatusBadRequest, "unknown scale %q", r.URL.Query().Get("scale"))
+		return
+	}
+	rs, err := census.Australia().Regions(scale)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "regions: %v", err)
+		return
+	}
+	mapper, err := mobility.NewAreaMapper(rs, 0)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "mapper: %v", err)
+		return
+	}
+	ext := mobility.NewExtractor(mapper)
+	src := core.StoreSource{Store: s.store}
+	if err := src.Each(ext.Observe); err != nil {
+		httpError(w, http.StatusInternalServerError, "extract: %v (store compacted?)", err)
+		return
+	}
+	flows := ext.Flows()
+	names := make([]string, len(flows.Areas))
+	for i, a := range flows.Areas {
+		names[i] = a.Name
+	}
+	writeJSON(w, map[string]any{
+		"scale":  scale.String(),
+		"areas":  names,
+		"flows":  flows.Flows,
+		"total":  flows.Total(),
+		"radius": mapper.Radius(),
+	})
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"geomob/internal/synth"
+	"geomob/internal/tweetdb"
+)
+
+// newTestServer builds a server over a small compacted store.
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	store, err := tweetdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(synth.DefaultConfig(800, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	return &server{store: store}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["tweets"].(float64) <= 0 {
+		t.Errorf("tweets = %v", body["tweets"])
+	}
+	if body["segments"].(float64) <= 0 {
+		t.Errorf("segments = %v", body["segments"])
+	}
+}
+
+func TestHandleTweetsUserFilter(t *testing.T) {
+	s := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.handleTweets(rec, httptest.NewRequest("GET", "/tweets?user=3&limit=5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var tweets []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &tweets); err != nil {
+		t.Fatal(err)
+	}
+	if len(tweets) == 0 || len(tweets) > 5 {
+		t.Fatalf("got %d tweets", len(tweets))
+	}
+	for _, tw := range tweets {
+		if tw["user"].(float64) != 3 {
+			t.Errorf("wrong user: %v", tw["user"])
+		}
+	}
+}
+
+func TestHandleTweetsTimeWindow(t *testing.T) {
+	s := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.handleTweets(rec, httptest.NewRequest("GET",
+		"/tweets?from=2013-10-01T00:00:00Z&to=2013-10-02T00:00:00Z&limit=100000", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var tweets []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &tweets); err != nil {
+		t.Fatal(err)
+	}
+	loMS := float64(1380585600000) // 2013-10-01 UTC in ms
+	hiMS := loMS + 86400000
+	for _, tw := range tweets {
+		ts := tw["ts"].(float64)
+		if ts < loMS || ts >= hiMS {
+			t.Fatalf("tweet outside window: %v", ts)
+		}
+	}
+}
+
+func TestHandleTweetsBadInputs(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/tweets?user=notanumber",
+		"/tweets?from=yesterday",
+		"/tweets?to=tomorrow",
+		"/tweets?limit=0",
+		"/tweets?limit=-3",
+	} {
+		rec := httptest.NewRecorder()
+		s.handleTweets(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestHandleDensityPNG(t *testing.T) {
+	s := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.handleDensity(rec, httptest.NewRequest("GET", "/density.png?nx=60&ny=48", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type %q", ct)
+	}
+	img, err := png.Decode(rec.Body)
+	if err != nil {
+		t.Fatalf("invalid png: %v", err)
+	}
+	if img.Bounds().Dx() != 60 || img.Bounds().Dy() != 48 {
+		t.Errorf("dimensions %v", img.Bounds())
+	}
+}
+
+func TestHandleFlows(t *testing.T) {
+	s := newTestServer(t)
+	for _, scale := range []string{"national", "state", "metropolitan", ""} {
+		rec := httptest.NewRecorder()
+		s.handleFlows(rec, httptest.NewRequest("GET", "/flows?scale="+scale, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("scale %q: status %d: %s", scale, rec.Code, rec.Body.String())
+		}
+		var body struct {
+			Scale  string      `json:"scale"`
+			Areas  []string    `json:"areas"`
+			Flows  [][]float64 `json:"flows"`
+			Total  float64     `json:"total"`
+			Radius float64     `json:"radius"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Areas) != 20 || len(body.Flows) != 20 {
+			t.Errorf("scale %q: %d areas, %d flow rows", scale, len(body.Areas), len(body.Flows))
+		}
+		if body.Radius <= 0 {
+			t.Errorf("scale %q: radius %v", scale, body.Radius)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handleFlows(rec, httptest.NewRequest("GET", "/flows?scale=galactic", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown scale: status %d", rec.Code)
+	}
+}

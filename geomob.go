@@ -1,0 +1,199 @@
+// Package geomob is a Go reproduction of "Multi-scale Population and
+// Mobility Estimation with Geo-tagged Tweets" (Liu, Zhao, Khan, Cameron,
+// Jurdak — CSIRO, ICDE 2015 workshops / arXiv:1412.0327).
+//
+// The package is the public facade over the internal implementation:
+//
+//   - a calibrated synthetic tweet-corpus generator standing in for the
+//     paper's 6.3M-tweet collection (see DESIGN.md for the substitution),
+//   - an embedded Australian census gazetteer at the paper's three scales,
+//   - an append-only tweet storage engine with predicate pushdown,
+//   - the multi-scale Study pipeline (population estimation, OD flow
+//     extraction, gravity/radiation model fitting and comparison), and
+//   - a metapopulation SIR simulator over the estimated flows (the
+//     paper's stated future-work application).
+//
+// Quickstart:
+//
+//	tweets, _ := geomob.GenerateCorpus(geomob.DefaultCorpusConfig(20000, 42, 43))
+//	result, _ := geomob.NewStudy(geomob.SliceSource(tweets)).Run()
+//	fmt.Println(result.Pooled.TestLog.R) // Fig. 3 pooled correlation
+package geomob
+
+import (
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/epidemic"
+	"geomob/internal/geo"
+	"geomob/internal/models"
+	"geomob/internal/population"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// Core data types.
+type (
+	// Tweet is one geo-tagged tweet record: (id, user, timestamp, lat, lon).
+	Tweet = tweet.Tweet
+	// Point is a WGS-84 coordinate in decimal degrees.
+	Point = geo.Point
+	// BBox is an axis-aligned geographic bounding box.
+	BBox = geo.BBox
+	// Scale identifies one of the paper's three geographic scales.
+	Scale = census.Scale
+	// Area is one census region (name, centre, population).
+	Area = census.Area
+	// RegionSet is the ordered area list studied at one scale.
+	RegionSet = census.RegionSet
+)
+
+// The three geographic scales of the paper (§III).
+const (
+	ScaleNational     = census.ScaleNational
+	ScaleState        = census.ScaleState
+	ScaleMetropolitan = census.ScaleMetropolitan
+)
+
+// Scales returns the three scales in paper order.
+func Scales() []Scale { return census.Scales() }
+
+// Gazetteer returns the embedded Australian census gazetteer.
+func Gazetteer() *census.Gazetteer { return census.Australia() }
+
+// AustraliaBBox is the paper's study region (Table I coordinate ranges).
+var AustraliaBBox = geo.AustraliaBBox
+
+// Corpus generation (the data-gate substitution; see DESIGN.md §1).
+type (
+	// CorpusConfig parameterises the synthetic tweet corpus.
+	CorpusConfig = synth.Config
+	// Generator streams synthetic corpora.
+	Generator = synth.Generator
+)
+
+// DefaultCorpusConfig returns the calibrated corpus configuration for the
+// given user count and seed pair. The paper's full corpus corresponds to
+// 473,956 users.
+func DefaultCorpusConfig(users int, seed1, seed2 uint64) CorpusConfig {
+	return synth.DefaultConfig(users, seed1, seed2)
+}
+
+// NewGenerator builds a corpus generator for the config.
+func NewGenerator(cfg CorpusConfig) (*Generator, error) { return synth.NewGenerator(cfg) }
+
+// GenerateCorpus materialises a corpus in memory, in (user, time) order.
+func GenerateCorpus(cfg CorpusConfig) ([]Tweet, error) {
+	gen, err := synth.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateAll()
+}
+
+// Storage engine.
+type (
+	// Store is the append-only tweet database.
+	Store = tweetdb.Store
+	// StoreQuery restricts store scans (time range, bbox, user).
+	StoreQuery = tweetdb.Query
+)
+
+// OpenStore opens or initialises a tweet store rooted at dir.
+func OpenStore(dir string) (*Store, error) { return tweetdb.Open(dir) }
+
+// Study pipeline (the paper's contribution).
+type (
+	// Study is the multi-scale estimation pipeline.
+	Study = core.Study
+	// StudyResult bundles Table I, Fig. 2/3 inputs, Fig. 4 and Table II.
+	StudyResult = core.Result
+	// Source yields a (user, time)-ordered tweet stream.
+	Source = core.Source
+	// SliceSource adapts an in-memory sorted tweet slice.
+	SliceSource = core.SliceSource
+	// StoreSource adapts a compacted tweet store.
+	StoreSource = core.StoreSource
+	// ModelFit is one fitted mobility model with metrics and scatter data.
+	ModelFit = core.ModelFit
+	// MobilityResult is the §IV analysis for one scale.
+	MobilityResult = core.MobilityResult
+	// PopulationEstimate is the §III analysis for one scale.
+	PopulationEstimate = population.Estimate
+)
+
+// NewStudy binds a tweet source to the embedded gazetteer.
+func NewStudy(src Source) *Study { return core.NewStudy(src) }
+
+// Mobility models (§IV).
+type (
+	// Model is a fittable mobility model.
+	Model = models.Model
+	// Gravity4 is the 4-parameter gravity model (Eq. 1).
+	Gravity4 = models.Gravity4
+	// Gravity2 is the 2-parameter gravity model (Eq. 2).
+	Gravity2 = models.Gravity2
+	// Radiation is the radiation model (Eq. 3).
+	Radiation = models.Radiation
+	// InterveningOpportunities is the extension baseline beyond the paper.
+	InterveningOpportunities = models.InterveningOpportunities
+	// OD is an origin–destination dataset for model fitting.
+	OD = models.OD
+	// ModelMetrics are the Table II evaluation numbers (plus CPC).
+	ModelMetrics = models.Metrics
+)
+
+// AllModels returns the three models in the paper's order.
+func AllModels() []Model { return models.All() }
+
+// AllModelsExtended additionally includes the intervening-opportunities
+// baseline.
+func AllModelsExtended() []Model { return models.AllExtended() }
+
+// CommonPartOfCommuters returns the CPC overlap between two flow vectors.
+func CommonPartOfCommuters(pred, obs []float64) (float64, error) {
+	return models.CommonPartOfCommuters(pred, obs)
+}
+
+// BuildOD assembles an OD dataset from areas, populations and flows.
+func BuildOD(areas []Area, pop []float64, flow [][]float64) (*OD, error) {
+	return models.BuildOD(areas, pop, flow)
+}
+
+// EvaluateModel scores a fitted model against observed flows (Table II).
+func EvaluateModel(od *OD, m Model) (*ModelMetrics, error) { return models.Evaluate(od, m) }
+
+// Epidemic extension (§V future work).
+type (
+	// EpidemicParams are the SIR parameters.
+	EpidemicParams = epidemic.Params
+	// EpidemicResult is a complete simulation trace.
+	EpidemicResult = epidemic.Result
+	// SEIRParams extend SIR with a latent compartment.
+	SEIRParams = epidemic.SEIRParams
+	// SEIRResult is a complete SEIR trace.
+	SEIRResult = epidemic.SEIRResult
+	// StochasticResult summarises a discrete-state outbreak ensemble.
+	StochasticResult = epidemic.StochasticResult
+)
+
+// DefaultEpidemicParams models an influenza-like pathogen (R0 = 1.8).
+func DefaultEpidemicParams() EpidemicParams { return epidemic.DefaultParams() }
+
+// DefaultSEIRParams adds a two-day latent period to the defaults.
+func DefaultSEIRParams() SEIRParams { return epidemic.DefaultSEIRParams() }
+
+// SimulateEpidemic runs a metapopulation SIR outbreak over a flow matrix.
+func SimulateEpidemic(areas []Area, flows [][]float64, seedArea int, seedCases float64, p EpidemicParams) (*EpidemicResult, error) {
+	return epidemic.Simulate(areas, flows, seedArea, seedCases, p)
+}
+
+// SimulateSEIR runs the latent-compartment variant.
+func SimulateSEIR(areas []Area, flows [][]float64, seedArea int, seedCases float64, p SEIRParams) (*SEIRResult, error) {
+	return epidemic.SimulateSEIR(areas, flows, seedArea, seedCases, p)
+}
+
+// SimulateEpidemicEnsemble runs a stochastic discrete-state SIR ensemble.
+func SimulateEpidemicEnsemble(areas []Area, flows [][]float64, seedArea, seedCases int, p EpidemicParams, runs int, seed1, seed2 uint64) (*StochasticResult, error) {
+	return epidemic.SimulateStochastic(areas, flows, seedArea, seedCases, p, runs, seed1, seed2)
+}

@@ -1,0 +1,92 @@
+package geomob
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way the
+// examples do: generate → store → study → models → epidemic.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultCorpusConfig(3000, 1, 2)
+	tweets, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tweets) == 0 {
+		t.Fatal("no tweets")
+	}
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Count() != int64(len(tweets)) {
+		t.Fatalf("store holds %d of %d", store.Count(), len(tweets))
+	}
+
+	result, err := NewStudy(StoreSource{Store: store}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Pooled.NSamples != 60 {
+		t.Errorf("pooled samples = %d", result.Pooled.NSamples)
+	}
+
+	// Model comparison surface.
+	national := result.Mobility[ScaleNational]
+	if national == nil || len(national.Fits) != 3 {
+		t.Fatal("national mobility result incomplete")
+	}
+	g2 := &Gravity2{}
+	if err := g2.Fit(national.OD); err != nil {
+		t.Fatal(err)
+	}
+	met, err := EvaluateModel(national.OD, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PearsonLog <= 0 {
+		t.Errorf("gravity-2 r = %v", met.PearsonLog)
+	}
+
+	// Epidemic extension over the extracted flows.
+	res, err := SimulateEpidemic(national.Flows.Areas, national.Flows.Flows, 0, 10, DefaultEpidemicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakI <= 0 {
+		t.Error("epidemic never grew")
+	}
+}
+
+func TestFacadeGazetteer(t *testing.T) {
+	gaz := Gazetteer()
+	for _, scale := range Scales() {
+		rs, err := gaz.Regions(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != 20 {
+			t.Errorf("%s: %d areas", scale, rs.Len())
+		}
+	}
+	if !AustraliaBBox.Contains(Point{Lat: -33.8688, Lon: 151.2093}) {
+		t.Error("Australia box should contain Sydney")
+	}
+}
+
+func TestFacadeModelsOrder(t *testing.T) {
+	ms := AllModels()
+	if len(ms) != 3 {
+		t.Fatalf("%d models", len(ms))
+	}
+	if ms[0].Name() != "Gravity 4Param" || ms[2].Name() != "Radiation" {
+		t.Error("model order should match the paper")
+	}
+}

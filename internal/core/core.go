@@ -1,0 +1,382 @@
+// Package core is the paper's primary contribution as a reusable pipeline:
+// multi-scale population and mobility estimation from a geo-tagged tweet
+// stream. A Study binds a tweet source to the census gazetteer and runs,
+// in a single streaming pass, the dataset statistics of Table I, the
+// population estimation of §III (Fig. 3) and the mobility extraction and
+// model comparison of §IV (Fig. 4, Table II) at the three geographic
+// scales.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/geo"
+	"geomob/internal/mobility"
+	"geomob/internal/models"
+	"geomob/internal/population"
+	"geomob/internal/stats"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// Source yields a tweet stream in (user, time) order — the canonical order
+// produced by the synthesizer and by compacted tweetdb stores.
+type Source interface {
+	Each(func(tweet.Tweet) error) error
+}
+
+// SliceSource adapts an in-memory tweet slice (already sorted) to Source.
+type SliceSource []tweet.Tweet
+
+// Each implements Source.
+func (s SliceSource) Each(fn func(tweet.Tweet) error) error {
+	for _, t := range s {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreSource adapts a tweetdb store to Source. The store must be
+// compacted (global user/time order); see tweetdb.Store.Compact.
+type StoreSource struct {
+	Store *tweetdb.Store
+	Query tweetdb.Query
+}
+
+// Each implements Source.
+func (s StoreSource) Each(fn func(tweet.Tweet) error) error {
+	it := s.Store.Scan(s.Query)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// DatasetStats reproduces Table I: the corpus-level statistics.
+type DatasetStats struct {
+	BBox             geo.BBox  // observed coordinate ranges
+	First, Last      time.Time // observed collection period
+	Tweets           int64
+	Users            int64
+	AvgTweetsPerUser float64
+	AvgWaitingHours  float64
+	AvgLocations     float64 // mean distinct ~5 km geohash cells per user
+	// HeavyUsers[k] counts users with more than k tweets, for the paper's
+	// thresholds 50, 100, 500 and 1000.
+	HeavyUsers map[int]int64
+
+	TweetsPerUser   []float64 // raw per-user counts (Fig. 2a input)
+	WaitingSecs     []float64 // raw waiting times in seconds (Fig. 2b input)
+	DisplacementsKM []float64 // consecutive-tweet displacements in km (extension)
+	GyrationKM      []float64 // per-user radius of gyration in km (extension)
+
+	// MedianGyrationKM and MeanGyrationKM summarise GyrationKM; the median
+	// is dominated by single-tweet users (r_g = 0), so the mean is the
+	// more informative headline.
+	MedianGyrationKM float64
+	MeanGyrationKM   float64
+}
+
+// Study is the multi-scale estimation pipeline over one tweet source.
+type Study struct {
+	src Source
+	gaz *census.Gazetteer
+}
+
+// NewStudy binds a source to the embedded Australian gazetteer.
+func NewStudy(src Source) *Study {
+	return &Study{src: src, gaz: census.Australia()}
+}
+
+// ModelFit is one fitted model with its Table II metrics and the Fig. 4
+// scatter data.
+type ModelFit struct {
+	Name    string
+	Params  string // human-readable fitted parameters
+	Metrics *models.Metrics
+	Est     []float64   // estimated traffic per OD pair (Fig. 4 x-axis)
+	Obs     []float64   // extracted traffic per OD pair (Fig. 4 y-axis)
+	Binned  []stats.Bin // log-binned means (Fig. 4 red dots)
+}
+
+// MobilityResult is the §IV analysis for one scale.
+type MobilityResult struct {
+	Scale     census.Scale
+	Flows     *mobility.FlowMatrix
+	OD        *models.OD
+	Fits      []ModelFit
+	TotalFlow float64
+	FlowPairs int
+}
+
+// Result bundles everything the paper reports.
+type Result struct {
+	Stats *DatasetStats
+
+	// Population estimates per scale with the paper's default radii
+	// (Fig. 3a), plus the 0.5 km metropolitan variant (Fig. 3b).
+	Population          map[census.Scale]*population.Estimate
+	PopulationMetro500m *population.Estimate
+	Pooled              *population.Pooled
+
+	// Mobility model comparison per scale (Fig. 4, Table II).
+	Mobility map[census.Scale]*MobilityResult
+}
+
+// Run executes the full study in a single pass over the source followed by
+// per-scale model fitting.
+func (s *Study) Run() (*Result, error) {
+	type scaleObs struct {
+		scale     census.Scale
+		mapper    *mobility.AreaMapper
+		extractor *mobility.Extractor
+		counter   *mobility.UserCounter
+		regions   census.RegionSet
+	}
+	var obs []*scaleObs
+	for _, scale := range census.Scales() {
+		rs, err := s.gaz.Regions(scale)
+		if err != nil {
+			return nil, fmt.Errorf("core: regions for %s: %w", scale, err)
+		}
+		mapper, err := mobility.NewAreaMapper(rs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
+		}
+		obs = append(obs, &scaleObs{
+			scale:     scale,
+			mapper:    mapper,
+			extractor: mobility.NewExtractor(mapper),
+			counter:   mobility.NewUserCounter(mapper),
+			regions:   rs,
+		})
+	}
+	// The Fig. 3b variant: metropolitan counting with ε = 0.5 km.
+	metroRS, err := s.gaz.Regions(census.ScaleMetropolitan)
+	if err != nil {
+		return nil, err
+	}
+	metro500Mapper, err := mobility.NewAreaMapper(metroRS, 500)
+	if err != nil {
+		return nil, err
+	}
+	metro500 := mobility.NewUserCounter(metro500Mapper)
+
+	// Single streaming pass.
+	err = s.src.Each(func(t tweet.Tweet) error {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		for _, o := range obs {
+			if err := o.extractor.Observe(t); err != nil {
+				return err
+			}
+			if err := o.counter.Observe(t); err != nil {
+				return err
+			}
+		}
+		return metro500.Observe(t)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: stream pass: %w", err)
+	}
+
+	res := &Result{
+		Population: map[census.Scale]*population.Estimate{},
+		Mobility:   map[census.Scale]*MobilityResult{},
+	}
+
+	// Table I statistics come from the national-scale extractor (the
+	// trajectory statistics are mapper-independent).
+	res.Stats, err = buildStats(obs[0].extractor, s.src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Population estimates and the pooled correlation.
+	var estimates []*population.Estimate
+	for _, o := range obs {
+		est, err := population.NewEstimate(o.regions, o.mapper.Radius(), o.counter.Counts())
+		if err != nil {
+			return nil, fmt.Errorf("core: population estimate for %s: %w", o.scale, err)
+		}
+		res.Population[o.scale] = est
+		estimates = append(estimates, est)
+	}
+	res.Pooled, err = population.Pool(estimates)
+	if err != nil {
+		return nil, fmt.Errorf("core: pooled correlation: %w", err)
+	}
+	res.PopulationMetro500m, err = population.NewEstimate(metroRS, 500, metro500.Counts())
+	if err != nil {
+		return nil, fmt.Errorf("core: metro 0.5 km estimate: %w", err)
+	}
+
+	// Mobility model comparison per scale, with m and n taken from the
+	// Twitter-derived populations as in §IV.
+	for _, o := range obs {
+		mr, err := buildMobility(o.scale, o.extractor.Flows(), res.Population[o.scale].TwitterUsers)
+		if err != nil {
+			return nil, fmt.Errorf("core: mobility study for %s: %w", o.scale, err)
+		}
+		res.Mobility[o.scale] = mr
+	}
+	return res, nil
+}
+
+// buildStats assembles Table I from the extractor's trajectory statistics
+// plus a cheap second pass for the bbox and period (kept separate so the
+// extractor stays scale-agnostic).
+func buildStats(e *mobility.Extractor, src Source) (*DatasetStats, error) {
+	st := e.Stats()
+	ds := &DatasetStats{
+		BBox:            geo.EmptyBBox(),
+		Tweets:          int64(st.Tweets),
+		Users:           int64(st.Users),
+		TweetsPerUser:   st.TweetsPerUser,
+		WaitingSecs:     st.WaitingSecs,
+		DisplacementsKM: st.DisplacementsKM,
+		GyrationKM:      st.GyrationKM,
+		HeavyUsers:      map[int]int64{},
+	}
+	if len(st.GyrationKM) > 0 {
+		med, err := stats.Median(st.GyrationKM)
+		if err != nil {
+			return nil, err
+		}
+		ds.MedianGyrationKM = med
+		mean, err := stats.Mean(st.GyrationKM)
+		if err != nil {
+			return nil, err
+		}
+		ds.MeanGyrationKM = mean
+	}
+	if st.Users == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	mean, err := stats.Mean(st.TweetsPerUser)
+	if err != nil {
+		return nil, err
+	}
+	ds.AvgTweetsPerUser = mean
+	if len(st.WaitingSecs) > 0 {
+		mw, err := stats.Mean(st.WaitingSecs)
+		if err != nil {
+			return nil, err
+		}
+		ds.AvgWaitingHours = mw / 3600
+	}
+	if len(st.CellsPerUser) > 0 {
+		ml, err := stats.Mean(st.CellsPerUser)
+		if err != nil {
+			return nil, err
+		}
+		ds.AvgLocations = ml
+	}
+	for _, threshold := range []int{50, 100, 500, 1000} {
+		var count int64
+		for _, c := range st.TweetsPerUser {
+			if c > float64(threshold) {
+				count++
+			}
+		}
+		ds.HeavyUsers[threshold] = count
+	}
+	var first, last int64
+	err = src.Each(func(t tweet.Tweet) error {
+		ds.BBox = ds.BBox.Extend(t.Point())
+		if first == 0 || t.TS < first {
+			first = t.TS
+		}
+		if t.TS > last {
+			last = t.TS
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: stats pass: %w", err)
+	}
+	ds.First = time.UnixMilli(first).UTC()
+	ds.Last = time.UnixMilli(last).UTC()
+	return ds, nil
+}
+
+// buildMobility fits and evaluates the three models on one scale's flows.
+func buildMobility(scale census.Scale, flows *mobility.FlowMatrix, twitterPop []float64) (*MobilityResult, error) {
+	od, err := models.BuildOD(flows.Areas, twitterPop, flows.Flows)
+	if err != nil {
+		return nil, err
+	}
+	mr := &MobilityResult{
+		Scale:     scale,
+		Flows:     flows,
+		OD:        od,
+		TotalFlow: flows.Total(),
+	}
+	_, _, pairFlows := flows.Pairs()
+	mr.FlowPairs = len(pairFlows)
+	for _, m := range models.All() {
+		if err := m.Fit(od); err != nil {
+			return nil, fmt.Errorf("fit %s: %w", m.Name(), err)
+		}
+		met, err := models.Evaluate(od, m)
+		if err != nil {
+			return nil, fmt.Errorf("evaluate %s: %w", m.Name(), err)
+		}
+		est, obs, binned, err := models.ScatterSeries(od, m, 2)
+		if err != nil {
+			return nil, fmt.Errorf("scatter %s: %w", m.Name(), err)
+		}
+		mr.Fits = append(mr.Fits, ModelFit{
+			Name:    m.Name(),
+			Params:  describeModel(m),
+			Metrics: met,
+			Est:     est,
+			Obs:     obs,
+			Binned:  binned,
+		})
+	}
+	return mr, nil
+}
+
+// describeModel renders the fitted parameters of a known model.
+func describeModel(m models.Model) string {
+	switch v := m.(type) {
+	case *models.Gravity4:
+		return fmt.Sprintf("C=%.3g α=%.3f β=%.3f γ=%.3f", v.C, v.Alpha, v.Beta, v.Gamma)
+	case *models.Gravity2:
+		return fmt.Sprintf("C=%.3g γ=%.3f", v.C, v.Gamma)
+	case *models.Radiation:
+		return fmt.Sprintf("C=%.3g", v.C)
+	default:
+		return ""
+	}
+}
+
+// PopulationAtRadius reruns the §III user counting for one scale at an
+// arbitrary search radius — the Fig. 3b / ablation A1 primitive.
+func (s *Study) PopulationAtRadius(scale census.Scale, radius float64) (*population.Estimate, error) {
+	rs, err := s.gaz.Regions(scale)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := mobility.NewAreaMapper(rs, radius)
+	if err != nil {
+		return nil, err
+	}
+	counter := mobility.NewUserCounter(mapper)
+	if err := s.src.Each(counter.Observe); err != nil {
+		return nil, fmt.Errorf("core: radius pass: %w", err)
+	}
+	return population.NewEstimate(rs, radius, counter.Counts())
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// studyResult runs the full pipeline once on a moderate corpus and caches
+// it for the package's tests.
+var cachedResult *Result
+
+func runStudy(t *testing.T) *Result {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedResult
+	}
+	gen, err := synth.NewGenerator(synth.DefaultConfig(15000, 42, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewStudy(SliceSource(tweets)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedResult = res
+	return res
+}
+
+func TestRunProducesTableIStats(t *testing.T) {
+	res := runStudy(t)
+	st := res.Stats
+	if st.Users != 15000 {
+		t.Errorf("Users = %d, want 15000", st.Users)
+	}
+	if st.Tweets < st.Users {
+		t.Errorf("Tweets = %d below user count", st.Tweets)
+	}
+	// Paper regime: 13.3 tweets/user, 35.5 h waiting, 4.76 locations.
+	if st.AvgTweetsPerUser < 5 || st.AvgTweetsPerUser > 30 {
+		t.Errorf("AvgTweetsPerUser = %.2f", st.AvgTweetsPerUser)
+	}
+	if st.AvgWaitingHours < 1 || st.AvgWaitingHours > 100 {
+		t.Errorf("AvgWaitingHours = %.1f", st.AvgWaitingHours)
+	}
+	if st.AvgLocations < 1 || st.AvgLocations > 15 {
+		t.Errorf("AvgLocations = %.2f", st.AvgLocations)
+	}
+	// Heavy-user thresholds must be monotone decreasing.
+	prev := int64(1 << 62)
+	for _, k := range []int{50, 100, 500, 1000} {
+		if st.HeavyUsers[k] > prev {
+			t.Errorf("heavy user counts not monotone at %d", k)
+		}
+		prev = st.HeavyUsers[k]
+	}
+	if st.HeavyUsers[50] == 0 {
+		t.Error("no users above 50 tweets — tail too thin")
+	}
+	// The observed window must sit inside the configured collection period.
+	start := time.Date(2013, time.September, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2014, time.April, 1, 0, 0, 0, 0, time.UTC)
+	if st.First.Before(start) || st.Last.After(end) {
+		t.Errorf("period [%v, %v] outside configuration", st.First, st.Last)
+	}
+	// The observed bbox must be a sub-box of the Australian study region
+	// (Table I's coordinate ranges).
+	if st.BBox.IsEmpty() {
+		t.Fatal("empty observed bbox")
+	}
+	au := res.Stats.BBox
+	if au.MinLat < -54.640302 || au.MaxLat > -9.228819 || au.MinLon < 112.921111 || au.MaxLon > 159.278718 {
+		t.Errorf("observed bbox %+v outside Table I ranges", au)
+	}
+}
+
+func TestRunPopulationEstimates(t *testing.T) {
+	res := runStudy(t)
+	for _, scale := range census.Scales() {
+		est := res.Population[scale]
+		if est == nil {
+			t.Fatalf("no estimate for %s", scale)
+		}
+		if len(est.TwitterUsers) != 20 {
+			t.Errorf("%s: %d areas", scale, len(est.TwitterUsers))
+		}
+		if est.C <= 0 {
+			t.Errorf("%s: C = %v", scale, est.C)
+		}
+	}
+	// Pooled correlation: the paper's Fig. 3 headline (r=0.816, p=2e-15).
+	if res.Pooled.NSamples != 60 {
+		t.Errorf("pooled samples = %d, want 60", res.Pooled.NSamples)
+	}
+	if res.Pooled.TestLog.R < 0.6 {
+		t.Errorf("pooled log r = %.3f, want strong positive", res.Pooled.TestLog.R)
+	}
+	if res.Pooled.TestLog.P > 1e-6 {
+		t.Errorf("pooled p = %v, want tiny", res.Pooled.TestLog.P)
+	}
+}
+
+func TestRunMetro500mDegrades(t *testing.T) {
+	res := runStudy(t)
+	full, err := res.Population[census.ScaleMetropolitan].Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := res.PopulationMetro500m.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 3b: shrinking ε from 2 km to 0.5 km increases error.
+	if half.R >= full.R {
+		t.Errorf("ε=0.5km r=%.3f should be below ε=2km r=%.3f", half.R, full.R)
+	}
+}
+
+func TestRunMobilityModelComparison(t *testing.T) {
+	res := runStudy(t)
+	for _, scale := range census.Scales() {
+		mr := res.Mobility[scale]
+		if mr == nil {
+			t.Fatalf("no mobility result for %s", scale)
+		}
+		if mr.TotalFlow <= 0 {
+			t.Errorf("%s: no flow extracted", scale)
+		}
+		if len(mr.Fits) != 3 {
+			t.Fatalf("%s: %d fits", scale, len(mr.Fits))
+		}
+		for _, f := range mr.Fits {
+			if f.Metrics.PearsonLog < 0.2 || f.Metrics.PearsonLog > 1 {
+				t.Errorf("%s/%s: r = %.3f", scale, f.Name, f.Metrics.PearsonLog)
+			}
+			if len(f.Est) != len(f.Obs) || len(f.Est) == 0 {
+				t.Errorf("%s/%s: scatter empty", scale, f.Name)
+			}
+			if len(f.Binned) == 0 {
+				t.Errorf("%s/%s: no binned points", scale, f.Name)
+			}
+			if f.Params == "" {
+				t.Errorf("%s/%s: no parameter description", scale, f.Name)
+			}
+		}
+		// Table II ordering: gravity beats radiation on Pearson.
+		byName := map[string]*ModelFit{}
+		for i := range mr.Fits {
+			byName[mr.Fits[i].Name] = &mr.Fits[i]
+		}
+		g2 := byName["Gravity 2Param"]
+		rad := byName["Radiation"]
+		if g2 == nil || rad == nil {
+			t.Fatalf("%s: missing models", scale)
+		}
+		if g2.Metrics.PearsonLog <= rad.Metrics.PearsonLog {
+			t.Errorf("%s: gravity-2 r=%.3f should beat radiation r=%.3f",
+				scale, g2.Metrics.PearsonLog, rad.Metrics.PearsonLog)
+		}
+	}
+}
+
+func TestStoreSourceEquivalentToSlice(t *testing.T) {
+	gen, err := synth.NewGenerator(synth.DefaultConfig(500, 7, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := tweetdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	fromSlice, err := NewStudy(SliceSource(tweets)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := NewStudy(StoreSource{Store: store}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSlice.Stats.Tweets != fromStore.Stats.Tweets {
+		t.Errorf("tweet counts differ: %d vs %d", fromSlice.Stats.Tweets, fromStore.Stats.Tweets)
+	}
+	if fromSlice.Stats.Users != fromStore.Stats.Users {
+		t.Errorf("user counts differ")
+	}
+	for _, scale := range census.Scales() {
+		a := fromSlice.Population[scale].TwitterUsers
+		b := fromStore.Population[scale].TwitterUsers
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: user counts differ at area %d: %v vs %v", scale, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPopulationAtRadiusSweep(t *testing.T) {
+	gen, err := synth.NewGenerator(synth.DefaultConfig(4000, 11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := NewStudy(SliceSource(tweets))
+	var prevUsers float64
+	for _, radius := range []float64{250, 1000, 4000} {
+		est, err := study.PopulationAtRadius(census.ScaleMetropolitan, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, u := range est.TwitterUsers {
+			total += u
+		}
+		if total < prevUsers {
+			t.Errorf("radius %v captured fewer users (%v) than a smaller radius (%v)", radius, total, prevUsers)
+		}
+		prevUsers = total
+	}
+}
+
+func TestRunRejectsInvalidTweets(t *testing.T) {
+	bad := SliceSource([]tweet.Tweet{{ID: 1, UserID: 1, TS: 1, Lat: 200, Lon: 0}})
+	if _, err := NewStudy(bad).Run(); err == nil {
+		t.Error("invalid tweet should abort the run")
+	}
+}
+
+func TestRunEmptySource(t *testing.T) {
+	if _, err := NewStudy(SliceSource(nil)).Run(); err == nil {
+		t.Error("empty source should fail")
+	}
+}

@@ -1,0 +1,219 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+
+	"geomob/internal/census"
+)
+
+// testWorld returns the national areas and a gravity-shaped flow matrix.
+func testWorld(t *testing.T) ([]census.Area, [][]float64) {
+	t.Helper()
+	rs, err := census.Australia().Regions(census.ScaleNational)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rs.Areas)
+	flows := make([][]float64, n)
+	for i := range flows {
+		flows[i] = make([]float64, n)
+		for j := range flows[i] {
+			if i != j {
+				// Simple population-product flows; exact shape is irrelevant
+				// to the dynamics invariants under test.
+				flows[i][j] = float64(rs.Areas[i].Population) * float64(rs.Areas[j].Population) / 1e9
+			}
+		}
+	}
+	return rs.Areas, flows
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Beta: 0, Gamma: 1, MobilityScale: 0.1, DT: 0.5, Days: 10},
+		{Beta: 1, Gamma: 0, MobilityScale: 0.1, DT: 0.5, Days: 10},
+		{Beta: 1, Gamma: 1, MobilityScale: -0.1, DT: 0.5, Days: 10},
+		{Beta: 1, Gamma: 1, MobilityScale: 2, DT: 0.5, Days: 10},
+		{Beta: 1, Gamma: 1, MobilityScale: 0.1, DT: 0, Days: 10},
+		{Beta: 1, Gamma: 1, MobilityScale: 0.1, DT: 2, Days: 10},
+		{Beta: 1, Gamma: 1, MobilityScale: 0.1, DT: 0.5, Days: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+	if r0 := DefaultParams().R0(); math.Abs(r0-1.8) > 1e-9 {
+		t.Errorf("default R0 = %v, want 1.8", r0)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	if _, err := Simulate(nil, nil, 0, 1, p); err == nil {
+		t.Error("no areas should fail")
+	}
+	if _, err := Simulate(areas, flows[:3], 0, 1, p); err == nil {
+		t.Error("flow shape mismatch should fail")
+	}
+	if _, err := Simulate(areas, flows, -1, 1, p); err == nil {
+		t.Error("bad seed area should fail")
+	}
+	if _, err := Simulate(areas, flows, 0, 0, p); err == nil {
+		t.Error("zero seed cases should fail")
+	}
+	neg := make([][]float64, len(areas))
+	for i := range neg {
+		neg[i] = make([]float64, len(areas))
+	}
+	neg[0][1] = -5
+	if _, err := Simulate(areas, neg, 0, 1, p); err == nil {
+		t.Error("negative flows should fail")
+	}
+}
+
+func TestEpidemicSpreadsFromSeed(t *testing.T) {
+	areas, flows := testWorld(t)
+	res, err := Simulate(areas, flows, 0, 100, DefaultParams()) // seed Sydney
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakI <= 100 {
+		t.Errorf("epidemic never grew: peak %v", res.PeakI)
+	}
+	if res.PeakDay <= 0 || res.PeakDay >= 180 {
+		t.Errorf("peak day %v outside horizon", res.PeakDay)
+	}
+	// With R0=1.8 the final attack rate must be substantial but below 100%.
+	if res.AttackPct < 20 || res.AttackPct > 95 {
+		t.Errorf("attack rate %.1f%% implausible for R0=1.8", res.AttackPct)
+	}
+	// Every patch must eventually see cases (the flow matrix is complete).
+	for i, day := range res.ArrivalDay {
+		if day < 0 {
+			t.Errorf("patch %s never reached the arrival threshold", areas[i].Name)
+		}
+	}
+	// The seed patch is hit first.
+	for i := 1; i < len(res.ArrivalDay); i++ {
+		if res.ArrivalDay[i] < res.ArrivalDay[0] {
+			t.Errorf("patch %d arrived before the seed", i)
+		}
+	}
+}
+
+func TestSubcriticalEpidemicDies(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	p.Beta = 0.1 // R0 = 0.4 < 1
+	res, err := Simulate(areas, flows, 0, 1000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.TotalI() > 10 {
+		t.Errorf("subcritical epidemic still has %v infectious", last.TotalI())
+	}
+	if res.AttackPct > 1 {
+		t.Errorf("subcritical attack rate %.2f%% too high", res.AttackPct)
+	}
+}
+
+func TestIsolationBlocksSpread(t *testing.T) {
+	areas, _ := testWorld(t)
+	// Zero mobility: the epidemic must stay in the seed patch.
+	zero := make([][]float64, len(areas))
+	for i := range zero {
+		zero[i] = make([]float64, len(areas))
+	}
+	res, err := Simulate(areas, zero, 0, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.ArrivalDay); i++ {
+		if res.ArrivalDay[i] >= 0 {
+			t.Errorf("patch %d infected despite zero mobility", i)
+		}
+	}
+	if res.ArrivalDay[0] < 0 {
+		t.Error("seed patch not infected")
+	}
+}
+
+func TestInfectiousMassConservedByCoupling(t *testing.T) {
+	// With recovery disabled (Gamma→0 not allowed; use tiny Gamma and Beta=Gamma
+	// so net local growth is small), total S+I+R per run must stay close to
+	// total N: the coupling only moves I between patches.
+	areas, flows := testWorld(t)
+	p := Params{Beta: 0.3, Gamma: 0.3, MobilityScale: 0.05, DT: 0.25, Days: 30}
+	res, err := Simulate(areas, flows, 0, 1000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalN float64
+	for _, a := range areas {
+		totalN += float64(a.Population)
+	}
+	for _, snap := range res.Series {
+		var sum float64
+		for i := range snap.S {
+			sum += snap.S[i] + snap.I[i] + snap.R[i]
+		}
+		if math.Abs(sum-totalN)/totalN > 1e-6 {
+			t.Fatalf("day %v: population drifted to %v (want %v)", snap.Day, sum, totalN)
+		}
+	}
+}
+
+func TestMoreMobilityFasterSpread(t *testing.T) {
+	areas, flows := testWorld(t)
+	slow := DefaultParams()
+	slow.MobilityScale = 0.001
+	fast := DefaultParams()
+	fast.MobilityScale = 0.05
+	resSlow, err := Simulate(areas, flows, 0, 100, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFast, err := Simulate(areas, flows, 0, 100, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare arrival at the most remote significant city (Perth).
+	perth := -1
+	for i, a := range areas {
+		if a.Name == "Perth" {
+			perth = i
+		}
+	}
+	if perth < 0 {
+		t.Fatal("no Perth")
+	}
+	if resFast.ArrivalDay[perth] >= resSlow.ArrivalDay[perth] {
+		t.Errorf("higher mobility should reach Perth sooner: fast=%v slow=%v",
+			resFast.ArrivalDay[perth], resSlow.ArrivalDay[perth])
+	}
+}
+
+func TestSeriesSampledDaily(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	p.Days = 10
+	res, err := Simulate(areas, flows, 0, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 11 { // day 0..10 inclusive
+		t.Errorf("got %d snapshots, want 11", len(res.Series))
+	}
+	for i, snap := range res.Series {
+		if math.Abs(snap.Day-float64(i)) > 1e-9 {
+			t.Errorf("snapshot %d at day %v", i, snap.Day)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package epidemic
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"geomob/internal/census"
+	"geomob/internal/randx"
+)
+
+// SEIRParams extends the SIR parameters with a latent (exposed)
+// compartment: S → E at rate Beta·S·I/N, E → I at rate Sigma, I → R at
+// rate Gamma. With Sigma → ∞ the model degenerates to SIR.
+type SEIRParams struct {
+	Params
+	Sigma float64 // incubation rate per day (mean latent period = 1/Sigma)
+}
+
+// DefaultSEIRParams models an influenza-like pathogen with a two-day
+// latent period on top of the default SIR parameters.
+func DefaultSEIRParams() SEIRParams {
+	return SEIRParams{Params: DefaultParams(), Sigma: 0.5}
+}
+
+// Validate reports the first invalid parameter.
+func (p SEIRParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.Sigma <= 0 {
+		return fmt.Errorf("epidemic: Sigma must be positive, got %v", p.Sigma)
+	}
+	return nil
+}
+
+// SEIRSnapshot is the SEIR state at one time point.
+type SEIRSnapshot struct {
+	Day float64
+	S   []float64
+	E   []float64
+	I   []float64
+	R   []float64
+}
+
+// TotalI returns the total infectious population.
+func (s SEIRSnapshot) TotalI() float64 {
+	var t float64
+	for _, v := range s.I {
+		t += v
+	}
+	return t
+}
+
+// SEIRResult is a complete SEIR simulation trace.
+type SEIRResult struct {
+	Areas     []census.Area
+	Series    []SEIRSnapshot
+	PeakDay   float64
+	PeakI     float64
+	AttackPct float64
+}
+
+// SimulateSEIR runs deterministic SEIR metapopulation dynamics, coupling
+// patches through the row-normalised flow matrix exactly as Simulate does.
+// The latent compartment delays spatial spread relative to SIR, which is
+// the behaviour epidemic forecasting needs for pathogens with incubation.
+func SimulateSEIR(areas []census.Area, flows [][]float64, seedArea int, seedCases float64, p SEIRParams) (*SEIRResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w, N, err := buildCoupling(areas, flows, p.MobilityScale)
+	if err != nil {
+		return nil, err
+	}
+	n := len(areas)
+	if seedArea < 0 || seedArea >= n {
+		return nil, fmt.Errorf("epidemic: seed area %d out of range", seedArea)
+	}
+	if seedCases <= 0 {
+		return nil, fmt.Errorf("epidemic: seedCases must be positive, got %v", seedCases)
+	}
+	S := make([]float64, n)
+	E := make([]float64, n)
+	I := make([]float64, n)
+	R := make([]float64, n)
+	copy(S, N)
+	if seedCases > S[seedArea] {
+		seedCases = S[seedArea]
+	}
+	S[seedArea] -= seedCases
+	I[seedArea] += seedCases
+
+	res := &SEIRResult{Areas: areas}
+	steps := int(math.Ceil(p.Days / p.DT))
+	sampleEvery := int(math.Max(1, math.Round(1/p.DT)))
+	dS := make([]float64, n)
+	dE := make([]float64, n)
+	dI := make([]float64, n)
+	dR := make([]float64, n)
+	for step := 0; step <= steps; step++ {
+		day := float64(step) * p.DT
+		if step%sampleEvery == 0 {
+			snap := SEIRSnapshot{
+				Day: day,
+				S:   append([]float64(nil), S...),
+				E:   append([]float64(nil), E...),
+				I:   append([]float64(nil), I...),
+				R:   append([]float64(nil), R...),
+			}
+			res.Series = append(res.Series, snap)
+			if ti := snap.TotalI(); ti > res.PeakI {
+				res.PeakI = ti
+				res.PeakDay = day
+			}
+		}
+		if step == steps {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if N[i] == 0 {
+				dS[i], dE[i], dI[i], dR[i] = 0, 0, 0, 0
+				continue
+			}
+			inf := p.Beta * S[i] * I[i] / N[i]
+			act := p.Sigma * E[i]
+			rec := p.Gamma * I[i]
+			dS[i] = -inf
+			dE[i] = inf - act
+			dI[i] = act - rec
+			dR[i] = rec
+		}
+		// Both exposed and infectious individuals travel.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || w[i][j] == 0 {
+					continue
+				}
+				mi := w[i][j] * I[i]
+				me := w[i][j] * E[i]
+				dI[i] -= mi
+				dI[j] += mi
+				dE[i] -= me
+				dE[j] += me
+			}
+		}
+		for i := 0; i < n; i++ {
+			S[i] += dS[i] * p.DT
+			E[i] += dE[i] * p.DT
+			I[i] += dI[i] * p.DT
+			R[i] += dR[i] * p.DT
+			if S[i] < 0 {
+				S[i] = 0
+			}
+			if E[i] < 0 {
+				E[i] = 0
+			}
+			if I[i] < 0 {
+				I[i] = 0
+			}
+		}
+	}
+	var totalN, totalAffected float64
+	for i := 0; i < n; i++ {
+		totalN += N[i]
+		totalAffected += E[i] + I[i] + R[i]
+	}
+	if totalN > 0 {
+		res.AttackPct = 100 * totalAffected / totalN
+	}
+	return res, nil
+}
+
+// buildCoupling row-normalises the flow matrix into travel shares scaled
+// by the coupling strength, and returns the patch populations.
+func buildCoupling(areas []census.Area, flows [][]float64, scale float64) (w [][]float64, pops []float64, err error) {
+	n := len(areas)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("epidemic: no areas")
+	}
+	if len(flows) != n {
+		return nil, nil, fmt.Errorf("epidemic: flow matrix has %d rows for %d areas", len(flows), n)
+	}
+	w = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if len(flows[i]) != n {
+			return nil, nil, fmt.Errorf("epidemic: flow row %d has %d columns, want %d", i, len(flows[i]), n)
+		}
+		w[i] = make([]float64, n)
+		var row float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				if flows[i][j] < 0 {
+					return nil, nil, fmt.Errorf("epidemic: negative flow at (%d,%d)", i, j)
+				}
+				row += flows[i][j]
+			}
+		}
+		if row == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				w[i][j] = scale * flows[i][j] / row
+			}
+		}
+	}
+	pops = make([]float64, n)
+	for i, a := range areas {
+		pops[i] = float64(a.Population)
+	}
+	return w, pops, nil
+}
+
+// StochasticResult summarises an ensemble of stochastic SIR runs.
+type StochasticResult struct {
+	Runs         int
+	ExtinctRuns  int       // runs where the outbreak died before 1% attack
+	PeakDays     []float64 // per-run national peak day (non-extinct runs)
+	AttackPcts   []float64 // per-run final attack percentage
+	MeanPeakDay  float64
+	MeanAttack   float64
+	ExtinctShare float64
+}
+
+// SimulateStochastic runs an ensemble of discrete-state stochastic SIR
+// simulations (binomial-approximated by Poisson draws) over the same
+// coupling as Simulate. Stochasticity matters for small seeds: outbreaks
+// can go extinct by chance, which the deterministic model cannot show.
+func SimulateStochastic(areas []census.Area, flows [][]float64, seedArea int, seedCases int, p Params, runs int, seed1, seed2 uint64) (*StochasticResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("epidemic: runs must be >= 1, got %d", runs)
+	}
+	if seedCases < 1 {
+		return nil, fmt.Errorf("epidemic: seedCases must be >= 1, got %d", seedCases)
+	}
+	w, N, err := buildCoupling(areas, flows, p.MobilityScale)
+	if err != nil {
+		return nil, err
+	}
+	n := len(areas)
+	if seedArea < 0 || seedArea >= n {
+		return nil, fmt.Errorf("epidemic: seed area %d out of range", seedArea)
+	}
+	rng := randx.New(seed1, seed2)
+	res := &StochasticResult{Runs: runs}
+	var totalN float64
+	for _, v := range N {
+		totalN += v
+	}
+	for run := 0; run < runs; run++ {
+		attack, peakDay := stochasticRun(rng, w, N, seedArea, seedCases, p)
+		attackPct := 100 * attack / totalN
+		res.AttackPcts = append(res.AttackPcts, attackPct)
+		if attackPct < 1 {
+			res.ExtinctRuns++
+		} else {
+			res.PeakDays = append(res.PeakDays, peakDay)
+		}
+	}
+	res.ExtinctShare = float64(res.ExtinctRuns) / float64(runs)
+	if len(res.PeakDays) > 0 {
+		var s float64
+		for _, v := range res.PeakDays {
+			s += v
+		}
+		res.MeanPeakDay = s / float64(len(res.PeakDays))
+	}
+	var s float64
+	for _, v := range res.AttackPcts {
+		s += v
+	}
+	res.MeanAttack = s / float64(runs)
+	return res, nil
+}
+
+// stochasticRun executes one discrete stochastic trajectory and returns
+// the final affected count and the national peak day.
+func stochasticRun(rng *rand.Rand, w [][]float64, N []float64, seedArea, seedCases int, p Params) (attack, peakDay float64) {
+	n := len(N)
+	S := make([]int, n)
+	I := make([]int, n)
+	R := make([]int, n)
+	for i := range N {
+		S[i] = int(N[i])
+	}
+	if seedCases > S[seedArea] {
+		seedCases = S[seedArea]
+	}
+	S[seedArea] -= seedCases
+	I[seedArea] = seedCases
+
+	steps := int(math.Ceil(p.Days / p.DT))
+	var peakI int
+	for step := 0; step <= steps; step++ {
+		day := float64(step) * p.DT
+		var totalI int
+		for _, v := range I {
+			totalI += v
+		}
+		if totalI > peakI {
+			peakI = totalI
+			peakDay = day
+		}
+		if totalI == 0 || step == steps {
+			break
+		}
+		// Local transitions: Poisson-approximated binomial draws, capped at
+		// compartment occupancy.
+		newInf := make([]int, n)
+		newRec := make([]int, n)
+		for i := 0; i < n; i++ {
+			if N[i] == 0 || I[i] == 0 {
+				continue
+			}
+			lamInf := p.Beta * float64(S[i]) * float64(I[i]) / N[i] * p.DT
+			lamRec := p.Gamma * float64(I[i]) * p.DT
+			ni := randx.Poisson(rng, lamInf)
+			if ni > S[i] {
+				ni = S[i]
+			}
+			nr := randx.Poisson(rng, lamRec)
+			if nr > I[i] {
+				nr = I[i]
+			}
+			newInf[i], newRec[i] = ni, nr
+		}
+		// Travel of infectious individuals.
+		move := make([]int, n)
+		for i := 0; i < n; i++ {
+			if I[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || w[i][j] == 0 {
+					continue
+				}
+				m := randx.Poisson(rng, w[i][j]*float64(I[i])*p.DT)
+				if m > I[i]+move[i] {
+					m = I[i] + move[i]
+				}
+				move[i] -= m
+				move[j] += m
+			}
+		}
+		for i := 0; i < n; i++ {
+			S[i] -= newInf[i]
+			I[i] += newInf[i] - newRec[i] + move[i]
+			R[i] += newRec[i]
+			if I[i] < 0 {
+				I[i] = 0
+			}
+		}
+	}
+	var affected float64
+	for i := 0; i < n; i++ {
+		affected += float64(I[i] + R[i])
+	}
+	return affected, peakDay
+}

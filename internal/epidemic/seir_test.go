@@ -1,0 +1,159 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSEIRParamsValidate(t *testing.T) {
+	if err := DefaultSEIRParams().Validate(); err != nil {
+		t.Fatalf("default SEIR params invalid: %v", err)
+	}
+	bad := DefaultSEIRParams()
+	bad.Sigma = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Sigma=0 should fail")
+	}
+	bad = DefaultSEIRParams()
+	bad.Beta = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("inherited SIR validation should fail")
+	}
+}
+
+func TestSEIRSpreadsSlowerThanSIR(t *testing.T) {
+	areas, flows := testWorld(t)
+	sir, err := Simulate(areas, flows, 0, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seir, err := SimulateSEIR(areas, flows, 0, 100, DefaultSEIRParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seir.PeakI <= 0 {
+		t.Fatal("SEIR epidemic never grew")
+	}
+	// The latent period must delay the national peak.
+	if seir.PeakDay <= sir.PeakDay {
+		t.Errorf("SEIR peak day %v should be later than SIR %v", seir.PeakDay, sir.PeakDay)
+	}
+}
+
+func TestSEIRConservation(t *testing.T) {
+	areas, flows := testWorld(t)
+	res, err := SimulateSEIR(areas, flows, 0, 1000, DefaultSEIRParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalN float64
+	for _, a := range areas {
+		totalN += float64(a.Population)
+	}
+	for _, snap := range res.Series {
+		var sum float64
+		for i := range snap.S {
+			sum += snap.S[i] + snap.E[i] + snap.I[i] + snap.R[i]
+		}
+		if math.Abs(sum-totalN)/totalN > 1e-6 {
+			t.Fatalf("day %v: population drifted to %v (want %v)", snap.Day, sum, totalN)
+		}
+	}
+	if res.AttackPct <= 0 || res.AttackPct > 100 {
+		t.Errorf("attack rate %v out of range", res.AttackPct)
+	}
+}
+
+func TestSEIRValidation(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultSEIRParams()
+	if _, err := SimulateSEIR(nil, nil, 0, 1, p); err == nil {
+		t.Error("no areas should fail")
+	}
+	if _, err := SimulateSEIR(areas, flows, -1, 1, p); err == nil {
+		t.Error("bad seed area should fail")
+	}
+	if _, err := SimulateSEIR(areas, flows, 0, 0, p); err == nil {
+		t.Error("zero seed should fail")
+	}
+}
+
+func TestStochasticEnsemble(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	p.Days = 120
+	res, err := SimulateStochastic(areas, flows, 0, 5, p, 30, 11, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 30 || len(res.AttackPcts) != 30 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+	if res.ExtinctRuns+len(res.PeakDays) != res.Runs {
+		t.Errorf("extinct (%d) + established (%d) != runs (%d)",
+			res.ExtinctRuns, len(res.PeakDays), res.Runs)
+	}
+	// With a 5-case seed and R0=1.8 some runs establish; the mean attack
+	// over established runs should be substantial.
+	if res.MeanAttack <= 0 {
+		t.Error("no attack at all across the ensemble")
+	}
+	for _, a := range res.AttackPcts {
+		if a < 0 || a > 100 {
+			t.Fatalf("attack %v out of range", a)
+		}
+	}
+}
+
+func TestStochasticSmallSeedCanGoExtinct(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	p.Days = 60
+	// Seed a single case: with R0=1.8 the branching-process extinction
+	// probability is roughly 1/R0 ≈ 0.56, so a 40-run ensemble virtually
+	// surely contains extinctions (and, with high probability, at least
+	// one established run).
+	res, err := SimulateStochastic(areas, flows, 0, 1, p, 40, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtinctRuns == 0 {
+		t.Error("single-case seeds should sometimes go extinct")
+	}
+	if res.ExtinctShare < 0.2 || res.ExtinctShare > 0.95 {
+		t.Errorf("extinction share %v far from the ~1/R0 regime", res.ExtinctShare)
+	}
+}
+
+func TestStochasticDeterministicGivenSeed(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	p.Days = 40
+	a, err := SimulateStochastic(areas, flows, 0, 3, p, 5, 21, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateStochastic(areas, flows, 0, 3, p, 5, 21, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.AttackPcts {
+		if a.AttackPcts[i] != b.AttackPcts[i] {
+			t.Fatalf("run %d differs: %v vs %v", i, a.AttackPcts[i], b.AttackPcts[i])
+		}
+	}
+}
+
+func TestStochasticValidation(t *testing.T) {
+	areas, flows := testWorld(t)
+	p := DefaultParams()
+	if _, err := SimulateStochastic(areas, flows, 0, 0, p, 5, 1, 2); err == nil {
+		t.Error("zero seed cases should fail")
+	}
+	if _, err := SimulateStochastic(areas, flows, 0, 1, p, 0, 1, 2); err == nil {
+		t.Error("zero runs should fail")
+	}
+	if _, err := SimulateStochastic(areas, flows, 99, 1, p, 5, 1, 2); err == nil {
+		t.Error("bad seed area should fail")
+	}
+}

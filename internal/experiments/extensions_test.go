@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigureDisplacement(t *testing.T) {
+	env := getEnv(t)
+	bins, err := FigureDisplacement(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) < 4 {
+		t.Fatalf("only %d bins", len(bins))
+	}
+	// The displacement distribution must have both a local mode (km-scale
+	// jitter) and an inter-city tail beyond 500 km.
+	var hasLocal, hasLong bool
+	for _, b := range bins {
+		if b.Count > 0 && b.Center < 10 {
+			hasLocal = true
+		}
+		if b.Count > 0 && b.Center > 500 {
+			hasLong = true
+		}
+	}
+	if !hasLocal || !hasLong {
+		t.Errorf("displacement shape wrong: local=%v long=%v", hasLocal, hasLong)
+	}
+}
+
+func TestTableIIExtended(t *testing.T) {
+	env := getEnv(t)
+	tab, err := TableIIExtended(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 3 scales × 4 models
+		t.Fatalf("%d rows, want 12", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		cpc, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || cpc < 0 || cpc > 1 {
+			t.Errorf("%s/%s: CPC %q invalid", row[0], row[1], row[4])
+		}
+	}
+	// The extension baseline must appear at every scale.
+	var opp int
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "Intervening") {
+			opp++
+		}
+	}
+	if opp != 3 {
+		t.Errorf("intervening opportunities appears %d times, want 3", opp)
+	}
+}
+
+func TestEpidemicStochastic(t *testing.T) {
+	env := getEnv(t)
+	tab, err := EpidemicStochastic(env, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Extinct runs" {
+		t.Errorf("first row %q", tab.Rows[0][0])
+	}
+}
+
+func TestPooledCorrelationCI(t *testing.T) {
+	env := getEnv(t)
+	ci, err := PooledCorrelationCI(env, 0.95, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("CI [%v, %v] does not cover point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Point < 0.6 {
+		t.Errorf("pooled r = %v unexpectedly weak", ci.Point)
+	}
+	// The pooled sample has 60 points; the CI must be informative.
+	if ci.Hi-ci.Lo > 0.5 {
+		t.Errorf("CI too wide: [%v, %v]", ci.Lo, ci.Hi)
+	}
+}

@@ -1,0 +1,242 @@
+// Package geo provides geodesic primitives on the WGS-84 sphere:
+// points, distances, bearings, destination points and bounding boxes.
+//
+// All angles at the package boundary are expressed in decimal degrees and
+// all distances in metres unless a name says otherwise. Computations use a
+// spherical Earth of radius EarthRadius, which is accurate to ~0.5% — far
+// below the noise floor of GPS-tagged social-media data.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadius is the mean Earth radius in metres (IUGG).
+const EarthRadius = 6371008.8
+
+// Point is a WGS-84 coordinate in decimal degrees.
+type Point struct {
+	Lat float64 // latitude, degrees, [-90, 90]
+	Lon float64 // longitude, degrees, [-180, 180]
+}
+
+// Valid reports whether p lies within the legal WGS-84 ranges and is not NaN.
+func (p Point) Valid() bool {
+	if math.IsNaN(p.Lat) || math.IsNaN(p.Lon) {
+		return false
+	}
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// String renders the point as "lat,lon" with six decimal places (~0.1 m).
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// Radians returns the latitude and longitude converted to radians.
+func (p Point) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// Distance returns the great-circle distance in metres between p and q.
+func (p Point) Distance(q Point) float64 { return Haversine(p, q) }
+
+// Haversine returns the great-circle distance in metres between a and b
+// using the haversine formula, which is numerically stable for small
+// separations (unlike the spherical law of cosines).
+func Haversine(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
+}
+
+// InitialBearing returns the initial great-circle bearing in degrees
+// (clockwise from true north, [0, 360)) when travelling from a to b.
+func InitialBearing(a, b Point) float64 {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by travelling dist metres from p on
+// the initial bearing bearingDeg (degrees clockwise from north).
+func Destination(p Point, bearingDeg, dist float64) Point {
+	lat1, lon1 := p.Radians()
+	brg := bearingDeg * math.Pi / 180
+	ang := dist / EarthRadius
+	sinLat2 := math.Sin(lat1)*math.Cos(ang) + math.Cos(lat1)*math.Sin(ang)*math.Cos(brg)
+	lat2 := math.Asin(sinLat2)
+	y := math.Sin(brg) * math.Sin(ang) * math.Cos(lat1)
+	x := math.Cos(ang) - math.Sin(lat1)*sinLat2
+	lon2 := lon1 + math.Atan2(y, x)
+	return Point{
+		Lat: lat2 * 180 / math.Pi,
+		Lon: normalizeLon(lon2 * 180 / math.Pi),
+	}
+}
+
+// Midpoint returns the great-circle midpoint of a and b.
+func Midpoint(a, b Point) Point {
+	lat1, lon1 := a.Radians()
+	lat2, lon2 := b.Radians()
+	dLon := lon2 - lon1
+	bx := math.Cos(lat2) * math.Cos(dLon)
+	by := math.Cos(lat2) * math.Sin(dLon)
+	lat3 := math.Atan2(math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by))
+	lon3 := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+	return Point{Lat: lat3 * 180 / math.Pi, Lon: normalizeLon(lon3 * 180 / math.Pi)}
+}
+
+// normalizeLon wraps a longitude in degrees into [-180, 180].
+func normalizeLon(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}
+
+// MetersPerDegreeLat is the north–south extent of one degree of latitude.
+const MetersPerDegreeLat = EarthRadius * math.Pi / 180
+
+// MetersPerDegreeLon returns the east–west extent in metres of one degree of
+// longitude at the given latitude (degrees).
+func MetersPerDegreeLon(latDeg float64) float64 {
+	return MetersPerDegreeLat * math.Cos(latDeg*math.Pi/180)
+}
+
+// BBox is an axis-aligned bounding box in degrees. A box never crosses the
+// antimeridian; callers working near ±180° must split queries themselves
+// (Australia, the paper's study region, is safely clear of it).
+type BBox struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// NewBBox returns the box spanning the two corner points in either order.
+func NewBBox(a, b Point) BBox {
+	return BBox{
+		MinLat: math.Min(a.Lat, b.Lat),
+		MinLon: math.Min(a.Lon, b.Lon),
+		MaxLat: math.Max(a.Lat, b.Lat),
+		MaxLon: math.Max(a.Lon, b.Lon),
+	}
+}
+
+// EmptyBBox returns a degenerate box that contains nothing and expands to
+// exactly the first point added via Extend.
+func EmptyBBox() BBox {
+	return BBox{MinLat: 91, MinLon: 181, MaxLat: -91, MaxLon: -181}
+}
+
+// IsEmpty reports whether the box is the degenerate empty box.
+func (b BBox) IsEmpty() bool { return b.MinLat > b.MaxLat || b.MinLon > b.MaxLon }
+
+// Contains reports whether p lies inside the box (inclusive of edges).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat && p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Extend grows the box to include p and returns the result.
+func (b BBox) Extend(p Point) BBox {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lon < b.MinLon {
+		b.MinLon = p.Lon
+	}
+	if p.Lon > b.MaxLon {
+		b.MaxLon = p.Lon
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return BBox{
+		MinLat: math.Min(b.MinLat, o.MinLat),
+		MinLon: math.Min(b.MinLon, o.MinLon),
+		MaxLat: math.Max(b.MaxLat, o.MaxLat),
+		MaxLon: math.Max(b.MaxLon, o.MaxLon),
+	}
+}
+
+// Intersects reports whether the two boxes share any point.
+func (b BBox) Intersects(o BBox) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.MinLat <= o.MaxLat && o.MinLat <= b.MaxLat &&
+		b.MinLon <= o.MaxLon && o.MinLon <= b.MaxLon
+}
+
+// Center returns the centre point of the box.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// BoundAround returns a bounding box guaranteed to contain the disc of the
+// given radius (metres) centred at p. The box over-covers near the poles;
+// callers must still verify candidates with Haversine.
+func BoundAround(p Point, radius float64) BBox {
+	dLat := radius / MetersPerDegreeLat
+	mpl := MetersPerDegreeLon(p.Lat)
+	var dLon float64
+	if mpl < 1 { // polar degenerate case: cover all longitudes
+		dLon = 360
+	} else {
+		dLon = radius / mpl
+	}
+	b := BBox{
+		MinLat: p.Lat - dLat,
+		MinLon: p.Lon - dLon,
+		MaxLat: p.Lat + dLat,
+		MaxLon: p.Lon + dLon,
+	}
+	if b.MinLat < -90 {
+		b.MinLat = -90
+	}
+	if b.MaxLat > 90 {
+		b.MaxLat = 90
+	}
+	if b.MinLon < -180 {
+		b.MinLon = -180
+	}
+	if b.MaxLon > 180 {
+		b.MaxLon = 180
+	}
+	return b
+}
+
+// AustraliaBBox is the study region used throughout the paper (Table I):
+// longitude [112.921112, 159.278717], latitude [-54.640301, -9.228820].
+var AustraliaBBox = BBox{
+	MinLat: -54.640301,
+	MinLon: 112.921112,
+	MaxLat: -9.228820,
+	MaxLon: 159.278717,
+}

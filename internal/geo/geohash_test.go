@@ -1,0 +1,115 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeohashKnownValues(t *testing.T) {
+	cases := []struct {
+		p    Point
+		hash string
+	}{
+		// Reference values from the canonical geohash implementation.
+		{Point{Lat: 57.64911, Lon: 10.40744}, "u4pruydqqvj"},
+		{Point{Lat: -33.8688, Lon: 151.2093}, "r3gx2f7"},
+		{Point{Lat: 0, Lon: 0}, "s0000"},
+	}
+	for _, c := range cases {
+		got := EncodeGeohash(c.p, len(c.hash))
+		if got != c.hash {
+			t.Errorf("EncodeGeohash(%v, %d) = %q, want %q", c.p, len(c.hash), got, c.hash)
+		}
+	}
+}
+
+func TestGeohashRoundTrip(t *testing.T) {
+	f := func(latSeed, lonSeed float64) bool {
+		p := Point{clampLat(latSeed), wrapLon(lonSeed)}
+		for prec := 1; prec <= 12; prec++ {
+			h := EncodeGeohash(p, prec)
+			if len(h) != prec {
+				return false
+			}
+			box, err := DecodeGeohash(h)
+			if err != nil || !box.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeohashPrefixNesting(t *testing.T) {
+	// The cell of a longer hash must be contained in the cell of its prefix.
+	p := Point{Lat: -27.4698, Lon: 153.0251}
+	h := EncodeGeohash(p, 9)
+	outer, err := DecodeGeohash(h[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := DecodeGeohash(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corner := range []Point{
+		{inner.MinLat, inner.MinLon}, {inner.MaxLat, inner.MaxLon},
+	} {
+		if !outer.Contains(corner) {
+			t.Errorf("outer cell does not contain inner corner %v", corner)
+		}
+	}
+}
+
+func TestGeohashPrecisionClamping(t *testing.T) {
+	p := Point{Lat: 10, Lon: 10}
+	if got := EncodeGeohash(p, 0); len(got) != 1 {
+		t.Errorf("precision 0 should clamp to 1, got %q", got)
+	}
+	if got := EncodeGeohash(p, 99); len(got) != 12 {
+		t.Errorf("precision 99 should clamp to 12, got %q", got)
+	}
+}
+
+func TestDecodeGeohashInvalid(t *testing.T) {
+	for _, bad := range []string{"a", "i", "l", "o", "Aa", "r3a!"} {
+		if !strings.ContainsAny(bad, "ailoAB!") {
+			continue
+		}
+		if _, err := DecodeGeohash(bad); err == nil {
+			t.Errorf("DecodeGeohash(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGeohashCenterAccuracy(t *testing.T) {
+	p := Point{Lat: -33.8688, Lon: 151.2093}
+	c, err := GeohashCenter(EncodeGeohash(p, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Haversine(p, c); d > 40 { // 8 chars resolves to ~19 m x 19 m
+		t.Errorf("centre too far from original point: %.1f m", d)
+	}
+}
+
+func TestGeohashCellSizeShrinks(t *testing.T) {
+	p := Point{Lat: -37.8136, Lon: 144.9631}
+	prev := math.Inf(1)
+	for prec := 1; prec <= 10; prec++ {
+		box, err := DecodeGeohash(EncodeGeohash(p, prec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := (box.MaxLat - box.MinLat) * (box.MaxLon - box.MinLon)
+		if size >= prev {
+			t.Errorf("cell area did not shrink at precision %d: %v >= %v", prec, size, prev)
+		}
+		prev = size
+	}
+}

@@ -1,0 +1,318 @@
+// Package index provides in-memory spatial indexes over geographic points:
+// a uniform grid hash for radius queries against large point sets, and a
+// k-d tree for nearest-neighbour lookups against small static sets (the
+// census areas). Both verify candidates with exact haversine distances, so
+// query results are exact; the structures only prune.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"geomob/internal/geo"
+)
+
+// Entry is one indexed point with an opaque identifier.
+type Entry struct {
+	ID int64
+	P  geo.Point
+}
+
+// Grid is a uniform latitude/longitude grid hash. Cell size is chosen from
+// the expected query radius: cells of roughly the query radius make a
+// radius query touch at most ~9 cells at mid latitudes.
+type Grid struct {
+	cellDeg float64
+	cells   map[[2]int32][]Entry
+	n       int
+}
+
+// NewGrid creates a grid whose cells are cellMeters wide in the north–south
+// direction (east–west width shrinks with latitude, which only makes
+// pruning finer).
+func NewGrid(cellMeters float64) (*Grid, error) {
+	if cellMeters <= 0 {
+		return nil, fmt.Errorf("index: grid cell size must be positive, got %v m", cellMeters)
+	}
+	return &Grid{
+		cellDeg: cellMeters / geo.MetersPerDegreeLat,
+		cells:   map[[2]int32][]Entry{},
+	}, nil
+}
+
+func (g *Grid) key(p geo.Point) [2]int32 {
+	return [2]int32{
+		int32(math.Floor(p.Lat / g.cellDeg)),
+		int32(math.Floor(p.Lon / g.cellDeg)),
+	}
+}
+
+// Insert adds an entry to the grid.
+func (g *Grid) Insert(e Entry) {
+	k := g.key(e.P)
+	g.cells[k] = append(g.cells[k], e)
+	g.n++
+}
+
+// Len returns the number of indexed entries.
+func (g *Grid) Len() int { return g.n }
+
+// Radius returns all entries within radius metres of p (inclusive), in
+// unspecified order.
+func (g *Grid) Radius(p geo.Point, radius float64) []Entry {
+	if radius < 0 {
+		return nil
+	}
+	box := geo.BoundAround(p, radius)
+	loLat := int32(math.Floor(box.MinLat / g.cellDeg))
+	hiLat := int32(math.Floor(box.MaxLat / g.cellDeg))
+	loLon := int32(math.Floor(box.MinLon / g.cellDeg))
+	hiLon := int32(math.Floor(box.MaxLon / g.cellDeg))
+	var out []Entry
+	for la := loLat; la <= hiLat; la++ {
+		for lo := loLon; lo <= hiLon; lo++ {
+			for _, e := range g.cells[[2]int32{la, lo}] {
+				if geo.Haversine(p, e.P) <= radius {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountRadius returns the number of entries within radius metres of p
+// without materialising them.
+func (g *Grid) CountRadius(p geo.Point, radius float64) int {
+	if radius < 0 {
+		return 0
+	}
+	box := geo.BoundAround(p, radius)
+	loLat := int32(math.Floor(box.MinLat / g.cellDeg))
+	hiLat := int32(math.Floor(box.MaxLat / g.cellDeg))
+	loLon := int32(math.Floor(box.MinLon / g.cellDeg))
+	hiLon := int32(math.Floor(box.MaxLon / g.cellDeg))
+	count := 0
+	for la := loLat; la <= hiLat; la++ {
+		for lo := loLon; lo <= hiLon; lo++ {
+			for _, e := range g.cells[[2]int32{la, lo}] {
+				if geo.Haversine(p, e.P) <= radius {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// KDTree is a static 2-d tree over entries, built once and queried for
+// nearest neighbours and radius sets. Candidate ranking inside the tree
+// walk uses an equirectangular projection at the tree's mean latitude;
+// subtree pruning uses provable lower bounds on the great-circle distance
+// (see splitLowerBound), and all returned results are verified with exact
+// haversine distances. Queries are therefore exact.
+type KDTree struct {
+	nodes    []kdNode
+	root     int32
+	cosLat   float64 // cosine at the mean latitude (ranking metric)
+	cosFloor float64 // minimum cosine over all entry latitudes (pruning)
+}
+
+type kdNode struct {
+	e           Entry
+	left, right int32
+}
+
+// NewKDTree builds a balanced k-d tree over the entries. It returns an
+// error for an empty input.
+func NewKDTree(entries []Entry) (*KDTree, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("index: kd-tree requires at least one entry")
+	}
+	var sumLat float64
+	cosFloor := 1.0
+	for _, e := range entries {
+		sumLat += e.P.Lat
+		if c := math.Cos(e.P.Lat * math.Pi / 180); c < cosFloor {
+			cosFloor = c
+		}
+	}
+	meanLat := sumLat / float64(len(entries))
+	t := &KDTree{
+		nodes:    make([]kdNode, 0, len(entries)),
+		cosLat:   math.Cos(meanLat * math.Pi / 180),
+		cosFloor: cosFloor,
+	}
+	if t.cosLat < 0.05 {
+		t.cosLat = 0.05 // keep the ranking projection sane near the poles
+	}
+	if t.cosFloor < 0 {
+		t.cosFloor = 0
+	}
+	work := append([]Entry(nil), entries...)
+	t.root = t.build(work, 0)
+	return t, nil
+}
+
+func (t *KDTree) build(entries []Entry, depth int) int32 {
+	if len(entries) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	sort.Slice(entries, func(i, j int) bool {
+		if axis == 0 {
+			return entries[i].P.Lat < entries[j].P.Lat
+		}
+		return entries[i].P.Lon < entries[j].P.Lon
+	})
+	mid := len(entries) / 2
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{e: entries[mid]})
+	left := t.build(entries[:mid], depth+1)
+	right := t.build(entries[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Len returns the number of entries in the tree.
+func (t *KDTree) Len() int { return len(t.nodes) }
+
+// planarDist2 is the squared equirectangular distance in degree² with
+// longitude compressed by cos(meanLat).
+func (t *KDTree) planarDist2(a, b geo.Point) float64 {
+	dLat := a.Lat - b.Lat
+	dLon := (a.Lon - b.Lon) * t.cosLat
+	return dLat*dLat + dLon*dLon
+}
+
+// Nearest returns the entry closest to p by great-circle distance and that
+// distance in metres. The tree walk finds the nearest under the projected
+// metric; a haversine-verified radius sweep around that candidate then
+// resolves any re-ordering the projection could have introduced, so the
+// result is exact.
+func (t *KDTree) Nearest(p geo.Point) (Entry, float64) {
+	best := int32(-1)
+	bestDist := math.Inf(1) // squared planar degrees during the walk
+	t.nearest(t.root, p, 0, &best, &bestDist)
+	e := t.nodes[best].e
+	d := geo.Haversine(p, e.P)
+	// Refine: any true nearest neighbour must lie within d of p. Sweep with
+	// a 10% margin to absorb projection distortion at continental spans.
+	for _, cand := range t.Radius(p, d*1.1+1) {
+		if cd := geo.Haversine(p, cand.P); cd < d {
+			d = cd
+			e = cand
+		}
+	}
+	return e, d
+}
+
+func (t *KDTree) nearest(node int32, p geo.Point, depth int, best *int32, bestDist2 *float64) {
+	if node < 0 {
+		return
+	}
+	n := t.nodes[node]
+	if d2 := t.planarDist2(p, n.e.P); d2 < *bestDist2 {
+		*bestDist2 = d2
+		*best = node
+	}
+	axis := depth % 2
+	var diff float64
+	if axis == 0 {
+		diff = p.Lat - n.e.P.Lat
+	} else {
+		diff = (p.Lon - n.e.P.Lon) * t.cosLat
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.nearest(near, p, depth+1, best, bestDist2)
+	if diff*diff < *bestDist2 {
+		t.nearest(far, p, depth+1, best, bestDist2)
+	}
+}
+
+// splitLowerBound returns a lower bound in metres on the great-circle
+// distance between the query point p and any point beyond the splitting
+// plane of the given node axis. For the latitude axis the bound is exact
+// (meridian arc). For the longitude axis it follows from the haversine
+// identity sin²(d/2R) >= cosφ₁·cosφ₂·sin²(Δλ/2) with cosφ₂ bounded below by
+// the tree-wide cosine floor.
+func (t *KDTree) splitLowerBound(p geo.Point, split geo.Point, axis int) float64 {
+	if axis == 0 {
+		return math.Abs(p.Lat-split.Lat) * geo.MetersPerDegreeLat
+	}
+	dLon := math.Abs(p.Lon-split.Lon) * math.Pi / 180
+	if dLon > math.Pi {
+		dLon = 2*math.Pi - dLon
+	}
+	cosP := math.Cos(p.Lat * math.Pi / 180)
+	c := cosP * t.cosFloor
+	if c <= 0 {
+		return 0 // cannot prune through the poles
+	}
+	s := math.Sqrt(c) * math.Sin(dLon/2)
+	if s > 1 {
+		s = 1
+	}
+	return 2 * geo.EarthRadius * math.Asin(s)
+}
+
+// NearestWithin returns the closest entry to p if it lies within radius
+// metres; ok is false when nothing is close enough. This is the primitive
+// behind the paper's "search radius ε" area assignment.
+func (t *KDTree) NearestWithin(p geo.Point, radius float64) (e Entry, dist float64, ok bool) {
+	e, dist = t.Nearest(p)
+	if dist <= radius {
+		return e, dist, true
+	}
+	return Entry{}, 0, false
+}
+
+// Radius returns all entries within radius metres of p, ordered by
+// ascending great-circle distance.
+func (t *KDTree) Radius(p geo.Point, radius float64) []Entry {
+	if radius < 0 {
+		return nil
+	}
+	type hit struct {
+		e Entry
+		d float64
+	}
+	var hits []hit
+	var walk func(node int32, depth int)
+	walk = func(node int32, depth int) {
+		if node < 0 {
+			return
+		}
+		n := t.nodes[node]
+		if d := geo.Haversine(p, n.e.P); d <= radius {
+			hits = append(hits, hit{n.e, d})
+		}
+		axis := depth % 2
+		var onLeft bool
+		if axis == 0 {
+			onLeft = p.Lat < n.e.P.Lat
+		} else {
+			onLeft = p.Lon < n.e.P.Lon
+		}
+		near, far := n.left, n.right
+		if !onLeft {
+			near, far = far, near
+		}
+		walk(near, depth+1)
+		if t.splitLowerBound(p, n.e.P, axis) <= radius {
+			walk(far, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	out := make([]Entry, len(hits))
+	for i, h := range hits {
+		out[i] = h.e
+	}
+	return out
+}

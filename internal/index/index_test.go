@@ -1,0 +1,216 @@
+package index
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"geomob/internal/geo"
+)
+
+// randomAUPoint draws points within the paper's Australian study region,
+// which is the domain these indexes serve.
+func randomAUPoint(rng *rand.Rand) geo.Point {
+	b := geo.AustraliaBBox
+	return geo.Point{
+		Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+		Lon: b.MinLon + rng.Float64()*(b.MaxLon-b.MinLon),
+	}
+}
+
+func makeEntries(rng *rand.Rand, n int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{ID: int64(i), P: randomAUPoint(rng)}
+	}
+	return entries
+}
+
+// bruteRadius is the oracle for radius queries.
+func bruteRadius(entries []Entry, p geo.Point, radius float64) map[int64]bool {
+	out := map[int64]bool{}
+	for _, e := range entries {
+		if geo.Haversine(p, e.P) <= radius {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func TestGridRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	entries := makeEntries(rng, 2000)
+	g, err := NewGrid(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		g.Insert(e)
+	}
+	if g.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(entries))
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := randomAUPoint(rng)
+		radius := rng.Float64() * 300_000
+		want := bruteRadius(entries, p, radius)
+		got := g.Radius(p, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e.ID] {
+				t.Fatalf("trial %d: unexpected entry %d", trial, e.ID)
+			}
+		}
+		if cnt := g.CountRadius(p, radius); cnt != len(want) {
+			t.Fatalf("trial %d: CountRadius = %d, want %d", trial, cnt, len(want))
+		}
+	}
+}
+
+func TestGridEdgeCases(t *testing.T) {
+	g, err := NewGrid(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Radius(geo.Point{Lat: -33, Lon: 151}, 1000); len(got) != 0 {
+		t.Error("empty grid should return nothing")
+	}
+	p := geo.Point{Lat: -33.8688, Lon: 151.2093}
+	g.Insert(Entry{ID: 7, P: p})
+	if got := g.Radius(p, 0); len(got) != 1 {
+		t.Errorf("zero-radius self query returned %d", len(got))
+	}
+	if got := g.Radius(p, -5); got != nil {
+		t.Error("negative radius should return nil")
+	}
+	if _, err := NewGrid(0); err == nil {
+		t.Error("zero cell size should fail")
+	}
+	if _, err := NewGrid(-1); err == nil {
+		t.Error("negative cell size should fail")
+	}
+}
+
+func TestGridBoundaryInclusive(t *testing.T) {
+	g, _ := NewGrid(100_000)
+	center := geo.Point{Lat: -30, Lon: 140}
+	edge := geo.Destination(center, 90, 5_000)
+	g.Insert(Entry{ID: 1, P: edge})
+	d := geo.Haversine(center, edge)
+	if got := g.Radius(center, d); len(got) != 1 {
+		t.Errorf("entry exactly at radius should be included (d=%v)", d)
+	}
+	if got := g.Radius(center, d-1); len(got) != 0 {
+		t.Error("entry just beyond radius should be excluded")
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	entries := makeEntries(rng, 500)
+	tree, err := NewKDTree(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != len(entries) {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := randomAUPoint(rng)
+		_, gotDist := tree.Nearest(p)
+		bestDist := math.Inf(1)
+		for _, e := range entries {
+			if d := geo.Haversine(p, e.P); d < bestDist {
+				bestDist = d
+			}
+		}
+		// The winner must achieve the optimal distance (ties allowed).
+		if math.Abs(gotDist-bestDist) > 1e-6 {
+			t.Fatalf("trial %d: nearest dist %v, brute force %v", trial, gotDist, bestDist)
+		}
+	}
+}
+
+func TestKDTreeRadiusMatchesBruteForceAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	entries := makeEntries(rng, 800)
+	tree, err := NewKDTree(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := randomAUPoint(rng)
+		radius := rng.Float64() * 500_000
+		want := bruteRadius(entries, p, radius)
+		got := tree.Radius(p, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e.ID] {
+				t.Fatalf("trial %d: unexpected id %d", trial, e.ID)
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			return geo.Haversine(p, got[i].P) < geo.Haversine(p, got[j].P)
+		}) {
+			t.Fatalf("trial %d: results not sorted by distance", trial)
+		}
+	}
+}
+
+func TestKDTreeNearestWithin(t *testing.T) {
+	sydney := geo.Point{Lat: -33.8688, Lon: 151.2093}
+	melbourne := geo.Point{Lat: -37.8136, Lon: 144.9631}
+	tree, err := NewKDTree([]Entry{{ID: 1, P: sydney}, {ID: 2, P: melbourne}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := geo.Destination(sydney, 45, 10_000)
+	e, d, ok := tree.NearestWithin(near, 50_000)
+	if !ok || e.ID != 1 {
+		t.Fatalf("expected Sydney within 50km, got %+v ok=%v", e, ok)
+	}
+	if math.Abs(d-10_000) > 5 {
+		t.Errorf("distance = %v, want ~10000", d)
+	}
+	if _, _, ok := tree.NearestWithin(near, 5_000); ok {
+		t.Error("5km radius should exclude Sydney at 10km")
+	}
+}
+
+func TestKDTreeSingleAndDuplicate(t *testing.T) {
+	p := geo.Point{Lat: -20, Lon: 130}
+	tree, err := NewKDTree([]Entry{{ID: 1, P: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, d := tree.Nearest(geo.Point{Lat: -21, Lon: 131})
+	if e.ID != 1 || d <= 0 {
+		t.Errorf("single-node nearest: %+v %v", e, d)
+	}
+	// Duplicate positions must all be returned by a radius query.
+	dup, err := NewKDTree([]Entry{{ID: 1, P: p}, {ID: 2, P: p}, {ID: 3, P: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dup.Radius(p, 1); len(got) != 3 {
+		t.Errorf("duplicates: got %d, want 3", len(got))
+	}
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	if _, err := NewKDTree(nil); err == nil {
+		t.Error("empty tree should fail")
+	}
+}
+
+func TestKDTreeNegativeRadius(t *testing.T) {
+	tree, _ := NewKDTree([]Entry{{ID: 1, P: geo.Point{Lat: -20, Lon: 130}}})
+	if got := tree.Radius(geo.Point{Lat: -20, Lon: 130}, -1); got != nil {
+		t.Error("negative radius should return nil")
+	}
+}

@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestOLSRecoversPlantedCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	trueBeta := []float64{4.0, -1.5, 0.75}
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := []float64{1, rng.NormFloat64() * 3, rng.NormFloat64() * 2}
+		x[i] = row
+		y[i] = trueBeta[0]*row[0] + trueBeta[1]*row[1] + trueBeta[2]*row[2] + rng.NormFloat64()*0.01
+	}
+	res, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueBeta {
+		if math.Abs(res.Coef[j]-want) > 0.01 {
+			t.Errorf("coef[%d]: got %v want %v", j, res.Coef[j], want)
+		}
+	}
+	if res.R2 < 0.999 {
+		t.Errorf("R2 = %v, want near 1 for near-noiseless data", res.R2)
+	}
+	if res.N != n || res.P != 3 {
+		t.Errorf("bookkeeping wrong: N=%d P=%d", res.N, res.P)
+	}
+}
+
+func TestOLSPerfectFitHasZeroResiduals(t *testing.T) {
+	x := [][]float64{{1, 1}, {1, 2}, {1, 3}}
+	y := []float64{5, 7, 9} // y = 3 + 2x exactly
+	res, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coef[0]-3) > 1e-10 || math.Abs(res.Coef[1]-2) > 1e-10 {
+		t.Fatalf("coef: %v", res.Coef)
+	}
+	if res.RSS > 1e-18 {
+		t.Errorf("RSS = %v, want 0", res.RSS)
+	}
+	if math.Abs(res.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", res.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("expected error for empty design")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+}
+
+func TestSimpleOLS(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, err := SimpleOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-10 || math.Abs(b-2) > 1e-10 {
+		t.Fatalf("got intercept %v slope %v", a, b)
+	}
+	if _, _, err := SimpleOLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, _, err := SimpleOLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestScaleThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2.5, 5, 7.5} // y = 2.5x
+	c, err := ScaleThroughOrigin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-2.5) > 1e-12 {
+		t.Fatalf("c = %v, want 2.5", c)
+	}
+	if _, err := ScaleThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("expected error for all-zero x")
+	}
+	if _, err := ScaleThroughOrigin([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestScaleThroughOriginMinimises(t *testing.T) {
+	// The analytic solution must beat small perturbations of itself.
+	rng := rand.New(rand.NewPCG(9, 9))
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.Float64()*10 + 0.1
+		y[i] = 3*x[i] + rng.NormFloat64()
+	}
+	c, err := ScaleThroughOrigin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func(k float64) float64 {
+		var s float64
+		for i := range x {
+			d := y[i] - k*x[i]
+			s += d * d
+		}
+		return s
+	}
+	base := loss(c)
+	for _, eps := range []float64{-0.01, 0.01, -0.1, 0.1} {
+		if loss(c+eps) < base {
+			t.Errorf("perturbation %v improved the loss; c is not the minimiser", eps)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package mobility extracts origin–destination flows and trajectory
+// statistics from geo-tagged tweet streams, implementing §IV of the paper:
+// a tweet is assigned to the nearest census area within the scale's search
+// radius ε, and every pair of *consecutive tweets by the same user* whose
+// assignments differ contributes one unit of flow from the first area to
+// the second.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"geomob/internal/census"
+	"geomob/internal/geo"
+	"geomob/internal/index"
+	"geomob/internal/tweet"
+)
+
+// AreaMapper assigns coordinates to census areas using the paper's
+// search-radius rule: a point belongs to the nearest area centre within
+// radius ε, and to no area otherwise.
+type AreaMapper struct {
+	areas  []census.Area
+	radius float64
+	tree   *index.KDTree
+}
+
+// NewAreaMapper builds a mapper over the region set with the given search
+// radius in metres. Radius zero uses the scale's paper default.
+func NewAreaMapper(rs census.RegionSet, radius float64) (*AreaMapper, error) {
+	if len(rs.Areas) == 0 {
+		return nil, fmt.Errorf("mobility: empty region set")
+	}
+	if radius == 0 {
+		radius = rs.Scale.SearchRadius()
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("mobility: search radius must be positive, got %v", radius)
+	}
+	entries := make([]index.Entry, len(rs.Areas))
+	for i, a := range rs.Areas {
+		entries[i] = index.Entry{ID: int64(i), P: a.Center}
+	}
+	tree, err := index.NewKDTree(entries)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: build area index: %w", err)
+	}
+	return &AreaMapper{areas: rs.Areas, radius: radius, tree: tree}, nil
+}
+
+// Radius returns the mapper's search radius in metres.
+func (m *AreaMapper) Radius() float64 { return m.radius }
+
+// NumAreas returns the number of areas in the mapper.
+func (m *AreaMapper) NumAreas() int { return len(m.areas) }
+
+// Area returns the i-th area.
+func (m *AreaMapper) Area(i int) census.Area { return m.areas[i] }
+
+// Map returns the area index for p, or -1 when no centre lies within the
+// search radius.
+func (m *AreaMapper) Map(p geo.Point) int {
+	e, _, ok := m.tree.NearestWithin(p, m.radius)
+	if !ok {
+		return -1
+	}
+	return int(e.ID)
+}
+
+// FlowMatrix holds the directed flow counts between the areas of one
+// region set. Flows[i][j] counts observed transitions i→j; the diagonal
+// (non-moves between mapped tweets) is tracked separately by Stays.
+type FlowMatrix struct {
+	Areas []census.Area
+	Flows [][]float64
+	Stays []float64 // consecutive pairs mapped to the same area
+}
+
+// NewFlowMatrix allocates a zero matrix over the areas.
+func NewFlowMatrix(areas []census.Area) *FlowMatrix {
+	f := &FlowMatrix{
+		Areas: areas,
+		Flows: make([][]float64, len(areas)),
+		Stays: make([]float64, len(areas)),
+	}
+	for i := range f.Flows {
+		f.Flows[i] = make([]float64, len(areas))
+	}
+	return f
+}
+
+// Total returns the total off-diagonal flow.
+func (f *FlowMatrix) Total() float64 {
+	var s float64
+	for i := range f.Flows {
+		for j, v := range f.Flows[i] {
+			if i != j {
+				s += v
+			}
+		}
+	}
+	return s
+}
+
+// Pairs returns the off-diagonal (origin, destination, flow) triples with
+// positive flow, in row-major order.
+func (f *FlowMatrix) Pairs() (src, dst []int, flow []float64) {
+	for i := range f.Flows {
+		for j, v := range f.Flows[i] {
+			if i != j && v > 0 {
+				src = append(src, i)
+				dst = append(dst, j)
+				flow = append(flow, v)
+			}
+		}
+	}
+	return src, dst, flow
+}
+
+// Extractor accumulates flows and trajectory statistics from a tweet
+// stream that arrives in (user, time) order — the canonical tweetdb order.
+// Feed every tweet via Observe, then read the results.
+type Extractor struct {
+	mapper *AreaMapper
+	flows  *FlowMatrix
+
+	prevUser int64
+	prevArea int
+	prevTS   int64
+	started  bool
+
+	// Trajectory statistics for Table I.
+	tweetsSeen   int
+	mappedSeen   int
+	userCount    int
+	userTweets   int
+	perUserCount []float64
+	waitingSecs  []float64
+	userCells    map[string]bool
+	perUserCells []float64
+	// Displacements between consecutive tweets of the same user, in
+	// kilometres (the Δr distribution of Hawelka et al., the paper's
+	// ref. [9]); zero-displacement pairs are recorded too.
+	displacementsKM []float64
+	prevPoint       geo.Point
+
+	// Per-user radius of gyration accumulators: running sums of the unit
+	// sphere vector of each tweet. The chord-based identity
+	// E‖p − p̄‖² = 1 − ‖p̄‖² turns the radius of gyration into an O(1)
+	// per-tweet computation.
+	sumX, sumY, sumZ float64
+	perUserGyration  []float64
+}
+
+// NewExtractor builds an extractor over the mapper.
+func NewExtractor(mapper *AreaMapper) *Extractor {
+	return &Extractor{
+		mapper:    mapper,
+		flows:     NewFlowMatrix(mapper.areas),
+		prevArea:  -1,
+		userCells: map[string]bool{},
+	}
+}
+
+// Observe consumes the next tweet. Tweets must arrive sorted by
+// (user, time); violations are reported as errors because they would
+// silently corrupt the flow counts.
+func (e *Extractor) Observe(t tweet.Tweet) error {
+	if e.started && t.UserID == e.prevUser && t.TS < e.prevTS {
+		return fmt.Errorf("mobility: stream out of order: user %d saw ts %d after %d", t.UserID, t.TS, e.prevTS)
+	}
+	if e.started && t.UserID < e.prevUser {
+		return fmt.Errorf("mobility: stream out of order: user %d after user %d", t.UserID, e.prevUser)
+	}
+	area := e.mapper.Map(t.Point())
+	e.tweetsSeen++
+	if area >= 0 {
+		e.mappedSeen++
+	}
+
+	if !e.started || t.UserID != e.prevUser {
+		e.flushUser()
+		e.started = true
+		e.prevUser = t.UserID
+		e.userCount++
+		e.userTweets = 0
+	} else {
+		// Same user: waiting time between consecutive tweets (Fig. 2b).
+		e.waitingSecs = append(e.waitingSecs, float64(t.TS-e.prevTS)/1000)
+		// Displacement between consecutive tweets (extension figure).
+		e.displacementsKM = append(e.displacementsKM, geo.Haversine(e.prevPoint, t.Point())/1000)
+		// Flow contribution when both ends are mapped (§IV).
+		if e.prevArea >= 0 && area >= 0 {
+			if e.prevArea == area {
+				e.flows.Stays[area]++
+			} else {
+				e.flows.Flows[e.prevArea][area]++
+			}
+		}
+	}
+	e.userTweets++
+	e.userCells[geo.EncodeGeohash(t.Point(), 5)] = true
+	lat, lon := t.Point().Radians()
+	cosLat := cos(lat)
+	e.sumX += cosLat * cos(lon)
+	e.sumY += cosLat * sin(lon)
+	e.sumZ += sin(lat)
+	e.prevTS = t.TS
+	e.prevArea = area
+	e.prevPoint = t.Point()
+	return nil
+}
+
+// flushUser closes out the per-user accumulators.
+func (e *Extractor) flushUser() {
+	if e.userTweets > 0 {
+		e.perUserCount = append(e.perUserCount, float64(e.userTweets))
+		e.perUserCells = append(e.perUserCells, float64(len(e.userCells)))
+		e.userCells = map[string]bool{}
+		// Chord-based radius of gyration in km: ‖p̄‖ <= 1 with equality
+		// only when every tweet sits at the same point.
+		n := float64(e.userTweets)
+		norm2 := (e.sumX*e.sumX + e.sumY*e.sumY + e.sumZ*e.sumZ) / (n * n)
+		if norm2 > 1 {
+			norm2 = 1
+		}
+		rg := geo.EarthRadius / 1000 * sqrt(1-norm2)
+		e.perUserGyration = append(e.perUserGyration, rg)
+		e.sumX, e.sumY, e.sumZ = 0, 0, 0
+	}
+}
+
+// Flows finalises and returns the flow matrix. Call after the last Observe.
+func (e *Extractor) Flows() *FlowMatrix {
+	e.flushUser()
+	e.userTweets = 0
+	return e.flows
+}
+
+// Stats summarises the trajectory statistics of the observed stream.
+type Stats struct {
+	Tweets          int       // total tweets observed
+	MappedTweets    int       // tweets assigned to some area
+	Users           int       // distinct users
+	TweetsPerUser   []float64 // per-user tweet counts (Fig. 2a input)
+	WaitingSecs     []float64 // inter-tweet gaps in seconds (Fig. 2b input)
+	CellsPerUser    []float64 // distinct ~5 km geohash cells per user (Table I "locations")
+	DisplacementsKM []float64 // consecutive-tweet displacements, km
+	GyrationKM      []float64 // per-user radius of gyration, km (González et al.)
+}
+
+// Stats finalises and returns the trajectory statistics.
+func (e *Extractor) Stats() Stats {
+	e.flushUser()
+	e.userTweets = 0
+	return Stats{
+		Tweets:          e.tweetsSeen,
+		MappedTweets:    e.mappedSeen,
+		Users:           e.userCount,
+		TweetsPerUser:   e.perUserCount,
+		WaitingSecs:     e.waitingSecs,
+		CellsPerUser:    e.perUserCells,
+		DisplacementsKM: e.displacementsKM,
+		GyrationKM:      e.perUserGyration,
+	}
+}
+
+// Trigonometric aliases keep the accumulator code compact.
+func cos(v float64) float64  { return math.Cos(v) }
+func sin(v float64) float64  { return math.Sin(v) }
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// UniqueUsersPerArea counts, per area, the distinct users with at least one
+// tweet mapped to the area — the paper's "Twitter population" (§III).
+// The stream must arrive in (user, time) order so the per-user distinct-
+// area set stays bounded by the area count.
+type UserCounter struct {
+	mapper   *AreaMapper
+	counts   []float64
+	prevUser int64
+	started  bool
+	seen     map[int]bool
+}
+
+// NewUserCounter builds a counter over the mapper.
+func NewUserCounter(mapper *AreaMapper) *UserCounter {
+	return &UserCounter{
+		mapper: mapper,
+		counts: make([]float64, mapper.NumAreas()),
+		seen:   map[int]bool{},
+	}
+}
+
+// Observe consumes the next tweet (sorted by user).
+func (c *UserCounter) Observe(t tweet.Tweet) error {
+	if c.started && t.UserID < c.prevUser {
+		return fmt.Errorf("mobility: user counter stream out of order: user %d after %d", t.UserID, c.prevUser)
+	}
+	if !c.started || t.UserID != c.prevUser {
+		c.flush()
+		c.prevUser = t.UserID
+		c.started = true
+	}
+	if a := c.mapper.Map(t.Point()); a >= 0 {
+		c.seen[a] = true
+	}
+	return nil
+}
+
+func (c *UserCounter) flush() {
+	for a := range c.seen {
+		c.counts[a]++
+	}
+	c.seen = map[int]bool{}
+}
+
+// Counts finalises and returns the per-area unique user counts.
+func (c *UserCounter) Counts() []float64 {
+	c.flush()
+	return c.counts
+}

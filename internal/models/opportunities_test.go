@@ -1,0 +1,129 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterveningOpportunitiesFitAndPredict(t *testing.T) {
+	od := syntheticOD(t, 10, 1, 1, 2.0, 0.2, 51)
+	m := &InterveningOpportunities{}
+	if err := m.Fit(od); err != nil {
+		t.Fatal(err)
+	}
+	if m.L <= 0 || m.C <= 0 {
+		t.Fatalf("degenerate parameters: L=%v C=%v", m.L, m.C)
+	}
+	met, err := Evaluate(od, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally different model still has to produce a meaningful
+	// positive correlation on gravity-world data.
+	if met.PearsonLog < 0.2 {
+		t.Errorf("r = %.3f too weak", met.PearsonLog)
+	}
+	if met.CPC <= 0 || met.CPC > 1 {
+		t.Errorf("CPC out of range: %v", met.CPC)
+	}
+}
+
+func TestInterveningOpportunitiesBeforeFit(t *testing.T) {
+	od := syntheticOD(t, 10, 1, 1, 2, 0.1, 53)
+	m := &InterveningOpportunities{}
+	if _, err := m.Predict(od, 0, 1); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if err := m.Fit(od); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(od, 2, 2); err == nil {
+		t.Error("self-pair should fail")
+	}
+}
+
+func TestGoldenSectionFindsMinimum(t *testing.T) {
+	// f(x) = (log10 x − 1)² has its minimum at x = 10.
+	f := func(x float64) float64 {
+		d := math.Log10(x) - 1
+		return d * d
+	}
+	x, err := goldenSection(f, 0.01, 1e4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-10) > 0.01 {
+		t.Errorf("argmin = %v, want 10", x)
+	}
+	if _, err := goldenSection(f, -1, 1, 100); err == nil {
+		t.Error("negative bracket should fail")
+	}
+	if _, err := goldenSection(f, 2, 1, 100); err == nil {
+		t.Error("inverted bracket should fail")
+	}
+}
+
+func TestGoldenSectionInfeasible(t *testing.T) {
+	inf := func(float64) float64 { return math.Inf(1) }
+	if _, err := goldenSection(inf, 1, 10, 50); err == nil {
+		t.Error("all-infeasible loss should fail")
+	}
+}
+
+func TestCommonPartOfCommuters(t *testing.T) {
+	cpc, err := CommonPartOfCommuters([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || cpc != 1 {
+		t.Errorf("identical flows: cpc=%v err=%v", cpc, err)
+	}
+	cpc, err = CommonPartOfCommuters([]float64{10, 0}, []float64{0, 10})
+	if err != nil || cpc != 0 {
+		t.Errorf("disjoint flows: cpc=%v err=%v", cpc, err)
+	}
+	cpc, err = CommonPartOfCommuters([]float64{5}, []float64{10})
+	if err != nil || math.Abs(cpc-2.0/3.0) > 1e-12 {
+		t.Errorf("partial overlap: cpc=%v err=%v", cpc, err)
+	}
+	if _, err := CommonPartOfCommuters([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := CommonPartOfCommuters([]float64{-1}, []float64{1}); err == nil {
+		t.Error("negative flow should fail")
+	}
+	if _, err := CommonPartOfCommuters([]float64{0}, []float64{0}); err == nil {
+		t.Error("all-zero flows should fail")
+	}
+}
+
+func TestAllExtendedIncludesOpportunities(t *testing.T) {
+	ms := AllExtended()
+	if len(ms) != 4 {
+		t.Fatalf("%d models", len(ms))
+	}
+	if ms[3].Name() != "Intervening Opp." {
+		t.Errorf("fourth model = %q", ms[3].Name())
+	}
+}
+
+func TestGravityStillBeatsOpportunitiesOnGravityWorld(t *testing.T) {
+	od := syntheticOD(t, 10, 1, 1, 2.0, 0.3, 57)
+	g2 := &Gravity2{}
+	if err := g2.Fit(od); err != nil {
+		t.Fatal(err)
+	}
+	io := &InterveningOpportunities{}
+	if err := io.Fit(od); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := Evaluate(od, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := Evaluate(od, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om.PearsonLog >= gm.PearsonLog {
+		t.Errorf("opportunities (r=%.3f) should not beat gravity (r=%.3f) on gravity data",
+			om.PearsonLog, gm.PearsonLog)
+	}
+}

@@ -1,0 +1,138 @@
+package population
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geomob/internal/census"
+)
+
+// fakeUsers derives per-area user counts from census populations with a
+// known penetration rate and multiplicative noise.
+func fakeUsers(t *testing.T, rs census.RegionSet, rate, noise float64, seed uint64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+3))
+	users := make([]float64, len(rs.Areas))
+	for i, a := range rs.Areas {
+		users[i] = math.Round(rate * float64(a.Population) * math.Exp(rng.NormFloat64()*noise))
+	}
+	return users
+}
+
+func TestNewEstimateRecoversScale(t *testing.T) {
+	rs, _ := census.Australia().Regions(census.ScaleNational)
+	users := fakeUsers(t, rs, 0.01, 0, 5) // exactly 1% penetration
+	e, err := NewEstimate(rs, rs.Scale.SearchRadius(), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C should recover ~1/rate = 100.
+	if math.Abs(e.C-100) > 2 {
+		t.Errorf("C = %v, want ~100", e.C)
+	}
+	for i := range e.Rescaled {
+		if math.Abs(e.Rescaled[i]-e.C*users[i]) > 1e-9 {
+			t.Fatal("Rescaled inconsistent with C")
+		}
+	}
+	if e.MedianUsers <= 0 {
+		t.Errorf("median users = %v", e.MedianUsers)
+	}
+}
+
+func TestEstimateCorrelationStrongForLowNoise(t *testing.T) {
+	rs, _ := census.Australia().Regions(census.ScaleNational)
+	users := fakeUsers(t, rs, 0.01, 0.1, 7)
+	e, err := NewEstimate(rs, 50_000, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := e.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.R < 0.9 {
+		t.Errorf("r = %v, want > 0.9 for 10%% noise", ct.R)
+	}
+	if ct.P > 1e-6 {
+		t.Errorf("p = %v, want tiny", ct.P)
+	}
+}
+
+func TestCorrelationDegradesWithNoise(t *testing.T) {
+	rs, _ := census.Australia().Regions(census.ScaleMetropolitan)
+	low, err := NewEstimate(rs, 2000, fakeUsers(t, rs, 0.02, 0.1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := NewEstimate(rs, 500, fakeUsers(t, rs, 0.02, 1.2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLow, err := low.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHigh, err := high.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This is Fig. 3's ε = 2 km vs ε = 0.5 km story: more noise, weaker r.
+	if rHigh.R >= rLow.R {
+		t.Errorf("noisy estimate r=%v should be below clean r=%v", rHigh.R, rLow.R)
+	}
+}
+
+func TestNewEstimateErrors(t *testing.T) {
+	rs, _ := census.Australia().Regions(census.ScaleNational)
+	if _, err := NewEstimate(rs, 50_000, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	zeros := make([]float64, len(rs.Areas))
+	if _, err := NewEstimate(rs, 50_000, zeros); err == nil {
+		t.Error("all-zero users should fail (no rescaling possible)")
+	}
+}
+
+func TestPoolMatchesPaperShape(t *testing.T) {
+	// Pool the three scales like Fig. 3(a): 60 samples, strong correlation,
+	// extremely small p.
+	gaz := census.Australia()
+	var estimates []*Estimate
+	for i, scale := range census.Scales() {
+		rs, err := gaz.Regions(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Noise grows as the scale shrinks, mirroring the paper.
+		noise := []float64{0.15, 0.3, 0.45}[i]
+		e, err := NewEstimate(rs, scale.SearchRadius(), fakeUsers(t, rs, 0.012, noise, uint64(13+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		estimates = append(estimates, e)
+	}
+	pooled, err := Pool(estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.NSamples != 60 {
+		t.Errorf("pooled samples = %d, want 60", pooled.NSamples)
+	}
+	if pooled.TestLog.R < 0.75 {
+		t.Errorf("pooled log r = %v, want >= 0.75 (paper: 0.816 raw)", pooled.TestLog.R)
+	}
+	if pooled.TestLog.P > 1e-10 {
+		t.Errorf("pooled p = %v, want < 1e-10 (paper: 2.06e-15)", pooled.TestLog.P)
+	}
+	if pooled.Test.R <= 0 {
+		t.Errorf("raw pooled r = %v, want positive", pooled.Test.R)
+	}
+}
+
+func TestPoolEmpty(t *testing.T) {
+	if _, err := Pool(nil); err == nil {
+		t.Error("empty pool should fail")
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PowerLawFit is the result of fitting P(x) ∝ x^(−Alpha) for x >= XMin.
+type PowerLawFit struct {
+	Alpha float64 // fitted exponent
+	XMin  float64 // lower cutoff used in the fit
+	N     int     // number of tail observations (x >= XMin)
+	KS    float64 // Kolmogorov–Smirnov distance between data and fit
+}
+
+// FitPowerLaw estimates the exponent of a continuous power-law tail by
+// maximum likelihood (the Hill/Clauset estimator):
+//
+//	α̂ = 1 + n / Σ ln(x_i / xmin)
+//
+// for the observations with x >= xmin. The discrete-data correction
+// (xmin − ½) is applied when discrete is true, which is appropriate for
+// count data such as tweets-per-user (Fig. 2a).
+func FitPowerLaw(xs []float64, xmin float64, discrete bool) (*PowerLawFit, error) {
+	if xmin <= 0 {
+		return nil, fmt.Errorf("stats: power-law xmin must be positive, got %v", xmin)
+	}
+	tail := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if v >= xmin {
+			tail = append(tail, v)
+		}
+	}
+	if len(tail) < 2 {
+		return nil, fmt.Errorf("stats: power-law fit needs >= 2 tail observations, got %d", len(tail))
+	}
+	denomRef := xmin
+	if discrete {
+		denomRef = xmin - 0.5
+	}
+	var logSum float64
+	for _, v := range tail {
+		logSum += math.Log(v / denomRef)
+	}
+	if logSum <= 0 {
+		return nil, fmt.Errorf("stats: degenerate power-law tail (all observations at xmin)")
+	}
+	alpha := 1 + float64(len(tail))/logSum
+	fit := &PowerLawFit{Alpha: alpha, XMin: xmin, N: len(tail)}
+	fit.KS = powerLawKS(tail, alpha, xmin)
+	return fit, nil
+}
+
+// FitPowerLawAuto selects xmin by minimising the KS distance over the
+// candidate xmins (Clauset, Shalizi & Newman 2009) and returns the best fit.
+// Candidates are the distinct data values between the 1st and 90th
+// percentile, capped at maxCandidates evenly spread choices to bound cost.
+func FitPowerLawAuto(xs []float64, discrete bool, maxCandidates int) (*PowerLawFit, error) {
+	if len(xs) < 10 {
+		return nil, fmt.Errorf("stats: automatic power-law fit needs >= 10 observations, got %d", len(xs))
+	}
+	if maxCandidates < 1 {
+		maxCandidates = 20
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo := sorted[len(sorted)/100]
+	hi := sorted[len(sorted)*9/10]
+	if lo <= 0 {
+		lo = sorted[0]
+		for _, v := range sorted {
+			if v > 0 {
+				lo = v
+				break
+			}
+		}
+	}
+	// Distinct candidate xmins in [lo, hi].
+	var candidates []float64
+	prev := math.NaN()
+	for _, v := range sorted {
+		if v < lo || v > hi || v <= 0 {
+			continue
+		}
+		if v != prev {
+			candidates = append(candidates, v)
+			prev = v
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("stats: no valid xmin candidates in [%v, %v]", lo, hi)
+	}
+	stride := 1
+	if len(candidates) > maxCandidates {
+		stride = len(candidates) / maxCandidates
+	}
+	var best *PowerLawFit
+	for i := 0; i < len(candidates); i += stride {
+		fit, err := FitPowerLaw(xs, candidates[i], discrete)
+		if err != nil {
+			continue
+		}
+		if best == nil || fit.KS < best.KS {
+			best = fit
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("stats: power-law fit failed for all %d candidate xmins", len(candidates))
+	}
+	return best, nil
+}
+
+// powerLawKS returns the KS distance between the empirical CDF of the tail
+// and the fitted continuous power-law CDF 1 − (x/xmin)^(1−α).
+func powerLawKS(tail []float64, alpha, xmin float64) float64 {
+	sorted := append([]float64(nil), tail...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var maxDist float64
+	for i, v := range sorted {
+		model := 1 - math.Pow(v/xmin, 1-alpha)
+		empLo := float64(i) / n
+		empHi := float64(i+1) / n
+		d := math.Max(math.Abs(model-empLo), math.Abs(model-empHi))
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	return maxDist
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBootstrapPearsonCICoversPoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 60
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.8*x[i] + 0.4*rng.NormFloat64()
+	}
+	ci, err := BootstrapPearsonCI(x, y, 0.95, 500, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("interval [%v, %v] does not cover the point estimate %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Lo >= ci.Hi {
+		t.Errorf("degenerate interval [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 0.5 {
+		t.Errorf("interval too wide for a strong correlation: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	if ci.Lo < -1 || ci.Hi > 1 {
+		t.Errorf("interval escapes [-1,1]: [%v, %v]", ci.Lo, ci.Hi)
+	}
+}
+
+func TestBootstrapWiderAtLowerN(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	big := 200
+	x := make([]float64, big)
+	y := make([]float64, big)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.6*x[i] + 0.8*rng.NormFloat64()
+	}
+	wide, err := BootstrapPearsonCI(x[:20], y[:20], 0.95, 400, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := BootstrapPearsonCI(x, y, 0.95, 400, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Hi-wide.Lo <= narrow.Hi-narrow.Lo {
+		t.Errorf("n=20 interval (%v) should be wider than n=200 (%v)",
+			wide.Hi-wide.Lo, narrow.Hi-narrow.Lo)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if _, err := BootstrapPearsonCI(x[:2], y[:2], 0.95, 100, 1, 2); err == nil {
+		t.Error("n=2 should fail")
+	}
+	if _, err := BootstrapPearsonCI(x, y[:3], 0.95, 100, 1, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := BootstrapPearsonCI(x, y, 1.5, 100, 1, 2); err == nil {
+		t.Error("level > 1 should fail")
+	}
+	if _, err := BootstrapPearsonCI(x, y, 0.95, 5, 1, 2); err == nil {
+		t.Error("too few resamples should fail")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{2, 3, 5, 6, 9, 11, 14, 18}
+	a, err := BootstrapPearsonCI(x, y, 0.9, 200, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapPearsonCI(x, y, 0.9, 200, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Errorf("same seed gave different intervals: %+v vs %+v", a, b)
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	d, p, err := KSTwoSample(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.1 {
+		t.Errorf("D = %v too large for identical distributions", d)
+	}
+	if p < 0.01 {
+		t.Errorf("p = %v rejects equal distributions", p)
+	}
+}
+
+func TestKSTwoSampleDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.5 // shifted
+	}
+	d, p, err := KSTwoSample(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.4 {
+		t.Errorf("D = %v too small for a 1.5σ shift", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v fails to reject", p)
+	}
+}
+
+func TestKSTwoSampleIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, p, err := KSTwoSample(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical samples: D = %v", d)
+	}
+	if p < 0.99 {
+		t.Errorf("identical samples: p = %v", p)
+	}
+	if _, _, err := KSTwoSample(nil, xs); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestKolmogorovQBounds(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	if q := kolmogorovQ(10); q > 1e-10 {
+		t.Errorf("Q(10) = %v, want ~0", q)
+	}
+	prev := 1.0
+	for _, l := range []float64{0.2, 0.5, 0.8, 1.2, 2.0} {
+		q := kolmogorovQ(l)
+		if q > prev || q < 0 || q > 1 {
+			t.Fatalf("Q not monotone in [0,1] at λ=%v: %v (prev %v)", l, q, prev)
+		}
+		prev = q
+	}
+	// Known value: Q(1.0) ≈ 0.27.
+	if q := kolmogorovQ(1.0); math.Abs(q-0.27) > 0.01 {
+		t.Errorf("Q(1.0) = %v, want ≈0.27", q)
+	}
+}

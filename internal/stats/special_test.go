@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncompleteBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x float64
+		want    float64
+		tol     float64
+	}{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.3, 0.3, 1e-12},
+		{1, 1, 0.75, 0.75, 1e-12},
+		// I_x(2,2) = x²(3−2x).
+		{2, 2, 0.5, 0.5, 1e-12},
+		{2, 2, 0.25, 0.25 * 0.25 * (3 - 0.5), 1e-12},
+		// I_x(1,b) = 1 − (1−x)^b.
+		{1, 3, 0.2, 1 - math.Pow(0.8, 3), 1e-12},
+		// Symmetry point.
+		{5, 5, 0.5, 0.5, 1e-12},
+		// Edge values.
+		{3, 4, 0, 0, 0},
+		{3, 4, 1, 1, 0},
+		// Half-integer case occurring in the t-test: I_x(a, 1/2).
+		// Reference computed by high-resolution midpoint quadrature of the
+		// beta integral: I_0.9(14, 0.5) = 0.088670006487...
+		{14, 0.5, 0.9, 0.0886700064877, 1e-9},
+	}
+	for _, c := range cases {
+		got, err := RegIncompleteBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Errorf("I_%v(%v,%v): %v", c.x, c.a, c.b, err)
+			continue
+		}
+		if !almost(got, c.want, c.tol) {
+			t.Errorf("I_%v(%v,%v) = %.15g, want %.15g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncompleteBetaSymmetry(t *testing.T) {
+	// I_x(a,b) + I_{1−x}(b,a) = 1.
+	for _, a := range []float64{0.5, 1, 2.5, 10} {
+		for _, b := range []float64{0.5, 1, 3, 7.5} {
+			for _, x := range []float64{0.1, 0.3, 0.5, 0.8, 0.99} {
+				i1, err1 := RegIncompleteBeta(a, b, x)
+				i2, err2 := RegIncompleteBeta(b, a, 1-x)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("a=%v b=%v x=%v: %v %v", a, b, x, err1, err2)
+				}
+				if !almost(i1+i2, 1, 1e-10) {
+					t.Errorf("symmetry violated at a=%v b=%v x=%v: %v + %v", a, b, x, i1, i2)
+				}
+			}
+		}
+	}
+}
+
+func TestRegIncompleteBetaMonotonic(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		v, err := RegIncompleteBeta(3, 2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("not monotonic at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegIncompleteBetaErrors(t *testing.T) {
+	if _, err := RegIncompleteBeta(0, 1, 0.5); err == nil {
+		t.Error("a=0 should fail")
+	}
+	if _, err := RegIncompleteBeta(1, -1, 0.5); err == nil {
+		t.Error("b<0 should fail")
+	}
+	if _, err := RegIncompleteBeta(1, 1, -0.1); err == nil {
+		t.Error("x<0 should fail")
+	}
+	if _, err := RegIncompleteBeta(1, 1, 1.1); err == nil {
+		t.Error("x>1 should fail")
+	}
+	if _, err := RegIncompleteBeta(1, 1, math.NaN()); err == nil {
+		t.Error("NaN x should fail")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df float64
+		want  float64
+		tol   float64
+	}{
+		// df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/π.
+		{0, 1, 0.5, 1e-12},
+		{1, 1, 0.75, 1e-10},
+		{-1, 1, 0.25, 1e-10},
+		// df=2 closed form: CDF(t) = 1/2 + t / (2·sqrt(2+t²)).
+		{1, 2, 0.5 + 1/(2*math.Sqrt(3)), 1e-10},
+		// Large df approaches the normal distribution.
+		{1.959963985, 100000, 0.975, 1e-4},
+		// scipy.stats.t.cdf(2.0, 10) = 0.963306.
+		{2.0, 10, 0.9633059826, 1e-8},
+	}
+	for _, c := range cases {
+		got, err := StudentTCDF(c.t, c.df)
+		if err != nil {
+			t.Errorf("t=%v df=%v: %v", c.t, c.df, err)
+			continue
+		}
+		if !almost(got, c.want, c.tol) {
+			t.Errorf("StudentTCDF(%v, %v) = %.10f, want %.10f", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 30, 58} {
+		for _, tv := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+			up, err1 := StudentTCDF(tv, df)
+			down, err2 := StudentTCDF(-tv, df)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("df=%v t=%v: %v %v", df, tv, err1, err2)
+			}
+			if !almost(up+down, 1, 1e-10) {
+				t.Errorf("CDF symmetry violated at t=%v df=%v", tv, df)
+			}
+		}
+	}
+}
+
+func TestStudentTTwoTailedP(t *testing.T) {
+	// p must equal 2·(1 − CDF(|t|)).
+	for _, df := range []float64{3, 10, 58} {
+		for _, tv := range []float64{0.5, 1.5, 3, 8} {
+			p, err := StudentTTwoTailedP(tv, df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cdf, _ := StudentTCDF(tv, df)
+			if !almost(p, 2*(1-cdf), 1e-9) {
+				t.Errorf("p mismatch at t=%v df=%v: %v vs %v", tv, df, p, 2*(1-cdf))
+			}
+		}
+	}
+	// scipy.stats.t.sf(2.0, 10)*2 = 0.0733880348.
+	p, err := StudentTTwoTailedP(2.0, 10)
+	if err != nil || !almost(p, 0.0733880348, 1e-8) {
+		t.Errorf("p(2.0, 10) = %.10f, %v", p, err)
+	}
+	if p2, _ := StudentTTwoTailedP(math.Inf(1), 5); p2 != 0 {
+		t.Errorf("p at +inf should be 0, got %v", p2)
+	}
+}
+
+func TestStudentTErrors(t *testing.T) {
+	if _, err := StudentTCDF(1, 0); err == nil {
+		t.Error("df=0 should fail")
+	}
+	if _, err := StudentTCDF(math.NaN(), 5); err == nil {
+		t.Error("NaN t should fail")
+	}
+	if _, err := StudentTTwoTailedP(1, -1); err == nil {
+		t.Error("negative df should fail")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.9986501},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almost(got, c.want, 1e-6) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package tweet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec: tweets are serialised as a delta-encoded varint stream.
+// Within a block, successive records store zig-zag varint deltas of ID,
+// UserID and TS against the previous record, and coordinates as zig-zag
+// varint deltas of microdegree-quantised values. On streams sorted by
+// (user, time) — tweetdb's segment order — this typically compresses to a
+// few bytes per field because a user's consecutive tweets are close in
+// both time and space.
+//
+// Quantisation: coordinates are stored in microdegrees (1e-6°, ~0.11 m),
+// far below GPS noise; decoding is therefore lossy only at the seventh
+// decimal.
+
+// coordScale converts degrees to microdegrees.
+const coordScale = 1e6
+
+// quantiseCoord converts a coordinate in degrees to microdegrees, rounding
+// half away from zero.
+func quantiseCoord(deg float64) int64 {
+	return int64(math.Round(deg * coordScale))
+}
+
+// Encoder serialises tweets into an in-memory block.
+type Encoder struct {
+	buf  []byte
+	prev Tweet
+	n    int
+}
+
+// NewEncoder returns an empty block encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Append adds one tweet to the block.
+func (e *Encoder) Append(t Tweet) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("binary encode: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(scratch[:], v)
+		e.buf = append(e.buf, scratch[:n]...)
+	}
+	put(t.ID - e.prev.ID)
+	put(t.UserID - e.prev.UserID)
+	put(t.TS - e.prev.TS)
+	put(quantiseCoord(t.Lat) - quantiseCoord(e.prev.Lat))
+	put(quantiseCoord(t.Lon) - quantiseCoord(e.prev.Lon))
+	e.prev = t
+	e.n++
+	return nil
+}
+
+// Len returns the number of encoded records.
+func (e *Encoder) Len() int { return e.n }
+
+// Bytes returns the encoded block. The slice aliases the encoder's buffer;
+// callers that keep it must copy before further Append calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.prev = Tweet{}
+	e.n = 0
+}
+
+// Decoder deserialises a block produced by Encoder.
+type Decoder struct {
+	buf  []byte
+	off  int
+	prev Tweet
+	read int
+	n    int
+}
+
+// NewDecoder wraps an encoded block holding n records.
+func NewDecoder(block []byte, n int) *Decoder {
+	return &Decoder{buf: block, n: n}
+}
+
+// Next decodes the next record. ok is false when the block is exhausted or
+// corrupt; in the corrupt case err explains the problem.
+func (d *Decoder) Next() (t Tweet, ok bool, err error) {
+	if d.read >= d.n {
+		return Tweet{}, false, nil
+	}
+	get := func() (int64, error) {
+		v, n := binary.Varint(d.buf[d.off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("binary decode: truncated varint at offset %d (record %d of %d)", d.off, d.read, d.n)
+		}
+		d.off += n
+		return v, nil
+	}
+	var dID, dUser, dTS, dLat, dLon int64
+	for _, dst := range []*int64{&dID, &dUser, &dTS, &dLat, &dLon} {
+		v, err := get()
+		if err != nil {
+			return Tweet{}, false, err
+		}
+		*dst = v
+	}
+	t = Tweet{
+		ID:     d.prev.ID + dID,
+		UserID: d.prev.UserID + dUser,
+		TS:     d.prev.TS + dTS,
+		Lat:    float64(quantiseCoord(d.prev.Lat)+dLat) / coordScale,
+		Lon:    float64(quantiseCoord(d.prev.Lon)+dLon) / coordScale,
+	}
+	d.prev = t
+	d.read++
+	if err := t.Validate(); err != nil {
+		return Tweet{}, false, fmt.Errorf("binary decode: record %d invalid: %w", d.read-1, err)
+	}
+	return t, true, nil
+}
+
+// DecodeAll decodes an entire block of n records.
+func DecodeAll(block []byte, n int) ([]Tweet, error) {
+	d := NewDecoder(block, n)
+	out := make([]Tweet, 0, n)
+	for {
+		t, ok, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("binary decode: expected %d records, decoded %d", n, len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package tweet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// NDJSONWriter streams tweets as newline-delimited JSON, one object per
+// line — the standard interchange format for tweet corpora.
+type NDJSONWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewNDJSONWriter wraps w. Call Flush when done.
+func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &NDJSONWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one tweet as a JSON line. Invalid tweets are rejected.
+func (w *NDJSONWriter) Write(t Tweet) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("ndjson write: %w", err)
+	}
+	if err := w.enc.Encode(t); err != nil {
+		return fmt.Errorf("ndjson write: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of tweets written so far.
+func (w *NDJSONWriter) Count() int { return w.n }
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *NDJSONWriter) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("ndjson flush: %w", err)
+	}
+	return nil
+}
+
+// NDJSONReader streams tweets back from newline-delimited JSON.
+type NDJSONReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewNDJSONReader wraps r. Lines up to 1 MiB are accepted.
+func NewNDJSONReader(r io.Reader) *NDJSONReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &NDJSONReader{sc: sc}
+}
+
+// Read returns the next tweet. It returns io.EOF at the end of the stream,
+// and a descriptive error (with line number) for malformed or invalid
+// records. Blank lines are skipped.
+func (r *NDJSONReader) Read() (Tweet, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var t Tweet
+		if err := json.Unmarshal(line, &t); err != nil {
+			return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
+		}
+		if err := t.Validate(); err != nil {
+			return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
+		}
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
+	}
+	return Tweet{}, io.EOF
+}
+
+// ReadAll drains the stream into a slice.
+func (r *NDJSONReader) ReadAll() ([]Tweet, error) {
+	var out []Tweet
+	for {
+		t, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,70 @@
+// Package tweet defines the geo-tagged tweet record the whole pipeline
+// consumes — (tweet id, user id, timestamp, coordinate) — together with a
+// human-readable NDJSON codec for interchange and a compact delta-encoded
+// binary codec used by the tweetdb storage engine.
+package tweet
+
+import (
+	"fmt"
+	"time"
+
+	"geomob/internal/geo"
+)
+
+// Tweet is one geo-tagged tweet. This is the entire schema the paper's
+// analyses require; free-text content is never needed and never stored.
+type Tweet struct {
+	ID     int64   `json:"id"`   // unique tweet identifier
+	UserID int64   `json:"user"` // author identifier
+	TS     int64   `json:"ts"`   // Unix time in milliseconds, UTC
+	Lat    float64 `json:"lat"`  // latitude, decimal degrees
+	Lon    float64 `json:"lon"`  // longitude, decimal degrees
+}
+
+// Time returns the tweet timestamp as a time.Time in UTC.
+func (t Tweet) Time() time.Time { return time.UnixMilli(t.TS).UTC() }
+
+// Point returns the tweet coordinate.
+func (t Tweet) Point() geo.Point { return geo.Point{Lat: t.Lat, Lon: t.Lon} }
+
+// Validate reports the first structural problem with the record, if any.
+func (t Tweet) Validate() error {
+	if t.ID < 0 {
+		return fmt.Errorf("tweet %d: negative id", t.ID)
+	}
+	if t.UserID < 0 {
+		return fmt.Errorf("tweet %d: negative user id %d", t.ID, t.UserID)
+	}
+	if !t.Point().Valid() {
+		return fmt.Errorf("tweet %d: invalid coordinates (%v, %v)", t.ID, t.Lat, t.Lon)
+	}
+	return nil
+}
+
+// ByUserTime sorts tweets by (UserID, TS, ID); this is the canonical order
+// for mobility extraction, which walks consecutive tweets per user.
+type ByUserTime []Tweet
+
+func (s ByUserTime) Len() int      { return len(s) }
+func (s ByUserTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s ByUserTime) Less(i, j int) bool {
+	if s[i].UserID != s[j].UserID {
+		return s[i].UserID < s[j].UserID
+	}
+	if s[i].TS != s[j].TS {
+		return s[i].TS < s[j].TS
+	}
+	return s[i].ID < s[j].ID
+}
+
+// ByTime sorts tweets chronologically by (TS, ID).
+type ByTime []Tweet
+
+func (s ByTime) Len() int      { return len(s) }
+func (s ByTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s ByTime) Less(i, j int) bool {
+	if s[i].TS != s[j].TS {
+		return s[i].TS < s[j].TS
+	}
+	return s[i].ID < s[j].ID
+}

@@ -1,0 +1,292 @@
+package tweet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validTweet() Tweet {
+	return Tweet{ID: 1, UserID: 2, TS: 1380000000000, Lat: -33.8688, Lon: 151.2093}
+}
+
+func TestTweetAccessors(t *testing.T) {
+	tw := validTweet()
+	if got := tw.Time(); !got.Equal(time.UnixMilli(1380000000000)) {
+		t.Errorf("Time() = %v", got)
+	}
+	if tw.Time().Location() != time.UTC {
+		t.Error("Time() should be UTC")
+	}
+	p := tw.Point()
+	if p.Lat != tw.Lat || p.Lon != tw.Lon {
+		t.Error("Point() mismatch")
+	}
+}
+
+func TestTweetValidate(t *testing.T) {
+	if err := validTweet().Validate(); err != nil {
+		t.Errorf("valid tweet rejected: %v", err)
+	}
+	bad := []Tweet{
+		{ID: -1, UserID: 1, Lat: 0, Lon: 0},
+		{ID: 1, UserID: -2, Lat: 0, Lon: 0},
+		{ID: 1, UserID: 1, Lat: 95, Lon: 0},
+		{ID: 1, UserID: 1, Lat: 0, Lon: 185},
+	}
+	for i, tw := range bad {
+		if err := tw.Validate(); err == nil {
+			t.Errorf("bad tweet %d accepted", i)
+		}
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	tweets := []Tweet{
+		{ID: 3, UserID: 2, TS: 100},
+		{ID: 1, UserID: 1, TS: 300},
+		{ID: 2, UserID: 1, TS: 200},
+		{ID: 4, UserID: 2, TS: 100}, // TS tie, larger ID
+	}
+	byUser := append([]Tweet(nil), tweets...)
+	sort.Sort(ByUserTime(byUser))
+	wantIDs := []int64{2, 1, 3, 4}
+	for i, id := range wantIDs {
+		if byUser[i].ID != id {
+			t.Fatalf("ByUserTime order: got %v", byUser)
+		}
+	}
+	byTime := append([]Tweet(nil), tweets...)
+	sort.Sort(ByTime(byTime))
+	wantIDs = []int64{3, 4, 2, 1}
+	for i, id := range wantIDs {
+		if byTime[i].ID != id {
+			t.Fatalf("ByTime order: got %v", byTime)
+		}
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	tweets := []Tweet{
+		{ID: 1, UserID: 10, TS: 1000, Lat: -33.8688, Lon: 151.2093},
+		{ID: 2, UserID: 10, TS: 2000, Lat: -37.8136, Lon: 144.9631},
+		{ID: 3, UserID: 11, TS: 1500, Lat: -27.4698, Lon: 153.0251},
+	}
+	for _, tw := range tweets {
+		if err := w.Write(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewNDJSONReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tweets) {
+		t.Fatalf("got %d tweets", len(got))
+	}
+	for i := range tweets {
+		if got[i] != tweets[i] {
+			t.Errorf("tweet %d: %+v != %+v", i, got[i], tweets[i])
+		}
+	}
+}
+
+func TestNDJSONWriterRejectsInvalid(t *testing.T) {
+	w := NewNDJSONWriter(io.Discard)
+	if err := w.Write(Tweet{ID: -1}); err == nil {
+		t.Error("invalid tweet should be rejected")
+	}
+}
+
+func TestNDJSONReaderErrors(t *testing.T) {
+	// Malformed JSON.
+	r := NewNDJSONReader(strings.NewReader("{bad json\n"))
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Error("malformed line should error")
+	}
+	// Valid JSON but invalid tweet.
+	r = NewNDJSONReader(strings.NewReader(`{"id":1,"user":1,"ts":0,"lat":999,"lon":0}` + "\n"))
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Error("invalid tweet should error")
+	}
+	if _, err := r.Read(); err != nil && !errors.Is(err, io.EOF) {
+		// After the error the scanner continues; eventually EOF.
+		t.Logf("post-error read: %v", err)
+	}
+	// Blank lines are skipped.
+	r = NewNDJSONReader(strings.NewReader("\n\n" + `{"id":1,"user":1,"ts":5,"lat":0,"lon":0}` + "\n\n"))
+	all, err := r.ReadAll()
+	if err != nil || len(all) != 1 {
+		t.Errorf("blank-line handling: %v, %v", all, err)
+	}
+	// Error line numbers point at the offending line.
+	r = NewNDJSONReader(strings.NewReader(`{"id":1,"user":1,"ts":5,"lat":0,"lon":0}` + "\nnot json\n"))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 error, got %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	enc := NewEncoder()
+	var tweets []Tweet
+	ts := int64(1378000000000)
+	for u := int64(0); u < 20; u++ {
+		for k := 0; k < 50; k++ {
+			ts += int64(rng.IntN(100000))
+			tw := Tweet{
+				ID:     int64(len(tweets)),
+				UserID: u,
+				TS:     ts,
+				Lat:    -34 + rng.Float64(),
+				Lon:    150 + rng.Float64(),
+			}
+			tweets = append(tweets, tw)
+			if err := enc.Append(tw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if enc.Len() != len(tweets) {
+		t.Fatalf("encoder Len = %d", enc.Len())
+	}
+	got, err := DecodeAll(enc.Bytes(), enc.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tweets {
+		want := tweets[i]
+		g := got[i]
+		if g.ID != want.ID || g.UserID != want.UserID || g.TS != want.TS {
+			t.Fatalf("record %d: %+v != %+v", i, g, want)
+		}
+		// Coordinates are quantised to microdegrees.
+		if d := g.Lat - want.Lat; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("record %d lat error %v", i, d)
+		}
+		if d := g.Lon - want.Lon; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("record %d lon error %v", i, d)
+		}
+	}
+}
+
+func TestBinaryCompressionBeatsFixedWidth(t *testing.T) {
+	// Sorted-by-user streams must encode well below the 36-byte fixed-width
+	// record footprint.
+	enc := NewEncoder()
+	ts := int64(1378000000000)
+	n := 5000
+	for i := 0; i < n; i++ {
+		ts += 60000
+		if err := enc.Append(Tweet{
+			ID: int64(i), UserID: int64(i / 100), TS: ts,
+			Lat: -33.8688, Lon: 151.2093,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perRecord := float64(len(enc.Bytes())) / float64(n)
+	if perRecord > 12 {
+		t.Errorf("%.1f bytes/record — delta coding is not engaging", perRecord)
+	}
+}
+
+func TestBinaryQuantisationProperty(t *testing.T) {
+	f := func(latSeed, lonSeed float64, id, user uint32, ts int64) bool {
+		lat := mod(latSeed, 90)
+		lon := mod(lonSeed, 180)
+		tw := Tweet{ID: int64(id), UserID: int64(user), TS: ts % (1 << 48), Lat: lat, Lon: lon}
+		enc := NewEncoder()
+		if err := enc.Append(tw); err != nil {
+			return false
+		}
+		got, err := DecodeAll(enc.Bytes(), 1)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.ID == tw.ID && g.UserID == tw.UserID && g.TS == tw.TS &&
+			abs(g.Lat-tw.Lat) <= 5e-7+1e-12 && abs(g.Lon-tw.Lon) <= 5e-7+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEncoderReset(t *testing.T) {
+	enc := NewEncoder()
+	if err := enc.Append(validTweet()); err != nil {
+		t.Fatal(err)
+	}
+	enc.Reset()
+	if enc.Len() != 0 || len(enc.Bytes()) != 0 {
+		t.Error("Reset did not clear the encoder")
+	}
+	// After reset, deltas restart from the zero tweet.
+	if err := enc.Append(validTweet()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(enc.Bytes(), 1)
+	if err != nil || got[0] != validTweet() {
+		t.Errorf("post-reset roundtrip: %+v, %v", got, err)
+	}
+}
+
+func TestBinaryDecodeTruncated(t *testing.T) {
+	enc := NewEncoder()
+	for i := 0; i < 10; i++ {
+		tw := validTweet()
+		tw.ID = int64(i)
+		if err := enc.Append(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := enc.Bytes()
+	if _, err := DecodeAll(full[:len(full)/2], 10); err == nil {
+		t.Error("truncated block should fail")
+	}
+	// Claiming more records than encoded must also fail.
+	if _, err := DecodeAll(full, 11); err == nil {
+		t.Error("over-claimed record count should fail")
+	}
+}
+
+func TestBinaryEncoderRejectsInvalid(t *testing.T) {
+	enc := NewEncoder()
+	if err := enc.Append(Tweet{ID: 1, UserID: 1, Lat: 200, Lon: 0}); err == nil {
+		t.Error("invalid tweet should be rejected")
+	}
+}
+
+func mod(v, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, m)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+package tweetdb
+
+import (
+	"testing"
+
+	"geomob/internal/tweet"
+)
+
+func TestAppenderBatchesAndFlushes(t *testing.T) {
+	s := openStore(t)
+	a, err := NewAppender(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := makeTweets(9, 250)
+	for _, tw := range tweets {
+		if err := a.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 250 records with batch 100: two auto-flushes, 50 still buffered.
+	if a.Total() != 200 {
+		t.Errorf("Total = %d, want 200 before final flush", a.Total())
+	}
+	if s.Count() != 200 {
+		t.Errorf("store Count = %d, want 200", s.Count())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 250 || s.Count() != 250 {
+		t.Errorf("after close: total=%d store=%d", a.Total(), s.Count())
+	}
+}
+
+func TestAppenderRejectsInvalid(t *testing.T) {
+	s := openStore(t)
+	a, err := NewAppender(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.limit != DefaultSegmentRecords {
+		t.Errorf("default batch = %d", a.limit)
+	}
+	if err := a.Add(tweet.Tweet{ID: 1, UserID: 1, Lat: 999, Lon: 0}); err == nil {
+		t.Error("invalid tweet should be rejected")
+	}
+}
+
+func TestAppenderConstructionErrors(t *testing.T) {
+	if _, err := NewAppender(nil, 10); err == nil {
+		t.Error("nil store should fail")
+	}
+	s := openStore(t)
+	if _, err := NewAppender(s, -1); err == nil {
+		t.Error("negative batch should fail")
+	}
+}
+
+func TestAppenderEmptyFlush(t *testing.T) {
+	s := openStore(t)
+	a, err := NewAppender(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("empty appender wrote %d records", s.Count())
+	}
+}

@@ -1,0 +1,16 @@
+package tweetdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// removeFile deletes one file under dir, refusing to step outside it.
+func removeFile(dir, name string) error {
+	clean := filepath.Clean(name)
+	if strings.Contains(clean, "..") || filepath.IsAbs(clean) {
+		return os.ErrPermission
+	}
+	return os.Remove(filepath.Join(dir, clean))
+}

@@ -1,0 +1,169 @@
+package tweetdb
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geomob/internal/tweet"
+)
+
+// randomBatch is a quick.Generator producing valid tweet batches with
+// adversarial shapes: duplicate users, identical timestamps, boundary
+// coordinates. Note the math/rand (v1) signature required by
+// quick.Generator.
+type randomBatch []tweet.Tweet
+
+// Generate implements quick.Generator.
+func (randomBatch) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(size*4+1)
+	batch := make(randomBatch, n)
+	ts := int64(1_000_000_000_000) + int64(r.Intn(1_000_000))
+	for i := range batch {
+		if r.Intn(4) > 0 { // mostly increasing timestamps, some ties
+			ts += int64(r.Intn(100_000))
+		}
+		lat := -90 + r.Float64()*180
+		lon := -180 + r.Float64()*360
+		switch r.Intn(10) {
+		case 0:
+			lat, lon = -90, -180 // corner
+		case 1:
+			lat, lon = 90, 180 // corner
+		}
+		batch[i] = tweet.Tweet{
+			ID:     int64(i),
+			UserID: int64(r.Intn(7)), // heavy duplication
+			TS:     ts,
+			Lat:    lat,
+			Lon:    lon,
+		}
+	}
+	return reflect.ValueOf(batch)
+}
+
+// TestPropertyStoreRoundTrip: any valid batch survives append + scan as an
+// identical multiset, up to coordinate quantisation.
+func TestPropertyStoreRoundTrip(t *testing.T) {
+	f := func(batch randomBatch) bool {
+		dir := t.TempDir()
+		store, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		if err := store.Append(batch); err != nil {
+			return false
+		}
+		got, err := store.Scan(Query{}).ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(batch) {
+			return false
+		}
+		// Compare as multisets keyed by ID; coordinates are microdegree-
+		// quantised by the codec.
+		byID := map[int64]tweet.Tweet{}
+		for _, tw := range batch {
+			byID[tw.ID] = tw
+		}
+		for _, g := range got {
+			want, ok := byID[g.ID]
+			if !ok {
+				return false
+			}
+			if g.UserID != want.UserID || g.TS != want.TS {
+				return false
+			}
+			if absF(g.Lat-want.Lat) > 5.1e-7 || absF(g.Lon-want.Lon) > 5.1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompactPreservesMultiset: compaction never loses or invents
+// records, for any batch composition.
+func TestPropertyCompactPreservesMultiset(t *testing.T) {
+	f := func(b1, b2 randomBatch) bool {
+		dir := t.TempDir()
+		store, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		// Re-key IDs so the two batches do not collide.
+		for i := range b2 {
+			b2[i].ID += int64(len(b1)) + 1000
+		}
+		if err := store.Append(b1); err != nil {
+			return false
+		}
+		if err := store.Append(b2); err != nil {
+			return false
+		}
+		before := store.Count()
+		if err := store.Compact(); err != nil {
+			return false
+		}
+		if store.Count() != before {
+			return false
+		}
+		got, err := store.Scan(Query{}).ReadAll()
+		if err != nil || int64(len(got)) != before {
+			return false
+		}
+		return sort.IsSorted(tweet.ByUserTime(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQueryIsFilter: for any batch and any time window, scanning
+// with the window equals scanning everything and filtering client-side.
+func TestPropertyQueryIsFilter(t *testing.T) {
+	f := func(batch randomBatch, fromOff, width uint32) bool {
+		dir := t.TempDir()
+		store, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		if err := store.Append(batch); err != nil {
+			return false
+		}
+		from := int64(1_000_000_000_000) + int64(fromOff%2_000_000)
+		to := from + int64(width%2_000_000) + 1
+		q := Query{FromTS: from, ToTS: to}
+		got, err := store.Scan(q).ReadAll()
+		if err != nil {
+			return false
+		}
+		all, err := store.Scan(Query{}).ReadAll()
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, tw := range all {
+			if tw.TS >= from && tw.TS < to {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,195 @@
+package tweetdb
+
+import (
+	"fmt"
+	"sort"
+
+	"geomob/internal/geo"
+	"geomob/internal/tweet"
+)
+
+// Query restricts a scan. Zero-value fields impose no restriction.
+type Query struct {
+	// FromTS and ToTS bound the tweet timestamp in milliseconds:
+	// FromTS <= TS < ToTS. A zero ToTS means unbounded above.
+	FromTS, ToTS int64
+	// BBox restricts results spatially when non-nil.
+	BBox *geo.BBox
+	// UserID restricts results to one author when non-nil.
+	UserID *int64
+}
+
+// matches reports whether a single record satisfies the query.
+func (q Query) matches(t tweet.Tweet) bool {
+	if t.TS < q.FromTS {
+		return false
+	}
+	if q.ToTS != 0 && t.TS >= q.ToTS {
+		return false
+	}
+	if q.UserID != nil && t.UserID != *q.UserID {
+		return false
+	}
+	if q.BBox != nil && !q.BBox.Contains(t.Point()) {
+		return false
+	}
+	return true
+}
+
+// prunes reports whether an entire segment can be skipped without reading
+// its payload — the predicate-pushdown fast path.
+func (q Query) prunes(m SegmentMeta) bool {
+	if q.ToTS != 0 && m.MinTS >= q.ToTS {
+		return true
+	}
+	if m.MaxTS < q.FromTS {
+		return true
+	}
+	if q.UserID != nil && (*q.UserID < m.MinUser || *q.UserID > m.MaxUser) {
+		return true
+	}
+	if q.BBox != nil && !q.BBox.Intersects(m.BBox()) {
+		return true
+	}
+	return false
+}
+
+// Iterator streams query results segment by segment. It is not safe for
+// concurrent use.
+type Iterator struct {
+	store    *Store
+	query    Query
+	segments []SegmentMeta
+	segIdx   int
+	buf      []tweet.Tweet
+	bufIdx   int
+	err      error
+	scanned  int // segments whose payload was decoded
+	prunedN  int // segments skipped via metadata
+}
+
+// Scan returns an iterator over all records matching q. Results arrive in
+// (user, time) order within each segment; use Compact for global order.
+func (s *Store) Scan(q Query) *Iterator {
+	return &Iterator{store: s, query: q, segments: s.Segments()}
+}
+
+// Next returns the next matching tweet. ok is false when the scan is
+// exhausted or failed; check Err afterwards.
+func (it *Iterator) Next() (t tweet.Tweet, ok bool) {
+	if it.err != nil {
+		return tweet.Tweet{}, false
+	}
+	for {
+		for it.bufIdx < len(it.buf) {
+			cand := it.buf[it.bufIdx]
+			it.bufIdx++
+			if it.query.matches(cand) {
+				return cand, true
+			}
+		}
+		// Advance to the next non-pruned segment.
+		for {
+			if it.segIdx >= len(it.segments) {
+				return tweet.Tweet{}, false
+			}
+			meta := it.segments[it.segIdx]
+			it.segIdx++
+			if it.query.prunes(meta) {
+				it.prunedN++
+				continue
+			}
+			buf, err := it.store.loadSegment(meta)
+			if err != nil {
+				it.err = err
+				return tweet.Tweet{}, false
+			}
+			it.scanned++
+			it.buf = buf
+			it.bufIdx = 0
+			break
+		}
+	}
+}
+
+// Err returns the first error the iterator hit, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Stats returns how many segments were decoded and how many were pruned by
+// metadata alone — the observable effect of predicate pushdown.
+func (it *Iterator) Stats() (scanned, pruned int) { return it.scanned, it.prunedN }
+
+// ReadAll drains the iterator into a slice.
+func (it *Iterator) ReadAll() ([]tweet.Tweet, error) {
+	var out []tweet.Tweet
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, it.Err()
+}
+
+// Compact merges every segment into a fresh set of segments holding all
+// records in global (user, time) order, replacing the old catalogue and
+// deleting the old files. Mobility extraction requires this order.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.man.Segments) == 0 {
+		return nil
+	}
+	var all []tweet.Tweet
+	for _, meta := range s.man.Segments {
+		tweets, err := s.loadSegment(meta)
+		if err != nil {
+			return fmt.Errorf("tweetdb: compact: %w", err)
+		}
+		all = append(all, tweets...)
+	}
+	sort.Sort(tweet.ByUserTime(all))
+	old := s.man.Segments
+	s.man.Segments = nil
+	for off := 0; off < len(all); off += DefaultSegmentRecords {
+		end := off + DefaultSegmentRecords
+		if end > len(all) {
+			end = len(all)
+		}
+		if err := s.writeSegmentLocked(all[off:end]); err != nil {
+			return fmt.Errorf("tweetdb: compact: %w", err)
+		}
+	}
+	if err := s.saveManifestLocked(); err != nil {
+		return err
+	}
+	// Old files are garbage only after the manifest no longer references
+	// them; removal failures are not fatal to correctness.
+	for _, meta := range old {
+		_ = removeFile(s.dir, meta.File)
+	}
+	return nil
+}
+
+// IsSorted reports whether the catalogue as a whole yields records in
+// global (user, time) order, i.e. Compact has established the canonical
+// layout and no appends broke it.
+func (s *Store) IsSorted() (bool, error) {
+	it := s.Scan(Query{})
+	var prev tweet.Tweet
+	first := true
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !first {
+			if t.UserID < prev.UserID || (t.UserID == prev.UserID && t.TS < prev.TS) {
+				return false, nil
+			}
+		}
+		prev, first = t, false
+	}
+	return it.Err() == nil, it.Err()
+}

@@ -1,0 +1,250 @@
+package tweetdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"geomob/internal/geo"
+	"geomob/internal/tweet"
+)
+
+const manifestName = "MANIFEST.json"
+
+// DefaultSegmentRecords caps how many records a single segment holds. A
+// segment is the unit of decode, so this bounds peak memory per iterator.
+const DefaultSegmentRecords = 1 << 18
+
+// manifest is the on-disk catalogue of segments.
+type manifest struct {
+	Version  int           `json:"version"`
+	NextSeq  int           `json:"next_seq"`
+	Segments []SegmentMeta `json:"segments"`
+}
+
+// Store is an append-only tweet database rooted in one directory. A Store
+// is safe for concurrent use: appends serialise on an internal mutex,
+// scans read immutable files.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	man manifest
+}
+
+// Open opens (or initialises) the store in dir, creating the directory as
+// needed and loading the manifest.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tweetdb: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, man: manifest{Version: 1}}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("tweetdb: read manifest: %w", err)
+	default:
+		if err := json.Unmarshal(raw, &s.man); err != nil {
+			return nil, fmt.Errorf("tweetdb: parse manifest: %w", err)
+		}
+		for _, seg := range s.man.Segments {
+			if _, err := os.Stat(filepath.Join(dir, seg.File)); err != nil {
+				return nil, fmt.Errorf("tweetdb: manifest references missing segment %s: %w", seg.File, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Count returns the total number of records across all segments.
+func (s *Store) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, seg := range s.man.Segments {
+		n += int64(seg.Count)
+	}
+	return n
+}
+
+// Segments returns a snapshot of the segment catalogue.
+func (s *Store) Segments() []SegmentMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SegmentMeta(nil), s.man.Segments...)
+}
+
+// Append writes the tweets as one or more new segments (respecting
+// DefaultSegmentRecords) and commits them to the manifest. Records are
+// sorted by (user, time) within each segment so the binary delta coding
+// compresses well; global order across segments is only established by
+// Compact.
+func (s *Store) Append(tweets []tweet.Tweet) error {
+	if len(tweets) == 0 {
+		return nil
+	}
+	sorted := append([]tweet.Tweet(nil), tweets...)
+	sort.Sort(tweet.ByUserTime(sorted))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for off := 0; off < len(sorted); off += DefaultSegmentRecords {
+		end := off + DefaultSegmentRecords
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		if err := s.writeSegmentLocked(sorted[off:end]); err != nil {
+			return err
+		}
+	}
+	return s.saveManifestLocked()
+}
+
+// writeSegmentLocked serialises one batch into a new segment file and adds
+// it to the in-memory manifest (not yet persisted). Caller holds s.mu.
+func (s *Store) writeSegmentLocked(batch []tweet.Tweet) error {
+	enc := tweet.NewEncoder()
+	h := header{
+		minTS:   batch[0].TS,
+		maxTS:   batch[0].TS,
+		minUser: batch[0].UserID,
+		maxUser: batch[0].UserID,
+		bbox:    geo.EmptyBBox(),
+	}
+	for _, t := range batch {
+		if err := enc.Append(t); err != nil {
+			return fmt.Errorf("tweetdb: encode: %w", err)
+		}
+		if t.TS < h.minTS {
+			h.minTS = t.TS
+		}
+		if t.TS > h.maxTS {
+			h.maxTS = t.TS
+		}
+		if t.UserID < h.minUser {
+			h.minUser = t.UserID
+		}
+		if t.UserID > h.maxUser {
+			h.maxUser = t.UserID
+		}
+		h.bbox = h.bbox.Extend(t.Point())
+	}
+	payload := enc.Bytes()
+	h.count = uint32(len(batch))
+	h.payloadLen = uint32(len(payload))
+	h.crc = checksum(payload)
+
+	name := fmt.Sprintf("seg-%06d.gmseg", s.man.NextSeq)
+	s.man.NextSeq++
+	path := filepath.Join(s.dir, name)
+	if err := atomicWrite(path, append(marshalHeader(h), payload...)); err != nil {
+		return fmt.Errorf("tweetdb: write segment %s: %w", name, err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("tweetdb: stat segment %s: %w", name, err)
+	}
+	s.man.Segments = append(s.man.Segments, SegmentMeta{
+		File:    name,
+		Count:   len(batch),
+		MinTS:   h.minTS,
+		MaxTS:   h.maxTS,
+		MinUser: h.minUser,
+		MaxUser: h.maxUser,
+		MinLat:  h.bbox.MinLat,
+		MinLon:  h.bbox.MinLon,
+		MaxLat:  h.bbox.MaxLat,
+		MaxLon:  h.bbox.MaxLon,
+		Bytes:   info.Size(),
+	})
+	return nil
+}
+
+// saveManifestLocked persists the manifest atomically. Caller holds s.mu.
+func (s *Store) saveManifestLocked() error {
+	raw, err := json.MarshalIndent(s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tweetdb: marshal manifest: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(s.dir, manifestName), raw); err != nil {
+		return fmt.Errorf("tweetdb: save manifest: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file and rename, so readers
+// never observe a partial file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// loadSegment reads, CRC-verifies and decodes one segment file.
+func (s *Store) loadSegment(meta SegmentMeta) ([]tweet.Tweet, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, meta.File))
+	if err != nil {
+		return nil, fmt.Errorf("tweetdb: read segment %s: %w", meta.File, err)
+	}
+	h, err := unmarshalHeader(raw)
+	if err != nil {
+		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
+	}
+	if int(h.payloadLen) != len(raw)-headerSize {
+		return nil, fmt.Errorf("tweetdb: segment %s: payload length %d does not match file size %d", meta.File, h.payloadLen, len(raw)-headerSize)
+	}
+	payload := raw[headerSize:]
+	if got := checksum(payload); got != h.crc {
+		return nil, fmt.Errorf("tweetdb: segment %s: checksum mismatch (stored %08x, computed %08x)", meta.File, h.crc, got)
+	}
+	tweets, err := tweet.DecodeAll(payload, int(h.count))
+	if err != nil {
+		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
+	}
+	return tweets, nil
+}
+
+// Verify re-reads every segment, checking magic, checksums and record
+// counts. It returns the first corruption found.
+func (s *Store) Verify() error {
+	for _, meta := range s.Segments() {
+		tweets, err := s.loadSegment(meta)
+		if err != nil {
+			return err
+		}
+		if len(tweets) != meta.Count {
+			return fmt.Errorf("tweetdb: segment %s: manifest count %d != decoded %d", meta.File, meta.Count, len(tweets))
+		}
+	}
+	return nil
+}
