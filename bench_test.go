@@ -11,6 +11,7 @@ package geomob
 // suite completes in minutes; scale-up happens via cmd/mobrepro -users.
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -239,6 +240,49 @@ func BenchmarkBootstrapCI(b *testing.B) {
 		if _, err := experiments.PooledCorrelationCI(e, 0.95, 500); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Sharded pipeline benchmarks ----------------------------------------
+
+// benchStudyUsers sizes the corpus for the worker-scaling benchmark: 50k
+// users is roughly a tenth of the paper's collection and large enough for
+// the parallel section to dominate setup costs.
+const benchStudyUsers = 50000
+
+var (
+	studyCorpusOnce sync.Once
+	studyCorpus     []Tweet
+	studyCorpusErr  error
+)
+
+// studyBenchCorpus lazily generates the shared 50k-user corpus.
+func studyBenchCorpus(b *testing.B) []Tweet {
+	b.Helper()
+	studyCorpusOnce.Do(func() {
+		studyCorpus, studyCorpusErr = GenerateCorpus(DefaultCorpusConfig(benchStudyUsers, 42, 43))
+	})
+	if studyCorpusErr != nil {
+		b.Fatal(studyCorpusErr)
+	}
+	return studyCorpus
+}
+
+// BenchmarkStudyRun measures the complete multi-scale study over a shared
+// pre-generated 50k-user corpus at several worker counts. The results are
+// identical across worker counts by construction (see DESIGN.md §4), so
+// this benchmark isolates pure pipeline throughput.
+func BenchmarkStudyRun(b *testing.B) {
+	tweets := studyBenchCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewStudyWithOptions(SliceSource(tweets), StudyOptions{Workers: workers}).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tweets)), "tweets/op")
+		})
 	}
 }
 

@@ -25,17 +25,18 @@ func main() {
 	log.SetPrefix("mobrepro: ")
 
 	var (
-		users  = flag.Int("users", 50000, "number of synthetic users (paper: 473956)")
-		seed1  = flag.Uint64("seed", 42, "first PCG seed")
-		seed2  = flag.Uint64("seed2", 43, "second PCG seed")
-		outDir = flag.String("out", "out", "artefact output directory")
-		quick  = flag.Bool("quick", false, "skip the slower ablations")
+		users   = flag.Int("users", 50000, "number of synthetic users (paper: 473956)")
+		seed1   = flag.Uint64("seed", 42, "first PCG seed")
+		seed2   = flag.Uint64("seed2", 43, "second PCG seed")
+		outDir  = flag.String("out", "out", "artefact output directory")
+		quick   = flag.Bool("quick", false, "skip the slower ablations")
+		workers = flag.Int("workers", 0, "study pipeline workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	started := time.Now()
 	fmt.Printf("mobrepro: generating %d-user corpus (seed %d/%d) and running the study...\n", *users, *seed1, *seed2)
-	env, err := experiments.DefaultEnv(*users, *seed1, *seed2, *outDir)
+	env, err := experiments.DefaultEnvWithWorkers(*users, *seed1, *seed2, *outDir, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

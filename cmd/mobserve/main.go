@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -36,6 +37,9 @@ import (
 
 type server struct {
 	store *tweetdb.Store
+	// workers is the parallelism of scan-heavy handlers (/flows); zero
+	// means one worker per CPU.
+	workers int
 }
 
 func main() {
@@ -43,8 +47,9 @@ func main() {
 	log.SetPrefix("mobserve: ")
 
 	var (
-		dbDir = flag.String("db", "", "tweetdb store directory (required)")
-		addr  = flag.String("addr", ":8080", "listen address")
+		dbDir   = flag.String("db", "", "tweetdb store directory (required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "parallel segment scan workers (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -54,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{store: store}
+	s := &server{store: store, workers: *workers}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -70,6 +75,14 @@ func main() {
 		WriteTimeout: 120 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
+}
+
+// scanWorkers resolves the configured scan parallelism.
+func (s *server) scanWorkers() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // writeJSON writes v with the proper content type.
@@ -108,6 +121,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"bbox":     box,
 		"first":    time.UnixMilli(minTS).UTC(),
 		"last":     time.UnixMilli(maxTS).UTC(),
+		"workers":  s.scanWorkers(),
 	})
 }
 
@@ -220,13 +234,12 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "mapper: %v", err)
 		return
 	}
-	ext := mobility.NewExtractor(mapper)
 	src := core.StoreSource{Store: s.store}
-	if err := src.Each(ext.Observe); err != nil {
+	flows, err := core.ExtractFlows(src, mapper, s.scanWorkers())
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "extract: %v (store compacted?)", err)
 		return
 	}
-	flows := ext.Flows()
 	names := make([]string, len(flows.Areas))
 	for i, a := range flows.Areas {
 		names[i] = a.Name

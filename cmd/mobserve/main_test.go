@@ -52,6 +52,9 @@ func TestHandleStats(t *testing.T) {
 	if body["segments"].(float64) <= 0 {
 		t.Errorf("segments = %v", body["segments"])
 	}
+	if body["workers"].(float64) < 1 {
+		t.Errorf("workers = %v, want >= 1", body["workers"])
+	}
 }
 
 func TestHandleTweetsUserFilter(t *testing.T) {

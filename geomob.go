@@ -108,8 +108,13 @@ type (
 	Study = core.Study
 	// StudyResult bundles Table I, Fig. 2/3 inputs, Fig. 4 and Table II.
 	StudyResult = core.Result
+	// StudyOptions configure execution (worker parallelism).
+	StudyOptions = core.StudyOptions
 	// Source yields a (user, time)-ordered tweet stream.
 	Source = core.Source
+	// ShardedSource is a Source that splits into user-disjoint sub-streams
+	// for the parallel pipeline (DESIGN.md §4).
+	ShardedSource = core.ShardedSource
 	// SliceSource adapts an in-memory sorted tweet slice.
 	SliceSource = core.SliceSource
 	// StoreSource adapts a compacted tweet store.
@@ -122,8 +127,15 @@ type (
 	PopulationEstimate = population.Estimate
 )
 
-// NewStudy binds a tweet source to the embedded gazetteer.
+// NewStudy binds a tweet source to the embedded gazetteer with default
+// options (one worker per CPU; results are worker-count independent).
 func NewStudy(src Source) *Study { return core.NewStudy(src) }
+
+// NewStudyWithOptions binds a tweet source to the embedded gazetteer with
+// explicit execution options.
+func NewStudyWithOptions(src Source, opts StudyOptions) *Study {
+	return core.NewStudyWithOptions(src, opts)
+}
 
 // Mobility models (§IV).
 type (

@@ -1,0 +1,3 @@
+module geomob
+
+go 1.24

@@ -5,10 +5,20 @@
 // population estimation of §III (Fig. 3) and the mobility extraction and
 // model comparison of §IV (Fig. 4, Table II) at the three geographic
 // scales.
+//
+// The streaming pass is sharded and worker-parallel (DESIGN.md §4): when
+// the source can split into user-disjoint sub-streams, each worker owns a
+// private observer set and the per-shard observers are merged in shard
+// order, which makes the result bit-identical to a serial pass regardless
+// of the worker count.
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"geomob/internal/census"
@@ -23,9 +33,12 @@ import (
 
 // Source yields a tweet stream in (user, time) order — the canonical order
 // produced by the synthesizer and by compacted tweetdb stores.
-type Source interface {
-	Each(func(tweet.Tweet) error) error
-}
+type Source = tweet.Source
+
+// ShardedSource is a Source that can split into user-disjoint,
+// (user, time)-ordered sub-streams for parallel consumption; see the
+// contract on tweet.ShardedSource.
+type ShardedSource = tweet.ShardedSource
 
 // SliceSource adapts an in-memory tweet slice (already sorted) to Source.
 type SliceSource []tweet.Tweet
@@ -38,6 +51,32 @@ func (s SliceSource) Each(fn func(tweet.Tweet) error) error {
 		}
 	}
 	return nil
+}
+
+// Shards implements ShardedSource by cutting the slice into at most n
+// contiguous runs at user boundaries, balanced by tweet count.
+func (s SliceSource) Shards(n int) ([]tweet.Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: shard count must be positive, got %d", n)
+	}
+	out := make([]tweet.Source, 0, n)
+	start := 0
+	for k := 0; k < n && start < len(s); k++ {
+		end := start + (len(s)-start)/(n-k)
+		if end <= start {
+			end = start + 1
+		}
+		// Never split a user across shards: extend to the next boundary.
+		for end < len(s) && s[end].UserID == s[end-1].UserID {
+			end++
+		}
+		out = append(out, s[start:end])
+		start = end
+	}
+	if len(out) == 0 {
+		out = append(out, SliceSource(nil))
+	}
+	return out, nil
 }
 
 // StoreSource adapts a tweetdb store to Source. The store must be
@@ -60,6 +99,21 @@ func (s StoreSource) Each(fn func(tweet.Tweet) error) error {
 		}
 	}
 	return it.Err()
+}
+
+// Shards implements ShardedSource: the store's segment metadata is used to
+// split the query into user-disjoint ranges (tweetdb.Store.ShardQueries)
+// whose scans decode disjoint segment runs concurrently.
+func (s StoreSource) Shards(n int) ([]tweet.Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: shard count must be positive, got %d", n)
+	}
+	qs := s.Store.ShardQueries(s.Query, n)
+	out := make([]tweet.Source, len(qs))
+	for i, q := range qs {
+		out[i] = StoreSource{Store: s.Store, Query: q}
+	}
+	return out, nil
 }
 
 // DatasetStats reproduces Table I: the corpus-level statistics.
@@ -87,15 +141,41 @@ type DatasetStats struct {
 	MeanGyrationKM   float64
 }
 
-// Study is the multi-scale estimation pipeline over one tweet source.
-type Study struct {
-	src Source
-	gaz *census.Gazetteer
+// StudyOptions configure how a Study executes.
+type StudyOptions struct {
+	// Workers is the number of parallel stream consumers. Zero means
+	// runtime.GOMAXPROCS(0). Sources that do not implement ShardedSource
+	// fall back to a single serial pass. The worker count never changes
+	// the result: per-shard observers are merged in shard order, so the
+	// output is bit-identical to Workers: 1.
+	Workers int
 }
 
-// NewStudy binds a source to the embedded Australian gazetteer.
+// Study is the multi-scale estimation pipeline over one tweet source.
+type Study struct {
+	src  Source
+	gaz  *census.Gazetteer
+	opts StudyOptions
+}
+
+// NewStudy binds a source to the embedded Australian gazetteer with
+// default options (one worker per CPU).
 func NewStudy(src Source) *Study {
-	return &Study{src: src, gaz: census.Australia()}
+	return NewStudyWithOptions(src, StudyOptions{})
+}
+
+// NewStudyWithOptions binds a source to the embedded Australian gazetteer
+// with explicit options.
+func NewStudyWithOptions(src Source, opts StudyOptions) *Study {
+	return &Study{src: src, gaz: census.Australia(), opts: opts}
+}
+
+// workers resolves the configured worker count.
+func (s *Study) workers() int {
+	if s.opts.Workers > 0 {
+		return s.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ModelFit is one fitted model with its Table II metrics and the Fig. 4
@@ -133,17 +213,61 @@ type Result struct {
 	Mobility map[census.Scale]*MobilityResult
 }
 
-// Run executes the full study in a single pass over the source followed by
-// per-scale model fitting.
-func (s *Study) Run() (*Result, error) {
-	type scaleObs struct {
-		scale     census.Scale
-		mapper    *mobility.AreaMapper
-		extractor *mobility.Extractor
-		counter   *mobility.UserCounter
-		regions   census.RegionSet
+// spanAcc accumulates the corpus bounding box and observation period —
+// the remaining Table I inputs — inline with the streaming pass, so the
+// source is read exactly once. The seen flag (not a zero sentinel) marks
+// whether any tweet was observed, so a legitimate tweet at epoch 0 is
+// handled correctly.
+type spanAcc struct {
+	bbox        geo.BBox
+	first, last int64
+	seen        bool
+}
+
+func newSpanAcc() spanAcc { return spanAcc{bbox: geo.EmptyBBox()} }
+
+func (a *spanAcc) observe(t tweet.Tweet) {
+	a.bbox = a.bbox.Extend(t.Point())
+	if !a.seen || t.TS < a.first {
+		a.first = t.TS
 	}
-	var obs []*scaleObs
+	if !a.seen || t.TS > a.last {
+		a.last = t.TS
+	}
+	a.seen = true
+}
+
+// merge folds another accumulator in; min/max reductions are exact and
+// order-independent.
+func (a *spanAcc) merge(o *spanAcc) {
+	if !o.seen {
+		return
+	}
+	a.bbox = a.bbox.Union(o.bbox)
+	if !a.seen || o.first < a.first {
+		a.first = o.first
+	}
+	if !a.seen || o.last > a.last {
+		a.last = o.last
+	}
+	a.seen = true
+}
+
+// studyPlan holds the shared, read-only per-scale machinery (region sets
+// and area mappers). Mappers are immutable after construction, so all
+// workers share them.
+type studyPlan struct {
+	scales []struct {
+		scale   census.Scale
+		mapper  *mobility.AreaMapper
+		regions census.RegionSet
+	}
+	metroRS        census.RegionSet
+	metro500Mapper *mobility.AreaMapper
+}
+
+func (s *Study) plan() (*studyPlan, error) {
+	p := &studyPlan{}
 	for _, scale := range census.Scales() {
 		rs, err := s.gaz.Regions(scale)
 		if err != nil {
@@ -153,40 +277,176 @@ func (s *Study) Run() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
 		}
-		obs = append(obs, &scaleObs{
-			scale:     scale,
-			mapper:    mapper,
-			extractor: mobility.NewExtractor(mapper),
-			counter:   mobility.NewUserCounter(mapper),
-			regions:   rs,
-		})
+		p.scales = append(p.scales, struct {
+			scale   census.Scale
+			mapper  *mobility.AreaMapper
+			regions census.RegionSet
+		}{scale, mapper, rs})
 	}
 	// The Fig. 3b variant: metropolitan counting with ε = 0.5 km.
 	metroRS, err := s.gaz.Regions(census.ScaleMetropolitan)
 	if err != nil {
 		return nil, err
 	}
-	metro500Mapper, err := mobility.NewAreaMapper(metroRS, 500)
+	p.metroRS = metroRS
+	p.metro500Mapper, err = mobility.NewAreaMapper(metroRS, 500)
 	if err != nil {
 		return nil, err
 	}
-	metro500 := mobility.NewUserCounter(metro500Mapper)
+	return p, nil
+}
 
-	// Single streaming pass.
-	err = s.src.Each(func(t tweet.Tweet) error {
-		if err := t.Validate(); err != nil {
+// observerSet is one worker's private observers over the shared plan.
+type observerSet struct {
+	extractors []*mobility.Extractor
+	counters   []*mobility.UserCounter
+	metro500   *mobility.UserCounter
+	span       spanAcc
+}
+
+func newObserverSet(p *studyPlan) *observerSet {
+	o := &observerSet{
+		metro500: mobility.NewUserCounter(p.metro500Mapper),
+		span:     newSpanAcc(),
+	}
+	for _, sc := range p.scales {
+		o.extractors = append(o.extractors, mobility.NewExtractor(sc.mapper))
+		o.counters = append(o.counters, mobility.NewUserCounter(sc.mapper))
+	}
+	return o
+}
+
+// observe feeds one tweet to every observer of the set.
+func (o *observerSet) observe(t tweet.Tweet) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for i := range o.extractors {
+		if err := o.extractors[i].Observe(t); err != nil {
 			return err
 		}
-		for _, o := range obs {
-			if err := o.extractor.Observe(t); err != nil {
-				return err
-			}
-			if err := o.counter.Observe(t); err != nil {
-				return err
-			}
+		if err := o.counters[i].Observe(t); err != nil {
+			return err
 		}
-		return metro500.Observe(t)
-	})
+	}
+	if err := o.metro500.Observe(t); err != nil {
+		return err
+	}
+	o.span.observe(t)
+	return nil
+}
+
+// merge folds a later shard's observer set into o, in shard order.
+func (o *observerSet) merge(next *observerSet) error {
+	for i := range o.extractors {
+		if err := o.extractors[i].Merge(next.extractors[i]); err != nil {
+			return err
+		}
+		if err := o.counters[i].Merge(next.counters[i]); err != nil {
+			return err
+		}
+	}
+	if err := o.metro500.Merge(next.metro500); err != nil {
+		return err
+	}
+	o.span.merge(&next.span)
+	return nil
+}
+
+// shardSource splits src into up to n user-disjoint sub-streams, falling
+// back to a single serial shard when the source cannot split.
+func shardSource(src Source, n int) ([]Source, error) {
+	if n <= 1 {
+		return []Source{src}, nil
+	}
+	ss, ok := src.(ShardedSource)
+	if !ok {
+		return []Source{src}, nil
+	}
+	shards, err := ss.Shards(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard source: %w", err)
+	}
+	if len(shards) == 0 {
+		return []Source{src}, nil
+	}
+	return shards, nil
+}
+
+// errShardAborted is the sentinel a worker returns when it stops because a
+// sibling shard already failed; it never escapes runSharded.
+var errShardAborted = errors.New("core: shard aborted")
+
+// runSharded is the fan-out/merge skeleton shared by Run, ExtractFlows and
+// PopulationAtRadius: one private observer per shard, concurrent
+// consumption with cooperative abort on the first failure (so a corrupt
+// shard does not leave siblings scanning to completion), then a fold of
+// observers [1:] into observer [0] in shard order — the order the merge
+// contract (DESIGN.md §4) requires for serial-identical results.
+func runSharded[T any](shards []Source, newObs func() T, observe func(T, tweet.Tweet) error, merge func(T, T) error) (T, error) {
+	obs := make([]T, len(shards))
+	for i := range obs {
+		obs[i] = newObs()
+	}
+	errs := make([]error, len(shards))
+	if len(shards) == 1 {
+		errs[0] = shards[0].Each(func(t tweet.Tweet) error { return observe(obs[0], t) })
+	} else {
+		var aborted atomic.Bool
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = shards[i].Each(func(t tweet.Tweet) error {
+					if aborted.Load() {
+						return errShardAborted
+					}
+					if err := observe(obs[i], t); err != nil {
+						aborted.Store(true)
+						return err
+					}
+					return nil
+				})
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errShardAborted) {
+			var zero T
+			return zero, err
+		}
+	}
+	for _, next := range obs[1:] {
+		if err := merge(obs[0], next); err != nil {
+			var zero T
+			return zero, fmt.Errorf("core: merge shards: %w", err)
+		}
+	}
+	return obs[0], nil
+}
+
+// Run executes the full study in a single sharded pass over the source
+// followed by per-scale model fitting. The source is read exactly once;
+// the worker count (StudyOptions.Workers) does not affect the result.
+func (s *Study) Run() (*Result, error) {
+	p, err := s.plan()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := shardSource(s.src, s.workers())
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan out one private observer set per shard (mappers shared) and
+	// merge in shard order: shards are user-ascending, so the merged
+	// observers match a serial pass exactly.
+	merged, err := runSharded(shards,
+		func() *observerSet { return newObserverSet(p) },
+		(*observerSet).observe,
+		(*observerSet).merge)
 	if err != nil {
 		return nil, fmt.Errorf("core: stream pass: %w", err)
 	}
@@ -197,50 +457,50 @@ func (s *Study) Run() (*Result, error) {
 	}
 
 	// Table I statistics come from the national-scale extractor (the
-	// trajectory statistics are mapper-independent).
-	res.Stats, err = buildStats(obs[0].extractor, s.src)
+	// trajectory statistics are mapper-independent) plus the span
+	// accumulator folded into the same pass.
+	res.Stats, err = buildStats(merged.extractors[0], &merged.span)
 	if err != nil {
 		return nil, err
 	}
 
 	// Population estimates and the pooled correlation.
 	var estimates []*population.Estimate
-	for _, o := range obs {
-		est, err := population.NewEstimate(o.regions, o.mapper.Radius(), o.counter.Counts())
+	for i, sc := range p.scales {
+		est, err := population.NewEstimate(sc.regions, sc.mapper.Radius(), merged.counters[i].Counts())
 		if err != nil {
-			return nil, fmt.Errorf("core: population estimate for %s: %w", o.scale, err)
+			return nil, fmt.Errorf("core: population estimate for %s: %w", sc.scale, err)
 		}
-		res.Population[o.scale] = est
+		res.Population[sc.scale] = est
 		estimates = append(estimates, est)
 	}
 	res.Pooled, err = population.Pool(estimates)
 	if err != nil {
 		return nil, fmt.Errorf("core: pooled correlation: %w", err)
 	}
-	res.PopulationMetro500m, err = population.NewEstimate(metroRS, 500, metro500.Counts())
+	res.PopulationMetro500m, err = population.NewEstimate(p.metroRS, 500, merged.metro500.Counts())
 	if err != nil {
 		return nil, fmt.Errorf("core: metro 0.5 km estimate: %w", err)
 	}
 
 	// Mobility model comparison per scale, with m and n taken from the
 	// Twitter-derived populations as in §IV.
-	for _, o := range obs {
-		mr, err := buildMobility(o.scale, o.extractor.Flows(), res.Population[o.scale].TwitterUsers)
+	for i, sc := range p.scales {
+		mr, err := buildMobility(sc.scale, merged.extractors[i].Flows(), res.Population[sc.scale].TwitterUsers)
 		if err != nil {
-			return nil, fmt.Errorf("core: mobility study for %s: %w", o.scale, err)
+			return nil, fmt.Errorf("core: mobility study for %s: %w", sc.scale, err)
 		}
-		res.Mobility[o.scale] = mr
+		res.Mobility[sc.scale] = mr
 	}
 	return res, nil
 }
 
 // buildStats assembles Table I from the extractor's trajectory statistics
-// plus a cheap second pass for the bbox and period (kept separate so the
-// extractor stays scale-agnostic).
-func buildStats(e *mobility.Extractor, src Source) (*DatasetStats, error) {
+// and the span accumulator, both filled by the single streaming pass.
+func buildStats(e *mobility.Extractor, span *spanAcc) (*DatasetStats, error) {
 	st := e.Stats()
 	ds := &DatasetStats{
-		BBox:            geo.EmptyBBox(),
+		BBox:            span.bbox,
 		Tweets:          int64(st.Tweets),
 		Users:           int64(st.Users),
 		TweetsPerUser:   st.TweetsPerUser,
@@ -261,7 +521,7 @@ func buildStats(e *mobility.Extractor, src Source) (*DatasetStats, error) {
 		}
 		ds.MeanGyrationKM = mean
 	}
-	if st.Users == 0 {
+	if st.Users == 0 || !span.seen {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
 	mean, err := stats.Mean(st.TweetsPerUser)
@@ -292,22 +552,8 @@ func buildStats(e *mobility.Extractor, src Source) (*DatasetStats, error) {
 		}
 		ds.HeavyUsers[threshold] = count
 	}
-	var first, last int64
-	err = src.Each(func(t tweet.Tweet) error {
-		ds.BBox = ds.BBox.Extend(t.Point())
-		if first == 0 || t.TS < first {
-			first = t.TS
-		}
-		if t.TS > last {
-			last = t.TS
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: stats pass: %w", err)
-	}
-	ds.First = time.UnixMilli(first).UTC()
-	ds.Last = time.UnixMilli(last).UTC()
+	ds.First = time.UnixMilli(span.first).UTC()
+	ds.Last = time.UnixMilli(span.last).UTC()
 	return ds, nil
 }
 
@@ -363,8 +609,31 @@ func describeModel(m models.Model) string {
 	}
 }
 
+// ExtractFlows runs the §IV flow extraction alone over the source with the
+// given worker count (0 means one per CPU), sharding when the source
+// supports it. It is the primitive behind single-scale flow queries such
+// as mobserve's /flows endpoint.
+func ExtractFlows(src Source, mapper *mobility.AreaMapper, workers int) (*mobility.FlowMatrix, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards, err := shardSource(src, workers)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := runSharded(shards,
+		func() *mobility.Extractor { return mobility.NewExtractor(mapper) },
+		(*mobility.Extractor).Observe,
+		(*mobility.Extractor).Merge)
+	if err != nil {
+		return nil, err
+	}
+	return ext.Flows(), nil
+}
+
 // PopulationAtRadius reruns the §III user counting for one scale at an
-// arbitrary search radius — the Fig. 3b / ablation A1 primitive.
+// arbitrary search radius — the Fig. 3b / ablation A1 primitive. The
+// counting pass shards like Run.
 func (s *Study) PopulationAtRadius(scale census.Scale, radius float64) (*population.Estimate, error) {
 	rs, err := s.gaz.Regions(scale)
 	if err != nil {
@@ -374,8 +643,15 @@ func (s *Study) PopulationAtRadius(scale census.Scale, radius float64) (*populat
 	if err != nil {
 		return nil, err
 	}
-	counter := mobility.NewUserCounter(mapper)
-	if err := s.src.Each(counter.Observe); err != nil {
+	shards, err := shardSource(s.src, s.workers())
+	if err != nil {
+		return nil, err
+	}
+	counter, err := runSharded(shards,
+		func() *mobility.UserCounter { return mobility.NewUserCounter(mapper) },
+		(*mobility.UserCounter).Observe,
+		(*mobility.UserCounter).Merge)
+	if err != nil {
 		return nil, fmt.Errorf("core: radius pass: %w", err)
 	}
 	return population.NewEstimate(rs, radius, counter.Counts())

@@ -23,12 +23,20 @@ type Env struct {
 	Tweets []tweet.Tweet
 	Study  *core.Study
 	Result *core.Result
-	OutDir string // when non-empty, experiments write artefacts here
+	Opts   core.StudyOptions // execution options for the study and reruns
+	OutDir string            // when non-empty, experiments write artefacts here
 }
 
-// NewEnv generates the corpus for cfg, runs the full study, and prepares
-// outDir (which may be empty to skip writing artefacts).
+// NewEnv generates the corpus for cfg, runs the full study with default
+// options, and prepares outDir (which may be empty to skip writing
+// artefacts).
 func NewEnv(cfg synth.Config, outDir string) (*Env, error) {
+	return NewEnvWithOptions(cfg, outDir, core.StudyOptions{})
+}
+
+// NewEnvWithOptions is NewEnv with explicit study execution options, which
+// also apply to every study rerun the ablations perform.
+func NewEnvWithOptions(cfg synth.Config, outDir string, opts core.StudyOptions) (*Env, error) {
 	gen, err := synth.NewGenerator(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -37,7 +45,7 @@ func NewEnv(cfg synth.Config, outDir string) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generate corpus: %w", err)
 	}
-	study := core.NewStudy(core.SliceSource(tweets))
+	study := core.NewStudyWithOptions(core.SliceSource(tweets), opts)
 	result, err := study.Run()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: run study: %w", err)
@@ -47,13 +55,19 @@ func NewEnv(cfg synth.Config, outDir string) (*Env, error) {
 			return nil, fmt.Errorf("experiments: create output dir: %w", err)
 		}
 	}
-	return &Env{Config: cfg, Tweets: tweets, Study: study, Result: result, OutDir: outDir}, nil
+	return &Env{Config: cfg, Tweets: tweets, Study: study, Result: result, Opts: opts, OutDir: outDir}, nil
 }
 
 // DefaultEnv builds an Env with the calibrated default corpus at the given
 // scale (number of users) and seed.
 func DefaultEnv(users int, seed1, seed2 uint64, outDir string) (*Env, error) {
 	return NewEnv(synth.DefaultConfig(users, seed1, seed2), outDir)
+}
+
+// DefaultEnvWithWorkers is DefaultEnv with an explicit study worker count
+// (0 means one worker per CPU).
+func DefaultEnvWithWorkers(users int, seed1, seed2 uint64, outDir string, workers int) (*Env, error) {
+	return NewEnvWithOptions(synth.DefaultConfig(users, seed1, seed2), outDir, core.StudyOptions{Workers: workers})
 }
 
 // writeArtefact writes one named artefact via the render callback when

@@ -182,7 +182,7 @@ func AblationGamma(env *Env, gammas []float64, users int) (*report.Table, error)
 		if err != nil {
 			return nil, fmt.Errorf("ablation gamma %.1f: %w", gamma, err)
 		}
-		res, err := core.NewStudy(core.SliceSource(tweets)).Run()
+		res, err := core.NewStudyWithOptions(core.SliceSource(tweets), env.Opts).Run()
 		if err != nil {
 			return nil, fmt.Errorf("ablation gamma %.1f: %w", gamma, err)
 		}

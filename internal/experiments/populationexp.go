@@ -138,7 +138,7 @@ func AblationSampleSize(env *Env, fractions []float64) (*report.Table, error) {
 			return nil, fmt.Errorf("ablation sample: fraction %v outside (0,1]", frac)
 		}
 		sub := subsampleUsers(env.Tweets, frac, 97)
-		res, err := core.NewStudy(core.SliceSource(sub)).Run()
+		res, err := core.NewStudyWithOptions(core.SliceSource(sub), env.Opts).Run()
 		if err != nil {
 			return nil, fmt.Errorf("ablation sample %.2f: %w", frac, err)
 		}

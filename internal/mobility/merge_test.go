@@ -1,0 +1,208 @@
+package mobility
+
+import (
+	"reflect"
+	"testing"
+
+	"geomob/internal/census"
+	"geomob/internal/tweet"
+)
+
+// mergeTestMapper builds a metropolitan-scale mapper shared by all
+// observers of a test (Merge requires pointer-equal mappers).
+func mergeTestMapper(t *testing.T) *AreaMapper {
+	t.Helper()
+	rs, err := census.Australia().Regions(census.ScaleMetropolitan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAreaMapper(rs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mergeTestStream is a small (user, time)-ordered stream hopping between
+// real suburb centres, with some unmapped noise points.
+func mergeTestStream(t *testing.T, mapper *AreaMapper) []tweet.Tweet {
+	t.Helper()
+	var out []tweet.Tweet
+	id := int64(0)
+	for u := int64(0); u < 9; u++ {
+		n := 1 + int(u)%4
+		for i := 0; i < n; i++ {
+			a := mapper.Area(int((u + int64(i)) % 5))
+			p := a.Center
+			if i == 2 {
+				p.Lat -= 2 // far from any suburb: unmapped
+			}
+			out = append(out, tweet.Tweet{
+				ID: id, UserID: u, TS: 1378000000000 + int64(i)*60000,
+				Lat: p.Lat, Lon: p.Lon,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+func feed(t *testing.T, e *Extractor, tweets []tweet.Tweet) {
+	t.Helper()
+	for _, tw := range tweets {
+		if err := e.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExtractorMergeMatchesSerial(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	stream := mergeTestStream(t, mapper)
+
+	serial := NewExtractor(mapper)
+	feed(t, serial, stream)
+
+	// Split at every user boundary into three shards.
+	cut1, cut2 := 0, 0
+	for i := 1; i < len(stream); i++ {
+		if stream[i].UserID != stream[i-1].UserID {
+			if stream[i].UserID == 3 {
+				cut1 = i
+			}
+			if stream[i].UserID == 6 {
+				cut2 = i
+			}
+		}
+	}
+	parts := [][]tweet.Tweet{stream[:cut1], stream[cut1:cut2], stream[cut2:]}
+	shards := make([]*Extractor, len(parts))
+	for k, part := range parts {
+		shards[k] = NewExtractor(mapper)
+		feed(t, shards[k], part)
+	}
+	for _, next := range shards[1:] {
+		if err := shards[0].Merge(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !reflect.DeepEqual(serial.Stats(), shards[0].Stats()) {
+		t.Errorf("merged stats differ from serial:\n%+v\nvs\n%+v", shards[0].Stats(), serial.Stats())
+	}
+	if !reflect.DeepEqual(serial.Flows(), shards[0].Flows()) {
+		t.Error("merged flows differ from serial")
+	}
+}
+
+func TestExtractorMergeEmptyShards(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	stream := mergeTestStream(t, mapper)
+
+	serial := NewExtractor(mapper)
+	feed(t, serial, stream)
+
+	empty1 := NewExtractor(mapper)
+	full := NewExtractor(mapper)
+	feed(t, full, stream)
+	empty2 := NewExtractor(mapper)
+	if err := empty1.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty1.Merge(empty2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Stats(), empty1.Stats()) {
+		t.Error("merge through empty shards changed the stats")
+	}
+}
+
+func TestExtractorMergeRejectsMisuse(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	stream := mergeTestStream(t, mapper)
+	a := NewExtractor(mapper)
+	feed(t, a, stream)
+	b := NewExtractor(mapper)
+	feed(t, b, stream) // same users again: not a later shard
+	if err := a.Merge(b); err == nil {
+		t.Error("overlapping user ranges must be rejected")
+	}
+	other := NewExtractor(mergeTestMapper(t))
+	if err := a.Merge(other); err == nil {
+		t.Error("different mappers must be rejected")
+	}
+}
+
+func TestUserCounterMergeMatchesSerial(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	stream := mergeTestStream(t, mapper)
+
+	serial := NewUserCounter(mapper)
+	for _, tw := range stream {
+		if err := serial.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var cut int
+	for i := 1; i < len(stream); i++ {
+		if stream[i].UserID == 5 && stream[i-1].UserID != 5 {
+			cut = i
+		}
+	}
+	a, b := NewUserCounter(mapper), NewUserCounter(mapper)
+	for _, tw := range stream[:cut] {
+		if err := a.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tw := range stream[cut:] {
+		if err := b.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Counts(), a.Counts()) {
+		t.Errorf("merged counts %v differ from serial %v", a.Counts(), serial.Counts())
+	}
+}
+
+func TestUserCounterMergeRejectsOverlap(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	stream := mergeTestStream(t, mapper)
+	a, b := NewUserCounter(mapper), NewUserCounter(mapper)
+	for _, tw := range stream {
+		if err := a.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("overlapping user ranges must be rejected")
+	}
+}
+
+func TestFlowMatrixMergeAdds(t *testing.T) {
+	mapper := mergeTestMapper(t)
+	a := NewFlowMatrix(mapper.areas)
+	b := NewFlowMatrix(mapper.areas)
+	a.Flows[0][1] = 2
+	a.Stays[3] = 1
+	b.Flows[0][1] = 3
+	b.Flows[2][0] = 4
+	b.Stays[3] = 2
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows[0][1] != 5 || a.Flows[2][0] != 4 || a.Stays[3] != 3 {
+		t.Errorf("merge arithmetic wrong: %v %v", a.Flows, a.Stays)
+	}
+	small := NewFlowMatrix(mapper.areas[:3])
+	if err := a.Merge(small); err == nil {
+		t.Error("mismatched area counts must be rejected")
+	}
+}

@@ -124,10 +124,11 @@ type Extractor struct {
 	mapper *AreaMapper
 	flows  *FlowMatrix
 
-	prevUser int64
-	prevArea int
-	prevTS   int64
-	started  bool
+	firstUser int64
+	prevUser  int64
+	prevArea  int
+	prevTS    int64
+	started   bool
 
 	// Trajectory statistics for Table I.
 	tweetsSeen   int
@@ -180,6 +181,9 @@ func (e *Extractor) Observe(t tweet.Tweet) error {
 
 	if !e.started || t.UserID != e.prevUser {
 		e.flushUser()
+		if !e.started {
+			e.firstUser = t.UserID
+		}
 		e.started = true
 		e.prevUser = t.UserID
 		e.userCount++
@@ -275,11 +279,12 @@ func sqrt(v float64) float64 { return math.Sqrt(v) }
 // The stream must arrive in (user, time) order so the per-user distinct-
 // area set stays bounded by the area count.
 type UserCounter struct {
-	mapper   *AreaMapper
-	counts   []float64
-	prevUser int64
-	started  bool
-	seen     map[int]bool
+	mapper    *AreaMapper
+	counts    []float64
+	firstUser int64
+	prevUser  int64
+	started   bool
+	seen      map[int]bool
 }
 
 // NewUserCounter builds a counter over the mapper.
@@ -298,6 +303,9 @@ func (c *UserCounter) Observe(t tweet.Tweet) error {
 	}
 	if !c.started || t.UserID != c.prevUser {
 		c.flush()
+		if !c.started {
+			c.firstUser = t.UserID
+		}
 		c.prevUser = t.UserID
 		c.started = true
 	}

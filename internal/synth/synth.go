@@ -305,21 +305,54 @@ func citySigma(pop int) float64 {
 // order. Returning an error aborts generation.
 type Emit func(tweet.Tweet) error
 
+// splitmix64 is the SplitMix64 finaliser, used to derive well-separated
+// per-user seed material from the config seeds and the user index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// userRNG returns the dedicated random stream of user u. Each user owns an
+// independent PCG stream derived from the config seeds, so generating a
+// user is a pure function of (config, u) — the property that makes
+// GenerateRange produce identical tweets regardless of how the user space
+// is partitioned across shards.
+func (g *Generator) userRNG(u int) *rand.Rand {
+	h := splitmix64(uint64(u))
+	return randx.New(g.cfg.Seed1^h, g.cfg.Seed2^splitmix64(h))
+}
+
 // Generate streams the whole corpus to emit in (user, time) order and
 // returns the number of tweets produced.
 func (g *Generator) Generate(emit Emit) (int, error) {
+	return g.GenerateRange(0, g.cfg.NumUsers, emit)
+}
+
+// GenerateRange streams the tweets of users [lo, hi) to emit in
+// (user, time) order and returns the number of tweets produced. Because
+// every user draws from their own seeded random stream, the concatenation
+// of GenerateRange over any partition of [0, NumUsers) is byte-for-byte the
+// full Generate stream — the per-user-block parallel generation primitive.
+func (g *Generator) GenerateRange(lo, hi int, emit Emit) (int, error) {
 	cfg := g.cfg
-	rng := randx.New(cfg.Seed1, cfg.Seed2)
+	if lo < 0 || hi > cfg.NumUsers || lo > hi {
+		return 0, fmt.Errorf("synth: user range [%d, %d) outside [0, %d)", lo, hi, cfg.NumUsers)
+	}
 	activity := randx.NewDiscretePowerLaw(cfg.ActivityAlpha, 1, cfg.MaxTweetsPerUser)
 
 	period := cfg.End.Sub(cfg.Start).Seconds()
 	startMS := cfg.Start.UnixMilli()
 	endMS := cfg.End.UnixMilli()
 
-	var tweetID int64
 	total := 0
-	for u := 0; u < cfg.NumUsers; u++ {
+	for u := lo; u < hi; u++ {
 		userID := int64(u)
+		rng := g.userRNG(u)
+		// Tweet ids are allocated per user so they do not depend on how
+		// many tweets earlier users produced.
+		tweetID := userID * int64(cfg.MaxTweetsPerUser)
 		n := activity.Sample(rng)
 		home := g.homeChooser.Sample(rng)
 
@@ -403,6 +436,48 @@ func (g *Generator) GenerateAll() ([]tweet.Tweet, error) {
 		return nil
 	})
 	return out, err
+}
+
+// Each implements tweet.Source, letting a Generator feed the Study
+// pipeline directly without materialising the corpus.
+func (g *Generator) Each(fn func(tweet.Tweet) error) error {
+	_, err := g.Generate(fn)
+	return err
+}
+
+// Shards implements tweet.ShardedSource: contiguous user blocks, each
+// generated independently from its users' dedicated random streams. The
+// concatenation of the shards is exactly the Generate stream.
+func (g *Generator) Shards(n int) ([]tweet.Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synth: shard count must be positive, got %d", n)
+	}
+	users := g.cfg.NumUsers
+	if n > users {
+		n = users
+	}
+	out := make([]tweet.Source, 0, n)
+	lo := 0
+	for k := 0; k < n; k++ {
+		hi := lo + (users-lo)/(n-k)
+		if hi > lo {
+			out = append(out, rangeSource{g: g, lo: lo, hi: hi})
+		}
+		lo = hi
+	}
+	return out, nil
+}
+
+// rangeSource is one user block of a sharded Generator.
+type rangeSource struct {
+	g      *Generator
+	lo, hi int
+}
+
+// Each implements tweet.Source over the block's user range.
+func (r rangeSource) Each(fn func(tweet.Tweet) error) error {
+	_, err := r.g.GenerateRange(r.lo, r.hi, fn)
+	return err
 }
 
 // jitter displaces a point by an isotropic 2-D Gaussian with standard

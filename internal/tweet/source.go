@@ -1,0 +1,32 @@
+package tweet
+
+// Source yields a tweet stream in (user, time) order — the canonical order
+// produced by the synthesizer and by compacted tweetdb stores. Every
+// consumer in the repository (the Study pipeline, the mobility observers)
+// assumes this order; violations are detected and reported downstream.
+type Source interface {
+	Each(func(Tweet) error) error
+}
+
+// ShardedSource is a Source that can split itself into user-disjoint
+// sub-streams for parallel consumption. The contract (see DESIGN.md §4):
+//
+//   - every shard is itself in (user, time) order;
+//   - no user appears in more than one shard;
+//   - shards are ordered by user id: all users of shard k precede all
+//     users of shard k+1;
+//   - the concatenation of the shards in order is exactly the stream the
+//     plain Each would yield.
+//
+// The ordering clause is what lets a parallel consumer merge per-shard
+// observers in shard order and obtain results bit-identical to a serial
+// pass, even for order-sensitive reductions (floating-point sums over
+// per-user series).
+type ShardedSource interface {
+	Source
+	// Shards returns up to n sub-sources satisfying the contract above.
+	// Implementations may return fewer shards than requested (a small
+	// corpus cannot be split further than one user per shard) but must
+	// return at least one when the source is non-empty.
+	Shards(n int) ([]Source, error)
+}

@@ -17,6 +17,11 @@ type Query struct {
 	BBox *geo.BBox
 	// UserID restricts results to one author when non-nil.
 	UserID *int64
+	// MinUserID and MaxUserID bound the author id inclusively when
+	// non-nil. User ranges are the shard primitive of the parallel Study
+	// pipeline: ShardQueries splits a query into user-disjoint ranges
+	// that can be scanned concurrently.
+	MinUserID, MaxUserID *int64
 }
 
 // matches reports whether a single record satisfies the query.
@@ -28,6 +33,12 @@ func (q Query) matches(t tweet.Tweet) bool {
 		return false
 	}
 	if q.UserID != nil && t.UserID != *q.UserID {
+		return false
+	}
+	if q.MinUserID != nil && t.UserID < *q.MinUserID {
+		return false
+	}
+	if q.MaxUserID != nil && t.UserID > *q.MaxUserID {
 		return false
 	}
 	if q.BBox != nil && !q.BBox.Contains(t.Point()) {
@@ -46,6 +57,12 @@ func (q Query) prunes(m SegmentMeta) bool {
 		return true
 	}
 	if q.UserID != nil && (*q.UserID < m.MinUser || *q.UserID > m.MaxUser) {
+		return true
+	}
+	if q.MinUserID != nil && m.MaxUser < *q.MinUserID {
+		return true
+	}
+	if q.MaxUserID != nil && m.MinUser > *q.MaxUserID {
 		return true
 	}
 	if q.BBox != nil && !q.BBox.Intersects(m.BBox()) {
@@ -152,8 +169,8 @@ func (s *Store) Compact() error {
 	sort.Sort(tweet.ByUserTime(all))
 	old := s.man.Segments
 	s.man.Segments = nil
-	for off := 0; off < len(all); off += DefaultSegmentRecords {
-		end := off + DefaultSegmentRecords
+	for off := 0; off < len(all); off += s.segRecords {
+		end := off + s.segRecords
 		if end > len(all) {
 			end = len(all)
 		}

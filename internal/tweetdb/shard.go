@@ -1,0 +1,93 @@
+package tweetdb
+
+// Shard planning for the parallel Study pipeline: a query is split into
+// user-disjoint sub-queries using only segment metadata, so the split
+// costs no payload reads. On a compacted store the catalogue is in global
+// (user, time) order and segments are user-ranged, which makes each
+// sub-query's matching records a contiguous run of the catalogue: scanning
+// the sub-queries concurrently touches each segment payload at most a
+// couple of times (boundary users may straddle two segments).
+
+// ShardQueries splits q into at most n user-disjoint sub-queries whose
+// union matches exactly the records q matches. The split is balanced by
+// record count using the per-segment metadata and is deterministic for a
+// given catalogue. Fewer than n sub-queries are returned when the live
+// segment count cannot support the requested parallelism.
+func (s *Store) ShardQueries(q Query, n int) []Query {
+	live := make([]SegmentMeta, 0)
+	var total int64
+	for _, m := range s.Segments() {
+		if q.prunes(m) {
+			continue
+		}
+		live = append(live, m)
+		total += int64(m.Count)
+	}
+	if n <= 1 || len(live) < 2 || total == 0 {
+		return []Query{q}
+	}
+
+	// Choose user-id cut points at segment boundaries so that each shard
+	// holds roughly total/n records. A cut at user id c ends a shard with
+	// the half-open user range (prev, c]; records of user c that spill
+	// into the next segment still belong to this shard by id.
+	var cuts []int64
+	var cum int64
+	next := int64(1)
+	for i, m := range live {
+		cum += int64(m.Count)
+		if i == len(live)-1 {
+			break // the final shard always runs to the end of the range
+		}
+		if cum >= next*total/int64(n) {
+			if len(cuts) == 0 || m.MaxUser > cuts[len(cuts)-1] {
+				cuts = append(cuts, m.MaxUser)
+			}
+			next++
+			if next >= int64(n) {
+				break
+			}
+		}
+	}
+	if len(cuts) == 0 {
+		return []Query{q}
+	}
+
+	out := make([]Query, 0, len(cuts)+1)
+	var lo *int64
+	for _, c := range cuts {
+		sub := q
+		sub.MinUserID = maxUserBound(q.MinUserID, lo)
+		cc := c
+		sub.MaxUserID = minUserBound(q.MaxUserID, &cc)
+		out = append(out, sub)
+		nextLo := c + 1
+		lo = &nextLo
+	}
+	last := q
+	last.MinUserID = maxUserBound(q.MinUserID, lo)
+	out = append(out, last)
+	return out
+}
+
+// maxUserBound returns the tighter (larger) of two optional lower bounds.
+func maxUserBound(a, b *int64) *int64 {
+	if a == nil {
+		return b
+	}
+	if b == nil || *a > *b {
+		return a
+	}
+	return b
+}
+
+// minUserBound returns the tighter (smaller) of two optional upper bounds.
+func minUserBound(a, b *int64) *int64 {
+	if a == nil {
+		return b
+	}
+	if b == nil || *a < *b {
+		return a
+	}
+	return b
+}

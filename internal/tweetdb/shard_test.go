@@ -1,0 +1,145 @@
+package tweetdb
+
+import (
+	"testing"
+
+	"geomob/internal/tweet"
+)
+
+// shardStore builds a compacted store whose catalogue holds several
+// user-ranged segments: 300 users x 10 tweets, 500 records per segment.
+func shardStore(t *testing.T) *Store {
+	t.Helper()
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetSegmentRecords(500); err != nil {
+		t.Fatal(err)
+	}
+	var tweets []tweet.Tweet
+	id := int64(0)
+	for u := int64(0); u < 300; u++ {
+		for i := int64(0); i < 10; i++ {
+			tweets = append(tweets, tweet.Tweet{
+				ID: id, UserID: u, TS: 1378000000000 + u*1000 + i,
+				Lat: -33.9, Lon: 151.2,
+			})
+			id++
+		}
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store.Segments()); got < 4 {
+		t.Fatalf("want a multi-segment catalogue, got %d segments", got)
+	}
+	return store
+}
+
+func TestShardQueriesPartition(t *testing.T) {
+	store := shardStore(t)
+	full, err := store.Scan(Query{}).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{2, 3, 4, 8} {
+		qs := store.ShardQueries(Query{}, n)
+		if len(qs) < 2 || len(qs) > n {
+			t.Fatalf("n=%d: got %d shard queries", n, len(qs))
+		}
+		var concat []tweet.Tweet
+		seenUsers := map[int64]int{}
+		for k, q := range qs {
+			part, err := store.Scan(q).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tw := range part {
+				if prev, ok := seenUsers[tw.UserID]; ok && prev != k {
+					t.Fatalf("n=%d: user %d appears in shards %d and %d", n, tw.UserID, prev, k)
+				}
+				seenUsers[tw.UserID] = k
+			}
+			concat = append(concat, part...)
+		}
+		if len(concat) != len(full) {
+			t.Fatalf("n=%d: shards cover %d records, full scan %d", n, len(concat), len(full))
+		}
+		for i := range full {
+			if concat[i] != full[i] {
+				t.Fatalf("n=%d: record %d differs: %+v vs %+v", n, i, concat[i], full[i])
+			}
+		}
+	}
+}
+
+func TestShardQueriesRespectBaseQuery(t *testing.T) {
+	store := shardStore(t)
+	lo, hi := int64(50), int64(249)
+	base := Query{MinUserID: &lo, MaxUserID: &hi, FromTS: 1378000050000}
+	full, err := store.Scan(base).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("base query matched nothing")
+	}
+	var concat []tweet.Tweet
+	for _, q := range store.ShardQueries(base, 4) {
+		part, err := store.Scan(q).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat = append(concat, part...)
+	}
+	if len(concat) != len(full) {
+		t.Fatalf("shards cover %d records, base query %d", len(concat), len(full))
+	}
+	for i := range full {
+		if concat[i] != full[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestShardQueriesDegenerate(t *testing.T) {
+	store := shardStore(t)
+	if qs := store.ShardQueries(Query{}, 1); len(qs) != 1 {
+		t.Errorf("n=1: got %d queries", len(qs))
+	}
+	// A query matching nothing must still yield one (empty) shard.
+	qs := store.ShardQueries(Query{FromTS: 1e18}, 4)
+	if len(qs) != 1 {
+		t.Errorf("empty query: got %d shards", len(qs))
+	}
+	// An empty store must not split.
+	empty, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs := empty.ShardQueries(Query{}, 4); len(qs) != 1 {
+		t.Errorf("empty store: got %d shards", len(qs))
+	}
+}
+
+func TestQueryUserRangeFilters(t *testing.T) {
+	store := shardStore(t)
+	lo, hi := int64(10), int64(12)
+	got, err := store.Scan(Query{MinUserID: &lo, MaxUserID: &hi}).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("got %d records for 3 users x 10 tweets", len(got))
+	}
+	for _, tw := range got {
+		if tw.UserID < lo || tw.UserID > hi {
+			t.Fatalf("user %d outside [%d, %d]", tw.UserID, lo, hi)
+		}
+	}
+}

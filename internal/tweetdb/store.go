@@ -32,8 +32,9 @@ type manifest struct {
 type Store struct {
 	dir string
 
-	mu  sync.Mutex
-	man manifest
+	mu         sync.Mutex
+	man        manifest
+	segRecords int // max records per segment; DefaultSegmentRecords unless overridden
 }
 
 // Open opens (or initialises) the store in dir, creating the directory as
@@ -42,7 +43,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tweetdb: open %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, man: manifest{Version: 1}}
+	s := &Store{dir: dir, man: manifest{Version: 1}, segRecords: DefaultSegmentRecords}
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -64,6 +65,20 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetSegmentRecords overrides the per-segment record cap for subsequent
+// appends and compactions. Smaller segments raise catalogue overhead but
+// increase scan and shard parallelism; tests also use this to exercise
+// multi-segment layouts on small corpora.
+func (s *Store) SetSegmentRecords(n int) error {
+	if n < 1 {
+		return fmt.Errorf("tweetdb: segment record cap must be positive, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segRecords = n
+	return nil
+}
 
 // Count returns the total number of records across all segments.
 func (s *Store) Count() int64 {
@@ -96,8 +111,8 @@ func (s *Store) Append(tweets []tweet.Tweet) error {
 	sort.Sort(tweet.ByUserTime(sorted))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for off := 0; off < len(sorted); off += DefaultSegmentRecords {
-		end := off + DefaultSegmentRecords
+	for off := 0; off < len(sorted); off += s.segRecords {
+		end := off + s.segRecords
 		if end > len(sorted) {
 			end = len(sorted)
 		}
