@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"geomob/internal/epidemic"
@@ -34,9 +37,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancel the study pass mid-scan instead of letting
+	// a paper-scale corpus run to completion unattended.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	started := time.Now()
 	fmt.Printf("mobrepro: generating %d-user corpus (seed %d/%d) and running the study...\n", *users, *seed1, *seed2)
-	env, err := experiments.DefaultEnvWithWorkers(*users, *seed1, *seed2, *outDir, *workers)
+	env, err := experiments.DefaultEnvContext(ctx, *users, *seed1, *seed2, *outDir, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

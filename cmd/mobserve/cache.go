@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"geomob/internal/core"
+)
+
+// maxSnapshots bounds the per-generation entry count. Distinct windowed
+// requests are unbounded, so the map resets wholesale when full — simple,
+// and the recompute cost is one streaming pass.
+const maxSnapshots = 128
+
+// snapshotCache memoises completed Study executions keyed on the
+// canonical request (core.Request.Key) and the store generation
+// (tweetdb.Store.Generation). The sharded pipeline's merge contract
+// (DESIGN.md §4) makes the cached value exact: a pass over an unchanged
+// segment set is deterministic, so the merged observer state from one
+// completed pass answers every repeated request until the segment set
+// changes. Invalidation is wholesale — the first lookup under a new
+// generation drops every snapshot of the old one.
+type snapshotCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]*snapshot
+}
+
+// snapshot is one memoised execution; ready closes once res/err are set,
+// so concurrent requests for the same key wait instead of rescanning.
+type snapshot struct {
+	ready chan struct{}
+	res   *core.Result
+	err   error
+}
+
+func newSnapshotCache() *snapshotCache {
+	return &snapshotCache{entries: map[string]*snapshot{}}
+}
+
+// get returns the result for the current generation and key, running
+// compute at most once per generation. genFn is resolved under the cache
+// lock, in the same critical section that inserts the entry, so a slow
+// request can never wipe the cache with a generation it read before a
+// concurrent append (a compute may still observe a segment set fresher
+// than its key — never staler — which self-heals at the next lookup).
+// cached reports whether the result was served without invoking compute.
+// Failed computations are not kept: the entry is dropped so the next
+// request retries — a cancelled or panicking pass must not poison the
+// key for everyone else.
+func (c *snapshotCache) get(genFn func() uint64, key string, compute func() (*core.Result, error)) (res *core.Result, cached bool, err error) {
+	c.mu.Lock()
+	if gen := genFn(); c.gen != gen {
+		c.gen = gen
+		c.entries = map[string]*snapshot{}
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.res, true, e.err
+	}
+	if len(c.entries) >= maxSnapshots {
+		c.entries = map[string]*snapshot{}
+	}
+	e := &snapshot{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	// ready must close and failed entries must be dropped even if
+	// compute panics: net/http recovers only the panicking handler's
+	// goroutine, and a poisoned entry would block every later request
+	// for this key forever.
+	defer func() {
+		if r := recover(); r != nil {
+			e.res, e.err = nil, fmt.Errorf("snapshot computation panicked: %v", r)
+		}
+		close(e.ready)
+		if e.err != nil {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+		res, cached, err = e.res, false, e.err
+	}()
+	e.res, e.err = compute()
+	return e.res, false, e.err
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"geomob/internal/core"
+)
+
+// TestSnapshotCachePanicRecovery: a panicking computation must surface as
+// an error and must not poison the key — later requests retry instead of
+// blocking forever on an entry whose ready channel never closed.
+func TestSnapshotCachePanicRecovery(t *testing.T) {
+	c := newSnapshotCache()
+	gen := func() uint64 { return 1 }
+
+	_, cached, err := c.get(gen, "k", func() (*core.Result, error) { panic("boom") })
+	if err == nil || cached {
+		t.Fatalf("panicking compute: cached=%v err=%v, want error", cached, err)
+	}
+
+	want := &core.Result{Observers: 7}
+	res, cached, err := c.get(gen, "k", func() (*core.Result, error) { return want, nil })
+	if err != nil || cached || res != want {
+		t.Fatalf("retry after panic: res=%v cached=%v err=%v", res, cached, err)
+	}
+
+	// And the healthy entry now serves from cache.
+	res, cached, err = c.get(gen, "k", func() (*core.Result, error) {
+		return nil, errors.New("must not recompute")
+	})
+	if err != nil || !cached || res != want {
+		t.Fatalf("cache hit after retry: res=%v cached=%v err=%v", res, cached, err)
+	}
+}
+
+// TestSnapshotCacheErrorNotCached: failed computations are dropped so the
+// next request retries.
+func TestSnapshotCacheErrorNotCached(t *testing.T) {
+	c := newSnapshotCache()
+	gen := func() uint64 { return 1 }
+	boom := errors.New("boom")
+
+	if _, cached, err := c.get(gen, "k", func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) || cached {
+		t.Fatalf("cached=%v err=%v, want boom uncached", cached, err)
+	}
+	want := &core.Result{}
+	if res, cached, err := c.get(gen, "k", func() (*core.Result, error) { return want, nil }); err != nil || cached || res != want {
+		t.Fatalf("retry: res=%v cached=%v err=%v", res, cached, err)
+	}
+}
+
+// TestSnapshotCacheGenerationInvalidation: moving the generation drops
+// every snapshot of the old one.
+func TestSnapshotCacheGenerationInvalidation(t *testing.T) {
+	c := newSnapshotCache()
+	g := uint64(1)
+	gen := func() uint64 { return g }
+	a := &core.Result{}
+	if _, cached, _ := c.get(gen, "k", func() (*core.Result, error) { return a, nil }); cached {
+		t.Fatal("first fill reported cached")
+	}
+	g = 2
+	if _, cached, _ := c.get(gen, "k", func() (*core.Result, error) { return &core.Result{}, nil }); cached {
+		t.Fatal("snapshot survived a generation change")
+	}
+}

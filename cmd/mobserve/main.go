@@ -1,7 +1,9 @@
 // mobserve exposes a tweetdb store over HTTP: corpus statistics, windowed
-// queries, density tiles and on-demand flow matrices. It demonstrates the
-// "responsive prediction" deployment the paper motivates — an always-on
-// service answering population and mobility queries from a live store.
+// queries, density tiles and a versioned analysis API over the Study
+// pipeline. It demonstrates the "responsive prediction" deployment the
+// paper motivates — an always-on service answering population and
+// mobility queries from a live store, from cached snapshots whenever the
+// store has not changed.
 //
 // Usage:
 //
@@ -9,21 +11,36 @@
 //
 // Endpoints:
 //
-//	GET /stats                         store-level statistics
+//	GET /healthz                       liveness + store generation
+//	GET /stats                         store-level statistics (segment metadata)
 //	GET /tweets?user=ID&limit=N        tweets of one user
 //	GET /tweets?from=RFC3339&to=...    tweets in a time window
 //	GET /density.png?nx=360&ny=280     tweet density heat map
-//	GET /flows?scale=national          OD flow matrix at a scale
+//	GET /flows?scale=national          OD flow matrix at a scale (uncached)
+//
+// Versioned analysis API (request-scoped Study executions, snapshot-cached
+// per store generation; `from`/`to` are RFC3339, `radius` is metres):
+//
+//	GET /v1/stats?from=&to=                     Table I dataset statistics
+//	GET /v1/population?scale=&from=&to=&radius= §III population estimate
+//	GET /v1/models?scale=&from=&to=&radius=     §IV model comparison
+//	GET /v1/flows?scale=&from=&to=&radius=      OD flow extraction
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"net"
 	"net/http"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
 	"time"
 
 	"geomob/internal/census"
@@ -37,9 +54,25 @@ import (
 
 type server struct {
 	store *tweetdb.Store
-	// workers is the parallelism of scan-heavy handlers (/flows); zero
-	// means one worker per CPU.
+	// workers is the parallelism of scan-heavy handlers (/flows, /v1/*);
+	// zero means one worker per CPU.
 	workers int
+	// cache memoises completed /v1 executions per store generation.
+	cache *snapshotCache
+	// baseCtx bounds snapshot computations to the server's lifetime, not
+	// to any single request: a computation may have several requests
+	// waiting on it, so the first requester's disconnect must not abort
+	// (and error out) everyone else's answer. Shutdown cancels it.
+	baseCtx context.Context
+}
+
+func newServer(store *tweetdb.Store, workers int) *server {
+	return &server{
+		store:   store,
+		workers: workers,
+		cache:   newSnapshotCache(),
+		baseCtx: context.Background(),
+	}
 }
 
 func main() {
@@ -50,6 +83,7 @@ func main() {
 		dbDir   = flag.String("db", "", "tweetdb store directory (required)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "parallel segment scan workers (0 = one per CPU)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -59,22 +93,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{store: store, workers: *workers}
+	s := newServer(store, *workers)
 
+	// SIGINT/SIGTERM cancel ctx; it is also the base context of every
+	// request and of the snapshot computations, so in-flight store scans
+	// abort instead of holding the drain hostage.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	s.baseCtx = ctx
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      s.routes(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 120 * time.Second,
+		BaseContext:  func(net.Listener) context.Context { return ctx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving %s on %s", *dbDir, *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining for up to %v", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("drain timed out: %v; closing", err)
+			srv.Close()
+		}
+	}
+}
+
+// routes assembles the mux over the server's handlers.
+func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /tweets", s.handleTweets)
 	mux.HandleFunc("GET /density.png", s.handleDensity)
 	mux.HandleFunc("GET /flows", s.handleFlows)
-
-	log.Printf("serving %s on %s", *dbDir, *addr)
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      mux,
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 120 * time.Second,
-	}
-	log.Fatal(srv.ListenAndServe())
+	mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
+	mux.HandleFunc("GET /v1/population", s.handleV1Population)
+	mux.HandleFunc("GET /v1/models", s.handleV1Models)
+	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
+	return mux
 }
 
 // scanWorkers resolves the configured scan parallelism.
@@ -99,30 +165,46 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"tweets":     s.store.Count(),
+		"generation": strconv.FormatUint(s.store.Generation(), 16),
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	segs := s.store.Segments()
 	var bytes int64
 	box := geo.EmptyBBox()
-	minTS, maxTS := int64(0), int64(0)
+	// A seen flag, not a zero sentinel: an empty store must not report
+	// the epoch as its collection period, and a legitimate record at
+	// epoch 0 must not be mistaken for "unset".
+	var minTS, maxTS int64
+	seen := false
 	for _, seg := range segs {
 		bytes += seg.Bytes
 		box = box.Union(seg.BBox())
-		if minTS == 0 || seg.MinTS < minTS {
+		if !seen || seg.MinTS < minTS {
 			minTS = seg.MinTS
 		}
-		if seg.MaxTS > maxTS {
+		if !seen || seg.MaxTS > maxTS {
 			maxTS = seg.MaxTS
 		}
+		seen = true
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"tweets":   s.store.Count(),
 		"segments": len(segs),
 		"bytes":    bytes,
 		"bbox":     box,
-		"first":    time.UnixMilli(minTS).UTC(),
-		"last":     time.UnixMilli(maxTS).UTC(),
 		"workers":  s.scanWorkers(),
-	})
+	}
+	if seen {
+		resp["first"] = time.UnixMilli(minTS).UTC()
+		resp["last"] = time.UnixMilli(maxTS).UTC()
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleTweets(w http.ResponseWriter, r *http.Request) {
@@ -176,17 +258,31 @@ func (s *server) handleTweets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *server) handleDensity(w http.ResponseWriter, r *http.Request) {
-	nx, ny := 360, 280
-	if v := r.URL.Query().Get("nx"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 2000 {
-			nx = n
-		}
+// parseGridDim parses one density grid dimension, strict like /tweets'
+// param handling: a present-but-invalid value is a 400, not a silent
+// fallback to the default.
+func parseGridDim(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
 	}
-	if v := r.URL.Query().Get("ny"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 2000 {
-			ny = n
-		}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > 2000 {
+		return 0, fmt.Errorf("bad %s %q: want an integer in [1, 2000]", name, v)
+	}
+	return n, nil
+}
+
+func (s *server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	nx, err := parseGridDim(r, "nx", 360)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ny, err := parseGridDim(r, "ny", 280)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	grid, err := heatmap.NewGrid(geo.AustraliaBBox, nx, ny)
 	if err != nil {
@@ -211,17 +307,24 @@ func (s *server) handleDensity(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
-	var scale census.Scale
-	switch r.URL.Query().Get("scale") {
+// parseScale maps the scale query param onto a census scale; empty
+// defaults to national.
+func parseScale(v string) (census.Scale, error) {
+	switch v {
 	case "", "national":
-		scale = census.ScaleNational
+		return census.ScaleNational, nil
 	case "state":
-		scale = census.ScaleState
+		return census.ScaleState, nil
 	case "metropolitan", "metro":
-		scale = census.ScaleMetropolitan
-	default:
-		httpError(w, http.StatusBadRequest, "unknown scale %q", r.URL.Query().Get("scale"))
+		return census.ScaleMetropolitan, nil
+	}
+	return census.ScaleNational, fmt.Errorf("unknown scale %q", v)
+}
+
+func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	scale, err := parseScale(r.URL.Query().Get("scale"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	rs, err := census.Australia().Regions(scale)
@@ -235,20 +338,238 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	src := core.StoreSource{Store: s.store}
-	flows, err := core.ExtractFlows(src, mapper, s.scanWorkers())
+	flows, err := core.ExtractFlows(r.Context(), src, mapper, s.scanWorkers())
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "extract: %v (store compacted?)", err)
 		return
 	}
-	names := make([]string, len(flows.Areas))
-	for i, a := range flows.Areas {
-		names[i] = a.Name
-	}
 	writeJSON(w, map[string]any{
 		"scale":  scale.String(),
-		"areas":  names,
+		"areas":  areaNames(flows.Areas),
 		"flows":  flows.Flows,
 		"total":  flows.Total(),
 		"radius": mapper.Radius(),
+	})
+}
+
+// areaNames projects the area list onto its names for JSON responses.
+func areaNames(areas []census.Area) []string {
+	names := make([]string, len(areas))
+	for i, a := range areas {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// parseV1Request assembles the core.Request shared by the /v1 handlers
+// from the scale/from/to/radius query params. Scale-independent handlers
+// (stats) pass scaled=false, which rejects scale and radius instead of
+// silently ignoring them — the same strictness as everywhere else, and it
+// keeps meaningless parameters from fragmenting the snapshot-cache keys.
+func parseV1Request(r *http.Request, analysis core.Analysis, scaled bool) (core.Request, error) {
+	req := core.Request{Analyses: []core.Analysis{analysis}}
+	q := r.URL.Query()
+	if scaled {
+		scale, err := parseScale(q.Get("scale"))
+		if err != nil {
+			return core.Request{}, err
+		}
+		req.Scales = []census.Scale{scale}
+		if v := q.Get("radius"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || !(f > 0) || math.IsInf(f, 0) {
+				return core.Request{}, fmt.Errorf("bad radius %q: want finite metres > 0", v)
+			}
+			req.Radius = f
+		}
+	} else {
+		for _, p := range []string{"scale", "radius"} {
+			if q.Get(p) != "" {
+				return core.Request{}, fmt.Errorf("%s is not a parameter of this endpoint", p)
+			}
+		}
+	}
+	if v := q.Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("bad from time %q", v)
+		}
+		req.From = t
+	}
+	if v := q.Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("bad to time %q", v)
+		}
+		req.To = t
+	}
+	if !req.From.IsZero() && !req.To.IsZero() && !req.To.After(req.From) {
+		return core.Request{}, fmt.Errorf("empty window [%s, %s)", q.Get("from"), q.Get("to"))
+	}
+	return req, nil
+}
+
+// executeCached runs req against the store-backed Study through the
+// snapshot cache: an unchanged store answers repeated requests without a
+// single segment read. The computation runs under the server's lifetime
+// context, not the request's: several requests may be waiting on one
+// computation, so a single client's disconnect must not cancel it — the
+// pass completes, populates the snapshot, and serves everyone else.
+func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
+	return s.cache.get(s.store.Generation, req.Key(), func() (*core.Result, error) {
+		study := core.NewStudyWithOptions(
+			core.StoreSource{Store: s.store},
+			core.StudyOptions{Workers: s.scanWorkers()},
+		)
+		return study.Execute(s.baseCtx, req)
+	})
+}
+
+// writeExecuteError maps an Execute failure onto a response: an empty
+// window is the caller's (absent) data, not a server fault; a cancelled
+// context can only be the server shutting down (computations are bound
+// to the server lifetime, not to any request), which is a 503.
+func writeExecuteError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrEmptyDataset):
+		httpError(w, http.StatusNotFound, "no tweets in the requested window")
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		httpError(w, http.StatusInternalServerError, "execute: %v", err)
+	}
+}
+
+func (s *server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
+	req, err := parseV1Request(r, core.AnalysisStats, false)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, cached, err := s.executeCached(req)
+	if err != nil {
+		writeExecuteError(w, err)
+		return
+	}
+	st := res.Stats
+	writeJSON(w, map[string]any{
+		"tweets":              st.Tweets,
+		"users":               st.Users,
+		"avg_tweets_per_user": st.AvgTweetsPerUser,
+		"avg_waiting_hours":   st.AvgWaitingHours,
+		"avg_locations":       st.AvgLocations,
+		"heavy_users":         st.HeavyUsers,
+		"mean_gyration_km":    st.MeanGyrationKM,
+		"bbox":                st.BBox,
+		"first":               st.First,
+		"last":                st.Last,
+		"cached":              cached,
+	})
+}
+
+func (s *server) handleV1Population(w http.ResponseWriter, r *http.Request) {
+	req, err := parseV1Request(r, core.AnalysisPopulation, true)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, cached, err := s.executeCached(req)
+	if err != nil {
+		writeExecuteError(w, err)
+		return
+	}
+	scale := req.Scales[0]
+	est := res.Population[scale]
+	if est == nil {
+		httpError(w, http.StatusInternalServerError, "no estimate for %s", scale)
+		return
+	}
+	rs, err := census.Australia().Regions(scale)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "regions: %v", err)
+		return
+	}
+	resp := map[string]any{
+		"scale":         scale.String(),
+		"radius":        est.Radius,
+		"areas":         areaNames(rs.Areas),
+		"twitter_users": est.TwitterUsers,
+		"census":        est.Census,
+		"rescaled":      est.Rescaled,
+		"c":             est.C,
+		"median_users":  est.MedianUsers,
+		"cached":        cached,
+	}
+	if corr, err := est.Correlation(); err == nil {
+		resp["pearson_log_r"] = corr.R
+		resp["pearson_log_p"] = corr.P
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleV1Models(w http.ResponseWriter, r *http.Request) {
+	req, err := parseV1Request(r, core.AnalysisMobility, true)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, cached, err := s.executeCached(req)
+	if err != nil {
+		writeExecuteError(w, err)
+		return
+	}
+	scale := req.Scales[0]
+	mr := res.Mobility[scale]
+	if mr == nil {
+		httpError(w, http.StatusInternalServerError, "no mobility result for %s", scale)
+		return
+	}
+	fits := make([]map[string]any, 0, len(mr.Fits))
+	for _, f := range mr.Fits {
+		fits = append(fits, map[string]any{
+			"name":    f.Name,
+			"params":  f.Params,
+			"metrics": f.Metrics,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"scale":      scale.String(),
+		"total_flow": mr.TotalFlow,
+		"flow_pairs": mr.FlowPairs,
+		"fits":       fits,
+		"cached":     cached,
+	})
+}
+
+func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
+	req, err := parseV1Request(r, core.AnalysisFlows, true)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, cached, err := s.executeCached(req)
+	if err != nil {
+		writeExecuteError(w, err)
+		return
+	}
+	scale := req.Scales[0]
+	mr := res.Mobility[scale]
+	if mr == nil {
+		httpError(w, http.StatusInternalServerError, "no flow result for %s", scale)
+		return
+	}
+	radius := req.Radius
+	if radius == 0 {
+		radius = scale.SearchRadius()
+	}
+	writeJSON(w, map[string]any{
+		"scale":  scale.String(),
+		"areas":  areaNames(mr.Flows.Areas),
+		"flows":  mr.Flows.Flows,
+		"stays":  mr.Flows.Stays,
+		"total":  mr.TotalFlow,
+		"pairs":  mr.FlowPairs,
+		"radius": radius,
+		"cached": cached,
 	})
 }

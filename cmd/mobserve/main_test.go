@@ -5,9 +5,11 @@ import (
 	"image/png"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"geomob/internal/synth"
+	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
 )
 
@@ -32,7 +34,7 @@ func newTestServer(t *testing.T) *server {
 	if err := store.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	return &server{store: store}
+	return newServer(store, 0)
 }
 
 func TestHandleStats(t *testing.T) {
@@ -165,5 +167,268 @@ func TestHandleFlows(t *testing.T) {
 	s.handleFlows(rec, httptest.NewRequest("GET", "/flows?scale=galactic", nil))
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("unknown scale: status %d", rec.Code)
+	}
+}
+
+// getJSON routes a request through the full mux and decodes the JSON body.
+func getJSON(t *testing.T, s *server, url string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	var body map[string]any
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", url, err)
+		}
+	}
+	return rec.Code, body
+}
+
+func TestHandleHealthz(t *testing.T) {
+	s := newTestServer(t)
+	code, body := getJSON(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("status field = %v", body["status"])
+	}
+	if body["tweets"].(float64) <= 0 {
+		t.Errorf("tweets = %v", body["tweets"])
+	}
+	if body["generation"] == "" {
+		t.Error("generation missing")
+	}
+}
+
+// TestHandleStatsEmptyStore covers the minTS == 0 epoch-sentinel fix: an
+// empty store must omit the collection period instead of reporting
+// 1970-01-01.
+func TestHandleStatsEmptyStore(t *testing.T) {
+	store, err := tweetdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(store, 0)
+	code, body := getJSON(t, s, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if _, ok := body["first"]; ok {
+		t.Errorf("empty store reported first = %v", body["first"])
+	}
+	if _, ok := body["last"]; ok {
+		t.Errorf("empty store reported last = %v", body["last"])
+	}
+	if body["tweets"].(float64) != 0 {
+		t.Errorf("tweets = %v, want 0", body["tweets"])
+	}
+}
+
+// TestHandleDensityBadParams: invalid grid dimensions are a 400, not a
+// silent fallback to the defaults.
+func TestHandleDensityBadParams(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/density.png?nx=0",
+		"/density.png?ny=-3",
+		"/density.png?nx=notanumber",
+		"/density.png?ny=2001",
+	} {
+		rec := httptest.NewRecorder()
+		s.routes().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestV1Stats(t *testing.T) {
+	s := newTestServer(t)
+	code, body := getJSON(t, s, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["users"].(float64) != 800 {
+		t.Errorf("users = %v, want 800", body["users"])
+	}
+	if body["tweets"].(float64) < body["users"].(float64) {
+		t.Errorf("tweets = %v below user count", body["tweets"])
+	}
+	if body["cached"] != false {
+		t.Error("first request reported cached")
+	}
+	_, body2 := getJSON(t, s, "/v1/stats")
+	if body2["cached"] != true {
+		t.Error("repeated request not served from the snapshot cache")
+	}
+}
+
+// TestV1StatsWindow: a windowed stats request only sees in-window tweets.
+func TestV1StatsWindow(t *testing.T) {
+	s := newTestServer(t)
+	_, full := getJSON(t, s, "/v1/stats")
+	code, windowed := getJSON(t, s,
+		"/v1/stats?from=2013-10-01T00:00:00Z&to=2013-11-01T00:00:00Z")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if windowed["tweets"].(float64) >= full["tweets"].(float64) {
+		t.Errorf("windowed tweets = %v, full = %v: window did not restrict",
+			windowed["tweets"], full["tweets"])
+	}
+	first, last := windowed["first"].(string), windowed["last"].(string)
+	if first < "2013-10-01" || last >= "2013-11-01" {
+		t.Errorf("window not honoured: [%s, %s]", first, last)
+	}
+}
+
+func TestV1Population(t *testing.T) {
+	s := newTestServer(t)
+	code, body := getJSON(t, s, "/v1/population?scale=metropolitan")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	areas := body["areas"].([]any)
+	users := body["twitter_users"].([]any)
+	if len(areas) == 0 || len(areas) != len(users) {
+		t.Fatalf("%d areas, %d user counts", len(areas), len(users))
+	}
+	if body["c"].(float64) <= 0 {
+		t.Errorf("rescaling factor c = %v", body["c"])
+	}
+	if body["radius"].(float64) <= 0 {
+		t.Errorf("radius = %v", body["radius"])
+	}
+	// An explicit radius overrides the default and is reflected back.
+	code, body = getJSON(t, s, "/v1/population?scale=metropolitan&radius=500")
+	if code != http.StatusOK {
+		t.Fatalf("radius=500: status %d", code)
+	}
+	if body["radius"].(float64) != 500 {
+		t.Errorf("radius = %v, want 500", body["radius"])
+	}
+}
+
+func TestV1Models(t *testing.T) {
+	s := newTestServer(t)
+	code, body := getJSON(t, s, "/v1/models?scale=national")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	fits := body["fits"].([]any)
+	if len(fits) != 3 {
+		t.Fatalf("%d fits, want 3 (gravity4, gravity2, radiation)", len(fits))
+	}
+	for _, f := range fits {
+		fit := f.(map[string]any)
+		if fit["name"] == "" || fit["metrics"] == nil {
+			t.Errorf("incomplete fit: %v", fit)
+		}
+	}
+	if body["total_flow"].(float64) <= 0 {
+		t.Errorf("total_flow = %v", body["total_flow"])
+	}
+}
+
+// TestV1FlowsSnapshotCache is the caching acceptance test: a repeated
+// request on an unchanged store is answered without a single store scan,
+// and appending to the store invalidates the snapshot.
+func TestV1FlowsSnapshotCache(t *testing.T) {
+	s := newTestServer(t)
+	code, first := getJSON(t, s, "/v1/flows?scale=state")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first["cached"] != false {
+		t.Error("first request reported cached")
+	}
+	if len(first["areas"].([]any)) == 0 {
+		t.Error("no areas in flow response")
+	}
+	scansAfterFirst := s.store.ScanCount()
+	if scansAfterFirst == 0 {
+		t.Fatal("first request did not scan the store")
+	}
+
+	code, second := getJSON(t, s, "/v1/flows?scale=state")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if second["cached"] != true {
+		t.Error("repeated request not served from the snapshot cache")
+	}
+	if got := s.store.ScanCount(); got != scansAfterFirst {
+		t.Errorf("repeated request scanned the store: %d scans, want %d", got, scansAfterFirst)
+	}
+	if !reflect.DeepEqual(first["flows"], second["flows"]) {
+		t.Error("cached flows differ from the computed ones")
+	}
+
+	// A different request computes its own snapshot...
+	_, national := getJSON(t, s, "/v1/flows?scale=national")
+	if national["cached"] != false {
+		t.Error("different request served from an unrelated snapshot")
+	}
+	// ...and appending to the store moves the generation, invalidating
+	// every snapshot. The new user id sorts after all existing ones so
+	// the compacted global order survives the append.
+	if err := s.store.Append([]tweet.Tweet{
+		{ID: 1 << 40, UserID: 1 << 40, TS: 1380600000000, Lat: -33.87, Lon: 151.21},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	code, third := getJSON(t, s, "/v1/flows?scale=state")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if third["cached"] != true && third["cached"] != false {
+		t.Fatal("missing cached field")
+	}
+	if third["cached"] == true {
+		t.Error("stale snapshot served after the store changed")
+	}
+}
+
+func TestV1BadParams(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/v1/flows?scale=galactic",
+		"/v1/population?scale=metropolitan&radius=-5",
+		"/v1/population?scale=metropolitan&radius=abc",
+		"/v1/models?from=notatime",
+		"/v1/stats?from=2014-01-01T00:00:00Z&to=2013-01-01T00:00:00Z",
+		// Scale-independent endpoints reject scale/radius instead of
+		// silently ignoring them (and fragmenting the cache keys).
+		"/v1/stats?scale=state",
+		"/v1/stats?radius=500",
+		// ParseFloat accepts NaN/Inf spellings; the validation must not.
+		"/v1/population?scale=metropolitan&radius=NaN",
+		"/v1/flows?scale=state&radius=%2BInf",
+	} {
+		rec := httptest.NewRecorder()
+		s.routes().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+// TestV1EmptyWindow: a window containing no tweets is a 404 on every
+// endpoint, not an epoch-dated answer, a model-fit 500, or a stale cache
+// entry.
+func TestV1EmptyWindow(t *testing.T) {
+	s := newTestServer(t)
+	for _, url := range []string{
+		"/v1/stats?from=1999-01-01T00:00:00Z&to=1999-02-01T00:00:00Z",
+		"/v1/population?scale=state&from=1999-01-01T00:00:00Z&to=1999-02-01T00:00:00Z",
+		"/v1/models?scale=state&from=1999-01-01T00:00:00Z&to=1999-02-01T00:00:00Z",
+		"/v1/flows?scale=state&from=1999-01-01T00:00:00Z&to=1999-02-01T00:00:00Z",
+	} {
+		rec := httptest.NewRecorder()
+		s.routes().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", url, rec.Code)
+		}
 	}
 }

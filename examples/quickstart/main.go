@@ -1,6 +1,8 @@
 // Quickstart: generate a synthetic geo-tagged tweet corpus, run the full
 // multi-scale study, and print the paper's headline numbers — the pooled
-// population correlation (Fig. 3) and the model comparison (Table II).
+// population correlation (Fig. 3) and the model comparison (Table II) —
+// then show the request-scoped API answering a targeted single-scale
+// flows query from the same study.
 //
 // Run with:
 //
@@ -8,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +27,10 @@ func main() {
 	}
 	fmt.Printf("corpus: %d tweets by %d users\n", len(tweets), cfg.NumUsers)
 
-	result, err := geomob.NewStudy(geomob.SliceSource(tweets)).Run()
+	// The zero StudyRequest computes everything Run does; a scoped
+	// request (below) computes only what it asks for.
+	study := geomob.NewStudy(geomob.SliceSource(tweets))
+	result, err := study.Execute(context.Background(), geomob.StudyRequest{})
 	if err != nil {
 		log.Fatalf("run study: %v", err)
 	}
@@ -47,4 +53,17 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println("(paper: Gravity 2Param best overall; Radiation worst at every scale)")
+
+	// Request-scoped execution: just the state-scale flow matrix — one
+	// observer instead of eight, same single pass over the stream.
+	flowsOnly, err := study.Execute(context.Background(), geomob.StudyRequest{
+		Analyses: []geomob.Analysis{geomob.AnalysisFlows},
+		Scales:   []geomob.Scale{geomob.ScaleState},
+	})
+	if err != nil {
+		log.Fatalf("flows request: %v", err)
+	}
+	sf := flowsOnly.Mobility[geomob.ScaleState]
+	fmt.Printf("\nscoped request (state flows only): %d observers, %.0f total flow over %d pairs\n",
+		flowsOnly.Observers, sf.TotalFlow, sf.FlowPairs)
 }

@@ -18,6 +18,16 @@
 //	tweets, _ := geomob.GenerateCorpus(geomob.DefaultCorpusConfig(20000, 42, 43))
 //	result, _ := geomob.NewStudy(geomob.SliceSource(tweets)).Run()
 //	fmt.Println(result.Pooled.TestLog.R) // Fig. 3 pooled correlation
+//
+// Request-scoped executions compute only what is asked for, honour
+// context cancellation, and restrict to a time window (pushed down into
+// the store scan when the source is a tweetdb store):
+//
+//	study := geomob.NewStudy(geomob.SliceSource(tweets))
+//	flows, _ := study.Execute(ctx, geomob.StudyRequest{
+//		Analyses: []geomob.Analysis{geomob.AnalysisFlows},
+//		Scales:   []geomob.Scale{geomob.ScaleState},
+//	})
 package geomob
 
 import (
@@ -104,8 +114,14 @@ func OpenStore(dir string) (*Store, error) { return tweetdb.Open(dir) }
 
 // Study pipeline (the paper's contribution).
 type (
-	// Study is the multi-scale estimation pipeline.
+	// Study is the multi-scale estimation pipeline. Run computes
+	// everything; Execute computes exactly what a StudyRequest selects.
 	Study = core.Study
+	// StudyRequest scopes one Study.Execute: analyses, scales, the
+	// half-open time window [From, To) and the search radius.
+	StudyRequest = core.Request
+	// Analysis selects one deliverable family of a StudyRequest.
+	Analysis = core.Analysis
 	// StudyResult bundles Table I, Fig. 2/3 inputs, Fig. 4 and Table II.
 	StudyResult = core.Result
 	// StudyOptions configure execution (worker parallelism).
@@ -125,6 +141,18 @@ type (
 	MobilityResult = core.MobilityResult
 	// PopulationEstimate is the §III analysis for one scale.
 	PopulationEstimate = population.Estimate
+)
+
+// The selectable analyses of a StudyRequest.
+const (
+	// AnalysisStats is the Table I dataset statistics.
+	AnalysisStats = core.AnalysisStats
+	// AnalysisPopulation is the §III population estimation (Fig. 3).
+	AnalysisPopulation = core.AnalysisPopulation
+	// AnalysisMobility is the §IV model comparison (Fig. 4, Table II).
+	AnalysisMobility = core.AnalysisMobility
+	// AnalysisFlows is the raw OD flow extraction without model fitting.
+	AnalysisFlows = core.AnalysisFlows
 )
 
 // NewStudy binds a tweet source to the embedded gazetteer with default

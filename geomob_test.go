@@ -1,7 +1,9 @@
 package geomob
 
 import (
+	"context"
 	"testing"
+	"time"
 )
 
 // TestFacadeEndToEnd drives the whole public API surface the way the
@@ -62,6 +64,49 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if res.PeakI <= 0 {
 		t.Error("epidemic never grew")
+	}
+}
+
+// TestFacadeExecuteRequest drives the request-scoped API through the
+// facade: a windowed single-scale flows request against a store.
+func TestFacadeExecuteRequest(t *testing.T) {
+	tweets, err := GenerateCorpus(DefaultCorpusConfig(2000, 9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	study := NewStudy(StoreSource{Store: store})
+	res, err := study.Execute(context.Background(), StudyRequest{
+		Analyses: []Analysis{AnalysisFlows},
+		Scales:   []Scale{ScaleState},
+		From:     time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC),
+		To:       time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != nil || res.Population != nil {
+		t.Error("flows-only request filled unrequested analyses")
+	}
+	mr := res.Mobility[ScaleState]
+	if mr == nil || mr.Flows == nil {
+		t.Fatal("no state-scale flow matrix")
+	}
+	if mr.TotalFlow <= 0 {
+		t.Error("no flow extracted in the window")
+	}
+	if res.Observers != 1 {
+		t.Errorf("flows-only request ran %d observers, want 1", res.Observers)
 	}
 }
 

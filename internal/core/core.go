@@ -14,9 +14,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +83,23 @@ func (s SliceSource) Shards(n int) ([]tweet.Source, error) {
 	return out, nil
 }
 
+// EachContext implements tweet.ContextSource: the loop polls ctx every
+// few thousand tweets, so a cancelled pass over a large in-memory corpus
+// stops promptly.
+func (s SliceSource) EachContext(ctx context.Context, fn func(tweet.Tweet) error) error {
+	for i, t := range s {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // StoreSource adapts a tweetdb store to Source. The store must be
 // compacted (global user/time order); see tweetdb.Store.Compact.
 type StoreSource struct {
@@ -99,6 +120,45 @@ func (s StoreSource) Each(fn func(tweet.Tweet) error) error {
 		}
 	}
 	return it.Err()
+}
+
+// EachContext implements tweet.ContextSource: cancellation is polled
+// between records, so a cancelled scan stops after at most one further
+// segment decode instead of draining the store.
+func (s StoreSource) EachContext(ctx context.Context, fn func(tweet.Tweet) error) error {
+	it := s.Store.Scan(s.Query)
+	n := 0
+	for {
+		if n&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// Window implements tweet.TimeWindowed by intersecting the half-open
+// [fromTS, toTS) window with the source's query, so a request window
+// rides the store's predicate pushdown — pruned segments are never read
+// — instead of being filtered after the fact.
+func (s StoreSource) Window(fromTS, toTS int64) tweet.Source {
+	q := s.Query
+	if fromTS > q.FromTS {
+		q.FromTS = fromTS
+	}
+	if toTS != 0 && (q.ToTS == 0 || toTS < q.ToTS) {
+		q.ToTS = toTS
+	}
+	return StoreSource{Store: s.Store, Query: q}
 }
 
 // Shards implements ShardedSource: the store's segment metadata is used to
@@ -151,6 +211,116 @@ type StudyOptions struct {
 	Workers int
 }
 
+// Analysis names one family of the paper's deliverables that a Request
+// can select independently.
+type Analysis string
+
+const (
+	// AnalysisStats is the Table I corpus statistics plus the Fig. 2
+	// series: counts, waiting times, displacements, gyration radii and
+	// the observed bounding box / collection period.
+	AnalysisStats Analysis = "stats"
+	// AnalysisPopulation is the §III population estimation: per-area
+	// unique-user counts, the rescaling fit and correlations (Fig. 3).
+	AnalysisPopulation Analysis = "population"
+	// AnalysisMobility is the §IV model comparison: OD flows plus the
+	// gravity/radiation fits and Table II metrics. It implies the
+	// per-scale user counts the models take their populations from.
+	AnalysisMobility Analysis = "mobility"
+	// AnalysisFlows is the raw OD flow extraction alone — no model
+	// fitting and no population rescaling.
+	AnalysisFlows Analysis = "flows"
+)
+
+// Analyses returns every analysis in canonical order.
+func Analyses() []Analysis {
+	return []Analysis{AnalysisStats, AnalysisPopulation, AnalysisMobility, AnalysisFlows}
+}
+
+// Request scopes one Study execution: which analyses to compute, at which
+// scales, over which time window, with which search radius. The zero
+// value requests everything Run computes — all analyses at all scales
+// over the full stream with the paper's default radii. See DESIGN.md §5
+// for the contract.
+type Request struct {
+	// Analyses selects the deliverable families. Empty means the full
+	// study: stats, population and mobility (flows ride along with
+	// mobility).
+	Analyses []Analysis
+	// Scales restricts the geographic scales. Empty means all three.
+	Scales []census.Scale
+	// From and To bound tweet timestamps to the half-open window
+	// [From, To). A zero time leaves that side unbounded. When the
+	// source implements tweet.TimeWindowed (tweetdb stores), the window
+	// is pushed down into the scan so pruned segments are never
+	// decoded; otherwise it is applied in-stream before the observers.
+	From, To time.Time
+	// Radius overrides the area-search radius ε in metres at every
+	// requested scale. Zero keeps each scale's paper default. A
+	// non-zero radius also skips the fixed 0.5 km metropolitan variant
+	// (Fig. 3b), which only makes sense against the defaults.
+	Radius float64
+}
+
+// Key renders the request in canonical form: two requests with equal keys
+// select the same computation regardless of the order or duplication of
+// their Analyses and Scales. Service layers use it as a cache key (paired
+// with a source-identity component such as tweetdb.Store.Generation).
+func (r Request) Key() string {
+	want := analysisSet(r.Analyses)
+	var as []string
+	for _, a := range Analyses() {
+		if want[a] {
+			as = append(as, string(a))
+		}
+	}
+	inScale := map[census.Scale]bool{}
+	scales := r.Scales
+	if len(scales) == 0 {
+		scales = census.Scales()
+	}
+	for _, sc := range scales {
+		inScale[sc] = true
+	}
+	var ss []string
+	for _, sc := range census.Scales() {
+		if inScale[sc] {
+			ss = append(ss, sc.String())
+		}
+	}
+	// Unbounded sides render as "-" so a bound at exactly the epoch
+	// (UnixMilli 0) keys differently from no bound at all.
+	from, to := "-", "-"
+	if !r.From.IsZero() {
+		from = strconv.FormatInt(r.From.UnixMilli(), 10)
+	}
+	if !r.To.IsZero() {
+		to = strconv.FormatInt(r.To.UnixMilli(), 10)
+	}
+	return fmt.Sprintf("a=%s|s=%s|w=[%s,%s)|r=%g",
+		strings.Join(as, ","), strings.Join(ss, ","), from, to, r.Radius)
+}
+
+// analysisSet normalises the analysis selection: empty selects the full
+// study, and flows are dropped when mobility is also selected (mobility
+// subsumes them), so equivalent selections share one plan and one key.
+func analysisSet(as []Analysis) map[Analysis]bool {
+	want := map[Analysis]bool{}
+	if len(as) == 0 {
+		want[AnalysisStats] = true
+		want[AnalysisPopulation] = true
+		want[AnalysisMobility] = true
+		return want
+	}
+	for _, a := range as {
+		want[a] = true
+	}
+	if want[AnalysisMobility] {
+		delete(want, AnalysisFlows)
+	}
+	return want
+}
+
 // Study is the multi-scale estimation pipeline over one tweet source.
 type Study struct {
 	src  Source
@@ -199,18 +369,31 @@ type MobilityResult struct {
 	FlowPairs int
 }
 
-// Result bundles everything the paper reports.
+// Result bundles everything the paper reports. Fields whose analysis was
+// not requested stay nil (Execute) — Run fills everything.
 type Result struct {
 	Stats *DatasetStats
 
-	// Population estimates per scale with the paper's default radii
-	// (Fig. 3a), plus the 0.5 km metropolitan variant (Fig. 3b).
+	// Population estimates per requested scale (Fig. 3a). Pooled is the
+	// cross-scale correlation, computed when at least two scales were
+	// estimated; PopulationMetro500m is the 0.5 km metropolitan variant
+	// (Fig. 3b), computed for default-radius requests covering the
+	// metropolitan scale.
 	Population          map[census.Scale]*population.Estimate
 	PopulationMetro500m *population.Estimate
 	Pooled              *population.Pooled
 
-	// Mobility model comparison per scale (Fig. 4, Table II).
+	// Mobility holds, per requested scale, the §IV analysis (Fig. 4,
+	// Table II) — or, for flows-only requests, just the extracted flow
+	// matrix with OD and Fits left nil.
 	Mobility map[census.Scale]*MobilityResult
+
+	// Observers is the number of live stream observers each worker ran
+	// — the quantity the request-scoped API minimises. A full Run
+	// builds eight (three extractors, three counters, the metro 0.5 km
+	// counter and the span accumulator); a single-scale flows request
+	// builds one.
+	Observers int
 }
 
 // spanAcc accumulates the corpus bounding box and observation period —
@@ -253,103 +436,255 @@ func (a *spanAcc) merge(o *spanAcc) {
 	a.seen = true
 }
 
-// studyPlan holds the shared, read-only per-scale machinery (region sets
-// and area mappers). Mappers are immutable after construction, so all
-// workers share them.
-type studyPlan struct {
-	scales []struct {
-		scale   census.Scale
-		mapper  *mobility.AreaMapper
-		regions census.RegionSet
-	}
-	metroRS        census.RegionSet
-	metro500Mapper *mobility.AreaMapper
+// planScale is one requested scale's machinery plus which observers the
+// request actually needs there.
+type planScale struct {
+	scale   census.Scale
+	regions census.RegionSet
+	mapper  *mobility.AreaMapper
+	extract bool // flows or mobility requested: run an Extractor
+	count   bool // population or mobility requested: run a UserCounter
 }
 
-func (s *Study) plan() (*studyPlan, error) {
-	p := &studyPlan{}
-	for _, scale := range census.Scales() {
-		rs, err := s.gaz.Regions(scale)
-		if err != nil {
-			return nil, fmt.Errorf("core: regions for %s: %w", scale, err)
+// requestPlan is the per-request execution plan: the shared, read-only
+// per-scale machinery (region sets, immutable area mappers — all workers
+// share them) plus which observers the analysis selection needs. Only the
+// asked-for observers are ever instantiated.
+type requestPlan struct {
+	want   map[Analysis]bool
+	scales []planScale
+
+	// statsIdx is the index of the scale whose extractor doubles as the
+	// (mapper-independent) trajectory-statistics carrier; -1 with stats
+	// wanted means a dedicated mapper-less stats extractor runs instead.
+	statsIdx  int
+	statsOnly bool
+
+	// metro500Mapper drives the fixed ε = 0.5 km metropolitan variant
+	// (Fig. 3b); nil when the request does not cover it.
+	metroRS        census.RegionSet
+	metro500Mapper *mobility.AreaMapper
+
+	// fromTS/toTS is the [From, To) window in Unix ms. hasTo (not a zero
+	// sentinel) marks whether the window is bounded above, so a bound at
+	// exactly the epoch is honoured instead of collapsing to unbounded.
+	// filterInStream stays true unless a TimeWindowed source accepted
+	// the pushdown.
+	fromTS, toTS   int64
+	hasTo          bool
+	filterInStream bool
+}
+
+func (p *requestPlan) wants(a Analysis) bool { return p.want[a] }
+
+// buildPlan validates req and resolves it into an execution plan.
+func (s *Study) buildPlan(req Request) (*requestPlan, error) {
+	for _, a := range req.Analyses {
+		switch a {
+		case AnalysisStats, AnalysisPopulation, AnalysisMobility, AnalysisFlows:
+		default:
+			return nil, fmt.Errorf("core: unknown analysis %q", a)
 		}
-		mapper, err := mobility.NewAreaMapper(rs, 0)
-		if err != nil {
-			return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
+	}
+	if req.Radius < 0 || math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) {
+		return nil, fmt.Errorf("core: search radius must be finite and non-negative, got %v", req.Radius)
+	}
+	if !req.From.IsZero() && !req.To.IsZero() && !req.To.After(req.From) {
+		return nil, fmt.Errorf("core: empty time window [%v, %v)", req.From, req.To)
+	}
+	p := &requestPlan{want: analysisSet(req.Analyses), statsIdx: -1}
+	if !req.From.IsZero() {
+		// A From at exactly the epoch coincides with the 0 sentinel's
+		// semantics (TS >= 0), so no flag is needed on this side.
+		p.fromTS = req.From.UnixMilli()
+	}
+	if !req.To.IsZero() {
+		p.toTS = req.To.UnixMilli()
+		p.hasTo = true
+	}
+	p.filterInStream = p.fromTS != 0 || p.hasTo
+
+	scales := req.Scales
+	if len(scales) == 0 {
+		scales = census.Scales()
+	}
+	extract := p.wants(AnalysisMobility) || p.wants(AnalysisFlows)
+	count := p.wants(AnalysisMobility) || p.wants(AnalysisPopulation)
+	seen := map[census.Scale]bool{}
+	// A stats-only request needs no per-scale machinery at all: the
+	// trajectory statistics are scale-independent, so no mapper (and no
+	// per-tweet nearest-area lookup) is built for it.
+	if extract || count {
+		for _, scale := range scales {
+			if seen[scale] {
+				continue
+			}
+			seen[scale] = true
+			rs, err := s.gaz.Regions(scale)
+			if err != nil {
+				return nil, fmt.Errorf("core: regions for %s: %w", scale, err)
+			}
+			mapper, err := mobility.NewAreaMapper(rs, req.Radius)
+			if err != nil {
+				return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
+			}
+			p.scales = append(p.scales, planScale{
+				scale: scale, regions: rs, mapper: mapper,
+				extract: extract, count: count,
+			})
 		}
-		p.scales = append(p.scales, struct {
-			scale   census.Scale
-			mapper  *mobility.AreaMapper
-			regions census.RegionSet
-		}{scale, mapper, rs})
 	}
-	// The Fig. 3b variant: metropolitan counting with ε = 0.5 km.
-	metroRS, err := s.gaz.Regions(census.ScaleMetropolitan)
-	if err != nil {
-		return nil, err
+	if p.wants(AnalysisStats) {
+		// The trajectory statistics are mapper-independent, so they ride
+		// the first scale's extractor when one runs anyway; a stats-only
+		// request gets a dedicated extractor with no area mapping at all.
+		if extract && len(p.scales) > 0 {
+			p.statsIdx = 0
+		} else {
+			p.statsOnly = true
+		}
 	}
-	p.metroRS = metroRS
-	p.metro500Mapper, err = mobility.NewAreaMapper(metroRS, 500)
-	if err != nil {
-		return nil, err
+	if p.wants(AnalysisPopulation) && req.Radius == 0 && seen[census.ScaleMetropolitan] {
+		metroRS, err := s.gaz.Regions(census.ScaleMetropolitan)
+		if err != nil {
+			return nil, err
+		}
+		p.metroRS = metroRS
+		p.metro500Mapper, err = mobility.NewAreaMapper(metroRS, 500)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
 
 // observerSet is one worker's private observers over the shared plan.
+// Slots the plan does not need stay nil — the point of the request-scoped
+// design: a single-scale flows request runs one extractor, not the full
+// eight-observer set of the everything pass.
 type observerSet struct {
-	extractors []*mobility.Extractor
-	counters   []*mobility.UserCounter
+	plan       *requestPlan
+	extractors []*mobility.Extractor   // parallel to plan.scales; nil unless extract
+	counters   []*mobility.UserCounter // parallel to plan.scales; nil unless count
+	statsExt   *mobility.Extractor     // mapper-less; only for stats-only plans
 	metro500   *mobility.UserCounter
 	span       spanAcc
+	tweets     int64 // in-window tweets observed; 0 means an empty dataset
 }
 
-func newObserverSet(p *studyPlan) *observerSet {
+func newObserverSet(p *requestPlan) *observerSet {
 	o := &observerSet{
-		metro500: mobility.NewUserCounter(p.metro500Mapper),
-		span:     newSpanAcc(),
+		plan:       p,
+		extractors: make([]*mobility.Extractor, len(p.scales)),
+		counters:   make([]*mobility.UserCounter, len(p.scales)),
+		span:       newSpanAcc(),
 	}
-	for _, sc := range p.scales {
-		o.extractors = append(o.extractors, mobility.NewExtractor(sc.mapper))
-		o.counters = append(o.counters, mobility.NewUserCounter(sc.mapper))
+	for i, sc := range p.scales {
+		if sc.extract {
+			o.extractors[i] = mobility.NewExtractor(sc.mapper)
+		}
+		if sc.count {
+			o.counters[i] = mobility.NewUserCounter(sc.mapper)
+		}
+	}
+	if p.statsOnly {
+		o.statsExt = mobility.NewStatsExtractor()
+	}
+	if p.metro500Mapper != nil {
+		o.metro500 = mobility.NewUserCounter(p.metro500Mapper)
 	}
 	return o
 }
 
-// observe feeds one tweet to every observer of the set.
+// observers counts the live observers of the set.
+func (o *observerSet) observers() int {
+	n := 0
+	for i := range o.extractors {
+		if o.extractors[i] != nil {
+			n++
+		}
+		if o.counters[i] != nil {
+			n++
+		}
+	}
+	if o.statsExt != nil {
+		n++
+	}
+	if o.metro500 != nil {
+		n++
+	}
+	if o.plan.wants(AnalysisStats) {
+		n++ // the span accumulator
+	}
+	return n
+}
+
+// observe feeds one tweet to every live observer, applying the request
+// window first when it could not be pushed down into the source.
 func (o *observerSet) observe(t tweet.Tweet) error {
+	if o.plan.filterInStream {
+		if t.TS < o.plan.fromTS || (o.plan.hasTo && t.TS >= o.plan.toTS) {
+			return nil
+		}
+	}
 	if err := t.Validate(); err != nil {
 		return err
 	}
+	o.tweets++
 	for i := range o.extractors {
-		if err := o.extractors[i].Observe(t); err != nil {
-			return err
+		if o.extractors[i] != nil {
+			if err := o.extractors[i].Observe(t); err != nil {
+				return err
+			}
 		}
-		if err := o.counters[i].Observe(t); err != nil {
+		if o.counters[i] != nil {
+			if err := o.counters[i].Observe(t); err != nil {
+				return err
+			}
+		}
+	}
+	if o.statsExt != nil {
+		if err := o.statsExt.Observe(t); err != nil {
 			return err
 		}
 	}
-	if err := o.metro500.Observe(t); err != nil {
-		return err
+	if o.metro500 != nil {
+		if err := o.metro500.Observe(t); err != nil {
+			return err
+		}
 	}
-	o.span.observe(t)
+	if o.plan.wants(AnalysisStats) {
+		o.span.observe(t)
+	}
 	return nil
 }
 
 // merge folds a later shard's observer set into o, in shard order.
 func (o *observerSet) merge(next *observerSet) error {
 	for i := range o.extractors {
-		if err := o.extractors[i].Merge(next.extractors[i]); err != nil {
-			return err
+		if o.extractors[i] != nil {
+			if err := o.extractors[i].Merge(next.extractors[i]); err != nil {
+				return err
+			}
 		}
-		if err := o.counters[i].Merge(next.counters[i]); err != nil {
+		if o.counters[i] != nil {
+			if err := o.counters[i].Merge(next.counters[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if o.statsExt != nil {
+		if err := o.statsExt.Merge(next.statsExt); err != nil {
 			return err
 		}
 	}
-	if err := o.metro500.Merge(next.metro500); err != nil {
-		return err
+	if o.metro500 != nil {
+		if err := o.metro500.Merge(next.metro500); err != nil {
+			return err
+		}
 	}
 	o.span.merge(&next.span)
+	o.tweets += next.tweets
 	return nil
 }
 
@@ -373,24 +708,31 @@ func shardSource(src Source, n int) ([]Source, error) {
 	return shards, nil
 }
 
+// ErrEmptyDataset reports that the requested source (or time window)
+// contained no tweets, so the dataset statistics are undefined. Service
+// layers typically map it to a "no data" response rather than a failure.
+var ErrEmptyDataset = errors.New("core: empty dataset")
+
 // errShardAborted is the sentinel a worker returns when it stops because a
 // sibling shard already failed; it never escapes runSharded.
 var errShardAborted = errors.New("core: shard aborted")
 
-// runSharded is the fan-out/merge skeleton shared by Run, ExtractFlows and
-// PopulationAtRadius: one private observer per shard, concurrent
+// runSharded is the fan-out/merge skeleton shared by Execute, ExtractFlows
+// and PopulationAtRadius: one private observer per shard, concurrent
 // consumption with cooperative abort on the first failure (so a corrupt
 // shard does not leave siblings scanning to completion), then a fold of
 // observers [1:] into observer [0] in shard order — the order the merge
-// contract (DESIGN.md §4) requires for serial-identical results.
-func runSharded[T any](shards []Source, newObs func() T, observe func(T, tweet.Tweet) error, merge func(T, T) error) (T, error) {
+// contract (DESIGN.md §4) requires for serial-identical results. Workers
+// iterate via tweet.EachContext, so cancelling ctx aborts every shard
+// promptly and surfaces ctx.Err().
+func runSharded[T any](ctx context.Context, shards []Source, newObs func() T, observe func(T, tweet.Tweet) error, merge func(T, T) error) (T, error) {
 	obs := make([]T, len(shards))
 	for i := range obs {
 		obs[i] = newObs()
 	}
 	errs := make([]error, len(shards))
 	if len(shards) == 1 {
-		errs[0] = shards[0].Each(func(t tweet.Tweet) error { return observe(obs[0], t) })
+		errs[0] = tweet.EachContext(ctx, shards[0], func(t tweet.Tweet) error { return observe(obs[0], t) })
 	} else {
 		var aborted atomic.Bool
 		var wg sync.WaitGroup
@@ -398,7 +740,7 @@ func runSharded[T any](shards []Source, newObs func() T, observe func(T, tweet.T
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = shards[i].Each(func(t tweet.Tweet) error {
+				errs[i] = tweet.EachContext(ctx, shards[i], func(t tweet.Tweet) error {
 					if aborted.Load() {
 						return errShardAborted
 					}
@@ -427,15 +769,41 @@ func runSharded[T any](shards []Source, newObs func() T, observe func(T, tweet.T
 	return obs[0], nil
 }
 
-// Run executes the full study in a single sharded pass over the source
-// followed by per-scale model fitting. The source is read exactly once;
-// the worker count (StudyOptions.Workers) does not affect the result.
+// Run executes the full study — every analysis at every scale over the
+// entire stream. It is Execute with the zero Request on a background
+// context, kept as the convenience entry point; its output is identical
+// to the pre-request-API pipeline.
 func (s *Study) Run() (*Result, error) {
-	p, err := s.plan()
+	return s.Execute(context.Background(), Request{})
+}
+
+// Execute runs exactly the analyses req selects, in a single sharded pass
+// over the source followed by the requested per-scale post-processing.
+// The source is read exactly once and only the asked-for observers run;
+// the worker count (StudyOptions.Workers) never affects the result.
+// Cancelling ctx aborts the pass promptly and returns an error wrapping
+// ctx.Err().
+func (s *Study) Execute(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := s.buildPlan(req)
 	if err != nil {
 		return nil, err
 	}
-	shards, err := shardSource(s.src, s.workers())
+	src := s.src
+	if p.filterInStream {
+		// Push the time window down into the source when it can scan a
+		// restriction natively (tweetdb segment pruning); otherwise the
+		// observers filter in-stream, which yields the same substream.
+		// An upper bound at exactly the epoch cannot be expressed in the
+		// pushdown's 0-means-unbounded encoding and stays in-stream.
+		if ws, ok := src.(tweet.TimeWindowed); ok && !(p.hasTo && p.toTS == 0) {
+			src = ws.Window(p.fromTS, p.toTS)
+			p.filterInStream = false
+		}
+	}
+	shards, err := shardSource(src, s.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -443,54 +811,98 @@ func (s *Study) Run() (*Result, error) {
 	// Fan out one private observer set per shard (mappers shared) and
 	// merge in shard order: shards are user-ascending, so the merged
 	// observers match a serial pass exactly.
-	merged, err := runSharded(shards,
+	merged, err := runSharded(ctx, shards,
 		func() *observerSet { return newObserverSet(p) },
 		(*observerSet).observe,
 		(*observerSet).merge)
 	if err != nil {
 		return nil, fmt.Errorf("core: stream pass: %w", err)
 	}
+	return assemble(p, merged)
+}
 
-	res := &Result{
-		Population: map[census.Scale]*population.Estimate{},
-		Mobility:   map[census.Scale]*MobilityResult{},
+// assemble turns the merged observers into the requested parts of Result.
+func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
+	// Every analysis is undefined over nothing: an empty source (or a
+	// window matching no tweets) is reported uniformly, not as whatever
+	// downstream fit happens to fail first.
+	if merged.tweets == 0 {
+		return nil, ErrEmptyDataset
+	}
+	res := &Result{Observers: merged.observers()}
+	var err error
+
+	// Table I statistics come from the first scale's extractor (the
+	// trajectory statistics are mapper-independent) — or the dedicated
+	// mapper-less one — plus the span accumulator from the same pass.
+	if p.wants(AnalysisStats) {
+		statsExt := merged.statsExt
+		if p.statsIdx >= 0 {
+			statsExt = merged.extractors[p.statsIdx]
+		}
+		res.Stats, err = buildStats(statsExt, &merged.span)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	// Table I statistics come from the national-scale extractor (the
-	// trajectory statistics are mapper-independent) plus the span
-	// accumulator folded into the same pass.
-	res.Stats, err = buildStats(merged.extractors[0], &merged.span)
-	if err != nil {
-		return nil, err
-	}
-
-	// Population estimates and the pooled correlation.
+	// Population estimates are computed whenever counters ran (the
+	// mobility models need them too) but exposed on the Result only when
+	// population was asked for — unrequested fields stay nil, as the
+	// Result contract promises. Pooled correlation and the Fig. 3b
+	// variant are population-only extras.
+	estByScale := map[census.Scale]*population.Estimate{}
 	var estimates []*population.Estimate
 	for i, sc := range p.scales {
+		if !sc.count {
+			continue
+		}
 		est, err := population.NewEstimate(sc.regions, sc.mapper.Radius(), merged.counters[i].Counts())
 		if err != nil {
 			return nil, fmt.Errorf("core: population estimate for %s: %w", sc.scale, err)
 		}
-		res.Population[sc.scale] = est
+		estByScale[sc.scale] = est
 		estimates = append(estimates, est)
 	}
-	res.Pooled, err = population.Pool(estimates)
-	if err != nil {
-		return nil, fmt.Errorf("core: pooled correlation: %w", err)
-	}
-	res.PopulationMetro500m, err = population.NewEstimate(p.metroRS, 500, merged.metro500.Counts())
-	if err != nil {
-		return nil, fmt.Errorf("core: metro 0.5 km estimate: %w", err)
+	if p.wants(AnalysisPopulation) && len(estimates) > 0 {
+		res.Population = estByScale
+		if len(estimates) >= 2 {
+			res.Pooled, err = population.Pool(estimates)
+			if err != nil {
+				return nil, fmt.Errorf("core: pooled correlation: %w", err)
+			}
+		}
+		if merged.metro500 != nil {
+			res.PopulationMetro500m, err = population.NewEstimate(p.metroRS, 500, merged.metro500.Counts())
+			if err != nil {
+				return nil, fmt.Errorf("core: metro 0.5 km estimate: %w", err)
+			}
+		}
 	}
 
 	// Mobility model comparison per scale, with m and n taken from the
-	// Twitter-derived populations as in §IV.
-	for i, sc := range p.scales {
-		mr, err := buildMobility(sc.scale, merged.extractors[i].Flows(), res.Population[sc.scale].TwitterUsers)
-		if err != nil {
-			return nil, fmt.Errorf("core: mobility study for %s: %w", sc.scale, err)
+	// Twitter-derived populations as in §IV — or, for flows-only
+	// requests, just the extracted matrices.
+	if p.wants(AnalysisMobility) || p.wants(AnalysisFlows) {
+		res.Mobility = map[census.Scale]*MobilityResult{}
+		for i, sc := range p.scales {
+			if !sc.extract {
+				continue
+			}
+			flows := merged.extractors[i].Flows()
+			if p.wants(AnalysisMobility) {
+				mr, err := buildMobility(sc.scale, flows, estByScale[sc.scale].TwitterUsers)
+				if err != nil {
+					return nil, fmt.Errorf("core: mobility study for %s: %w", sc.scale, err)
+				}
+				res.Mobility[sc.scale] = mr
+			} else {
+				mr := &MobilityResult{Scale: sc.scale, Flows: flows, TotalFlow: flows.Total()}
+				_, _, pairFlows := flows.Pairs()
+				mr.FlowPairs = len(pairFlows)
+				res.Mobility[sc.scale] = mr
+			}
 		}
-		res.Mobility[sc.scale] = mr
 	}
 	return res, nil
 }
@@ -522,7 +934,7 @@ func buildStats(e *mobility.Extractor, span *spanAcc) (*DatasetStats, error) {
 		ds.MeanGyrationKM = mean
 	}
 	if st.Users == 0 || !span.seen {
-		return nil, fmt.Errorf("core: empty dataset")
+		return nil, ErrEmptyDataset
 	}
 	mean, err := stats.Mean(st.TweetsPerUser)
 	if err != nil {
@@ -611,9 +1023,13 @@ func describeModel(m models.Model) string {
 
 // ExtractFlows runs the §IV flow extraction alone over the source with the
 // given worker count (0 means one per CPU), sharding when the source
-// supports it. It is the primitive behind single-scale flow queries such
-// as mobserve's /flows endpoint.
-func ExtractFlows(src Source, mapper *mobility.AreaMapper, workers int) (*mobility.FlowMatrix, error) {
+// supports it and honouring ctx like Execute. It is the primitive behind
+// single-scale flow queries that bring their own mapper; callers wanting
+// the standard scales should prefer Execute with AnalysisFlows.
+func ExtractFlows(ctx context.Context, src Source, mapper *mobility.AreaMapper, workers int) (*mobility.FlowMatrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -621,7 +1037,7 @@ func ExtractFlows(src Source, mapper *mobility.AreaMapper, workers int) (*mobili
 	if err != nil {
 		return nil, err
 	}
-	ext, err := runSharded(shards,
+	ext, err := runSharded(ctx, shards,
 		func() *mobility.Extractor { return mobility.NewExtractor(mapper) },
 		(*mobility.Extractor).Observe,
 		(*mobility.Extractor).Merge)
@@ -632,27 +1048,16 @@ func ExtractFlows(src Source, mapper *mobility.AreaMapper, workers int) (*mobili
 }
 
 // PopulationAtRadius reruns the §III user counting for one scale at an
-// arbitrary search radius — the Fig. 3b / ablation A1 primitive. The
-// counting pass shards like Run.
+// arbitrary search radius — the Fig. 3b / ablation A1 primitive, now a
+// thin population-only Execute.
 func (s *Study) PopulationAtRadius(scale census.Scale, radius float64) (*population.Estimate, error) {
-	rs, err := s.gaz.Regions(scale)
+	res, err := s.Execute(context.Background(), Request{
+		Analyses: []Analysis{AnalysisPopulation},
+		Scales:   []census.Scale{scale},
+		Radius:   radius,
+	})
 	if err != nil {
 		return nil, err
 	}
-	mapper, err := mobility.NewAreaMapper(rs, radius)
-	if err != nil {
-		return nil, err
-	}
-	shards, err := shardSource(s.src, s.workers())
-	if err != nil {
-		return nil, err
-	}
-	counter, err := runSharded(shards,
-		func() *mobility.UserCounter { return mobility.NewUserCounter(mapper) },
-		(*mobility.UserCounter).Observe,
-		(*mobility.UserCounter).Merge)
-	if err != nil {
-		return nil, fmt.Errorf("core: radius pass: %w", err)
-	}
-	return population.NewEstimate(rs, radius, counter.Counts())
+	return res.Population[scale], nil
 }

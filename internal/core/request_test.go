@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// requestCorpus generates a small deterministic corpus for the request
+// API tests.
+func requestCorpus(t *testing.T, users int) []tweet.Tweet {
+	t.Helper()
+	gen, err := synth.NewGenerator(synth.DefaultConfig(users, 77, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tweets
+}
+
+// TestExecuteFullMatchesRun is the redesign's compatibility bar: the zero
+// Request must reproduce Run bit-identically in every reported quantity.
+func TestExecuteFullMatchesRun(t *testing.T) {
+	tweets := requestCorpus(t, 3000)
+	study := NewStudyWithOptions(SliceSource(tweets), StudyOptions{Workers: 2})
+	fromRun, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromExec, err := study.Execute(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "Run vs Execute(zero)", fromRun, fromExec)
+	if fromRun.Observers != 8 || fromExec.Observers != 8 {
+		t.Errorf("full study observers = %d / %d, want 8", fromRun.Observers, fromExec.Observers)
+	}
+}
+
+// TestExecuteFlowsRunsFewerObservers asserts the core promise of the
+// request-scoped API: a single-scale flows request instantiates strictly
+// fewer observers than the everything pass — one extractor instead of
+// eight observers — while extracting the identical matrix.
+func TestExecuteFlowsRunsFewerObservers(t *testing.T) {
+	tweets := requestCorpus(t, 2000)
+	study := NewStudy(SliceSource(tweets))
+	full, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := study.Execute(context.Background(), Request{
+		Analyses: []Analysis{AnalysisFlows},
+		Scales:   []census.Scale{census.ScaleState},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows.Observers >= full.Observers {
+		t.Errorf("flows request ran %d observers, full run %d: want strictly fewer",
+			flows.Observers, full.Observers)
+	}
+	if flows.Observers != 1 {
+		t.Errorf("single-scale flows request ran %d observers, want 1", flows.Observers)
+	}
+	if flows.Stats != nil || flows.Population != nil || flows.Pooled != nil {
+		t.Error("flows-only request filled analyses that were not asked for")
+	}
+	mr := flows.Mobility[census.ScaleState]
+	if mr == nil {
+		t.Fatal("flows-only request returned no state-scale result")
+	}
+	if mr.OD != nil || mr.Fits != nil {
+		t.Error("flows-only request fitted models")
+	}
+	if !reflect.DeepEqual(mr.Flows, full.Mobility[census.ScaleState].Flows) {
+		t.Error("flows-only matrix differs from the full run's")
+	}
+}
+
+// TestExecuteStatsOnly: a stats request runs no mapper at all (the
+// mapper-less extractor plus the span accumulator) and reproduces the
+// full run's Table I numbers exactly.
+func TestExecuteStatsOnly(t *testing.T) {
+	tweets := requestCorpus(t, 2000)
+	study := NewStudy(SliceSource(tweets))
+	full, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsOnly, err := study.Execute(context.Background(), Request{
+		Analyses: []Analysis{AnalysisStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsOnly.Observers != 2 {
+		t.Errorf("stats-only request ran %d observers, want 2", statsOnly.Observers)
+	}
+	if !reflect.DeepEqual(statsOnly.Stats, full.Stats) {
+		t.Errorf("stats-only result differs from the full run:\n%+v\nvs\n%+v",
+			statsOnly.Stats, full.Stats)
+	}
+	if statsOnly.Population != nil || statsOnly.Mobility != nil {
+		t.Error("stats-only request filled analyses that were not asked for")
+	}
+}
+
+// TestExecutePopulationSingleScale: a metropolitan population request
+// reproduces the full run's estimate and Fig. 3b variant; the pooled
+// correlation needs at least two scales and must stay nil.
+func TestExecutePopulationSingleScale(t *testing.T) {
+	tweets := requestCorpus(t, 2000)
+	study := NewStudy(SliceSource(tweets))
+	full, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Execute(context.Background(), Request{
+		Analyses: []Analysis{AnalysisPopulation},
+		Scales:   []census.Scale{census.ScaleMetropolitan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Population[census.ScaleMetropolitan], full.Population[census.ScaleMetropolitan]) {
+		t.Error("single-scale population estimate differs from the full run's")
+	}
+	if !reflect.DeepEqual(res.PopulationMetro500m, full.PopulationMetro500m) {
+		t.Error("metro 0.5 km variant differs from the full run's")
+	}
+	if res.Pooled != nil {
+		t.Error("pooled correlation computed over a single scale")
+	}
+	if res.Stats != nil || res.Mobility != nil {
+		t.Error("population-only request filled analyses that were not asked for")
+	}
+}
+
+// cancellingSource yields a fixed slice and cancels the study's context
+// after `after` tweets, recording how far consumption got. It implements
+// neither ShardedSource nor ContextSource, so it exercises the generic
+// polling fallback of tweet.EachContext.
+type cancellingSource struct {
+	tweets   []tweet.Tweet
+	cancel   context.CancelFunc
+	after    int
+	consumed int
+}
+
+func (c *cancellingSource) Each(fn func(tweet.Tweet) error) error {
+	for i, t := range c.tweets {
+		if i == c.after {
+			c.cancel()
+		}
+		c.consumed = i + 1
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestExecuteCancelledMidScan: cancelling the context mid-stream must
+// abort the pass promptly — within one polling interval, long before the
+// stream ends — and surface ctx.Err().
+func TestExecuteCancelledMidScan(t *testing.T) {
+	tweets := requestCorpus(t, 2000)
+	if len(tweets) < 8000 {
+		t.Fatalf("corpus too small for the test: %d tweets", len(tweets))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingSource{tweets: tweets, cancel: cancel, after: 1000}
+	_, err := NewStudy(src).Execute(ctx, Request{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The fallback poll runs every 1024 tweets: consumption must stop
+	// right after the cancellation point, not drain the stream.
+	if src.consumed > src.after+1025 {
+		t.Errorf("consumed %d tweets after cancelling at %d", src.consumed, src.after)
+	}
+}
+
+// TestExecutePreCancelled: an already-cancelled context fails before any
+// record is read.
+func TestExecutePreCancelled(t *testing.T) {
+	tweets := requestCorpus(t, 800)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &cancellingSource{tweets: tweets, cancel: func() {}, after: len(tweets)}
+	_, err := NewStudy(src).Execute(ctx, Request{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.consumed != 0 {
+		t.Errorf("consumed %d tweets under a pre-cancelled context", src.consumed)
+	}
+}
+
+// TestExecuteWindowPushdownMatchesFilter: the same window request must
+// yield identical results whether the window is pushed down into the
+// store scan (segment pruning) or applied in-stream over a slice.
+func TestExecuteWindowPushdownMatchesFilter(t *testing.T) {
+	tweets := requestCorpus(t, 2000)
+	store, err := tweetdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small segments so the window prunes whole segments, exercising the
+	// pushdown rather than just the per-record match.
+	if err := store.SetSegmentRecords(2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both paths must see the same records: the store quantises
+	// coordinates (~1e-6°) in its binary encoding, so the in-stream
+	// reference reads the round-tripped records back out of the store.
+	stored, err := store.Scan(tweetdb.Query{}).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := Request{
+		From: time.Date(2013, 10, 15, 0, 0, 0, 0, time.UTC),
+		To:   time.Date(2013, 12, 15, 0, 0, 0, 0, time.UTC),
+	}
+	fromStore, err := NewStudyWithOptions(StoreSource{Store: store}, StudyOptions{Workers: 3}).
+		Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSlice, err := NewStudy(SliceSource(stored)).Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "pushdown vs in-stream filter", fromStore, fromSlice)
+
+	st := fromStore.Stats
+	if st.First.Before(req.From) || !st.Last.Before(req.To) {
+		t.Errorf("window [%v, %v) not honoured: observed [%v, %v]",
+			req.From, req.To, st.First, st.Last)
+	}
+	full, err := NewStudy(SliceSource(stored)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tweets >= full.Stats.Tweets {
+		t.Errorf("windowed pass saw %d tweets, full pass %d: window did not restrict",
+			st.Tweets, full.Stats.Tweets)
+	}
+}
+
+// TestExecuteEmptyWindowIsEmptyDataset: a valid window containing no
+// tweets reports ErrEmptyDataset uniformly for every analysis selection,
+// instead of whatever downstream fit fails first.
+func TestExecuteEmptyWindowIsEmptyDataset(t *testing.T) {
+	tweets := requestCorpus(t, 400)
+	study := NewStudy(SliceSource(tweets))
+	req := Request{
+		From: time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC),
+		To:   time.Date(1999, 2, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, analyses := range [][]Analysis{
+		nil,
+		{AnalysisStats},
+		{AnalysisPopulation},
+		{AnalysisFlows},
+		{AnalysisMobility},
+	} {
+		req.Analyses = analyses
+		if _, err := study.Execute(context.Background(), req); !errors.Is(err, ErrEmptyDataset) {
+			t.Errorf("analyses %v: err = %v, want ErrEmptyDataset", analyses, err)
+		}
+	}
+}
+
+// TestExecuteEpochWindowBoundary: a To bound at exactly the epoch must
+// behave as a bound (excluding the whole non-negative-TS corpus), not
+// collapse into the 0 "unbounded" sentinel — the same bug class as the
+// epoch-sentinel fixes elsewhere in the pipeline.
+func TestExecuteEpochWindowBoundary(t *testing.T) {
+	tweets := requestCorpus(t, 400)
+	study := NewStudy(SliceSource(tweets))
+	req := Request{
+		Analyses: []Analysis{AnalysisStats},
+		From:     time.Date(1969, 1, 1, 0, 0, 0, 0, time.UTC),
+		To:       time.UnixMilli(0).UTC(),
+	}
+	if _, err := study.Execute(context.Background(), req); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("epoch-bounded window over a post-epoch corpus: err = %v, want ErrEmptyDataset", err)
+	}
+}
+
+// TestExecuteRejectsBadRequests: malformed requests fail fast, before any
+// streaming.
+func TestExecuteRejectsBadRequests(t *testing.T) {
+	study := NewStudy(SliceSource(nil))
+	cases := []Request{
+		{Analyses: []Analysis{"sentiment"}},
+		{Radius: -1},
+		{Radius: math.NaN()},
+		{Radius: math.Inf(1)},
+		{From: time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC), To: time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, req := range cases {
+		if _, err := study.Execute(context.Background(), req); err == nil {
+			t.Errorf("request %+v: expected an error", req)
+		}
+	}
+}
+
+// TestRequestKeyCanonical: the cache key must not depend on selection
+// order or duplication, must equate the zero request with the spelled-out
+// default, and must separate genuinely different requests.
+func TestRequestKeyCanonical(t *testing.T) {
+	zero := Request{}
+	spelled := Request{
+		Analyses: []Analysis{AnalysisMobility, AnalysisStats, AnalysisPopulation, AnalysisStats},
+		Scales: []census.Scale{
+			census.ScaleMetropolitan, census.ScaleNational, census.ScaleState, census.ScaleNational,
+		},
+	}
+	if zero.Key() != spelled.Key() {
+		t.Errorf("zero key %q != spelled-out default key %q", zero.Key(), spelled.Key())
+	}
+	distinct := []Request{
+		{Analyses: []Analysis{AnalysisFlows}},
+		{Analyses: []Analysis{AnalysisFlows}, Scales: []census.Scale{census.ScaleState}},
+		{Analyses: []Analysis{AnalysisFlows}, Scales: []census.Scale{census.ScaleState}, Radius: 750},
+		{From: time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC)},
+		// A bound at exactly the epoch is a real bound, not "unbounded".
+		{To: time.UnixMilli(0).UTC()},
+		{From: time.UnixMilli(0).UTC()},
+		zero,
+	}
+	seen := map[string]int{}
+	for i, req := range distinct {
+		key := req.Key()
+		if j, dup := seen[key]; dup {
+			t.Errorf("requests %d and %d share key %q", i, j, key)
+		}
+		seen[key] = i
+	}
+}

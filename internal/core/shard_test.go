@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -193,7 +194,7 @@ func TestExtractFlowsMatchesSerial(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	parallel, err := ExtractFlows(SliceSource(tweets), mapper, 6)
+	parallel, err := ExtractFlows(context.Background(), SliceSource(tweets), mapper, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -37,6 +38,14 @@ func NewEnv(cfg synth.Config, outDir string) (*Env, error) {
 // NewEnvWithOptions is NewEnv with explicit study execution options, which
 // also apply to every study rerun the ablations perform.
 func NewEnvWithOptions(cfg synth.Config, outDir string, opts core.StudyOptions) (*Env, error) {
+	return NewEnvContext(context.Background(), cfg, outDir, opts)
+}
+
+// NewEnvContext is NewEnvWithOptions under a cancellation context: the
+// full-study pass aborts promptly (with an error wrapping ctx.Err()) when
+// ctx is cancelled, so an interrupted reproduction run stops mid-scan
+// instead of finishing a multi-minute pass nobody will read.
+func NewEnvContext(ctx context.Context, cfg synth.Config, outDir string, opts core.StudyOptions) (*Env, error) {
 	gen, err := synth.NewGenerator(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -46,7 +55,7 @@ func NewEnvWithOptions(cfg synth.Config, outDir string, opts core.StudyOptions) 
 		return nil, fmt.Errorf("experiments: generate corpus: %w", err)
 	}
 	study := core.NewStudyWithOptions(core.SliceSource(tweets), opts)
-	result, err := study.Run()
+	result, err := study.Execute(ctx, core.Request{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: run study: %w", err)
 	}
@@ -68,6 +77,11 @@ func DefaultEnv(users int, seed1, seed2 uint64, outDir string) (*Env, error) {
 // (0 means one worker per CPU).
 func DefaultEnvWithWorkers(users int, seed1, seed2 uint64, outDir string, workers int) (*Env, error) {
 	return NewEnvWithOptions(synth.DefaultConfig(users, seed1, seed2), outDir, core.StudyOptions{Workers: workers})
+}
+
+// DefaultEnvContext is DefaultEnvWithWorkers under a cancellation context.
+func DefaultEnvContext(ctx context.Context, users int, seed1, seed2 uint64, outDir string, workers int) (*Env, error) {
+	return NewEnvContext(ctx, synth.DefaultConfig(users, seed1, seed2), outDir, core.StudyOptions{Workers: workers})
 }
 
 // writeArtefact writes one named artefact via the render callback when

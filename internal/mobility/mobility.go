@@ -163,6 +163,19 @@ func NewExtractor(mapper *AreaMapper) *Extractor {
 	}
 }
 
+// NewStatsExtractor builds an extractor that accumulates only the
+// trajectory statistics, skipping area assignment entirely: Observe costs
+// no nearest-area lookup and Flows returns an empty matrix. It serves
+// stats-only requests of the Study pipeline, where no flow matrix or
+// per-area count is wanted.
+func NewStatsExtractor() *Extractor {
+	return &Extractor{
+		flows:     NewFlowMatrix(nil),
+		prevArea:  -1,
+		userCells: map[string]bool{},
+	}
+}
+
 // Observe consumes the next tweet. Tweets must arrive sorted by
 // (user, time); violations are reported as errors because they would
 // silently corrupt the flow counts.
@@ -173,7 +186,10 @@ func (e *Extractor) Observe(t tweet.Tweet) error {
 	if e.started && t.UserID < e.prevUser {
 		return fmt.Errorf("mobility: stream out of order: user %d after user %d", t.UserID, e.prevUser)
 	}
-	area := e.mapper.Map(t.Point())
+	area := -1
+	if e.mapper != nil {
+		area = e.mapper.Map(t.Point())
+	}
 	e.tweetsSeen++
 	if area >= 0 {
 		e.mappedSeen++

@@ -14,6 +14,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -445,6 +446,27 @@ func (g *Generator) Each(fn func(tweet.Tweet) error) error {
 	return err
 }
 
+// EachContext implements tweet.ContextSource: generation polls ctx every
+// few thousand emitted tweets, so a cancelled study stops synthesising
+// the rest of the corpus promptly.
+func (g *Generator) EachContext(ctx context.Context, fn func(tweet.Tweet) error) error {
+	_, err := g.Generate(ctxEmit(ctx, fn))
+	return err
+}
+
+// ctxEmit wraps an emit callback with a periodic cancellation poll.
+func ctxEmit(ctx context.Context, fn Emit) Emit {
+	n := 0
+	return func(t tweet.Tweet) error {
+		if n++; n&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return fn(t)
+	}
+}
+
 // Shards implements tweet.ShardedSource: contiguous user blocks, each
 // generated independently from its users' dedicated random streams. The
 // concatenation of the shards is exactly the Generate stream.
@@ -477,6 +499,12 @@ type rangeSource struct {
 // Each implements tweet.Source over the block's user range.
 func (r rangeSource) Each(fn func(tweet.Tweet) error) error {
 	_, err := r.g.GenerateRange(r.lo, r.hi, fn)
+	return err
+}
+
+// EachContext implements tweet.ContextSource over the block's user range.
+func (r rangeSource) EachContext(ctx context.Context, fn func(tweet.Tweet) error) error {
+	_, err := r.g.GenerateRange(r.lo, r.hi, ctxEmit(ctx, fn))
 	return err
 }
 

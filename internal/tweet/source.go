@@ -1,5 +1,7 @@
 package tweet
 
+import "context"
+
 // Source yields a tweet stream in (user, time) order — the canonical order
 // produced by the synthesizer and by compacted tweetdb stores. Every
 // consumer in the repository (the Study pipeline, the mobility observers)
@@ -29,4 +31,60 @@ type ShardedSource interface {
 	// corpus cannot be split further than one user per shard) but must
 	// return at least one when the source is non-empty.
 	Shards(n int) ([]Source, error)
+}
+
+// ContextSource is a Source that can honour cancellation natively while
+// iterating: EachContext stops and returns ctx.Err() promptly once ctx is
+// done, without waiting for the stream to drain. Sources backed by long
+// scans (store segments, synthetic generation) implement this so that a
+// cancelled request does not keep decoding gigabytes nobody will read.
+type ContextSource interface {
+	Source
+	EachContext(ctx context.Context, fn func(Tweet) error) error
+}
+
+// cancelPollMask throttles the fallback cancellation poll in EachContext:
+// ctx.Err() is checked once every cancelPollMask+1 tweets, keeping the
+// per-tweet overhead negligible while still bounding cancellation latency
+// to a few thousand records.
+const cancelPollMask = 1<<10 - 1
+
+// EachContext iterates src under ctx. Sources implementing ContextSource
+// cancel natively; for any other source the stream is polled every few
+// thousand tweets and aborted with ctx.Err() once ctx is done. A nil or
+// never-cancelled ctx degrades to a plain Each with no per-tweet overhead.
+func EachContext(ctx context.Context, src Source, fn func(Tweet) error) error {
+	if ctx == nil {
+		return src.Each(fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cs, ok := src.(ContextSource); ok {
+		return cs.EachContext(ctx, fn)
+	}
+	if ctx.Done() == nil {
+		return src.Each(fn)
+	}
+	n := 0
+	return src.Each(func(t Tweet) error {
+		if n++; n&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return fn(t)
+	})
+}
+
+// TimeWindowed is a Source that can restrict itself to the half-open
+// timestamp window [fromTS, toTS) in Unix milliseconds *before* yielding
+// records — the predicate-pushdown hook the request-scoped Study API uses
+// so a windowed analysis skips whole storage segments instead of
+// post-filtering a full scan. A zero toTS means unbounded above; a zero
+// fromTS means unbounded below. The returned Source must yield exactly
+// the in-window subsequence of the original stream, in the same order.
+type TimeWindowed interface {
+	Source
+	Window(fromTS, toTS int64) Source
 }

@@ -1,0 +1,97 @@
+package tweet
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// plainSource is a minimal Source with no ContextSource support, so tests
+// exercise the generic polling fallback of EachContext.
+type plainSource []Tweet
+
+func (s plainSource) Each(fn func(Tweet) error) error {
+	for _, t := range s {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func makeTweets(n int) plainSource {
+	out := make(plainSource, n)
+	for i := range out {
+		out[i] = Tweet{ID: int64(i), UserID: int64(i / 4), TS: int64(i) * 1000}
+	}
+	return out
+}
+
+func TestEachContextNilAndBackground(t *testing.T) {
+	src := makeTweets(100)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		n := 0
+		if err := EachContext(ctx, src, func(Tweet) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(src) {
+			t.Errorf("consumed %d of %d tweets", n, len(src))
+		}
+	}
+}
+
+func TestEachContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	err := EachContext(ctx, makeTweets(100), func(Tweet) error { n++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Errorf("consumed %d tweets under a pre-cancelled context", n)
+	}
+}
+
+// TestEachContextCancelMidStream: after an in-stream cancel, the polling
+// fallback must stop within one poll interval instead of draining the
+// stream.
+func TestEachContextCancelMidStream(t *testing.T) {
+	const total, cancelAt = 10000, 100
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	err := EachContext(ctx, makeTweets(total), func(Tweet) error {
+		n++
+		if n == cancelAt {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n >= total {
+		t.Errorf("stream drained to the end despite cancellation")
+	}
+	if n > cancelAt+cancelPollMask+1 {
+		t.Errorf("consumed %d tweets after cancelling at %d", n, cancelAt)
+	}
+}
+
+// TestEachContextPropagatesCallbackError: a callback failure surfaces
+// unchanged, with or without cancellation support in play.
+func TestEachContextPropagatesCallbackError(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := EachContext(ctx, makeTweets(10), func(tw Tweet) error {
+		if tw.ID == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

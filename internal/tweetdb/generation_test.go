@@ -1,0 +1,77 @@
+package tweetdb
+
+import (
+	"testing"
+
+	"geomob/internal/tweet"
+)
+
+func genTweets(n int, base int64) []tweet.Tweet {
+	out := make([]tweet.Tweet, n)
+	for i := range out {
+		out[i] = tweet.Tweet{
+			ID: base + int64(i), UserID: base + int64(i/3),
+			TS: 1380000000000 + int64(i)*60000, Lat: -33.8, Lon: 151.2,
+		}
+	}
+	return out
+}
+
+// TestGenerationTracksSegmentSet: the generation is the snapshot-cache
+// invalidation key — it must hold still while the segment set does, move
+// on Append and Compact, and survive a reopen unchanged.
+func TestGenerationTracksSegmentSet(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := store.Generation()
+	if err := store.Append(genTweets(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	afterAppend := store.Generation()
+	if afterAppend == empty {
+		t.Error("generation unchanged by Append")
+	}
+	if again := store.Generation(); again != afterAppend {
+		t.Errorf("generation moved without a catalogue change: %x vs %x", again, afterAppend)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reopened.Generation(); got != afterAppend {
+		t.Errorf("generation not stable across reopen: %x vs %x", got, afterAppend)
+	}
+
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Generation(); got == afterAppend {
+		t.Error("generation unchanged by Compact")
+	}
+}
+
+func TestScanCount(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(genTweets(50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ScanCount(); got != 0 {
+		t.Fatalf("fresh store reports %d scans", got)
+	}
+	if _, err := store.Scan(Query{}).ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Scan(Query{}).ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ScanCount(); got != 2 {
+		t.Errorf("ScanCount = %d, want 2", got)
+	}
+}

@@ -88,6 +88,7 @@ type Iterator struct {
 // Scan returns an iterator over all records matching q. Results arrive in
 // (user, time) order within each segment; use Compact for global order.
 func (s *Store) Scan(q Query) *Iterator {
+	s.scans.Add(1)
 	return &Iterator{store: s, query: q, segments: s.Segments()}
 }
 

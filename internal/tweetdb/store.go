@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"geomob/internal/geo"
 	"geomob/internal/tweet"
@@ -31,6 +33,11 @@ type manifest struct {
 // scans read immutable files.
 type Store struct {
 	dir string
+
+	// scans counts Scan calls over the store's lifetime — a cheap
+	// observability hook that lets callers (and tests) assert whether a
+	// request was answered from a cache or went back to the segments.
+	scans atomic.Int64
 
 	mu         sync.Mutex
 	man        manifest
@@ -90,6 +97,24 @@ func (s *Store) Count() int64 {
 	}
 	return n
 }
+
+// Generation identifies the current segment catalogue. It changes
+// whenever the segment set changes (Append, Compact) and is stable across
+// reopens of the same directory, which makes it the invalidation key for
+// snapshot caches layered over the store: results derived from a scan
+// stay valid exactly as long as Generation holds still.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := fnv.New64a()
+	for _, seg := range s.man.Segments {
+		fmt.Fprintf(h, "%s:%d;", seg.File, seg.Count)
+	}
+	return h.Sum64()
+}
+
+// ScanCount reports how many scans were started on this store.
+func (s *Store) ScanCount() int64 { return s.scans.Load() }
 
 // Segments returns a snapshot of the segment catalogue.
 func (s *Store) Segments() []SegmentMeta {
