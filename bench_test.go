@@ -22,6 +22,7 @@ import (
 	"geomob/internal/geo"
 	"geomob/internal/heatmap"
 	"geomob/internal/index"
+	"geomob/internal/mobility"
 	"geomob/internal/models"
 	"geomob/internal/randx"
 	"geomob/internal/stats"
@@ -339,6 +340,81 @@ func BenchmarkKDTreeNearest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree.Nearest(queries[i%len(queries)])
+	}
+}
+
+// benchQueryPoints builds the shared query mix for the area-assignment
+// benchmarks: uniform points over the study region, as BenchmarkKDTreeNearest
+// uses, so the two benches are directly comparable.
+func benchQueryPoints() []geo.Point {
+	rng := randx.New(3, 4)
+	queries := make([]geo.Point, 1024)
+	for i := range queries {
+		queries[i] = geo.Point{Lat: -44 + rng.Float64()*30, Lon: 114 + rng.Float64()*40}
+	}
+	return queries
+}
+
+// BenchmarkAreaAssign measures the grid-resolved area assignment — the
+// per-tweet hot path of the study pipeline — on the same entry set and
+// query mix as BenchmarkKDTreeNearest, so the speedup of the precomputed
+// resolver over the tree walk reads directly off the two numbers.
+func BenchmarkAreaAssign(b *testing.B) {
+	rs, err := census.Australia().Regions(census.ScaleNational)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]index.Entry, rs.Len())
+	for i, a := range rs.Areas {
+		entries[i] = index.Entry{ID: int64(i), P: a.Center}
+	}
+	resolver, err := index.NewResolver(entries, census.ScaleNational.SearchRadius())
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueryPoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resolver.Resolve(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkMultiScaleMap measures the full per-tweet assignment work of a
+// complete study pass: one coordinate decoded into all four assignment
+// slots (three scales plus the metro 0.5 km variant) in a single call.
+func BenchmarkMultiScaleMap(b *testing.B) {
+	gaz := census.Australia()
+	var mappers []*mobility.AreaMapper
+	for _, scale := range census.Scales() {
+		rs, err := gaz.Regions(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := mobility.NewAreaMapper(rs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mappers = append(mappers, m)
+	}
+	metroRS, err := gaz.Regions(census.ScaleMetropolitan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metro500, err := mobility.NewAreaMapper(metroRS, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msm, err := mobility.NewMultiScaleMapper(append(mappers, metro500)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueryPoints()
+	out := make([]int, msm.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msm.MapAll(queries[i%len(queries)], out)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,6 +65,12 @@ type server struct {
 	// waiting on it, so the first requester's disconnect must not abort
 	// (and error out) everyone else's answer. Shutdown cancels it.
 	baseCtx context.Context
+
+	// mappers caches the default-radius area mapper per scale: the
+	// gazetteer is immutable, so the grid resolver behind a mapper is
+	// built once per process instead of once per /flows request.
+	mapperMu sync.Mutex
+	mappers  map[census.Scale]*mobility.AreaMapper
 }
 
 func newServer(store *tweetdb.Store, workers int) *server {
@@ -72,7 +79,28 @@ func newServer(store *tweetdb.Store, workers int) *server {
 		workers: workers,
 		cache:   newSnapshotCache(),
 		baseCtx: context.Background(),
+		mappers: map[census.Scale]*mobility.AreaMapper{},
 	}
+}
+
+// scaleMapper returns the cached default-radius mapper for the scale,
+// building it on first use.
+func (s *server) scaleMapper(scale census.Scale) (*mobility.AreaMapper, error) {
+	s.mapperMu.Lock()
+	defer s.mapperMu.Unlock()
+	if m, ok := s.mappers[scale]; ok {
+		return m, nil
+	}
+	rs, err := census.Australia().Regions(scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mobility.NewAreaMapper(rs, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.mappers[scale] = m
+	return m, nil
 }
 
 func main() {
@@ -327,12 +355,7 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, err := census.Australia().Regions(scale)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "regions: %v", err)
-		return
-	}
-	mapper, err := mobility.NewAreaMapper(rs, 0)
+	mapper, err := s.scaleMapper(scale)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "mapper: %v", err)
 		return

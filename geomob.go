@@ -35,6 +35,7 @@ import (
 	"geomob/internal/core"
 	"geomob/internal/epidemic"
 	"geomob/internal/geo"
+	"geomob/internal/mobility"
 	"geomob/internal/models"
 	"geomob/internal/population"
 	"geomob/internal/synth"
@@ -141,7 +142,26 @@ type (
 	MobilityResult = core.MobilityResult
 	// PopulationEstimate is the §III analysis for one scale.
 	PopulationEstimate = population.Estimate
+	// AreaMapper assigns coordinates to census areas by the paper's
+	// nearest-within-ε rule, through a precomputed grid resolver
+	// (DESIGN.md §6): the per-point lookup is O(1) and allocation-free.
+	AreaMapper = mobility.AreaMapper
+	// MultiScaleMapper assigns a coordinate at several scales in one
+	// call, sharing the decode across the per-scale resolvers.
+	MultiScaleMapper = mobility.MultiScaleMapper
 )
+
+// NewAreaMapper builds the nearest-within-ε assigner for a region set.
+// Radius zero uses the scale's paper-default search radius.
+func NewAreaMapper(rs RegionSet, radius float64) (*AreaMapper, error) {
+	return mobility.NewAreaMapper(rs, radius)
+}
+
+// NewMultiScaleMapper bundles per-scale area mappers so a point is decoded
+// once and assigned at every scale in a single MapAll call.
+func NewMultiScaleMapper(mappers ...*AreaMapper) (*MultiScaleMapper, error) {
+	return mobility.NewMultiScaleMapper(mappers...)
+}
 
 // The selectable analyses of a StudyRequest.
 const (

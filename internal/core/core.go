@@ -449,10 +449,20 @@ type planScale struct {
 // requestPlan is the per-request execution plan: the shared, read-only
 // per-scale machinery (region sets, immutable area mappers — all workers
 // share them) plus which observers the analysis selection needs. Only the
-// asked-for observers are ever instantiated.
+// asked-for observers are ever instantiated. Every tweet is assigned once
+// per scale through the shared multi-scale mapper; the per-worker
+// observers consume the precomputed assignment vector instead of querying
+// a spatial index each.
 type requestPlan struct {
 	want   map[Analysis]bool
 	scales []planScale
+
+	// mapper bundles every distinct (region set, radius) assignment the
+	// plan needs — slot i is scale i of the plan, followed by the fixed
+	// metro 0.5 km variant at metroSlot — so each tweet's coordinates are
+	// resolved exactly once per slot, shared by all observers of all
+	// workers. Nil for plans that assign nothing (stats-only).
+	mapper *mobility.MultiScaleMapper
 
 	// statsIdx is the index of the scale whose extractor doubles as the
 	// (mapper-independent) trajectory-statistics carrier; -1 with stats
@@ -461,9 +471,11 @@ type requestPlan struct {
 	statsOnly bool
 
 	// metro500Mapper drives the fixed ε = 0.5 km metropolitan variant
-	// (Fig. 3b); nil when the request does not cover it.
+	// (Fig. 3b); nil when the request does not cover it. metroSlot is its
+	// position in the shared mapper's output vector.
 	metroRS        census.RegionSet
 	metro500Mapper *mobility.AreaMapper
+	metroSlot      int
 
 	// fromTS/toTS is the [From, To) window in Unix ms. hasTo (not a zero
 	// sentinel) marks whether the window is bounded above, so a bound at
@@ -555,6 +567,25 @@ func (s *Study) buildPlan(req Request) (*requestPlan, error) {
 			return nil, err
 		}
 	}
+	// Bundle every assignment the plan performs into one shared
+	// multi-scale mapper: the streaming pass resolves each tweet once per
+	// slot and every observer of every worker reads the shared vector.
+	if len(p.scales) > 0 || p.metro500Mapper != nil {
+		mappers := make([]*mobility.AreaMapper, 0, len(p.scales)+1)
+		for _, sc := range p.scales {
+			mappers = append(mappers, sc.mapper)
+		}
+		p.metroSlot = -1
+		if p.metro500Mapper != nil {
+			p.metroSlot = len(mappers)
+			mappers = append(mappers, p.metro500Mapper)
+		}
+		msm, err := mobility.NewMultiScaleMapper(mappers...)
+		if err != nil {
+			return nil, fmt.Errorf("core: bundle mappers: %w", err)
+		}
+		p.mapper = msm
+	}
 	return p, nil
 }
 
@@ -570,6 +601,11 @@ type observerSet struct {
 	metro500   *mobility.UserCounter
 	span       spanAcc
 	tweets     int64 // in-window tweets observed; 0 means an empty dataset
+
+	// assign is the per-tweet assignment vector: one area index (or -1)
+	// per slot of the plan's shared mapper, filled once per tweet and read
+	// by every observer of this set.
+	assign []int
 }
 
 func newObserverSet(p *requestPlan) *observerSet {
@@ -579,9 +615,18 @@ func newObserverSet(p *requestPlan) *observerSet {
 		counters:   make([]*mobility.UserCounter, len(p.scales)),
 		span:       newSpanAcc(),
 	}
+	if p.mapper != nil {
+		o.assign = make([]int, p.mapper.Len())
+	}
 	for i, sc := range p.scales {
 		if sc.extract {
-			o.extractors[i] = mobility.NewExtractor(sc.mapper)
+			// Only the statistics-carrying extractor pays for the
+			// trajectory series; the other scales extract flows lean.
+			if i == p.statsIdx {
+				o.extractors[i] = mobility.NewExtractor(sc.mapper)
+			} else {
+				o.extractors[i] = mobility.NewFlowExtractor(sc.mapper)
+			}
 		}
 		if sc.count {
 			o.counters[i] = mobility.NewUserCounter(sc.mapper)
@@ -620,7 +665,10 @@ func (o *observerSet) observers() int {
 }
 
 // observe feeds one tweet to every live observer, applying the request
-// window first when it could not be pushed down into the source.
+// window first when it could not be pushed down into the source. The
+// tweet's coordinates are resolved exactly once per assignment slot
+// through the plan's shared mapper; the observers consume the precomputed
+// assignments.
 func (o *observerSet) observe(t tweet.Tweet) error {
 	if o.plan.filterInStream {
 		if t.TS < o.plan.fromTS || (o.plan.hasTo && t.TS >= o.plan.toTS) {
@@ -631,25 +679,28 @@ func (o *observerSet) observe(t tweet.Tweet) error {
 		return err
 	}
 	o.tweets++
+	if o.plan.mapper != nil {
+		o.plan.mapper.MapAll(t.Point(), o.assign)
+	}
 	for i := range o.extractors {
 		if o.extractors[i] != nil {
-			if err := o.extractors[i].Observe(t); err != nil {
+			if err := o.extractors[i].ObserveArea(t, o.assign[i]); err != nil {
 				return err
 			}
 		}
 		if o.counters[i] != nil {
-			if err := o.counters[i].Observe(t); err != nil {
+			if err := o.counters[i].ObserveArea(t, o.assign[i]); err != nil {
 				return err
 			}
 		}
 	}
 	if o.statsExt != nil {
-		if err := o.statsExt.Observe(t); err != nil {
+		if err := o.statsExt.ObserveArea(t, -1); err != nil {
 			return err
 		}
 	}
 	if o.metro500 != nil {
-		if err := o.metro500.Observe(t); err != nil {
+		if err := o.metro500.ObserveArea(t, o.assign[o.plan.metroSlot]); err != nil {
 			return err
 		}
 	}
@@ -1038,7 +1089,7 @@ func ExtractFlows(ctx context.Context, src Source, mapper *mobility.AreaMapper, 
 		return nil, err
 	}
 	ext, err := runSharded(ctx, shards,
-		func() *mobility.Extractor { return mobility.NewExtractor(mapper) },
+		func() *mobility.Extractor { return mobility.NewFlowExtractor(mapper) },
 		(*mobility.Extractor).Observe,
 		(*mobility.Extractor).Merge)
 	if err != nil {

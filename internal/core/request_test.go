@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -30,7 +31,10 @@ func requestCorpus(t *testing.T, users int) []tweet.Tweet {
 }
 
 // TestExecuteFullMatchesRun is the redesign's compatibility bar: the zero
-// Request must reproduce Run bit-identically in every reported quantity.
+// Request must reproduce Run bit-identically in every reported quantity,
+// and — since the grid-resolved shared mapper replaced the per-observer
+// KD-tree walks — the resolver-backed path must stay bit-identical across
+// worker counts too.
 func TestExecuteFullMatchesRun(t *testing.T) {
 	tweets := requestCorpus(t, 3000)
 	study := NewStudyWithOptions(SliceSource(tweets), StudyOptions{Workers: 2})
@@ -45,6 +49,23 @@ func TestExecuteFullMatchesRun(t *testing.T) {
 	assertResultsIdentical(t, "Run vs Execute(zero)", fromRun, fromExec)
 	if fromRun.Observers != 8 || fromExec.Observers != 8 {
 		t.Errorf("full study observers = %d / %d, want 8", fromRun.Observers, fromExec.Observers)
+	}
+
+	// Shard equivalence on the resolver-backed assignment path: one worker
+	// and eight workers share the plan's multi-scale mapper and must agree
+	// bit for bit, through Run and Execute alike.
+	for _, workers := range []int{1, 8} {
+		s := NewStudyWithOptions(SliceSource(tweets), StudyOptions{Workers: workers})
+		run, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertResultsIdentical(t, fmt.Sprintf("workers=2 vs workers=%d", workers), fromRun, run)
+		exec, err := s.Execute(context.Background(), Request{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertResultsIdentical(t, fmt.Sprintf("Execute workers=%d", workers), fromRun, exec)
 	}
 }
 

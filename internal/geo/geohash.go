@@ -66,6 +66,49 @@ func EncodeGeohash(p Point, precision int) string {
 	return sb.String()
 }
 
+// GeohashCellID returns the geohash cell of p at the given precision as an
+// integer: the same interleaved subdivision bits EncodeGeohash renders in
+// base-32, preceded by a sentinel 1 bit so identifiers of different
+// precisions never collide. Two points share a geohash string at some
+// precision exactly when they share the cell ID at that precision, so the
+// ID can stand in for the string wherever only cell identity matters —
+// without allocating. Precision is clamped to 1..12 like EncodeGeohash.
+func GeohashCellID(p Point, precision int) uint64 {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	latMin, latMax := -90.0, 90.0
+	lonMin, lonMax := -180.0, 180.0
+	evenBit := true // true: longitude bit next
+	id := uint64(1)
+	for bit := 0; bit < 5*precision; bit++ {
+		if evenBit {
+			mid := (lonMin + lonMax) / 2
+			if p.Lon >= mid {
+				id = id<<1 | 1
+				lonMin = mid
+			} else {
+				id <<= 1
+				lonMax = mid
+			}
+		} else {
+			mid := (latMin + latMax) / 2
+			if p.Lat >= mid {
+				id = id<<1 | 1
+				latMin = mid
+			} else {
+				id <<= 1
+				latMax = mid
+			}
+		}
+		evenBit = !evenBit
+	}
+	return id
+}
+
 // ErrBadGeohash is returned by DecodeGeohash for strings containing
 // characters outside the geohash base-32 alphabet.
 var ErrBadGeohash = errors.New("geo: invalid geohash character")

@@ -2,6 +2,7 @@ package geo
 
 import (
 	"math"
+	"math/rand/v2"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -111,5 +112,55 @@ func TestGeohashCellSizeShrinks(t *testing.T) {
 			t.Errorf("cell area did not shrink at precision %d: %v >= %v", prec, size, prev)
 		}
 		prev = size
+	}
+}
+
+// TestGeohashCellIDMatchesString: the integer cell ID must induce exactly
+// the same partition of the plane as the base-32 string — two points share
+// a geohash string at a precision iff they share the cell ID — because the
+// mobility extractor counts distinct cells through the ID.
+func TestGeohashCellIDMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	randPoint := func() Point {
+		return Point{Lat: -90 + rng.Float64()*180, Lon: -180 + rng.Float64()*360}
+	}
+	var pts []Point
+	for i := 0; i < 3000; i++ {
+		pts = append(pts, randPoint())
+	}
+	// Adversarial points on subdivision boundaries, where >= vs > would
+	// first disagree between the two implementations.
+	for _, lat := range []float64{-90, -45, 0, 45, 90, -33.75, 11.25} {
+		for _, lon := range []float64{-180, -90, 0, 90, 180, 151.171875, -0.0000001} {
+			pts = append(pts, Point{Lat: lat, Lon: lon})
+		}
+	}
+	// Pairs nudged a ULP apart straddle cell edges at high precisions.
+	for i := 0; i < 500; i++ {
+		p := randPoint()
+		pts = append(pts, p, Point{Lat: math.Nextafter(p.Lat, 90), Lon: p.Lon})
+	}
+	for _, prec := range []int{1, 3, 5, 8, 12} {
+		byString := map[string]uint64{}
+		byID := map[uint64]string{}
+		for _, p := range pts {
+			s := EncodeGeohash(p, prec)
+			id := GeohashCellID(p, prec)
+			if prev, ok := byString[s]; ok && prev != id {
+				t.Fatalf("precision %d: string %q maps to IDs %d and %d", prec, s, prev, id)
+			}
+			byString[s] = id
+			if prev, ok := byID[id]; ok && prev != s {
+				t.Fatalf("precision %d: ID %d maps to strings %q and %q", prec, id, prev, s)
+			}
+			byID[id] = s
+		}
+		if len(byString) != len(byID) {
+			t.Fatalf("precision %d: %d distinct strings vs %d distinct IDs", prec, len(byString), len(byID))
+		}
+	}
+	// IDs of different precisions never collide (sentinel bit).
+	if GeohashCellID(Point{}, 1) == GeohashCellID(Point{}, 2) {
+		t.Error("cell IDs of different precisions collide")
 	}
 }

@@ -58,27 +58,68 @@ func (g *Grid) Insert(e Entry) {
 // Len returns the number of indexed entries.
 func (g *Grid) Len() int { return g.n }
 
-// Radius returns all entries within radius metres of p (inclusive), in
-// unspecified order.
-func (g *Grid) Radius(p geo.Point, radius float64) []Entry {
-	if radius < 0 {
-		return nil
+// lonSpans returns the longitude intervals (in degrees, within [-180, 180])
+// covering [p.Lon-dLon, p.Lon+dLon] with antimeridian wrap-around: a query
+// disc reaching past ±180° continues on the far side, so cell keys derived
+// from raw insert longitudes must be probed on both sides of the seam.
+func lonSpans(lon, dLon float64) [2][2]float64 {
+	if dLon >= 180 {
+		return [2][2]float64{{-180, 180}, {1, -1}} // full circle, second span empty
 	}
-	box := geo.BoundAround(p, radius)
-	loLat := int32(math.Floor(box.MinLat / g.cellDeg))
-	hiLat := int32(math.Floor(box.MaxLat / g.cellDeg))
-	loLon := int32(math.Floor(box.MinLon / g.cellDeg))
-	hiLon := int32(math.Floor(box.MaxLon / g.cellDeg))
-	var out []Entry
-	for la := loLat; la <= hiLat; la++ {
-		for lo := loLon; lo <= hiLon; lo++ {
-			for _, e := range g.cells[[2]int32{la, lo}] {
-				if geo.Haversine(p, e.P) <= radius {
-					out = append(out, e)
+	lo, hi := lon-dLon, lon+dLon
+	switch {
+	case lo < -180:
+		return [2][2]float64{{-180, hi}, {lo + 360, 180}}
+	case hi > 180:
+		return [2][2]float64{{lo, 180}, {-180, hi - 360}}
+	default:
+		return [2][2]float64{{lo, hi}, {1, -1}} // second span empty
+	}
+}
+
+// eachCandidate visits every entry in the grid cells that can intersect the
+// disc of the given radius around p, including cells reached by wrapping the
+// longitude range across the antimeridian.
+func (g *Grid) eachCandidate(p geo.Point, radius float64, fn func(Entry)) {
+	dLat := radius / geo.MetersPerDegreeLat
+	loLat := int32(math.Floor((p.Lat - dLat) / g.cellDeg))
+	hiLat := int32(math.Floor((p.Lat + dLat) / g.cellDeg))
+	mpl := geo.MetersPerDegreeLon(p.Lat)
+	var dLon float64
+	if mpl < 1 { // polar degenerate case: cover all longitudes
+		dLon = 360
+	} else {
+		dLon = radius / mpl
+	}
+	for _, span := range lonSpans(p.Lon, dLon) {
+		if span[0] > span[1] {
+			continue
+		}
+		loLon := int32(math.Floor(span[0] / g.cellDeg))
+		hiLon := int32(math.Floor(span[1] / g.cellDeg))
+		for la := loLat; la <= hiLat; la++ {
+			for lo := loLon; lo <= hiLon; lo++ {
+				for _, e := range g.cells[[2]int32{la, lo}] {
+					fn(e)
 				}
 			}
 		}
 	}
+}
+
+// Radius returns all entries within radius metres of p (inclusive), in
+// unspecified order. Queries whose bounding box crosses the antimeridian
+// wrap correctly.
+func (g *Grid) Radius(p geo.Point, radius float64) []Entry {
+	if radius < 0 {
+		return nil
+	}
+	var out []Entry
+	g.eachCandidate(p, radius, func(e Entry) {
+		if geo.Haversine(p, e.P) <= radius {
+			out = append(out, e)
+		}
+	})
 	return out
 }
 
@@ -88,34 +129,23 @@ func (g *Grid) CountRadius(p geo.Point, radius float64) int {
 	if radius < 0 {
 		return 0
 	}
-	box := geo.BoundAround(p, radius)
-	loLat := int32(math.Floor(box.MinLat / g.cellDeg))
-	hiLat := int32(math.Floor(box.MaxLat / g.cellDeg))
-	loLon := int32(math.Floor(box.MinLon / g.cellDeg))
-	hiLon := int32(math.Floor(box.MaxLon / g.cellDeg))
 	count := 0
-	for la := loLat; la <= hiLat; la++ {
-		for lo := loLon; lo <= hiLon; lo++ {
-			for _, e := range g.cells[[2]int32{la, lo}] {
-				if geo.Haversine(p, e.P) <= radius {
-					count++
-				}
-			}
+	g.eachCandidate(p, radius, func(e Entry) {
+		if geo.Haversine(p, e.P) <= radius {
+			count++
 		}
-	}
+	})
 	return count
 }
 
 // KDTree is a static 2-d tree over entries, built once and queried for
-// nearest neighbours and radius sets. Candidate ranking inside the tree
-// walk uses an equirectangular projection at the tree's mean latitude;
-// subtree pruning uses provable lower bounds on the great-circle distance
-// (see splitLowerBound), and all returned results are verified with exact
-// haversine distances. Queries are therefore exact.
+// nearest neighbours and radius sets. Candidates are ranked with exact
+// haversine distances during the walk; subtree pruning uses provable lower
+// bounds on the great-circle distance (see splitLowerBound). Queries are
+// therefore exact.
 type KDTree struct {
 	nodes    []kdNode
 	root     int32
-	cosLat   float64 // cosine at the mean latitude (ranking metric)
 	cosFloor float64 // minimum cosine over all entry latitudes (pruning)
 }
 
@@ -130,22 +160,15 @@ func NewKDTree(entries []Entry) (*KDTree, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("index: kd-tree requires at least one entry")
 	}
-	var sumLat float64
 	cosFloor := 1.0
 	for _, e := range entries {
-		sumLat += e.P.Lat
 		if c := math.Cos(e.P.Lat * math.Pi / 180); c < cosFloor {
 			cosFloor = c
 		}
 	}
-	meanLat := sumLat / float64(len(entries))
 	t := &KDTree{
 		nodes:    make([]kdNode, 0, len(entries)),
-		cosLat:   math.Cos(meanLat * math.Pi / 180),
 		cosFloor: cosFloor,
-	}
-	if t.cosLat < 0.05 {
-		t.cosLat = 0.05 // keep the ranking projection sane near the poles
 	}
 	if t.cosFloor < 0 {
 		t.cosFloor = 0
@@ -179,59 +202,70 @@ func (t *KDTree) build(entries []Entry, depth int) int32 {
 // Len returns the number of entries in the tree.
 func (t *KDTree) Len() int { return len(t.nodes) }
 
-// planarDist2 is the squared equirectangular distance in degree² with
-// longitude compressed by cos(meanLat).
-func (t *KDTree) planarDist2(a, b geo.Point) float64 {
-	dLat := a.Lat - b.Lat
-	dLon := (a.Lon - b.Lon) * t.cosLat
-	return dLat*dLat + dLon*dLon
+// nearestFrame is one deferred far subtree of the iterative nearest walk,
+// remembered with the provable lower bound that was valid when it was
+// deferred (the bound only needs re-checking against the improved best).
+type nearestFrame struct {
+	node  int32
+	depth int32
+	bound float64 // lower bound in metres on any entry in the subtree
 }
+
+// nearestStackSize bounds the deferred-subtree stack of Nearest. At most
+// one frame per tree level is live at any time (frames are pushed in
+// strictly increasing depth order and popped deepest-first), and the
+// median-split build keeps the tree balanced, so 64 levels cover any
+// conceivable entry count.
+const nearestStackSize = 64
 
 // Nearest returns the entry closest to p by great-circle distance and that
-// distance in metres. The tree walk finds the nearest under the projected
-// metric; a haversine-verified radius sweep around that candidate then
-// resolves any re-ordering the projection could have introduced, so the
-// result is exact.
+// distance in metres. The walk ranks candidates with exact haversine
+// distances and prunes subtrees via splitLowerBound, so the result is
+// exact; the traversal is iterative over a fixed-size stack and performs
+// no heap allocations.
 func (t *KDTree) Nearest(p geo.Point) (Entry, float64) {
+	var stack [nearestStackSize]nearestFrame
+	sp := 0
 	best := int32(-1)
-	bestDist := math.Inf(1) // squared planar degrees during the walk
-	t.nearest(t.root, p, 0, &best, &bestDist)
-	e := t.nodes[best].e
-	d := geo.Haversine(p, e.P)
-	// Refine: any true nearest neighbour must lie within d of p. Sweep with
-	// a 10% margin to absorb projection distortion at continental spans.
-	for _, cand := range t.Radius(p, d*1.1+1) {
-		if cd := geo.Haversine(p, cand.P); cd < d {
-			d = cd
-			e = cand
+	bestDist := math.Inf(1)
+	node, depth := t.root, int32(0)
+	for {
+		for node >= 0 {
+			n := &t.nodes[node]
+			if d := geo.Haversine(p, n.e.P); d < bestDist {
+				bestDist = d
+				best = node
+			}
+			axis := int(depth) & 1
+			var diff float64
+			if axis == 0 {
+				diff = p.Lat - n.e.P.Lat
+			} else {
+				diff = p.Lon - n.e.P.Lon
+			}
+			near, far := n.left, n.right
+			if diff > 0 {
+				near, far = far, near
+			}
+			if far >= 0 {
+				if lb := t.splitLowerBound(p, n.e.P, axis); lb < bestDist {
+					stack[sp] = nearestFrame{node: far, depth: depth + 1, bound: lb}
+					sp++
+				}
+			}
+			node = near
+			depth++
 		}
-	}
-	return e, d
-}
-
-func (t *KDTree) nearest(node int32, p geo.Point, depth int, best *int32, bestDist2 *float64) {
-	if node < 0 {
-		return
-	}
-	n := t.nodes[node]
-	if d2 := t.planarDist2(p, n.e.P); d2 < *bestDist2 {
-		*bestDist2 = d2
-		*best = node
-	}
-	axis := depth % 2
-	var diff float64
-	if axis == 0 {
-		diff = p.Lat - n.e.P.Lat
-	} else {
-		diff = (p.Lon - n.e.P.Lon) * t.cosLat
-	}
-	near, far := n.left, n.right
-	if diff > 0 {
-		near, far = far, near
-	}
-	t.nearest(near, p, depth+1, best, bestDist2)
-	if diff*diff < *bestDist2 {
-		t.nearest(far, p, depth+1, best, bestDist2)
+		for {
+			if sp == 0 {
+				return t.nodes[best].e, bestDist
+			}
+			sp--
+			if f := stack[sp]; f.bound < bestDist {
+				node, depth = f.node, f.depth
+				break
+			}
+		}
 	}
 }
 
@@ -240,21 +274,28 @@ func (t *KDTree) nearest(node int32, p geo.Point, depth int, best *int32, bestDi
 // plane of the given node axis. For the latitude axis the bound is exact
 // (meridian arc). For the longitude axis it follows from the haversine
 // identity sin²(d/2R) >= cosφ₁·cosφ₂·sin²(Δλ/2) with cosφ₂ bounded below by
-// the tree-wide cosine floor.
+// the tree-wide cosine floor. Longitude splits live on a circle, not a
+// line: the far half-plane in raw coordinates is an arc bounded by the
+// split on one side and the ±180° seam on the other, and the seam can be
+// angularly closer to p than the split is — so the usable gap is the
+// minimum of the wrapped gap to the split and the gap to the seam.
 func (t *KDTree) splitLowerBound(p geo.Point, split geo.Point, axis int) float64 {
 	if axis == 0 {
 		return math.Abs(p.Lat-split.Lat) * geo.MetersPerDegreeLat
 	}
-	dLon := math.Abs(p.Lon-split.Lon) * math.Pi / 180
-	if dLon > math.Pi {
-		dLon = 2*math.Pi - dLon
+	dLon := math.Abs(p.Lon - split.Lon)
+	if dLon > 180 {
+		dLon = 360 - dLon
+	}
+	if seamGap := 180 - math.Abs(p.Lon); seamGap < dLon {
+		dLon = seamGap
 	}
 	cosP := math.Cos(p.Lat * math.Pi / 180)
 	c := cosP * t.cosFloor
 	if c <= 0 {
 		return 0 // cannot prune through the poles
 	}
-	s := math.Sqrt(c) * math.Sin(dLon/2)
+	s := math.Sqrt(c) * math.Sin(dLon*math.Pi/180/2)
 	if s > 1 {
 		s = 1
 	}

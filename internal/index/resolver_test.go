@@ -1,0 +1,309 @@
+package index
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"geomob/internal/geo"
+)
+
+// resolverConfig mirrors the study's real assignment configurations: the
+// three paper scales plus the fixed metro 0.5 km variant.
+type resolverConfig struct {
+	name    string
+	entries []Entry
+	radius  float64
+}
+
+// clusteredEntries draws n entries clustered around a handful of sites
+// within the box, which is how census areas actually look (suburbs of one
+// city, cities of one coast) and produces contested cells.
+func clusteredEntries(rng *rand.Rand, n int, box geo.BBox, spreadDeg float64) []Entry {
+	sites := make([]geo.Point, 1+rng.IntN(5))
+	for i := range sites {
+		sites[i] = geo.Point{
+			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+			Lon: box.MinLon + rng.Float64()*(box.MaxLon-box.MinLon),
+		}
+	}
+	entries := make([]Entry, n)
+	for i := range entries {
+		s := sites[rng.IntN(len(sites))]
+		p := geo.Point{
+			Lat: s.Lat + (rng.Float64()-0.5)*spreadDeg,
+			Lon: s.Lon + (rng.Float64()-0.5)*spreadDeg,
+		}
+		if p.Lat > 90 {
+			p.Lat = 90
+		}
+		if p.Lat < -90 {
+			p.Lat = -90
+		}
+		entries[i] = Entry{ID: int64(i), P: p}
+	}
+	return entries
+}
+
+func resolverConfigs(rng *rand.Rand) []resolverConfig {
+	au := geo.AustraliaBBox
+	return []resolverConfig{
+		{"national-50km", clusteredEntries(rng, 20, au, 8), 50_000},
+		{"state-25km", clusteredEntries(rng, 20, au, 3), 25_000},
+		{"metro-2km", clusteredEntries(rng, 20, geo.BBox{MinLat: -34.1, MinLon: 150.6, MaxLat: -33.7, MaxLon: 151.3}, 0.3), 2_000},
+		{"metro-500m", clusteredEntries(rng, 20, geo.BBox{MinLat: -34.1, MinLon: 150.6, MaxLat: -33.7, MaxLon: 151.3}, 0.3), 500},
+		{"dense-duplicates", append(clusteredEntries(rng, 30, au, 0.5), Entry{ID: 30, P: geo.Point{Lat: -33.9, Lon: 151.2}}, Entry{ID: 31, P: geo.Point{Lat: -33.9, Lon: 151.2}}), 10_000},
+	}
+}
+
+// treeAssign is the exactness reference: the paper's nearest-within-ε rule
+// answered by the k-d tree oracle.
+func treeAssign(t *KDTree, p geo.Point, radius float64) int64 {
+	e, _, ok := t.NearestWithin(p, radius)
+	if !ok {
+		return -1
+	}
+	return e.ID
+}
+
+// checkPoint asserts resolver ≡ tree on one query point.
+func checkPoint(t *testing.T, name string, r *Resolver, p geo.Point) {
+	t.Helper()
+	got := r.Resolve(p)
+	want := treeAssign(r.Tree(), p, r.Radius())
+	if got != want {
+		d := math.Inf(1)
+		if want >= 0 {
+			e, dd, _ := r.Tree().NearestWithin(p, r.Radius())
+			_ = e
+			d = dd
+		}
+		t.Fatalf("%s: Resolve(%v) = %d, tree oracle = %d (oracle dist %v, radius %v)",
+			name, p, got, want, d, r.Radius())
+	}
+}
+
+// TestResolverMatchesTreeFuzz is the exactness property test: on every
+// study-shaped configuration the grid answer must equal the k-d tree
+// oracle for uniformly random points, for points placed just inside and
+// just outside the search radius of each entry, and for points sampled on
+// exact grid cell boundaries (the corners are where an unsound dominance
+// proof would first show).
+func TestResolverMatchesTreeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, cfg := range resolverConfigs(rng) {
+		r, err := NewResolver(cfg.entries, cfg.radius)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if resolved, total := r.ResolvedCells(); total > 0 && resolved == 0 {
+			t.Errorf("%s: no cell resolved out of %d — dominance proof never fires", cfg.name, total)
+		}
+
+		// Uniform points over a box somewhat wider than the band, so the
+		// outside-band fast path is exercised too.
+		box := geo.BBox{
+			MinLat: math.Max(r.minLat-1, -90), MaxLat: math.Min(r.maxLat+1, 90),
+			MinLon: math.Max(r.minLon-1, -180), MaxLon: math.Min(r.maxLon+1, 180),
+		}
+		for i := 0; i < 20000; i++ {
+			p := geo.Point{
+				Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+				Lon: box.MinLon + rng.Float64()*(box.MaxLon-box.MinLon),
+			}
+			checkPoint(t, cfg.name, r, p)
+		}
+
+		// ε-edge points: just inside, exactly at, and just outside the
+		// search radius of every entry, at random bearings.
+		for _, e := range cfg.entries {
+			for _, f := range []float64{0.25, 0.999, 0.999999, 1, 1.000001, 1.001, 1.5, 2.2} {
+				brg := rng.Float64() * 360
+				checkPoint(t, cfg.name, r, geo.Destination(e.P, brg, cfg.radius*f))
+			}
+		}
+
+		// Cell-boundary points: exact corners and edge midpoints of random
+		// grid cells, plus nudges a few ULPs to either side.
+		if !r.degenerate {
+			cellLat := 1 / r.invCellLat
+			cellLon := 1 / r.invCellLon
+			for i := 0; i < 4000; i++ {
+				iy := rng.IntN(r.ny + 1)
+				ix := rng.IntN(r.nx + 1)
+				corner := geo.Point{
+					Lat: r.minLat + float64(iy)*cellLat,
+					Lon: r.minLon + float64(ix)*cellLon,
+				}
+				checkPoint(t, cfg.name, r, corner)
+				checkPoint(t, cfg.name, r, geo.Point{Lat: math.Nextafter(corner.Lat, 90), Lon: corner.Lon})
+				checkPoint(t, cfg.name, r, geo.Point{Lat: math.Nextafter(corner.Lat, -90), Lon: corner.Lon})
+				checkPoint(t, cfg.name, r, geo.Point{Lat: corner.Lat, Lon: math.Nextafter(corner.Lon, 180)})
+				checkPoint(t, cfg.name, r, geo.Point{Lat: corner.Lat + cellLat/2, Lon: corner.Lon + cellLon/2})
+			}
+		}
+	}
+}
+
+// TestResolverDegenerateGeometries: configurations that defeat the grid's
+// longitude bounds (polar latitudes, radii reaching around the globe,
+// bands crossing the antimeridian) must fall back to the exact tree, not
+// produce an unsound grid.
+func TestResolverDegenerateGeometries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	cases := []resolverConfig{
+		{"polar", clusteredEntries(rng, 10, geo.BBox{MinLat: 88, MinLon: -30, MaxLat: 89.9, MaxLon: 30}, 0.5), 50_000},
+		{"global-radius", clusteredEntries(rng, 10, geo.AustraliaBBox, 5), 15_000_000},
+		{"antimeridian", []Entry{
+			{ID: 0, P: geo.Point{Lat: -18, Lon: 179.8}},
+			{ID: 1, P: geo.Point{Lat: -18.2, Lon: -179.7}},
+			{ID: 2, P: geo.Point{Lat: -17.5, Lon: 178.9}},
+		}, 40_000},
+	}
+	for _, cfg := range cases {
+		r, err := NewResolver(cfg.entries, cfg.radius)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if !r.degenerate {
+			t.Errorf("%s: expected a degenerate (tree-backed) resolver", cfg.name)
+		}
+		for i := 0; i < 2000; i++ {
+			p := geo.Point{Lat: -90 + rng.Float64()*180, Lon: -180 + rng.Float64()*360}
+			checkPoint(t, cfg.name, r, p)
+		}
+		// NaN coordinates must yield the no-area answer on the tree
+		// fallback path too, not a panic.
+		if got := r.Resolve(geo.Point{Lat: math.NaN(), Lon: 10}); got != -1 {
+			t.Errorf("%s: Resolve(NaN) = %d, want -1", cfg.name, got)
+		}
+		if got := r.Resolve(geo.Point{Lat: -18, Lon: math.NaN()}); got != -1 {
+			t.Errorf("%s: Resolve(NaN lon) = %d, want -1", cfg.name, got)
+		}
+	}
+}
+
+// TestResolverRejectsBadInput: construction fails fast on unusable input.
+func TestResolverRejectsBadInput(t *testing.T) {
+	if _, err := NewResolver(nil, 100); err == nil {
+		t.Error("empty entry set should fail")
+	}
+	p := geo.Point{Lat: -33, Lon: 151}
+	if _, err := NewResolver([]Entry{{ID: -1, P: p}}, 100); err == nil {
+		t.Error("negative entry ID should fail")
+	}
+	if _, err := NewResolver([]Entry{{ID: 0, P: geo.Point{Lat: math.NaN(), Lon: 151}}}, 100); err == nil {
+		t.Error("NaN coordinates should fail")
+	}
+	for _, radius := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewResolver([]Entry{{ID: 0, P: p}}, radius); err == nil {
+			t.Errorf("radius %v should fail", radius)
+		}
+	}
+}
+
+// TestResolverZeroRadius: a zero search radius assigns only exact entry
+// coordinates, matching the tree.
+func TestResolverZeroRadius(t *testing.T) {
+	entries := []Entry{
+		{ID: 0, P: geo.Point{Lat: -33.8688, Lon: 151.2093}},
+		{ID: 1, P: geo.Point{Lat: -37.8136, Lon: 144.9631}},
+	}
+	r, err := NewResolver(entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		checkPoint(t, "zero-radius", r, e.P)
+	}
+	checkPoint(t, "zero-radius", r, geo.Point{Lat: -33.8688, Lon: 151.21})
+	checkPoint(t, "zero-radius", r, geo.Point{Lat: 0, Lon: 0})
+}
+
+// TestResolverNoAllocs: the per-point assignment hot path must not touch
+// the heap — neither on resolved cells, nor on candidate lists, nor on
+// the outside-band fast path.
+func TestResolverNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	entries := clusteredEntries(rng, 20, geo.AustraliaBBox, 5)
+	r, err := NewResolver(entries, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]geo.Point, 512)
+	for i := range queries {
+		queries[i] = geo.Point{Lat: -44 + rng.Float64()*35, Lon: 112 + rng.Float64()*48}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		r.Resolve(queries[i%len(queries)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Resolve allocated %v times per op, want 0", allocs)
+	}
+}
+
+// TestKDTreeNearestNoAllocs: the rewritten iterative walk must be
+// allocation-free (it previously allocated a sorted refine sweep per
+// call).
+func TestKDTreeNearestNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	tree, err := NewKDTree(makeEntries(rng, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]geo.Point, 512)
+	for i := range queries {
+		queries[i] = randomAUPoint(rng)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		tree.Nearest(queries[i%len(queries)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Nearest allocated %v times per op, want 0", allocs)
+	}
+}
+
+// TestGridRadiusAntimeridianWrap is the regression test for the longitude
+// wrap fix: entries on both sides of ±180° must be found by queries whose
+// search disc crosses the seam.
+func TestGridRadiusAntimeridianWrap(t *testing.T) {
+	g, err := NewGrid(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	east := Entry{ID: 1, P: geo.Point{Lat: -18, Lon: 179.9}}
+	west := Entry{ID: 2, P: geo.Point{Lat: -18, Lon: -179.9}}
+	far := Entry{ID: 3, P: geo.Point{Lat: -18, Lon: 178.0}}
+	for _, e := range []Entry{east, west, far} {
+		g.Insert(e)
+	}
+	// ~21 km separate the east and west entries across the seam.
+	for _, q := range []geo.Point{
+		{Lat: -18, Lon: 179.95},
+		{Lat: -18, Lon: -179.95},
+		{Lat: -18, Lon: 180},
+		{Lat: -18, Lon: -180},
+	} {
+		got := g.Radius(q, 30_000)
+		want := bruteRadius([]Entry{east, west, far}, q, 30_000)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d entries %v, want %d", q, len(got), got, len(want))
+		}
+		for _, e := range got {
+			if !want[e.ID] {
+				t.Fatalf("query %v: unexpected entry %d", q, e.ID)
+			}
+		}
+		if cnt := g.CountRadius(q, 30_000); cnt != len(want) {
+			t.Fatalf("query %v: CountRadius = %d, want %d", q, cnt, len(want))
+		}
+	}
+	// Both seam entries must see each other within 25 km.
+	if got := g.Radius(east.P, 25_000); len(got) != 2 {
+		t.Errorf("east seam query found %d entries, want 2 (east+west)", len(got))
+	}
+}

@@ -35,6 +35,9 @@ func (e *Extractor) Merge(o *Extractor) error {
 	if e.mapper != o.mapper {
 		return fmt.Errorf("mobility: merge extractors with different mappers")
 	}
+	if e.trackStats != o.trackStats {
+		return fmt.Errorf("mobility: merge extractors with different stats modes")
+	}
 	e.flushUser()
 	e.userTweets = 0
 	o.flushUser()
@@ -70,8 +73,6 @@ func (c *UserCounter) Merge(o *UserCounter) error {
 	if c.mapper != o.mapper {
 		return fmt.Errorf("mobility: merge user counters with different mappers")
 	}
-	c.flush()
-	o.flush()
 	if o.started {
 		if c.started && o.firstUser <= c.prevUser {
 			return fmt.Errorf("mobility: merge shards out of order: user %d after user %d", o.firstUser, c.prevUser)
@@ -82,6 +83,9 @@ func (c *UserCounter) Merge(o *UserCounter) error {
 		c.started = true
 		c.prevUser = o.prevUser
 	}
+	// Keep serials unique should anything observe after the merge: the
+	// merged counter has logically seen both sides' users.
+	c.serial += o.serial
 	for a, n := range o.counts {
 		c.counts[a] += n
 	}

@@ -18,11 +18,14 @@ import (
 
 // AreaMapper assigns coordinates to census areas using the paper's
 // search-radius rule: a point belongs to the nearest area centre within
-// radius ε, and to no area otherwise.
+// radius ε, and to no area otherwise. Assignment goes through a
+// precomputed index.Resolver, so the per-point cost is an array lookup for
+// the overwhelming majority of points; the resolver's internal k-d tree
+// remains the exact oracle it verifies against.
 type AreaMapper struct {
-	areas  []census.Area
-	radius float64
-	tree   *index.KDTree
+	areas    []census.Area
+	radius   float64
+	resolver *index.Resolver
 }
 
 // NewAreaMapper builds a mapper over the region set with the given search
@@ -41,11 +44,11 @@ func NewAreaMapper(rs census.RegionSet, radius float64) (*AreaMapper, error) {
 	for i, a := range rs.Areas {
 		entries[i] = index.Entry{ID: int64(i), P: a.Center}
 	}
-	tree, err := index.NewKDTree(entries)
+	resolver, err := index.NewResolver(entries, radius)
 	if err != nil {
 		return nil, fmt.Errorf("mobility: build area index: %w", err)
 	}
-	return &AreaMapper{areas: rs.Areas, radius: radius, tree: tree}, nil
+	return &AreaMapper{areas: rs.Areas, radius: radius, resolver: resolver}, nil
 }
 
 // Radius returns the mapper's search radius in metres.
@@ -58,13 +61,48 @@ func (m *AreaMapper) NumAreas() int { return len(m.areas) }
 func (m *AreaMapper) Area(i int) census.Area { return m.areas[i] }
 
 // Map returns the area index for p, or -1 when no centre lies within the
-// search radius.
+// search radius. It performs no heap allocations.
 func (m *AreaMapper) Map(p geo.Point) int {
-	e, _, ok := m.tree.NearestWithin(p, m.radius)
-	if !ok {
-		return -1
+	return int(m.resolver.Resolve(p))
+}
+
+// Resolver exposes the precomputed assignment index.
+func (m *AreaMapper) Resolver() *index.Resolver { return m.resolver }
+
+// MultiScaleMapper bundles the area mappers of several scales so a point
+// is decoded once and assigned at every scale in a single call — the §III
+// assignment the study pipeline repeats per scale, without repeating the
+// per-scale index walk per observer.
+type MultiScaleMapper struct {
+	mappers []*AreaMapper
+}
+
+// NewMultiScaleMapper builds the bundle. At least one mapper is required.
+func NewMultiScaleMapper(mappers ...*AreaMapper) (*MultiScaleMapper, error) {
+	if len(mappers) == 0 {
+		return nil, fmt.Errorf("mobility: multi-scale mapper needs at least one mapper")
 	}
-	return int(e.ID)
+	for i, m := range mappers {
+		if m == nil {
+			return nil, fmt.Errorf("mobility: multi-scale mapper slot %d is nil", i)
+		}
+	}
+	return &MultiScaleMapper{mappers: append([]*AreaMapper(nil), mappers...)}, nil
+}
+
+// Len returns the number of bundled mappers.
+func (m *MultiScaleMapper) Len() int { return len(m.mappers) }
+
+// Mapper returns the i-th bundled mapper.
+func (m *MultiScaleMapper) Mapper(i int) *AreaMapper { return m.mappers[i] }
+
+// MapAll assigns p at every bundled scale, writing the area index (or -1)
+// for mapper i into out[i]. out must have at least Len() elements. The
+// call performs no heap allocations.
+func (m *MultiScaleMapper) MapAll(p geo.Point, out []int) {
+	for i, am := range m.mappers {
+		out[i] = am.Map(p)
+	}
 }
 
 // FlowMatrix holds the directed flow counts between the areas of one
@@ -119,10 +157,16 @@ func (f *FlowMatrix) Pairs() (src, dst []int, flow []float64) {
 
 // Extractor accumulates flows and trajectory statistics from a tweet
 // stream that arrives in (user, time) order — the canonical tweetdb order.
-// Feed every tweet via Observe, then read the results.
+// Feed every tweet via Observe (or ObserveArea when the assignment was
+// already computed by a shared mapper), then read the results.
 type Extractor struct {
 	mapper *AreaMapper
 	flows  *FlowMatrix
+	// trackStats selects whether the trajectory statistics (Table I,
+	// Fig. 2, the displacement and gyration series) are accumulated. Flow
+	// extraction never needs them, and the study pipeline reads them from
+	// a single extractor, so the others run lean.
+	trackStats bool
 
 	firstUser int64
 	prevUser  int64
@@ -137,7 +181,7 @@ type Extractor struct {
 	userTweets   int
 	perUserCount []float64
 	waitingSecs  []float64
-	userCells    map[string]bool
+	userCells    map[uint64]struct{} // geohash-5 cell IDs (geo.GeohashCellID)
 	perUserCells []float64
 	// Displacements between consecutive tweets of the same user, in
 	// kilometres (the Δr distribution of Hawelka et al., the paper's
@@ -153,13 +197,28 @@ type Extractor struct {
 	perUserGyration  []float64
 }
 
-// NewExtractor builds an extractor over the mapper.
+// NewExtractor builds an extractor over the mapper that accumulates both
+// flows and the full trajectory statistics.
 func NewExtractor(mapper *AreaMapper) *Extractor {
 	return &Extractor{
-		mapper:    mapper,
-		flows:     NewFlowMatrix(mapper.areas),
-		prevArea:  -1,
-		userCells: map[string]bool{},
+		mapper:     mapper,
+		flows:      NewFlowMatrix(mapper.areas),
+		trackStats: true,
+		prevArea:   -1,
+		userCells:  map[uint64]struct{}{},
+	}
+}
+
+// NewFlowExtractor builds a lean extractor over the mapper: it accumulates
+// the flow matrix and the tweet/user counters but skips the trajectory
+// statistics (waiting times, displacements, geohash cells, gyration),
+// which cost a per-tweet hash insert and trig the flow extraction never
+// reads. Stats on a lean extractor returns empty series.
+func NewFlowExtractor(mapper *AreaMapper) *Extractor {
+	return &Extractor{
+		mapper:   mapper,
+		flows:    NewFlowMatrix(mapper.areas),
+		prevArea: -1,
 	}
 }
 
@@ -170,25 +229,36 @@ func NewExtractor(mapper *AreaMapper) *Extractor {
 // per-area count is wanted.
 func NewStatsExtractor() *Extractor {
 	return &Extractor{
-		flows:     NewFlowMatrix(nil),
-		prevArea:  -1,
-		userCells: map[string]bool{},
+		flows:      NewFlowMatrix(nil),
+		trackStats: true,
+		prevArea:   -1,
+		userCells:  map[uint64]struct{}{},
 	}
 }
 
-// Observe consumes the next tweet. Tweets must arrive sorted by
-// (user, time); violations are reported as errors because they would
-// silently corrupt the flow counts.
+// Observe consumes the next tweet, assigning it through the extractor's
+// own mapper. Tweets must arrive sorted by (user, time); violations are
+// reported as errors because they would silently corrupt the flow counts.
 func (e *Extractor) Observe(t tweet.Tweet) error {
+	area := -1
+	if e.mapper != nil {
+		area = e.mapper.Map(t.Point())
+	}
+	return e.ObserveArea(t, area)
+}
+
+// ObserveArea consumes the next tweet with its area assignment already
+// resolved (by the extractor's own mapper or an equivalent shared one);
+// area is the assigned area index, -1 for unassigned. This is the hot
+// path of the study pipeline: a shared mobility.MultiScaleMapper resolves
+// every scale once per tweet and fans the assignments out to the
+// observers, so no observer repeats the spatial lookup.
+func (e *Extractor) ObserveArea(t tweet.Tweet, area int) error {
 	if e.started && t.UserID == e.prevUser && t.TS < e.prevTS {
 		return fmt.Errorf("mobility: stream out of order: user %d saw ts %d after %d", t.UserID, t.TS, e.prevTS)
 	}
 	if e.started && t.UserID < e.prevUser {
 		return fmt.Errorf("mobility: stream out of order: user %d after user %d", t.UserID, e.prevUser)
-	}
-	area := -1
-	if e.mapper != nil {
-		area = e.mapper.Map(t.Point())
 	}
 	e.tweetsSeen++
 	if area >= 0 {
@@ -205,10 +275,12 @@ func (e *Extractor) Observe(t tweet.Tweet) error {
 		e.userCount++
 		e.userTweets = 0
 	} else {
-		// Same user: waiting time between consecutive tweets (Fig. 2b).
-		e.waitingSecs = append(e.waitingSecs, float64(t.TS-e.prevTS)/1000)
-		// Displacement between consecutive tweets (extension figure).
-		e.displacementsKM = append(e.displacementsKM, geo.Haversine(e.prevPoint, t.Point())/1000)
+		if e.trackStats {
+			// Same user: waiting time between consecutive tweets (Fig. 2b).
+			e.waitingSecs = append(e.waitingSecs, float64(t.TS-e.prevTS)/1000)
+			// Displacement between consecutive tweets (extension figure).
+			e.displacementsKM = append(e.displacementsKM, geo.Haversine(e.prevPoint, t.Point())/1000)
+		}
 		// Flow contribution when both ends are mapped (§IV).
 		if e.prevArea >= 0 && area >= 0 {
 			if e.prevArea == area {
@@ -219,24 +291,26 @@ func (e *Extractor) Observe(t tweet.Tweet) error {
 		}
 	}
 	e.userTweets++
-	e.userCells[geo.EncodeGeohash(t.Point(), 5)] = true
-	lat, lon := t.Point().Radians()
-	cosLat := cos(lat)
-	e.sumX += cosLat * cos(lon)
-	e.sumY += cosLat * sin(lon)
-	e.sumZ += sin(lat)
+	if e.trackStats {
+		e.userCells[geo.GeohashCellID(t.Point(), 5)] = struct{}{}
+		lat, lon := t.Point().Radians()
+		cosLat := cos(lat)
+		e.sumX += cosLat * cos(lon)
+		e.sumY += cosLat * sin(lon)
+		e.sumZ += sin(lat)
+		e.prevPoint = t.Point()
+	}
 	e.prevTS = t.TS
 	e.prevArea = area
-	e.prevPoint = t.Point()
 	return nil
 }
 
 // flushUser closes out the per-user accumulators.
 func (e *Extractor) flushUser() {
-	if e.userTweets > 0 {
+	if e.userTweets > 0 && e.trackStats {
 		e.perUserCount = append(e.perUserCount, float64(e.userTweets))
 		e.perUserCells = append(e.perUserCells, float64(len(e.userCells)))
-		e.userCells = map[string]bool{}
+		clear(e.userCells)
 		// Chord-based radius of gyration in km: ‖p̄‖ <= 1 with equality
 		// only when every tweet sits at the same point.
 		n := float64(e.userTweets)
@@ -292,15 +366,18 @@ func sqrt(v float64) float64 { return math.Sqrt(v) }
 
 // UniqueUsersPerArea counts, per area, the distinct users with at least one
 // tweet mapped to the area — the paper's "Twitter population" (§III).
-// The stream must arrive in (user, time) order so the per-user distinct-
-// area set stays bounded by the area count.
+// The stream must arrive in (user, time) order so per-user deduplication
+// reduces to an epoch-stamped mark array: mark[a] records the serial of
+// the last user who touched area a, so the per-tweet cost is two array
+// accesses and no allocation.
 type UserCounter struct {
 	mapper    *AreaMapper
 	counts    []float64
+	mark      []int64 // mark[a] == serial of the last user counted in a
+	serial    int64   // current user's serial, starting at 1
 	firstUser int64
 	prevUser  int64
 	started   bool
-	seen      map[int]bool
 }
 
 // NewUserCounter builds a counter over the mapper.
@@ -308,38 +385,38 @@ func NewUserCounter(mapper *AreaMapper) *UserCounter {
 	return &UserCounter{
 		mapper: mapper,
 		counts: make([]float64, mapper.NumAreas()),
-		seen:   map[int]bool{},
+		mark:   make([]int64, mapper.NumAreas()),
 	}
 }
 
-// Observe consumes the next tweet (sorted by user).
+// Observe consumes the next tweet (sorted by user), assigning it through
+// the counter's own mapper.
 func (c *UserCounter) Observe(t tweet.Tweet) error {
+	return c.ObserveArea(t, c.mapper.Map(t.Point()))
+}
+
+// ObserveArea consumes the next tweet with its area assignment already
+// resolved; area is the assigned area index, -1 for unassigned.
+func (c *UserCounter) ObserveArea(t tweet.Tweet, area int) error {
 	if c.started && t.UserID < c.prevUser {
 		return fmt.Errorf("mobility: user counter stream out of order: user %d after %d", t.UserID, c.prevUser)
 	}
 	if !c.started || t.UserID != c.prevUser {
-		c.flush()
 		if !c.started {
 			c.firstUser = t.UserID
 		}
 		c.prevUser = t.UserID
 		c.started = true
+		c.serial++
 	}
-	if a := c.mapper.Map(t.Point()); a >= 0 {
-		c.seen[a] = true
+	if area >= 0 && c.mark[area] != c.serial {
+		c.mark[area] = c.serial
+		c.counts[area]++
 	}
 	return nil
 }
 
-func (c *UserCounter) flush() {
-	for a := range c.seen {
-		c.counts[a]++
-	}
-	c.seen = map[int]bool{}
-}
-
-// Counts finalises and returns the per-area unique user counts.
+// Counts returns the per-area unique user counts.
 func (c *UserCounter) Counts() []float64 {
-	c.flush()
 	return c.counts
 }
