@@ -15,6 +15,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"geomob/internal/census"
 	"geomob/internal/epidemic"
@@ -22,6 +23,7 @@ import (
 	"geomob/internal/geo"
 	"geomob/internal/heatmap"
 	"geomob/internal/index"
+	"geomob/internal/live"
 	"geomob/internal/mobility"
 	"geomob/internal/models"
 	"geomob/internal/randx"
@@ -450,6 +452,68 @@ func BenchmarkTweetDecode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(tweets)))
+}
+
+// BenchmarkIngest measures the streaming write path end to end — the
+// cost of absorbing one tweet through live.Ingestor: durable append into
+// the store plus routing through the multi-scale assignment hot path
+// into the bucket ring (DESIGN.md §7). tweets/sec is the headline ingest
+// throughput the live service sustains.
+func BenchmarkIngest(b *testing.B) {
+	tweets := makeBenchTweets(50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := tweetdb.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg, err := live.NewAggregator(live.Options{BucketWidth: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ing, err := live.NewIngestor(store, agg, 1<<14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, t := range tweets {
+			if err := ing.Add(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ing.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tweets)), "tweets/op")
+	b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkLiveQuery measures a warm windowed fold: answering a request
+// from materialised bucket partials, no storage or spatial work.
+func BenchmarkLiveQuery(b *testing.B) {
+	tweets := makeBenchTweets(50000)
+	agg, err := live.NewAggregator(live.Options{BucketWidth: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := agg.Ingest(tweets); err != nil {
+		b.Fatal(err)
+	}
+	req := StudyRequest{Analyses: []Analysis{AnalysisFlows}, Scales: []Scale{ScaleNational}}
+	if _, err := agg.Query(req); err != nil { // materialise the partials
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Query(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tweets)), "tweets/op")
 }
 
 // BenchmarkStoreScan measures full-store scan throughput including

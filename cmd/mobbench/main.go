@@ -11,7 +11,8 @@
 // The default benchmark set covers the study pipeline's hot paths: the
 // end-to-end single-worker study pass, the grid-resolved area assignment
 // and its k-d tree reference, the multi-scale assignment, the geodesic
-// kernel and the store scan.
+// kernel, the store scan, the live ingest path (tweets/sec through
+// durable append + bucket-ring routing) and the warm bucket-fold query.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 // defaultBenchRegex selects the perf-trajectory benchmarks.
-const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$"
+const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$|BenchmarkIngest$|BenchmarkLiveQuery$"
 
 // BenchResult is one benchmark's parsed measurements. Metric keys are the
 // benchmark units with "/op" trimmed and slashes made JSON-friendly:
@@ -169,6 +170,13 @@ func parseBenchLine(line string) (BenchResult, bool) {
 					r.Extra = map[string]float64{}
 				}
 				r.Extra[strings.TrimSuffix(unit, "/op")] = v
+			} else if strings.HasSuffix(unit, "/sec") {
+				// Rate metrics (tweets/sec on the ingest path) keep their
+				// full unit as the key.
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
 			}
 		}
 	}

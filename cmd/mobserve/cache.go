@@ -7,23 +7,38 @@ import (
 	"geomob/internal/core"
 )
 
-// maxSnapshots bounds the per-generation entry count. Distinct windowed
-// requests are unbounded, so the map resets wholesale when full — simple,
-// and the recompute cost is one streaming pass.
+// maxSnapshots bounds the cache entry count. Distinct windowed requests
+// are unbounded, so the cache evicts oldest-first when full: one burst of
+// distinct windows ages out the stalest entries instead of wiping every
+// warm one at once.
 const maxSnapshots = 128
 
-// snapshotCache memoises completed Study executions keyed on the
-// canonical request (core.Request.Key) and the store generation
-// (tweetdb.Store.Generation). The sharded pipeline's merge contract
-// (DESIGN.md §4) makes the cached value exact: a pass over an unchanged
-// segment set is deterministic, so the merged observer state from one
-// completed pass answers every repeated request until the segment set
-// changes. Invalidation is wholesale — the first lookup under a new
-// generation drops every snapshot of the old one.
+// snapshotCache memoises completed Study executions keyed on a composite
+// string the caller builds from the canonical request (core.Request.Key)
+// plus a validity component: the store generation
+// (tweetdb.Store.Generation) for full-rescan computations, or the live
+// bucket-coverage fingerprint (live.Aggregator.CoverageKey) for
+// bucket-fold computations. Because validity lives in the key, an append
+// invalidates exactly the entries whose coverage it touched — entries
+// over unchanged buckets keep hitting across store generations — and
+// stale entries age out through the oldest-first eviction instead of a
+// wholesale reset.
+//
+// The §4/§7 merge contracts make the cached value exact: a pass (or
+// fold) over fixed inputs is deterministic, so one completed computation
+// answers every repeat of its key.
 type snapshotCache struct {
 	mu      sync.Mutex
-	gen     uint64
 	entries map[string]*snapshot
+	// order is the FIFO insertion order backing oldest-first eviction.
+	// Slots whose entry was already replaced or removed are skipped.
+	order        []cacheSlot
+	hits, misses int64
+}
+
+type cacheSlot struct {
+	key string
+	e   *snapshot
 }
 
 // snapshot is one memoised execution; ready closes once res/err are set,
@@ -38,32 +53,45 @@ func newSnapshotCache() *snapshotCache {
 	return &snapshotCache{entries: map[string]*snapshot{}}
 }
 
-// get returns the result for the current generation and key, running
-// compute at most once per generation. genFn is resolved under the cache
-// lock, in the same critical section that inserts the entry, so a slow
-// request can never wipe the cache with a generation it read before a
-// concurrent append (a compute may still observe a segment set fresher
-// than its key — never staler — which self-heals at the next lookup).
-// cached reports whether the result was served without invoking compute.
-// Failed computations are not kept: the entry is dropped so the next
-// request retries — a cancelled or panicking pass must not poison the
-// key for everyone else.
-func (c *snapshotCache) get(genFn func() uint64, key string, compute func() (*core.Result, error)) (res *core.Result, cached bool, err error) {
+// stats reports how many lookups were served from a completed or
+// in-flight entry (hits) versus how many invoked compute (misses).
+func (c *snapshotCache) stats() (hits, misses int64) {
 	c.mu.Lock()
-	if gen := genFn(); c.gen != gen {
-		c.gen = gen
-		c.entries = map[string]*snapshot{}
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// evictLocked drops oldest entries until the cache fits. Caller holds
+// c.mu. Only slots still holding their original entry count — a key that
+// failed and was re-inserted occupies a younger slot.
+func (c *snapshotCache) evictLocked() {
+	for len(c.entries) >= maxSnapshots && len(c.order) > 0 {
+		slot := c.order[0]
+		c.order = c.order[1:]
+		if c.entries[slot.key] == slot.e {
+			delete(c.entries, slot.key)
+		}
 	}
+}
+
+// get returns the result for key, running compute at most once per key
+// while the entry lives. cached reports whether the result was served
+// without invoking compute. Failed computations are not kept: the entry
+// is dropped so the next request retries — a cancelled or panicking pass
+// must not poison the key for everyone else.
+func (c *snapshotCache) get(key string, compute func() (*core.Result, error)) (res *core.Result, cached bool, err error) {
+	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		c.hits++
 		c.mu.Unlock()
 		<-e.ready
 		return e.res, true, e.err
 	}
-	if len(c.entries) >= maxSnapshots {
-		c.entries = map[string]*snapshot{}
-	}
+	c.misses++
+	c.evictLocked()
 	e := &snapshot{ready: make(chan struct{})}
 	c.entries[key] = e
+	c.order = append(c.order, cacheSlot{key: key, e: e})
 	c.mu.Unlock()
 
 	// ready must close and failed entries must be dropped even if
@@ -79,6 +107,15 @@ func (c *snapshotCache) get(genFn func() uint64, key string, compute func() (*co
 			c.mu.Lock()
 			if c.entries[key] == e {
 				delete(c.entries, key)
+			}
+			// Reclaim the order slot too: failures never reach the
+			// eviction sweep (the map stays small), so leaving the slot
+			// would leak one per failed computation forever.
+			for idx := range c.order {
+				if c.order[idx].e == e {
+					c.order = append(c.order[:idx], c.order[idx+1:]...)
+					break
+				}
 			}
 			c.mu.Unlock()
 		}

@@ -1,30 +1,39 @@
 // mobserve exposes a tweetdb store over HTTP: corpus statistics, windowed
-// queries, density tiles and a versioned analysis API over the Study
-// pipeline. It demonstrates the "responsive prediction" deployment the
-// paper motivates — an always-on service answering population and
-// mobility queries from a live store, from cached snapshots whenever the
-// store has not changed.
+// queries, density tiles, a versioned analysis API over the Study
+// pipeline and a streaming NDJSON ingest endpoint. It demonstrates the
+// near-real-time deployment the paper motivates — an always-on service
+// absorbing a continuous tweet feed and answering population and
+// mobility queries from materialised time buckets (DESIGN.md §7), from
+// cached snapshots whenever their bucket coverage has not changed.
 //
 // Usage:
 //
-//	mobserve -db /tmp/tweets.db -addr :8080
+//	mobserve -db /tmp/tweets.db -addr :8080 -live -bucket 1h
 //
 // Endpoints:
 //
-//	GET /healthz                       liveness + store generation
-//	GET /stats                         store-level statistics (segment metadata)
-//	GET /tweets?user=ID&limit=N        tweets of one user
-//	GET /tweets?from=RFC3339&to=...    tweets in a time window
-//	GET /density.png?nx=360&ny=280     tweet density heat map
-//	GET /flows?scale=national          OD flow matrix at a scale (uncached)
+//	GET  /healthz                      liveness, generation, scan + cache counters
+//	GET  /stats                        store-level statistics (segment metadata)
+//	GET  /tweets?user=ID&limit=N       tweets of one user
+//	GET  /tweets?from=RFC3339&to=...   tweets in a time window
+//	GET  /density.png?nx=360&ny=280    tweet density heat map
+//	GET  /flows?scale=national         OD flow matrix at a scale (uncached)
+//	POST /v1/ingest                    NDJSON tweet batch: appended to the
+//	                                   store and routed into the bucket ring
 //
-// Versioned analysis API (request-scoped Study executions, snapshot-cached
-// per store generation; `from`/`to` are RFC3339, `radius` is metres):
+// Versioned analysis API (request-scoped Study executions, snapshot-cached;
+// `from`/`to` are RFC3339, `radius` is metres):
 //
 //	GET /v1/stats?from=&to=                     Table I dataset statistics
 //	GET /v1/population?scale=&from=&to=&radius= §III population estimate
 //	GET /v1/models?scale=&from=&to=&radius=     §IV model comparison
 //	GET /v1/flows?scale=&from=&to=&radius=      OD flow extraction
+//
+// With -live, /v1 answers fold precomputed bucket partials — an append
+// invalidates only the cached results whose window covers the buckets it
+// landed in, and repeat queries over unchanged coverage do zero segment
+// scans. Without -live, snapshots are keyed on the store generation as
+// before (any append invalidates; the store must be compacted).
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"geomob/internal/core"
 	"geomob/internal/geo"
 	"geomob/internal/heatmap"
+	"geomob/internal/live"
 	"geomob/internal/mobility"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
@@ -65,6 +75,11 @@ type server struct {
 	// waiting on it, so the first requester's disconnect must not abort
 	// (and error out) everyone else's answer. Shutdown cancels it.
 	baseCtx context.Context
+	// agg is the live bucket ring (-live); nil keeps the classic
+	// generation-keyed full-rescan path. ing is the streaming write path
+	// behind POST /v1/ingest (always on; routes into agg when present).
+	agg *live.Aggregator
+	ing *live.Ingestor
 
 	// mappers caches the default-radius area mapper per scale: the
 	// gazetteer is immutable, so the grid resolver behind a mapper is
@@ -81,6 +96,55 @@ func newServer(store *tweetdb.Store, workers int) *server {
 		baseCtx: context.Background(),
 		mappers: map[census.Scale]*mobility.AreaMapper{},
 	}
+}
+
+// enableLive builds the bucket ring and backfills it from the store —
+// one scan at boot, then never again: every later record arrives through
+// /v1/ingest and is resolved exactly once on its way in.
+func (s *server) enableLive(width time.Duration) error {
+	agg, err := live.NewAggregator(live.Options{BucketWidth: width})
+	if err != nil {
+		return err
+	}
+	it := s.store.Scan(tweetdb.Query{})
+	defer it.Close()
+	batch := make([]tweet.Tweet, 0, 1<<14)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := agg.Ingest(batch)
+		batch = batch[:0]
+		return err
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, t)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	s.agg = agg
+	return nil
+}
+
+// initIngest wires the streaming write path (after enableLive, so flushed
+// batches route into the ring).
+func (s *server) initIngest() error {
+	ing, err := live.NewIngestor(s.store, s.agg, 0)
+	s.ing = ing
+	return err
 }
 
 // scaleMapper returns the cached default-radius mapper for the scale,
@@ -108,10 +172,12 @@ func main() {
 	log.SetPrefix("mobserve: ")
 
 	var (
-		dbDir   = flag.String("db", "", "tweetdb store directory (required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "parallel segment scan workers (0 = one per CPU)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		dbDir    = flag.String("db", "", "tweetdb store directory (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "parallel segment scan workers (0 = one per CPU)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		liveMode = flag.Bool("live", false, "materialize time-bucketed aggregates; /v1 answers fold buckets instead of rescanning")
+		bucket   = flag.Duration("bucket", time.Hour, "live aggregation bucket width (with -live)")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -122,6 +188,16 @@ func main() {
 		log.Fatal(err)
 	}
 	s := newServer(store, *workers)
+	if *liveMode {
+		if err := s.enableLive(*bucket); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("live aggregation on: %d records backfilled into %d buckets of %v",
+			s.agg.Ingested(), s.agg.Buckets(), *bucket)
+	}
+	if err := s.initIngest(); err != nil {
+		log.Fatal(err)
+	}
 
 	// SIGINT/SIGTERM cancel ctx; it is also the base context of every
 	// request and of the snapshot computations, so in-flight store scans
@@ -168,6 +244,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/population", s.handleV1Population)
 	mux.HandleFunc("GET /v1/models", s.handleV1Models)
 	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	return mux
 }
 
@@ -194,11 +271,54 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{
+	hits, misses := s.cache.stats()
+	resp := map[string]any{
 		"status":     "ok",
 		"tweets":     s.store.Count(),
 		"generation": strconv.FormatUint(s.store.Generation(), 16),
-	})
+		"scans":      s.store.ScanCount(),
+		"cache":      map[string]int64{"hits": hits, "misses": misses},
+	}
+	if s.agg != nil {
+		resp["live"] = map[string]any{
+			"buckets":  s.agg.Buckets(),
+			"width":    s.agg.Width().String(),
+			"ingested": s.agg.Ingested(),
+			"builds":   s.agg.Builds(),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleIngest drains an NDJSON tweet batch into the streaming write
+// path: durably appended to the store and, with -live, routed through
+// the assignment hot path into the bucket ring. Cached /v1 results whose
+// windows do not cover the landed buckets stay warm.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	n, err := s.ing.IngestNDJSON(r.Body)
+	if err != nil {
+		// The caller's records are a 400 (do not retry the payload);
+		// internal storage or routing failures are a 500. Ingest is
+		// at-least-once: records accepted before a 500 are (or will be)
+		// durable, so re-posting the same payload can duplicate them —
+		// the store has no dedup. Idempotent retry needs client-side
+		// resume from the accepted count.
+		code := http.StatusInternalServerError
+		if errors.Is(err, live.ErrBadInput) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, "ingest: %v (accepted %d records)", err, n)
+		return
+	}
+	resp := map[string]any{
+		"ingested":   n,
+		"tweets":     s.store.Count(),
+		"generation": strconv.FormatUint(s.store.Generation(), 16),
+	}
+	if s.agg != nil {
+		resp["buckets"] = s.agg.Buckets()
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -271,6 +391,7 @@ func (s *server) handleTweets(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	it := s.store.Scan(q)
+	defer it.Close()
 	var out []tweet.Tweet
 	for len(out) < limit {
 		t, ok := it.Next()
@@ -432,14 +553,51 @@ func parseV1Request(r *http.Request, analysis core.Analysis, scaled bool) (core.
 	return req, nil
 }
 
-// executeCached runs req against the store-backed Study through the
-// snapshot cache: an unchanged store answers repeated requests without a
-// single segment read. The computation runs under the server's lifetime
-// context, not the request's: several requests may be waiting on one
-// computation, so a single client's disconnect must not cancel it — the
-// pass completes, populates the snapshot, and serves everyone else.
+// executeCached answers req through the snapshot cache. In live mode the
+// cache key carries the request's bucket-coverage fingerprint and the
+// computation folds materialised partials — an append invalidates only
+// the entries whose window covers the buckets it landed in, and repeat
+// queries over unchanged coverage do zero segment scans. Shapes the ring
+// does not materialise (custom radii) fall back to an exact streaming
+// pass over the ring's records, still without touching the store.
+// Without -live, the key carries the store generation and the
+// computation is the classic store rescan. Computations run under the
+// server's lifetime context, not the request's: several requests may be
+// waiting on one computation, so a single client's disconnect must not
+// cancel it — the pass completes, populates the snapshot, and serves
+// everyone else.
 func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
-	return s.cache.get(s.store.Generation, req.Key(), func() (*core.Result, error) {
+	if s.agg != nil {
+		ckey, err := s.agg.CoverageKeyRequest(req)
+		switch {
+		case err == nil:
+			return s.cache.get(req.Key()+"|b="+ckey, func() (*core.Result, error) {
+				return s.agg.Query(req)
+			})
+		case errors.Is(err, live.ErrNotCovered):
+			// Key the fallback on the ring's own revision, not the store
+			// generation: the computation reads the ring, and during an
+			// ingest the store becomes durable momentarily before the
+			// ring routes the batch — a generation key taken in that gap
+			// would cache ring-stale data under a store-fresh key.
+			rev := strconv.FormatUint(s.agg.Revision(), 16)
+			return s.cache.get(req.Key()+"|rr="+rev, func() (*core.Result, error) {
+				tweets, err := s.agg.WindowTweetsRequest(req)
+				if err != nil {
+					return nil, err
+				}
+				study := core.NewStudyWithOptions(
+					core.SliceSource(tweets),
+					core.StudyOptions{Workers: s.scanWorkers()},
+				)
+				return study.Execute(s.baseCtx, req)
+			})
+		default:
+			return nil, false, err
+		}
+	}
+	gen := strconv.FormatUint(s.store.Generation(), 16)
+	return s.cache.get(req.Key()+"|g="+gen, func() (*core.Result, error) {
 		study := core.NewStudyWithOptions(
 			core.StoreSource{Store: s.store},
 			core.StudyOptions{Workers: s.scanWorkers()},

@@ -35,6 +35,7 @@ import (
 	"geomob/internal/core"
 	"geomob/internal/epidemic"
 	"geomob/internal/geo"
+	"geomob/internal/live"
 	"geomob/internal/mobility"
 	"geomob/internal/models"
 	"geomob/internal/population"
@@ -183,6 +184,41 @@ func NewStudy(src Source) *Study { return core.NewStudy(src) }
 // explicit execution options.
 func NewStudyWithOptions(src Source, opts StudyOptions) *Study {
 	return core.NewStudyWithOptions(src, opts)
+}
+
+// Live ingest and incremental aggregation (DESIGN.md §7).
+type (
+	// LiveAggregator is the time-bucket ring: it absorbs tweet batches
+	// through the assignment hot path once at ingest and answers
+	// windowed StudyRequests by folding materialised per-bucket partials
+	// — bit-identical to a cold full pass, with zero storage scans.
+	LiveAggregator = live.Aggregator
+	// LiveOptions configure the ring (bucket width, scales, radius,
+	// eviction bound).
+	LiveOptions = live.Options
+	// LiveIngestor is the streaming write path: batches are durably
+	// appended to a Store and routed into the ring in lockstep.
+	LiveIngestor = live.Ingestor
+)
+
+// Errors a LiveAggregator query can report: a request shape the ring does
+// not materialise, and a window reaching below the eviction floor.
+var (
+	ErrLiveNotCovered = live.ErrNotCovered
+	ErrLiveEvicted    = live.ErrEvicted
+)
+
+// NewLiveAggregator builds a bucket ring materialising the paper-default
+// request shape (all configured scales and analyses).
+func NewLiveAggregator(opts LiveOptions) (*LiveAggregator, error) {
+	return live.NewAggregator(opts)
+}
+
+// NewLiveIngestor builds the streaming write path over a store, routing
+// flushed batches into agg (nil for a durable-only ingest). batchSize 0
+// selects the store's default segment size.
+func NewLiveIngestor(store *Store, agg *LiveAggregator, batchSize int) (*LiveIngestor, error) {
+	return live.NewIngestor(store, agg, batchSize)
 }
 
 // Mobility models (§IV).

@@ -110,6 +110,7 @@ type StoreSource struct {
 // Each implements Source.
 func (s StoreSource) Each(fn func(tweet.Tweet) error) error {
 	it := s.Store.Scan(s.Query)
+	defer it.Close()
 	for {
 		t, ok := it.Next()
 		if !ok {
@@ -127,6 +128,7 @@ func (s StoreSource) Each(fn func(tweet.Tweet) error) error {
 // segment decode instead of draining the store.
 func (s StoreSource) EachContext(ctx context.Context, fn func(tweet.Tweet) error) error {
 	it := s.Store.Scan(s.Query)
+	defer it.Close()
 	n := 0
 	for {
 		if n&255 == 0 {
@@ -441,7 +443,13 @@ func (a *spanAcc) merge(o *spanAcc) {
 type planScale struct {
 	scale   census.Scale
 	regions census.RegionSet
-	mapper  *mobility.AreaMapper
+	// mapper is the spatial assignment machinery; nil on shape-only plans
+	// (AssembleFolded, PlanRequest), which never assign a point.
+	mapper *mobility.AreaMapper
+	// radius is the resolved search radius ε in metres (the request
+	// override, or the scale's paper default) — recorded on the plan so
+	// assembly does not need the mapper.
+	radius  float64
 	extract bool // flows or mobility requested: run an Extractor
 	count   bool // population or mobility requested: run a UserCounter
 }
@@ -470,9 +478,11 @@ type requestPlan struct {
 	statsIdx  int
 	statsOnly bool
 
-	// metro500Mapper drives the fixed ε = 0.5 km metropolitan variant
-	// (Fig. 3b); nil when the request does not cover it. metroSlot is its
-	// position in the shared mapper's output vector.
+	// metro marks that the fixed ε = 0.5 km metropolitan variant
+	// (Fig. 3b) is part of the plan; metro500Mapper drives it (nil on
+	// shape-only plans) and metroSlot is its position in the shared
+	// mapper's output vector.
+	metro          bool
 	metroRS        census.RegionSet
 	metro500Mapper *mobility.AreaMapper
 	metroSlot      int
@@ -489,8 +499,39 @@ type requestPlan struct {
 
 func (p *requestPlan) wants(a Analysis) bool { return p.want[a] }
 
-// buildPlan validates req and resolves it into an execution plan.
-func (s *Study) buildPlan(req Request) (*requestPlan, error) {
+// observerCount reports how many live observers one worker of this plan
+// runs — the quantity the request-scoped API minimises. Both the
+// streaming pass and AssembleFolded derive Result.Observers from it, so
+// the two execution paths report identically.
+func (p *requestPlan) observerCount() int {
+	n := 0
+	for _, sc := range p.scales {
+		if sc.extract {
+			n++
+		}
+		if sc.count {
+			n++
+		}
+	}
+	if p.statsOnly {
+		n++ // the dedicated mapper-less stats extractor
+	}
+	if p.metro {
+		n++ // the metro 0.5 km counter
+	}
+	if p.wants(AnalysisStats) {
+		n++ // the span accumulator
+	}
+	return n
+}
+
+// buildPlan validates req against the gazetteer and resolves it into an
+// execution plan. The expensive spatial machinery (the grid resolvers
+// behind the area mappers) is built only when withMappers is set; a
+// shape-only plan carries the scales, radii and observer flags, which is
+// all that plan introspection (PlanRequest) and folded assembly
+// (AssembleFolded) need.
+func buildPlan(gaz *census.Gazetteer, req Request, withMappers bool) (*requestPlan, error) {
 	for _, a := range req.Analyses {
 		switch a {
 		case AnalysisStats, AnalysisPopulation, AnalysisMobility, AnalysisFlows:
@@ -532,18 +573,25 @@ func (s *Study) buildPlan(req Request) (*requestPlan, error) {
 				continue
 			}
 			seen[scale] = true
-			rs, err := s.gaz.Regions(scale)
+			rs, err := gaz.Regions(scale)
 			if err != nil {
 				return nil, fmt.Errorf("core: regions for %s: %w", scale, err)
 			}
-			mapper, err := mobility.NewAreaMapper(rs, req.Radius)
-			if err != nil {
-				return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
+			radius := req.Radius
+			if radius == 0 {
+				radius = scale.SearchRadius()
 			}
-			p.scales = append(p.scales, planScale{
-				scale: scale, regions: rs, mapper: mapper,
+			ps := planScale{
+				scale: scale, regions: rs, radius: radius,
 				extract: extract, count: count,
-			})
+			}
+			if withMappers {
+				ps.mapper, err = mobility.NewAreaMapper(rs, req.Radius)
+				if err != nil {
+					return nil, fmt.Errorf("core: mapper for %s: %w", scale, err)
+				}
+			}
+			p.scales = append(p.scales, ps)
 		}
 	}
 	if p.wants(AnalysisStats) {
@@ -557,15 +605,21 @@ func (s *Study) buildPlan(req Request) (*requestPlan, error) {
 		}
 	}
 	if p.wants(AnalysisPopulation) && req.Radius == 0 && seen[census.ScaleMetropolitan] {
-		metroRS, err := s.gaz.Regions(census.ScaleMetropolitan)
+		metroRS, err := gaz.Regions(census.ScaleMetropolitan)
 		if err != nil {
 			return nil, err
 		}
 		p.metroRS = metroRS
-		p.metro500Mapper, err = mobility.NewAreaMapper(metroRS, 500)
-		if err != nil {
-			return nil, err
+		p.metro = true
+		if withMappers {
+			p.metro500Mapper, err = mobility.NewAreaMapper(metroRS, 500)
+			if err != nil {
+				return nil, err
+			}
 		}
+	}
+	if !withMappers {
+		return p, nil
 	}
 	// Bundle every assignment the plan performs into one shared
 	// multi-scale mapper: the streaming pass resolves each tweet once per
@@ -641,27 +695,49 @@ func newObserverSet(p *requestPlan) *observerSet {
 	return o
 }
 
-// observers counts the live observers of the set.
-func (o *observerSet) observers() int {
-	n := 0
-	for i := range o.extractors {
-		if o.extractors[i] != nil {
-			n++
-		}
-		if o.counters[i] != nil {
-			n++
-		}
+// passOutputs are the finalised products of one completed pass — whether
+// merged from worker shards (Execute) or folded from materialised bucket
+// partials (AssembleFolded). Slices are parallel to the plan's scales;
+// slots the plan does not need stay nil.
+type passOutputs struct {
+	tweets int64
+	stats  *mobility.Stats // nil unless the plan wants stats
+	span   spanAcc
+	counts [][]float64
+	flows  []*mobility.FlowMatrix
+	metro  []float64
+}
+
+// outputs extracts the final observer products of a completed (merged)
+// observer set — the values an external bucket fold reproduces.
+func (o *observerSet) outputs() *passOutputs {
+	p := o.plan
+	outs := &passOutputs{
+		tweets: o.tweets,
+		span:   o.span,
+		counts: make([][]float64, len(p.scales)),
+		flows:  make([]*mobility.FlowMatrix, len(p.scales)),
 	}
-	if o.statsExt != nil {
-		n++
+	if p.wants(AnalysisStats) {
+		statsExt := o.statsExt
+		if p.statsIdx >= 0 {
+			statsExt = o.extractors[p.statsIdx]
+		}
+		st := statsExt.Stats()
+		outs.stats = &st
+	}
+	for i := range p.scales {
+		if o.counters[i] != nil {
+			outs.counts[i] = o.counters[i].Counts()
+		}
+		if o.extractors[i] != nil {
+			outs.flows[i] = o.extractors[i].Flows()
+		}
 	}
 	if o.metro500 != nil {
-		n++
+		outs.metro = o.metro500.Counts()
 	}
-	if o.plan.wants(AnalysisStats) {
-		n++ // the span accumulator
-	}
-	return n
+	return outs
 }
 
 // observe feeds one tweet to every live observer, applying the request
@@ -838,7 +914,7 @@ func (s *Study) Execute(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p, err := s.buildPlan(req)
+	p, err := buildPlan(s.gaz, req, true)
 	if err != nil {
 		return nil, err
 	}
@@ -869,29 +945,28 @@ func (s *Study) Execute(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: stream pass: %w", err)
 	}
-	return assemble(p, merged)
+	return assemble(p, merged.outputs())
 }
 
-// assemble turns the merged observers into the requested parts of Result.
-func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
+// assemble turns the finalised pass outputs into the requested parts of
+// Result. It is shared by the streaming pass and by AssembleFolded, so
+// every downstream fit and correlation runs the identical float pipeline
+// regardless of how the observer state was produced.
+func assemble(p *requestPlan, outs *passOutputs) (*Result, error) {
 	// Every analysis is undefined over nothing: an empty source (or a
 	// window matching no tweets) is reported uniformly, not as whatever
 	// downstream fit happens to fail first.
-	if merged.tweets == 0 {
+	if outs.tweets == 0 {
 		return nil, ErrEmptyDataset
 	}
-	res := &Result{Observers: merged.observers()}
+	res := &Result{Observers: p.observerCount()}
 	var err error
 
 	// Table I statistics come from the first scale's extractor (the
 	// trajectory statistics are mapper-independent) — or the dedicated
 	// mapper-less one — plus the span accumulator from the same pass.
 	if p.wants(AnalysisStats) {
-		statsExt := merged.statsExt
-		if p.statsIdx >= 0 {
-			statsExt = merged.extractors[p.statsIdx]
-		}
-		res.Stats, err = buildStats(statsExt, &merged.span)
+		res.Stats, err = buildStats(*outs.stats, &outs.span)
 		if err != nil {
 			return nil, err
 		}
@@ -908,7 +983,7 @@ func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
 		if !sc.count {
 			continue
 		}
-		est, err := population.NewEstimate(sc.regions, sc.mapper.Radius(), merged.counters[i].Counts())
+		est, err := population.NewEstimate(sc.regions, sc.radius, outs.counts[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: population estimate for %s: %w", sc.scale, err)
 		}
@@ -923,8 +998,8 @@ func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
 				return nil, fmt.Errorf("core: pooled correlation: %w", err)
 			}
 		}
-		if merged.metro500 != nil {
-			res.PopulationMetro500m, err = population.NewEstimate(p.metroRS, 500, merged.metro500.Counts())
+		if outs.metro != nil {
+			res.PopulationMetro500m, err = population.NewEstimate(p.metroRS, 500, outs.metro)
 			if err != nil {
 				return nil, fmt.Errorf("core: metro 0.5 km estimate: %w", err)
 			}
@@ -940,7 +1015,7 @@ func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
 			if !sc.extract {
 				continue
 			}
-			flows := merged.extractors[i].Flows()
+			flows := outs.flows[i]
 			if p.wants(AnalysisMobility) {
 				mr, err := buildMobility(sc.scale, flows, estByScale[sc.scale].TwitterUsers)
 				if err != nil {
@@ -958,10 +1033,9 @@ func assemble(p *requestPlan, merged *observerSet) (*Result, error) {
 	return res, nil
 }
 
-// buildStats assembles Table I from the extractor's trajectory statistics
-// and the span accumulator, both filled by the single streaming pass.
-func buildStats(e *mobility.Extractor, span *spanAcc) (*DatasetStats, error) {
-	st := e.Stats()
+// buildStats assembles Table I from the pass's trajectory statistics and
+// span accumulator.
+func buildStats(st mobility.Stats, span *spanAcc) (*DatasetStats, error) {
 	ds := &DatasetStats{
 		BBox:            span.bbox,
 		Tweets:          int64(st.Tweets),

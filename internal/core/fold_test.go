@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"geomob/internal/census"
+)
+
+// TestPlanRequest: the exported plan introspection matches the execution
+// plan semantics external aggregators (internal/live) depend on.
+func TestPlanRequest(t *testing.T) {
+	t.Run("zero request is the full study", func(t *testing.T) {
+		info, err := PlanRequest(Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Analyses) != 3 || len(info.Scales) != 3 {
+			t.Fatalf("analyses=%v scales=%v", info.Analyses, info.Scales)
+		}
+		if !info.Stats || !info.Extract || !info.Count || !info.Metro500 {
+			t.Fatalf("flags: %+v", info)
+		}
+		if info.ScaleRadius[0] != census.ScaleNational.SearchRadius() {
+			t.Fatalf("national radius %v", info.ScaleRadius[0])
+		}
+	})
+	t.Run("stats only builds no scales", func(t *testing.T) {
+		info, err := PlanRequest(Request{Analyses: []Analysis{AnalysisStats}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Scales) != 0 || info.Extract || info.Count || info.Metro500 {
+			t.Fatalf("stats-only plan grew machinery: %+v", info)
+		}
+	})
+	t.Run("radius override disables the metro variant", func(t *testing.T) {
+		info, err := PlanRequest(Request{
+			Analyses: []Analysis{AnalysisPopulation},
+			Scales:   []census.Scale{census.ScaleMetropolitan, census.ScaleMetropolitan},
+			Radius:   750,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Scales) != 1 || info.Scales[0] != census.ScaleMetropolitan {
+			t.Fatalf("scales not deduped: %v", info.Scales)
+		}
+		if info.ScaleRadius[0] != 750 || info.Metro500 {
+			t.Fatalf("radius=%v metro=%v", info.ScaleRadius[0], info.Metro500)
+		}
+	})
+	t.Run("window normalisation", func(t *testing.T) {
+		from := time.UnixMilli(1000).UTC()
+		to := time.UnixMilli(5000).UTC()
+		info, err := PlanRequest(Request{From: from, To: to})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.FromTS != 1000 || info.ToTS != 5000 || !info.HasTo {
+			t.Fatalf("window: %+v", info)
+		}
+	})
+	t.Run("validation errors propagate", func(t *testing.T) {
+		if _, err := PlanRequest(Request{Analyses: []Analysis{"bogus"}}); err == nil {
+			t.Error("unknown analysis accepted")
+		}
+		if _, err := PlanRequest(Request{Radius: -1}); err == nil {
+			t.Error("negative radius accepted")
+		}
+		from := time.UnixMilli(5000).UTC()
+		if _, err := PlanRequest(Request{From: from, To: from}); err == nil {
+			t.Error("empty window accepted")
+		}
+	})
+}

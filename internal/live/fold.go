@@ -1,0 +1,192 @@
+package live
+
+import (
+	"math/bits"
+	"slices"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/geo"
+	"geomob/internal/mobility"
+)
+
+// fold merges the chronological partials covering one request window into
+// the folded pass core.AssembleFolded consumes. The merge walks users in
+// ascending id — the canonical stream order — and, per user, visits that
+// user's records bucket by bucket in time order, so:
+//
+//   - integer aggregates (tweet counts, flow matrices, unique-user
+//     bitsets, distinct cells) union or add exactly;
+//   - boundary quantities between buckets (the waiting time, displacement
+//     and flow transition between a user's last tweet in one bucket and
+//     first tweet in the next containing bucket) are computed with the
+//     same single operations the streaming extractor performs;
+//   - order-sensitive float series (per-user waiting/displacement series,
+//     the unit-vector sums behind the radius of gyration) are emitted in
+//     exactly the serial order, interior runs stitched with the boundary
+//     values, the gyration sums replayed addend by addend.
+//
+// The folded state is therefore bit-identical to the merged observer set
+// of a streaming pass over the same substream (property-tested).
+func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPass {
+	f := &core.FoldedPass{BBox: geo.EmptyBBox()}
+	for _, p := range parts {
+		f.Tweets += p.tweets
+		if p.seen {
+			f.BBox = f.BBox.Union(p.bbox)
+			if !f.Seen || p.firstTS < f.FirstTS {
+				f.FirstTS = p.firstTS
+			}
+			if !f.Seen || p.lastTS > f.LastTS {
+				f.LastTS = p.lastTS
+			}
+			f.Seen = true
+		}
+	}
+
+	// The request's scale slots in plan order, plus which count targets
+	// (per-scale counts, the metro variant) and flow matrices to fill.
+	slots := make([]int, len(info.Scales))
+	for i, sc := range info.Scales {
+		slots[i] = a.slotOf[sc]
+	}
+	type countTarget struct {
+		slot   int
+		counts []float64
+	}
+	var countTargets []countTarget
+	if info.Count {
+		f.Counts = map[census.Scale][]float64{}
+		for i, sc := range info.Scales {
+			c := make([]float64, len(a.regions[slots[i]].Areas))
+			f.Counts[sc] = c
+			countTargets = append(countTargets, countTarget{slot: slots[i], counts: c})
+		}
+	}
+	if info.Metro500 {
+		f.Metro500 = make([]float64, len(a.regions[a.metroSlot].Areas))
+		countTargets = append(countTargets, countTarget{slot: a.metroSlot, counts: f.Metro500})
+	}
+	var flowTargets []*mobility.FlowMatrix
+	if info.Extract {
+		f.Flows = map[census.Scale]*mobility.FlowMatrix{}
+		flowTargets = make([]*mobility.FlowMatrix, len(info.Scales))
+		for i, sc := range info.Scales {
+			fm := mobility.NewFlowMatrix(a.regions[slots[i]].Areas)
+			f.Flows[sc] = fm
+			flowTargets[i] = fm
+			// Interior transitions sum exactly in any order.
+			for _, p := range parts {
+				src := p.flows[slots[i]]
+				for r := range src.flows {
+					row := fm.Flows[r]
+					for c, v := range src.flows[r] {
+						row[c] += v
+					}
+					fm.Stays[r] += src.stays[r]
+				}
+			}
+		}
+	}
+	var st *mobility.Stats
+	if info.Stats {
+		st = &mobility.Stats{Tweets: int(f.Tweets)}
+	}
+
+	// k-way user-major merge across the chronological partials.
+	type rec struct {
+		p   *partial
+		row int
+	}
+	heads := make([]int, len(parts))
+	var recs []rec
+	var cellScratch []uint64
+	for {
+		u, found := int64(0), false
+		for pi, p := range parts {
+			if heads[pi] < len(p.users) && (!found || p.users[heads[pi]].id < u) {
+				u = p.users[heads[pi]].id
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		recs = recs[:0]
+		n := 0
+		for pi, p := range parts {
+			if heads[pi] < len(p.users) && p.users[heads[pi]].id == u {
+				recs = append(recs, rec{p: p, row: heads[pi]})
+				n += int(p.users[heads[pi]].n)
+				heads[pi]++
+			}
+		}
+
+		if st != nil {
+			st.Users++
+			st.TweetsPerUser = append(st.TweetsPerUser, float64(n))
+			var sx, sy, sz float64
+			cellScratch = cellScratch[:0]
+			for k, rc := range recs {
+				r := &rc.p.users[rc.row]
+				if k > 0 {
+					pr := &recs[k-1].p.users[recs[k-1].row]
+					st.WaitingSecs = append(st.WaitingSecs, mobility.WaitingSecs(pr.lastTS, r.firstTS))
+					st.DisplacementsKM = append(st.DisplacementsKM, mobility.DisplacementKM(pr.lastPt, r.firstPt))
+				}
+				st.WaitingSecs = append(st.WaitingSecs, rc.p.waits[r.w0:r.w1]...)
+				st.DisplacementsKM = append(st.DisplacementsKM, rc.p.disps[r.w0:r.w1]...)
+				for j := r.v0; j < r.v0+3*int(r.n); j += 3 {
+					sx += rc.p.vecs[j]
+					sy += rc.p.vecs[j+1]
+					sz += rc.p.vecs[j+2]
+				}
+				cellScratch = append(cellScratch, rc.p.cells[r.c0:r.c1]...)
+			}
+			slices.Sort(cellScratch)
+			distinct := 0
+			for i := range cellScratch {
+				if i == 0 || cellScratch[i] != cellScratch[i-1] {
+					distinct++
+				}
+			}
+			st.CellsPerUser = append(st.CellsPerUser, float64(distinct))
+			st.GyrationKM = append(st.GyrationKM, mobility.GyrationRadiusKM(sx, sy, sz, n))
+		}
+
+		for _, ct := range countTargets {
+			off := a.wordOff[ct.slot]
+			for w := 0; w < a.wordsPerSlot[ct.slot]; w++ {
+				var word uint64
+				for _, rc := range recs {
+					word |= rc.p.marks[rc.row*a.totalWords+off+w]
+				}
+				for word != 0 {
+					ct.counts[w*64+bits.TrailingZeros64(word)]++
+					word &= word - 1
+				}
+			}
+		}
+
+		if info.Extract && len(recs) > 1 {
+			for k := 1; k < len(recs); k++ {
+				prev, cur := recs[k-1], recs[k]
+				for i, slot := range slots {
+					pa := prev.p.lastArea[prev.row*a.slots+slot]
+					ca := cur.p.firstArea[cur.row*a.slots+slot]
+					if pa >= 0 && ca >= 0 {
+						if pa == ca {
+							flowTargets[i].Stays[ca]++
+						} else {
+							flowTargets[i].Flows[pa][ca]++
+						}
+					}
+				}
+			}
+		}
+	}
+	if st != nil {
+		f.Stats = st
+	}
+	return f
+}

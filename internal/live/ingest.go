@@ -1,0 +1,141 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// Ingestor is the streaming write path: it buffers records and, per
+// flushed batch, (1) persists the batch durably through a
+// tweetdb.Appender and (2) routes the same batch into the aggregator's
+// bucket ring, where each record passes the assignment hot path exactly
+// once. The two sides flush together, so the ring never lags the store.
+//
+// Unlike the bare Appender, an Ingestor is safe for concurrent use —
+// it is the front door of mobserve's POST /v1/ingest handler.
+type Ingestor struct {
+	mu  sync.Mutex
+	app *tweetdb.Appender
+	agg *Aggregator // nil disables ring routing (durable-only ingest)
+	// batch buffers the records of the in-progress flush; batch[:handed]
+	// were already handed to the appender, so a flush retried after a
+	// transient failure never re-appends them (no duplicate writes).
+	batch  []tweet.Tweet
+	handed int
+	limit  int
+	total  atomic.Int64
+}
+
+// ErrBadInput marks ingest failures caused by the caller's records —
+// malformed NDJSON or invalid tweets — as opposed to internal storage or
+// routing failures. Service layers map it to a 400 instead of a 500.
+var ErrBadInput = errors.New("live: bad ingest input")
+
+// NewIngestor builds an ingestor over the store, routing flushed batches
+// into agg (which may be nil for a durable-only ingest path). batchSize 0
+// selects tweetdb.DefaultSegmentRecords.
+func NewIngestor(store *tweetdb.Store, agg *Aggregator, batchSize int) (*Ingestor, error) {
+	app, err := tweetdb.NewAppender(store, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	if batchSize == 0 {
+		batchSize = tweetdb.DefaultSegmentRecords
+	}
+	return &Ingestor{
+		app:   app,
+		agg:   agg,
+		batch: make([]tweet.Tweet, 0, min(batchSize, 1<<14)),
+		limit: batchSize,
+	}, nil
+}
+
+// Add buffers one record, flushing when the batch fills.
+func (i *Ingestor) Add(t tweet.Tweet) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.batch = append(i.batch, t)
+	if len(i.batch) >= i.limit {
+		return i.flushLocked()
+	}
+	return nil
+}
+
+// Flush persists and routes any buffered records as one batch.
+func (i *Ingestor) Flush() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.flushLocked()
+}
+
+func (i *Ingestor) flushLocked() error {
+	if len(i.batch) == 0 {
+		return nil
+	}
+	// Hand each record to the appender exactly once: a retried Flush
+	// after a transient failure resumes at the high-water mark instead
+	// of re-appending records the appender (or an internal auto-flush)
+	// already owns. This makes flush retries on the same Ingestor safe;
+	// delivery to the Ingestor itself is still at-least-once — a caller
+	// that re-sends records it already handed in will duplicate them,
+	// as the store keeps no dedup state.
+	for i.handed < len(i.batch) {
+		if err := i.app.Add(i.batch[i.handed]); err != nil {
+			return err
+		}
+		i.handed++
+	}
+	if err := i.app.Flush(); err != nil {
+		return err
+	}
+	// Past this point the batch is durable: it must not be retried even
+	// if ring routing fails (it cannot — records were pre-validated —
+	// but a duplicate store write would be the worse failure).
+	routeErr := error(nil)
+	if i.agg != nil {
+		routeErr = i.agg.Ingest(i.batch)
+	}
+	i.total.Add(int64(len(i.batch)))
+	i.batch = i.batch[:0]
+	i.handed = 0
+	return routeErr
+}
+
+// Total returns the number of records flushed so far.
+func (i *Ingestor) Total() int64 { return i.total.Load() }
+
+// IngestNDJSON drains an NDJSON stream through the ingestor and flushes
+// at the end, returning how many records the stream contributed. On a
+// malformed record the error carries the line number and everything
+// before it is still flushed — the batch boundary the caller observes is
+// exactly what was accepted.
+func (i *Ingestor) IngestNDJSON(r io.Reader) (int, error) {
+	rd := tweet.NewNDJSONReader(r)
+	n := 0
+	for {
+		t, err := rd.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if ferr := i.Flush(); ferr != nil {
+				return n, ferr
+			}
+			return n, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		if err := i.Add(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, i.Flush()
+}

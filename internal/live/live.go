@@ -1,0 +1,612 @@
+// Package live is the streaming ingest and incremental aggregation
+// subsystem: it absorbs a continuous feed of tweet batches and answers
+// windowed Study requests by folding materialised per-bucket partial
+// states instead of rescanning storage segments.
+//
+// The design (DESIGN.md §7) rests on three pieces:
+//
+//   - an ingest path that routes every tweet through the grid-resolved
+//     assignment hot path (mobility.MultiScaleMapper) exactly once, at
+//     arrival, caching the per-slot area assignments, the geohash cell id
+//     and the unit sphere vector alongside the record in a time-bucket
+//     ring;
+//
+//   - one materialised partial per bucket — per-user boundary summaries
+//     (first/last timestamp, point and assignment), per-user interior
+//     series (waiting times, displacements, unit-vector addends, distinct
+//     cells) and interior flow matrices — rebuilt only when a batch lands
+//     in that bucket;
+//
+//   - a fold that merges the partials covering a [From, To) window in
+//     user-major order, stitching the cross-bucket boundaries (waiting
+//     times, displacements, flow transitions, unique-user bitsets) and
+//     replaying the per-user float accumulations in exactly the serial
+//     order, so the folded observer state — and hence the assembled
+//     Result — is bit-identical to a cold full pass over the same
+//     substream at any worker count.
+//
+// Requests whose window edges are not bucket-aligned fold the covered
+// buckets plus freshly built residual partials over the two partial edge
+// buckets; no path touches the backing store, so repeated windowed
+// queries leave tweetdb.Store.ScanCount unchanged.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/mobility"
+	"geomob/internal/tweet"
+)
+
+// ErrNotCovered reports that a request's shape (scales or radius) is not
+// materialised by this aggregator; callers fall back to a streaming pass.
+var ErrNotCovered = errors.New("live: request shape not materialized by this aggregator")
+
+// ErrEvicted reports that the request window reaches below the ring's
+// eviction floor: the buckets that held the data were dropped under
+// MaxBuckets pressure, so only the backing store can answer.
+var ErrEvicted = errors.New("live: request window reaches below the ring's eviction floor")
+
+// Options configure an Aggregator.
+type Options struct {
+	// BucketWidth is the fixed time-bucket width. Zero means one hour.
+	BucketWidth time.Duration
+	// Scales are the geographic scales to materialise. Empty means all
+	// three paper scales.
+	Scales []census.Scale
+	// Radius overrides the area-search radius ε in metres at every
+	// materialised scale, exactly like core.Request.Radius: zero keeps
+	// each scale's paper default and additionally materialises the fixed
+	// 0.5 km metropolitan variant (Fig. 3b) when the metropolitan scale
+	// is included.
+	Radius float64
+	// MaxBuckets bounds the ring; zero means unbounded. When exceeded,
+	// the oldest buckets are evicted and the eviction floor rises —
+	// windows reaching below it answer ErrEvicted.
+	MaxBuckets int
+}
+
+// Aggregator is the bucket ring: per fixed time bucket, the pre-resolved
+// records and a lazily materialised partial covering the full default
+// request shape (stats + population + mobility at every configured scale,
+// plus the metro 0.5 km variant), which subsumes every analysis subset.
+// It is safe for concurrent use.
+type Aggregator struct {
+	width  int64 // bucket width in ms
+	scales []census.Scale
+	// regions[s] is the region set of scale slot s; slot layout is the
+	// configured scales in order, then (optionally) the metro 0.5 km
+	// variant at metroSlot.
+	regions    []census.RegionSet
+	msm        *mobility.MultiScaleMapper
+	slotRadius []float64
+	slotOf     map[census.Scale]int
+	metroSlot  int // -1 when not materialised
+	slots      int
+	// Per-user area bitsets are flat: wordOff[s] is slot s's word offset
+	// within a user's totalWords-word row.
+	wordsPerSlot []int
+	wordOff      []int
+	totalWords   int
+	zeroWords    []uint64
+	maxBuckets   int
+
+	builds   atomic.Int64 // full-bucket partial materialisations
+	ingested atomic.Int64 // records accepted into the ring
+	dropped  atomic.Int64 // late records below the eviction floor
+
+	mu       sync.Mutex
+	buckets  map[int64]*bucket
+	rev      uint64
+	floorIdx int64 // buckets below this index were evicted
+	hasFloor bool
+}
+
+// bucket holds one time bucket's raw pre-resolved records plus the
+// materialised partial. assign/vecs/cells are parallel to tweets with
+// strides slots/3/1 — filled once at ingest, so a partial rebuild never
+// re-runs the spatial resolvers or the trigonometry.
+type bucket struct {
+	rev    uint64
+	tweets []tweet.Tweet
+	assign []int16
+	vecs   []float64
+	cells  []uint64
+	sorted bool
+	part   *partial
+}
+
+// NewAggregator builds the ring and its assignment machinery (one grid
+// resolver per slot, built once for the aggregator's lifetime).
+func NewAggregator(opts Options) (*Aggregator, error) {
+	width := opts.BucketWidth
+	if width == 0 {
+		width = time.Hour
+	}
+	if width < time.Millisecond {
+		return nil, fmt.Errorf("live: bucket width must be at least 1ms, got %v", width)
+	}
+	if opts.Radius < 0 || math.IsNaN(opts.Radius) || math.IsInf(opts.Radius, 0) {
+		return nil, fmt.Errorf("live: radius must be finite and non-negative, got %v", opts.Radius)
+	}
+	if opts.MaxBuckets < 0 {
+		return nil, fmt.Errorf("live: max buckets must be non-negative, got %d", opts.MaxBuckets)
+	}
+	scales := opts.Scales
+	if len(scales) == 0 {
+		scales = census.Scales()
+	}
+	a := &Aggregator{
+		width:      width.Milliseconds(),
+		metroSlot:  -1,
+		slotOf:     map[census.Scale]int{},
+		maxBuckets: opts.MaxBuckets,
+		buckets:    map[int64]*bucket{},
+	}
+	gaz := census.Australia()
+	var mappers []*mobility.AreaMapper
+	hasMetro := false
+	for _, sc := range scales {
+		if _, dup := a.slotOf[sc]; dup {
+			continue
+		}
+		rs, err := gaz.Regions(sc)
+		if err != nil {
+			return nil, fmt.Errorf("live: regions for %s: %w", sc, err)
+		}
+		m, err := mobility.NewAreaMapper(rs, opts.Radius)
+		if err != nil {
+			return nil, fmt.Errorf("live: mapper for %s: %w", sc, err)
+		}
+		a.slotOf[sc] = len(mappers)
+		a.scales = append(a.scales, sc)
+		a.regions = append(a.regions, rs)
+		a.slotRadius = append(a.slotRadius, m.Radius())
+		mappers = append(mappers, m)
+		hasMetro = hasMetro || sc == census.ScaleMetropolitan
+	}
+	if opts.Radius == 0 && hasMetro {
+		rs, err := gaz.Regions(census.ScaleMetropolitan)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mobility.NewAreaMapper(rs, 500)
+		if err != nil {
+			return nil, fmt.Errorf("live: metro 0.5 km mapper: %w", err)
+		}
+		a.metroSlot = len(mappers)
+		a.regions = append(a.regions, rs)
+		a.slotRadius = append(a.slotRadius, m.Radius())
+		mappers = append(mappers, m)
+	}
+	msm, err := mobility.NewMultiScaleMapper(mappers...)
+	if err != nil {
+		return nil, fmt.Errorf("live: bundle mappers: %w", err)
+	}
+	a.msm = msm
+	a.slots = len(mappers)
+	a.wordsPerSlot = make([]int, a.slots)
+	a.wordOff = make([]int, a.slots)
+	for s, rs := range a.regions {
+		a.wordOff[s] = a.totalWords
+		a.wordsPerSlot[s] = (len(rs.Areas) + 63) / 64
+		a.totalWords += a.wordsPerSlot[s]
+		if len(rs.Areas) > math.MaxInt16 {
+			return nil, fmt.Errorf("live: %d areas at slot %d exceed the int16 assignment encoding", len(rs.Areas), s)
+		}
+	}
+	a.zeroWords = make([]uint64, a.totalWords)
+	return a, nil
+}
+
+// Width returns the bucket width.
+func (a *Aggregator) Width() time.Duration { return time.Duration(a.width) * time.Millisecond }
+
+// Ingested returns the number of records accepted into the ring.
+func (a *Aggregator) Ingested() int64 { return a.ingested.Load() }
+
+// Dropped returns the number of late records rejected because they fall
+// below the eviction floor.
+func (a *Aggregator) Dropped() int64 { return a.dropped.Load() }
+
+// Builds returns the number of full-bucket partial materialisations — the
+// observable cost of invalidation: an ingest into bucket b forces at most
+// one rebuild of b's partial, and no other bucket's.
+func (a *Aggregator) Builds() int64 { return a.builds.Load() }
+
+// Revision returns the ring's global revision — advanced once per
+// (batch, touched bucket) pair. Cache layers key ring-wide fallback
+// computations on it so the key and the computed data share one source
+// of truth: a compute may observe a ring fresher than its key (which
+// self-heals at the next lookup), never staler.
+func (a *Aggregator) Revision() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rev
+}
+
+// Buckets returns the number of live buckets in the ring.
+func (a *Aggregator) Buckets() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}
+
+// bucketIdx maps a timestamp to its bucket index (floor division, exact
+// for negative timestamps too).
+func (a *Aggregator) bucketIdx(ts int64) int64 {
+	idx := ts / a.width
+	if ts%a.width != 0 && ts < 0 {
+		idx--
+	}
+	return idx
+}
+
+// Ingest routes one batch into the ring: every record is validated,
+// resolved through the multi-scale assignment hot path exactly once, and
+// appended — with its cached assignments, cell id and unit vector — to
+// its time bucket. Each touched bucket's revision advances once per
+// batch and its materialised partial is invalidated; untouched buckets
+// (and every cached result derived from them alone) stay warm.
+func (a *Aggregator) Ingest(batch []tweet.Tweet) error {
+	for _, t := range batch {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("live: ingest: %w", err)
+		}
+	}
+	// Resolve the whole batch before taking the lock: the mappers are
+	// immutable (Execute's workers already share them concurrently), so
+	// the expensive per-record work — grid resolution, trigonometry,
+	// cell hashing — must not stall concurrent queries on a.mu. The
+	// critical section below is pure appends and revision bumps.
+	slots := a.slots
+	assign := make([]int16, len(batch)*slots)
+	vecs := make([]float64, 3*len(batch))
+	cells := make([]uint64, len(batch))
+	buf := make([]int, slots)
+	for i, t := range batch {
+		pt := t.Point()
+		a.msm.MapAll(pt, buf)
+		for s, ar := range buf {
+			assign[i*slots+s] = int16(ar)
+		}
+		vecs[3*i], vecs[3*i+1], vecs[3*i+2] = mobility.UnitVec(pt)
+		cells[i] = geo5(pt)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touched := map[int64]*bucket{}
+	accepted := int64(0)
+	for i, t := range batch {
+		idx := a.bucketIdx(t.TS)
+		if a.hasFloor && idx < a.floorIdx {
+			a.dropped.Add(1)
+			continue
+		}
+		b := a.buckets[idx]
+		if b == nil {
+			b = &bucket{}
+			a.buckets[idx] = b
+		}
+		b.tweets = append(b.tweets, t)
+		b.assign = append(b.assign, assign[i*slots:(i+1)*slots]...)
+		b.vecs = append(b.vecs, vecs[3*i], vecs[3*i+1], vecs[3*i+2])
+		b.cells = append(b.cells, cells[i])
+		touched[idx] = b
+		accepted++
+	}
+	for _, b := range touched {
+		a.rev++
+		b.rev = a.rev
+		b.sorted = false
+		b.part = nil
+	}
+	a.ingested.Add(accepted)
+	a.evictLocked()
+	return nil
+}
+
+// evictLocked drops the oldest buckets until the ring fits MaxBuckets,
+// raising the eviction floor past them.
+func (a *Aggregator) evictLocked() {
+	if a.maxBuckets <= 0 {
+		return
+	}
+	for len(a.buckets) > a.maxBuckets {
+		oldest := int64(math.MaxInt64)
+		for idx := range a.buckets {
+			if idx < oldest {
+				oldest = idx
+			}
+		}
+		delete(a.buckets, oldest)
+		if !a.hasFloor || oldest+1 > a.floorIdx {
+			a.floorIdx = oldest + 1
+			a.hasFloor = true
+		}
+	}
+}
+
+// ensureSortedLocked establishes the canonical (user, time, id) order of
+// the bucket's parallel arrays. Caller holds a.mu.
+func ensureSortedLocked(b *bucket, slots int) {
+	if !b.sorted {
+		sort.Sort(&bucketOrder{b: b, slots: slots})
+		b.sorted = true
+	}
+}
+
+// bucketOrder co-sorts a bucket's parallel arrays by tweet.ByUserTime.
+type bucketOrder struct {
+	b     *bucket
+	slots int
+	tmp   [8]int16
+}
+
+func (s *bucketOrder) Len() int { return len(s.b.tweets) }
+func (s *bucketOrder) Less(i, j int) bool {
+	a, b := s.b.tweets[i], s.b.tweets[j]
+	if a.UserID != b.UserID {
+		return a.UserID < b.UserID
+	}
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.ID < b.ID
+}
+func (s *bucketOrder) Swap(i, j int) {
+	b := s.b
+	b.tweets[i], b.tweets[j] = b.tweets[j], b.tweets[i]
+	b.cells[i], b.cells[j] = b.cells[j], b.cells[i]
+	for k := 0; k < 3; k++ {
+		b.vecs[3*i+k], b.vecs[3*j+k] = b.vecs[3*j+k], b.vecs[3*i+k]
+	}
+	tmp := s.tmp[:s.slots]
+	copy(tmp, b.assign[i*s.slots:(i+1)*s.slots])
+	copy(b.assign[i*s.slots:(i+1)*s.slots], b.assign[j*s.slots:(j+1)*s.slots])
+	copy(b.assign[j*s.slots:(j+1)*s.slots], tmp)
+}
+
+// window resolves a plan's [FromTS, ToTS) bounds into effective record
+// bounds, replicating the streaming pass's epoch-sentinel semantics: a
+// lower bound is applied whenever any in-stream filtering is on.
+func window(info *core.PlanInfo) (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if info.FromTS != 0 || info.HasTo {
+		lo = info.FromTS
+	}
+	if info.HasTo {
+		hi = info.ToTS
+	}
+	return lo, hi
+}
+
+// bucketRange maps record bounds onto the bucket index range to visit,
+// clamped to the ring's extent. ok is false when the ring is empty.
+func (a *Aggregator) bucketRangeLocked(lo, hi int64) (loIdx, hiIdx int64, ok bool) {
+	if len(a.buckets) == 0 {
+		return 0, 0, false
+	}
+	minIdx, maxIdx := int64(math.MaxInt64), int64(math.MinInt64)
+	for idx := range a.buckets {
+		if idx < minIdx {
+			minIdx = idx
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	loIdx = minIdx
+	if lo != math.MinInt64 {
+		if i := a.bucketIdx(lo); i > loIdx {
+			loIdx = i
+		}
+	}
+	hiIdx = maxIdx
+	if hi != math.MaxInt64 {
+		if i := a.bucketIdx(hi - 1); i < hiIdx {
+			hiIdx = i
+		}
+	}
+	return loIdx, hiIdx, loIdx <= hiIdx
+}
+
+// checkFloorLocked rejects windows that reach below the eviction floor.
+func (a *Aggregator) checkFloorLocked(lo int64) error {
+	if !a.hasFloor {
+		return nil
+	}
+	if lo == math.MinInt64 || a.bucketIdx(lo) < a.floorIdx {
+		return ErrEvicted
+	}
+	return nil
+}
+
+// collect gathers, under the lock, the chronological partials covering
+// [lo, hi): the materialised partial of every fully covered bucket (built
+// on demand) plus freshly built residual partials for the at most two
+// partially covered edge buckets.
+func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.checkFloorLocked(lo); err != nil {
+		return nil, err
+	}
+	loIdx, hiIdx, ok := a.bucketRangeLocked(lo, hi)
+	if !ok {
+		return nil, nil
+	}
+	idxs := make([]int64, 0, len(a.buckets))
+	for idx := range a.buckets {
+		if idx >= loIdx && idx <= hiIdx {
+			idxs = append(idxs, idx)
+		}
+	}
+	slices.Sort(idxs)
+	parts := make([]*partial, 0, len(idxs))
+	for _, idx := range idxs {
+		b := a.buckets[idx]
+		if len(b.tweets) == 0 {
+			continue
+		}
+		start, end := idx*a.width, (idx+1)*a.width
+		ensureSortedLocked(b, a.slots)
+		if lo > start || hi < end {
+			// Partially covered edge bucket: residual partial over the
+			// in-window slice, built fresh (it depends on the request
+			// window, not just the bucket).
+			rLo, rHi := start, end
+			if lo > rLo {
+				rLo = lo
+			}
+			if hi < rHi {
+				rHi = hi
+			}
+			if p := a.buildRange(b, rLo, rHi); p.seen {
+				parts = append(parts, p)
+			}
+			continue
+		}
+		if b.part == nil {
+			b.part = a.buildRange(b, math.MinInt64, math.MaxInt64)
+			a.builds.Add(1)
+		}
+		if b.part.seen {
+			parts = append(parts, b.part)
+		}
+	}
+	return parts, nil
+}
+
+// CoverageKey fingerprints the bucket coverage of the record window
+// [lo, hi) (math.MinInt64/MaxInt64 for unbounded sides): the ring shape
+// plus (index, revision) of every live bucket the window touches. A
+// cached result keyed on it stays valid exactly until an ingest lands in
+// one of those buckets — or, for unbounded windows, anywhere.
+func (a *Aggregator) CoverageKey(lo, hi int64) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "w=%d;f=%v:%d;", a.width, a.hasFloor, a.floorIdx)
+	if loIdx, hiIdx, ok := a.bucketRangeLocked(lo, hi); ok {
+		idxs := make([]int64, 0, len(a.buckets))
+		for idx := range a.buckets {
+			if idx >= loIdx && idx <= hiIdx {
+				idxs = append(idxs, idx)
+			}
+		}
+		slices.Sort(idxs)
+		for _, idx := range idxs {
+			fmt.Fprintf(h, "%d:%d;", idx, a.buckets[idx].rev)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CoverageKeyRequest is CoverageKey for a request's window, after
+// checking that the aggregator materialises the request's shape. The
+// error is ErrNotCovered for foreign shapes, or the request's own
+// validation error.
+func (a *Aggregator) CoverageKeyRequest(req core.Request) (string, error) {
+	info, err := core.PlanRequest(req)
+	if err != nil {
+		return "", err
+	}
+	if err := a.covers(info); err != nil {
+		return "", err
+	}
+	lo, hi := window(info)
+	return a.CoverageKey(lo, hi), nil
+}
+
+// covers reports whether the aggregator materialises the plan's shape:
+// every plan scale at the plan's resolved radius, plus the metro 0.5 km
+// variant when the plan runs it.
+func (a *Aggregator) covers(info *core.PlanInfo) error {
+	for i, sc := range info.Scales {
+		slot, ok := a.slotOf[sc]
+		if !ok {
+			return fmt.Errorf("%w: scale %s", ErrNotCovered, sc)
+		}
+		if info.ScaleRadius[i] != a.slotRadius[slot] {
+			return fmt.Errorf("%w: radius %g at %s (materialized %g)",
+				ErrNotCovered, info.ScaleRadius[i], sc, a.slotRadius[slot])
+		}
+	}
+	if info.Metro500 && a.metroSlot < 0 {
+		return fmt.Errorf("%w: metro 0.5 km variant", ErrNotCovered)
+	}
+	return nil
+}
+
+// Query answers req by folding the materialised partials covering its
+// window — no storage scan, no spatial lookup — and assembling the
+// Result through core.AssembleFolded. The result is bit-identical to
+// Study.Execute over the same records (see the property tests).
+func (a *Aggregator) Query(req core.Request) (*core.Result, error) {
+	info, err := core.PlanRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.covers(info); err != nil {
+		return nil, err
+	}
+	lo, hi := window(info)
+	parts, err := a.collect(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return core.AssembleFolded(req, a.fold(info, parts))
+}
+
+// WindowTweetsRequest is WindowTweets for a request's window — the
+// streaming-fallback substream for request shapes the aggregator does
+// not materialise (custom radii).
+func (a *Aggregator) WindowTweetsRequest(req core.Request) ([]tweet.Tweet, error) {
+	info, err := core.PlanRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := window(info)
+	return a.WindowTweets(lo, hi)
+}
+
+// WindowTweets copies the ring's records in [lo, hi) (unbounded sides as
+// math.MinInt64/MaxInt64) into a fresh slice in canonical (user, time)
+// order — the exact substream a compacted store scan would yield. It
+// backs streaming fallbacks for request shapes the aggregator does not
+// materialise; like Query it never touches the store.
+func (a *Aggregator) WindowTweets(lo, hi int64) ([]tweet.Tweet, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.checkFloorLocked(lo); err != nil {
+		return nil, err
+	}
+	loIdx, hiIdx, ok := a.bucketRangeLocked(lo, hi)
+	if !ok {
+		return nil, nil
+	}
+	var out []tweet.Tweet
+	for idx, b := range a.buckets {
+		if idx < loIdx || idx > hiIdx {
+			continue
+		}
+		for i := range b.tweets {
+			if ts := b.tweets[i].TS; ts >= lo && (hi == math.MaxInt64 || ts < hi) {
+				out = append(out, b.tweets[i])
+			}
+		}
+	}
+	sort.Sort(tweet.ByUserTime(out))
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package live
+
+import (
+	"slices"
+
+	"geomob/internal/geo"
+	"geomob/internal/mobility"
+)
+
+// geo5 is the distinct-locations cell id the trajectory statistics count
+// (Table I "locations") — the same ~5 km geohash cell the extractor uses.
+func geo5(p geo.Point) uint64 { return geo.GeohashCellID(p, 5) }
+
+// partial is the materialised aggregation state of one time bucket (or of
+// the in-window residual slice of an edge bucket): everything the fold
+// needs to reconstruct, together with the neighbouring partials, the
+// exact observer state a serial streaming pass reaches over the union of
+// their records.
+//
+// Per-user data is flattened into partial-level arrays indexed by the
+// user's row; users are sorted by id, matching the canonical stream
+// order. Interior quantities (waiting times, displacements, flows between
+// consecutive in-bucket tweets) are precomputed with the very operations
+// the streaming extractor performs — single-sourced in package mobility —
+// so the fold only stitches bucket boundaries and replays addition
+// sequences; it never re-derives a float differently.
+type partial struct {
+	tweets          int64
+	bbox            geo.BBox
+	firstTS, lastTS int64
+	seen            bool
+
+	users []userPart
+	// firstArea/lastArea are the per-slot assignments of each user's
+	// first and last in-range tweet (stride = slots).
+	firstArea []int16
+	lastArea  []int16
+	// marks are per-user area bitsets over all slots (stride =
+	// totalWords): which areas the user touched — the unique-user
+	// counting primitive, unioned exactly across buckets.
+	marks []uint64
+	// flows[s] accumulates the interior transitions of scale slot s.
+	flows []flowAcc
+	// waits/disps hold each user's interior waiting times and
+	// displacements (ranges on userPart; the two are 1:1). cells holds
+	// each user's sorted distinct cell ids; vecs the per-tweet unit
+	// vector addends in time order (3 floats per tweet).
+	waits []float64
+	disps []float64
+	cells []uint64
+	vecs  []float64
+}
+
+// userPart is one user's boundary summary within a partial.
+type userPart struct {
+	id              int64
+	n               int32
+	firstTS, lastTS int64
+	firstPt, lastPt geo.Point
+	w0, w1          int // waits/disps range
+	c0, c1          int // cells range
+	v0              int // vecs offset (3*n floats follow)
+}
+
+// flowAcc is a dense interior flow accumulator for one scale slot.
+type flowAcc struct {
+	flows [][]float64
+	stays []float64
+}
+
+func newFlowAcc(n int) flowAcc {
+	f := flowAcc{flows: make([][]float64, n), stays: make([]float64, n)}
+	for i := range f.flows {
+		f.flows[i] = make([]float64, n)
+	}
+	return f
+}
+
+// buildRange materialises the partial for b's records with timestamps in
+// [lo, hi). b must be sorted; the caller holds the aggregator lock (the
+// build reads bucket storage but writes only fresh memory).
+func (a *Aggregator) buildRange(b *bucket, lo, hi int64) *partial {
+	p := &partial{bbox: geo.EmptyBBox(), flows: make([]flowAcc, len(a.scales))}
+	for s := range p.flows {
+		p.flows[s] = newFlowAcc(len(a.regions[s].Areas))
+	}
+	slots := a.slots
+	cellSeen := map[uint64]struct{}{}
+	var cellTmp []uint64
+	var cu *userPart
+	closeUser := func() {
+		if cu == nil {
+			return
+		}
+		cu.w1 = len(p.waits)
+		cellTmp = cellTmp[:0]
+		for c := range cellSeen {
+			cellTmp = append(cellTmp, c)
+		}
+		slices.Sort(cellTmp)
+		cu.c0 = len(p.cells)
+		p.cells = append(p.cells, cellTmp...)
+		cu.c1 = len(p.cells)
+		clear(cellSeen)
+	}
+	prevBase := -1
+	for i := range b.tweets {
+		t := &b.tweets[i]
+		if t.TS < lo || t.TS >= hi {
+			continue
+		}
+		base := i * slots
+		pt := t.Point()
+		p.tweets++
+		p.bbox = p.bbox.Extend(pt)
+		if !p.seen || t.TS < p.firstTS {
+			p.firstTS = t.TS
+		}
+		if !p.seen || t.TS > p.lastTS {
+			p.lastTS = t.TS
+		}
+		p.seen = true
+		if cu == nil || cu.id != t.UserID {
+			closeUser()
+			p.users = append(p.users, userPart{
+				id: t.UserID, firstTS: t.TS, firstPt: pt,
+				w0: len(p.waits), v0: len(p.vecs),
+			})
+			cu = &p.users[len(p.users)-1]
+			p.firstArea = append(p.firstArea, b.assign[base:base+slots]...)
+			p.lastArea = append(p.lastArea, b.assign[base:base+slots]...)
+			p.marks = append(p.marks, a.zeroWords...)
+		} else {
+			p.waits = append(p.waits, mobility.WaitingSecs(cu.lastTS, t.TS))
+			p.disps = append(p.disps, mobility.DisplacementKM(cu.lastPt, pt))
+			for s := range a.scales {
+				pa, ca := b.assign[prevBase+s], b.assign[base+s]
+				if pa >= 0 && ca >= 0 {
+					if pa == ca {
+						p.flows[s].stays[ca]++
+					} else {
+						p.flows[s].flows[pa][ca]++
+					}
+				}
+			}
+			copy(p.lastArea[(len(p.users)-1)*slots:], b.assign[base:base+slots])
+		}
+		cu.n++
+		cu.lastTS = t.TS
+		cu.lastPt = pt
+		mbase := (len(p.users) - 1) * a.totalWords
+		for s := 0; s < slots; s++ {
+			if ar := b.assign[base+s]; ar >= 0 {
+				p.marks[mbase+a.wordOff[s]+int(ar)>>6] |= 1 << (uint(ar) & 63)
+			}
+		}
+		cellSeen[b.cells[i]] = struct{}{}
+		p.vecs = append(p.vecs, b.vecs[3*i], b.vecs[3*i+1], b.vecs[3*i+2])
+		prevBase = base
+	}
+	closeUser()
+	return p
+}

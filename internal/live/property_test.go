@@ -1,0 +1,220 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+)
+
+// bitEqual reports whether two values are bit-for-bit identical: floats
+// compare by their IEEE-754 bits (NaN equals NaN, +0 differs from -0),
+// everything else structurally. This is the repo's "bit-identical"
+// invariant made executable — reflect.DeepEqual would falsely fail on
+// identical NaNs from degenerate correlations.
+func bitEqual(a, b reflect.Value) bool {
+	if a.Kind() != b.Kind() || a.Type() != b.Type() {
+		return false
+	}
+	switch a.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case reflect.Bool:
+		return a.Bool() == b.Bool()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return a.Int() == b.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return a.Uint() == b.Uint()
+	case reflect.String:
+		return a.String() == b.String()
+	case reflect.Ptr:
+		if a.IsNil() || b.IsNil() {
+			return a.IsNil() == b.IsNil()
+		}
+		if a.Pointer() == b.Pointer() {
+			return true
+		}
+		return bitEqual(a.Elem(), b.Elem())
+	case reflect.Interface:
+		if a.IsNil() || b.IsNil() {
+			return a.IsNil() == b.IsNil()
+		}
+		return bitEqual(a.Elem(), b.Elem())
+	case reflect.Slice:
+		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !bitEqual(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Array:
+		for i := 0; i < a.Len(); i++ {
+			if !bitEqual(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Map:
+		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
+			return false
+		}
+		for _, k := range a.MapKeys() {
+			bv := b.MapIndex(k)
+			if !bv.IsValid() || !bitEqual(a.MapIndex(k), bv) {
+				return false
+			}
+		}
+		return true
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if !bitEqual(a.Field(i), b.Field(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func resultsBitEqual(a, b *core.Result) bool {
+	return bitEqual(reflect.ValueOf(a), reflect.ValueOf(b))
+}
+
+// randomBatches shuffles a corpus and splits it into 1..maxBatches random
+// append batches — the adversarial arrival schedule: nothing about batch
+// composition or order is aligned with users, time or buckets.
+func randomBatches(rng *rand.Rand, all []tweet.Tweet, maxBatches int) [][]tweet.Tweet {
+	shuffled := append([]tweet.Tweet(nil), all...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := 1 + rng.Intn(maxBatches)
+	var batches [][]tweet.Tweet
+	for off := 0; off < len(shuffled); {
+		size := 1 + rng.Intn(2*len(shuffled)/n+1)
+		end := off + size
+		if end > len(shuffled) {
+			end = len(shuffled)
+		}
+		batches = append(batches, shuffled[off:end])
+		off = end
+	}
+	return batches
+}
+
+// TestBucketFoldMatchesExecuteProperty is the subsystem's signature
+// invariant: for random append schedules and random [From, To) windows,
+// the bucket-merged live results are bit-for-bit identical to a cold
+// Study.Execute full rescan of the same records — across all analyses
+// and across worker counts 1 and 8.
+func TestBucketFoldMatchesExecuteProperty(t *testing.T) {
+	widths := []time.Duration{6 * time.Hour, 24 * time.Hour, 31 * 24 * time.Hour}
+	trials := len(widths)
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("width=%v", widths[trial]), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(41 + trial)))
+			gen, err := synth.NewGenerator(synth.DefaultConfig(1200+200*trial, uint64(7+trial), 11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			all, err := gen.GenerateAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg, err := NewAggregator(Options{BucketWidth: widths[trial]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range randomBatches(rng, all, 7) {
+				if err := agg.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sorted := append([]tweet.Tweet(nil), all...)
+			sort.Sort(tweet.ByUserTime(sorted))
+			minTS, maxTS := sorted[0].TS, sorted[0].TS
+			for _, tw := range sorted {
+				minTS = min(minTS, tw.TS)
+				maxTS = max(maxTS, tw.TS)
+			}
+
+			study1 := core.NewStudyWithOptions(core.SliceSource(sorted), core.StudyOptions{Workers: 1})
+			study8 := core.NewStudyWithOptions(core.SliceSource(sorted), core.StudyOptions{Workers: 8})
+
+			randWindow := func() (time.Time, time.Time) {
+				span := maxTS - minTS
+				a := minTS + rng.Int63n(span)
+				b := minTS + rng.Int63n(span)
+				if a > b {
+					a, b = b, a
+				}
+				return time.UnixMilli(a).UTC(), time.UnixMilli(b + 1).UTC()
+			}
+
+			reqs := []core.Request{
+				{}, // the full study over the full stream
+				{Analyses: []core.Analysis{core.AnalysisStats}},
+				{Analyses: []core.Analysis{core.AnalysisFlows}, Scales: []census.Scale{census.ScaleNational}},
+			}
+			for i := 0; i < 4; i++ {
+				from, to := randWindow()
+				an := core.Analyses()[rng.Intn(4)]
+				req := core.Request{Analyses: []core.Analysis{an}, From: from, To: to}
+				if rng.Intn(2) == 0 {
+					req.Scales = []census.Scale{census.Scales()[rng.Intn(3)]}
+				}
+				reqs = append(reqs, req)
+			}
+			// A window guaranteed to match nothing: both sides must agree
+			// on ErrEmptyDataset.
+			reqs = append(reqs, core.Request{
+				From: time.UnixMilli(minTS - 10_000).UTC(),
+				To:   time.UnixMilli(minTS - 1).UTC(),
+			})
+
+			for ri, req := range reqs {
+				liveRes, liveErr := agg.Query(req)
+				ref1, err1 := study1.Execute(context.Background(), req)
+				ref8, err8 := study8.Execute(context.Background(), req)
+				if (err1 == nil) != (err8 == nil) {
+					t.Fatalf("req %d (%s): workers 1/8 disagree on error: %v vs %v", ri, req.Key(), err1, err8)
+				}
+				if err1 != nil {
+					if !errors.Is(err1, core.ErrEmptyDataset) {
+						t.Fatalf("req %d (%s): execute: %v", ri, req.Key(), err1)
+					}
+					if !errors.Is(liveErr, core.ErrEmptyDataset) {
+						t.Fatalf("req %d (%s): live err = %v, want ErrEmptyDataset", ri, req.Key(), liveErr)
+					}
+					continue
+				}
+				if liveErr != nil {
+					t.Fatalf("req %d (%s): live query: %v", ri, req.Key(), liveErr)
+				}
+				if !resultsBitEqual(ref1, ref8) {
+					t.Fatalf("req %d (%s): workers 1 and 8 diverge", ri, req.Key())
+				}
+				if !resultsBitEqual(liveRes, ref1) {
+					t.Fatalf("req %d (%s): bucket-merged result diverges from full rescan", ri, req.Key())
+				}
+			}
+		})
+	}
+}

@@ -277,9 +277,9 @@ func (e *Extractor) ObserveArea(t tweet.Tweet, area int) error {
 	} else {
 		if e.trackStats {
 			// Same user: waiting time between consecutive tweets (Fig. 2b).
-			e.waitingSecs = append(e.waitingSecs, float64(t.TS-e.prevTS)/1000)
+			e.waitingSecs = append(e.waitingSecs, WaitingSecs(e.prevTS, t.TS))
 			// Displacement between consecutive tweets (extension figure).
-			e.displacementsKM = append(e.displacementsKM, geo.Haversine(e.prevPoint, t.Point())/1000)
+			e.displacementsKM = append(e.displacementsKM, DisplacementKM(e.prevPoint, t.Point()))
 		}
 		// Flow contribution when both ends are mapped (§IV).
 		if e.prevArea >= 0 && area >= 0 {
@@ -293,11 +293,10 @@ func (e *Extractor) ObserveArea(t tweet.Tweet, area int) error {
 	e.userTweets++
 	if e.trackStats {
 		e.userCells[geo.GeohashCellID(t.Point(), 5)] = struct{}{}
-		lat, lon := t.Point().Radians()
-		cosLat := cos(lat)
-		e.sumX += cosLat * cos(lon)
-		e.sumY += cosLat * sin(lon)
-		e.sumZ += sin(lat)
+		x, y, z := UnitVec(t.Point())
+		e.sumX += x
+		e.sumY += y
+		e.sumZ += z
 		e.prevPoint = t.Point()
 	}
 	e.prevTS = t.TS
@@ -311,18 +310,43 @@ func (e *Extractor) flushUser() {
 		e.perUserCount = append(e.perUserCount, float64(e.userTweets))
 		e.perUserCells = append(e.perUserCells, float64(len(e.userCells)))
 		clear(e.userCells)
-		// Chord-based radius of gyration in km: ‖p̄‖ <= 1 with equality
-		// only when every tweet sits at the same point.
-		n := float64(e.userTweets)
-		norm2 := (e.sumX*e.sumX + e.sumY*e.sumY + e.sumZ*e.sumZ) / (n * n)
-		if norm2 > 1 {
-			norm2 = 1
-		}
-		rg := geo.EarthRadius / 1000 * sqrt(1-norm2)
-		e.perUserGyration = append(e.perUserGyration, rg)
+		e.perUserGyration = append(e.perUserGyration, GyrationRadiusKM(e.sumX, e.sumY, e.sumZ, e.userTweets))
 		e.sumX, e.sumY, e.sumZ = 0, 0, 0
 	}
 }
+
+// The per-tweet floating-point operations of the trajectory statistics
+// live in exactly one place each, so any external aggregation layer that
+// replays them (internal/live folds per-bucket partials) performs the
+// bit-identical computation the streaming extractor performs.
+
+// UnitVec returns the unit sphere vector of p — the per-tweet addend of
+// the radius-of-gyration accumulators.
+func UnitVec(p geo.Point) (x, y, z float64) {
+	lat, lon := p.Radians()
+	cosLat := cos(lat)
+	return cosLat * cos(lon), cosLat * sin(lon), sin(lat)
+}
+
+// GyrationRadiusKM turns the summed unit vectors of one user's n tweets
+// into the chord-based radius of gyration in km: ‖p̄‖ <= 1 with equality
+// only when every tweet sits at the same point.
+func GyrationRadiusKM(sumX, sumY, sumZ float64, n int) float64 {
+	fn := float64(n)
+	norm2 := (sumX*sumX + sumY*sumY + sumZ*sumZ) / (fn * fn)
+	if norm2 > 1 {
+		norm2 = 1
+	}
+	return geo.EarthRadius / 1000 * sqrt(1-norm2)
+}
+
+// WaitingSecs is the waiting time between consecutive tweets of one user
+// (Fig. 2b), in seconds.
+func WaitingSecs(prevTS, ts int64) float64 { return float64(ts-prevTS) / 1000 }
+
+// DisplacementKM is the displacement between consecutive tweets of one
+// user, in kilometres.
+func DisplacementKM(prev, cur geo.Point) float64 { return geo.Haversine(prev, cur) / 1000 }
 
 // Flows finalises and returns the flow matrix. Call after the last Observe.
 func (e *Extractor) Flows() *FlowMatrix {

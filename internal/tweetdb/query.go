@@ -72,7 +72,10 @@ func (q Query) prunes(m SegmentMeta) bool {
 }
 
 // Iterator streams query results segment by segment. It is not safe for
-// concurrent use.
+// concurrent use. An iterator holds a catalogue snapshot: it keeps
+// observing the segment set of its Scan call even across a concurrent
+// Compact (whose retired files are unlinked only once every in-flight
+// iterator finishes or is closed).
 type Iterator struct {
 	store    *Store
 	query    Query
@@ -81,21 +84,44 @@ type Iterator struct {
 	buf      []tweet.Tweet
 	bufIdx   int
 	err      error
+	released bool
 	scanned  int // segments whose payload was decoded
 	prunedN  int // segments skipped via metadata
 }
 
 // Scan returns an iterator over all records matching q. Results arrive in
 // (user, time) order within each segment; use Compact for global order.
+// Iterators release themselves when drained or failed; abandon one early
+// only via Close, which lets the store reclaim compacted-away files.
 func (s *Store) Scan(q Query) *Iterator {
 	s.scans.Add(1)
+	s.activeScans.Add(1)
 	return &Iterator{store: s, query: q, segments: s.Segments()}
+}
+
+// release marks the iterator finished exactly once.
+func (it *Iterator) release() {
+	if !it.released {
+		it.released = true
+		it.store.scanReleased()
+	}
+}
+
+// Close releases the iterator without draining it. It is idempotent and
+// also implied by draining to exhaustion or hitting an error; every
+// early-exiting consumer must call it (typically via defer) so a
+// concurrent Compact's retired files do not linger.
+func (it *Iterator) Close() {
+	it.segIdx = len(it.segments)
+	it.buf = nil
+	it.release()
 }
 
 // Next returns the next matching tweet. ok is false when the scan is
 // exhausted or failed; check Err afterwards.
 func (it *Iterator) Next() (t tweet.Tweet, ok bool) {
 	if it.err != nil {
+		it.release()
 		return tweet.Tweet{}, false
 	}
 	for {
@@ -109,6 +135,7 @@ func (it *Iterator) Next() (t tweet.Tweet, ok bool) {
 		// Advance to the next non-pruned segment.
 		for {
 			if it.segIdx >= len(it.segments) {
+				it.release()
 				return tweet.Tweet{}, false
 			}
 			meta := it.segments[it.segIdx]
@@ -120,6 +147,7 @@ func (it *Iterator) Next() (t tweet.Tweet, ok bool) {
 			buf, err := it.store.loadSegment(meta)
 			if err != nil {
 				it.err = err
+				it.release()
 				return tweet.Tweet{}, false
 			}
 			it.scanned++
@@ -183,10 +211,13 @@ func (s *Store) Compact() error {
 		return err
 	}
 	// Old files are garbage only after the manifest no longer references
-	// them; removal failures are not fatal to correctness.
+	// them — but an in-flight iterator's catalogue snapshot may still,
+	// so deletion is deferred until the store goes scan-idle instead of
+	// yanking files out from under concurrent readers.
 	for _, meta := range old {
-		_ = removeFile(s.dir, meta.File)
+		s.garbage = append(s.garbage, meta.File)
 	}
+	s.dropGarbageLocked()
 	return nil
 }
 
@@ -195,6 +226,7 @@ func (s *Store) Compact() error {
 // layout and no appends broke it.
 func (s *Store) IsSorted() (bool, error) {
 	it := s.Scan(Query{})
+	defer it.Close()
 	var prev tweet.Tweet
 	first := true
 	for {

@@ -38,10 +38,19 @@ type Store struct {
 	// observability hook that lets callers (and tests) assert whether a
 	// request was answered from a cache or went back to the segments.
 	scans atomic.Int64
+	// activeScans counts iterators that have not finished (or been
+	// closed) yet. Compact defers deleting retired segment files while
+	// any are live, because their catalogue snapshots may still
+	// reference the old files.
+	activeScans atomic.Int64
 
 	mu         sync.Mutex
 	man        manifest
 	segRecords int // max records per segment; DefaultSegmentRecords unless overridden
+	// garbage lists segment files retired by Compact that could not be
+	// unlinked yet because scans were in flight; dropped as soon as the
+	// store goes scan-idle.
+	garbage []string
 }
 
 // Open opens (or initialises) the store in dir, creating the directory as
@@ -272,6 +281,36 @@ func (s *Store) loadSegment(meta SegmentMeta) ([]tweet.Tweet, error) {
 		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
 	}
 	return tweets, nil
+}
+
+// dropGarbageLocked unlinks segment files retired by Compact once no
+// in-flight iterator can still reference them. Caller holds s.mu.
+// Removal failures are retried at the next opportunity and are never
+// fatal to correctness: the manifest no longer references the files.
+func (s *Store) dropGarbageLocked() {
+	if len(s.garbage) == 0 || s.activeScans.Load() != 0 {
+		return
+	}
+	kept := s.garbage[:0]
+	for _, f := range s.garbage {
+		if err := removeFile(s.dir, f); err != nil {
+			kept = append(kept, f)
+		}
+	}
+	s.garbage = kept
+	if len(s.garbage) == 0 {
+		s.garbage = nil
+	}
+}
+
+// scanReleased is the iterator's end-of-life hook: the last live iterator
+// sweeps any segment files Compact retired while scans were in flight.
+func (s *Store) scanReleased() {
+	if s.activeScans.Add(-1) == 0 {
+		s.mu.Lock()
+		s.dropGarbageLocked()
+		s.mu.Unlock()
+	}
 }
 
 // Verify re-reads every segment, checking magic, checksums and record
