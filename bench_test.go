@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"geomob/internal/census"
+	"geomob/internal/cluster"
 	"geomob/internal/epidemic"
 	"geomob/internal/experiments"
 	"geomob/internal/geo"
@@ -489,6 +490,58 @@ func BenchmarkIngest(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(tweets)), "tweets/op")
 	b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkClusterIngest measures the in-process multi-partition ingest
+// path end to end (DESIGN.md §8): the coordinator routes every record by
+// user hash into per-partition stores + bucket rings, with per-partition
+// lanes delivering concurrently — on a multi-core box the expensive
+// per-record work (grid assignment, trigonometry, cell hashing)
+// parallelises across partitions, which partitions=1 cannot. tweets/sec
+// is the headline cluster ingest throughput.
+func BenchmarkClusterIngest(b *testing.B) {
+	tweets := makeBenchTweets(50000)
+	for _, parts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := make([]cluster.Shard, parts)
+				for k := range shards {
+					store, err := tweetdb.Open(b.TempDir())
+					if err != nil {
+						b.Fatal(err)
+					}
+					shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: time.Hour})
+					if err != nil {
+						b.Fatal(err)
+					}
+					shards[k] = shard
+				}
+				coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, t := range tweets {
+					if err := coord.Add(t); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := coord.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := coord.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(tweets)), "tweets/op")
+			b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+		})
+	}
 }
 
 // BenchmarkLiveQuery measures a warm windowed fold: answering a request

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// The -compare mode: diff two BENCH_*.json snapshots and fail on ns/op
+// regressions beyond the tolerance. CI's bench-smoke job runs it against
+// the committed baseline, turning the performance trajectory into a
+// gate instead of folklore.
+
+// loadSnapshot reads one BENCH_*.json file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compareDelta is one benchmark's old→new movement.
+type compareDelta struct {
+	name     string
+	oldNs    float64
+	newNs    float64
+	ratio    float64 // new/old
+	regessed bool
+}
+
+// normalizeBenchName strips the trailing "-<GOMAXPROCS>" suffix go test
+// appends on multi-core machines, so a snapshot taken on an N-core box
+// compares against a baseline from a 1-core one (whose names carry no
+// suffix). Sub-benchmark labels here use "=" (workers=1, partitions=4),
+// never a bare trailing "-<digits>", so the strip is unambiguous.
+func normalizeBenchName(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i > 0 && i < len(name) && name[i-1] == '-' {
+		return name[:i-1]
+	}
+	return name
+}
+
+// compareSnapshots matches benchmarks by normalised name (benchmarks
+// present in only one snapshot are reported but never fail the
+// comparison — the set grows over time) and flags every ns/op
+// regression beyond tolerance (0.15 = new may be at most 15% slower).
+func compareSnapshots(oldSnap, newSnap *Snapshot, tolerance float64) (deltas []compareDelta, onlyOld, onlyNew []string) {
+	oldBy := map[string]BenchResult{}
+	for _, r := range oldSnap.Results {
+		oldBy[normalizeBenchName(r.Name)] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range newSnap.Results {
+		key := normalizeBenchName(nr.Name)
+		seen[key] = true
+		or, ok := oldBy[key]
+		if !ok {
+			onlyNew = append(onlyNew, nr.Name)
+			continue
+		}
+		d := compareDelta{name: key, oldNs: or.NsPerOp, newNs: nr.NsPerOp}
+		if or.NsPerOp > 0 {
+			d.ratio = nr.NsPerOp / or.NsPerOp
+			d.regessed = d.ratio > 1+tolerance
+		}
+		deltas = append(deltas, d)
+	}
+	for key, or := range oldBy {
+		if !seen[key] {
+			onlyOld = append(onlyOld, or.Name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].name < deltas[j].name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// runCompare prints the per-benchmark deltas and reports whether any
+// regression exceeded the tolerance.
+func runCompare(oldPath, newPath string, tolerance float64) (failed bool, err error) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, tolerance)
+	if len(deltas) == 0 {
+		return false, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	log.Printf("comparing %s (%s) -> %s (%s), tolerance %+.0f%%",
+		oldPath, oldSnap.Date, newPath, newSnap.Date, tolerance*100)
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.regessed {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		log.Printf("%-44s %14.1f -> %14.1f ns/op  %+7.1f%%  %s",
+			d.name, d.oldNs, d.newNs, (d.ratio-1)*100, verdict)
+	}
+	for _, name := range onlyOld {
+		log.Printf("%-44s only in %s", name, oldPath)
+	}
+	for _, name := range onlyNew {
+		log.Printf("%-44s only in %s (new benchmark)", name, newPath)
+	}
+	return failed, nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, results []BenchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	buf, err := json.Marshal(&Snapshot{Date: "2026-07-29", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNormalizeBenchName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkIngest":                     "BenchmarkIngest",
+		"BenchmarkIngest-4":                   "BenchmarkIngest",
+		"BenchmarkIngest-16":                  "BenchmarkIngest",
+		"BenchmarkStudyRun/workers=1":         "BenchmarkStudyRun/workers=1",
+		"BenchmarkStudyRun/workers=1-8":       "BenchmarkStudyRun/workers=1",
+		"BenchmarkClusterIngest/partitions=4": "BenchmarkClusterIngest/partitions=4",
+	}
+	for in, want := range cases {
+		if got := normalizeBenchName(in); got != want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompareAcrossGOMAXPROCS: a multi-core snapshot ("-N" name suffix)
+// must compare against a 1-core baseline — the CI runner vs committed
+// baseline situation.
+func TestCompareAcrossGOMAXPROCS(t *testing.T) {
+	oldSnap := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 100}}}
+	newSnap := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA-4", NsPerOp: 105}}}
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, 0.15)
+	if len(deltas) != 1 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v, want one match", len(deltas), onlyOld, onlyNew)
+	}
+	if deltas[0].regessed {
+		t.Fatalf("+5%% flagged as regression: %+v", deltas[0])
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	oldSnap := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	}}
+	newSnap := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 114},  // +14%: within tolerance
+		{Name: "BenchmarkB", NsPerOp: 1200}, // +20%: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}}
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, 0.15)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	if deltas[0].name != "BenchmarkA" || deltas[0].regessed {
+		t.Errorf("A: %+v, want within tolerance", deltas[0])
+	}
+	if deltas[1].name != "BenchmarkB" || !deltas[1].regessed {
+		t.Errorf("B: %+v, want regression", deltas[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+	})
+	okPath := writeSnapshot(t, dir, "ok.json", []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 90},
+		{Name: "BenchmarkB", NsPerOp: 1100},
+	})
+	badPath := writeSnapshot(t, dir, "bad.json", []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 400},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+	})
+
+	failed, err := runCompare(oldPath, okPath, 0.15)
+	if err != nil || failed {
+		t.Fatalf("ok compare: failed=%v err=%v", failed, err)
+	}
+	failed, err = runCompare(oldPath, badPath, 0.15)
+	if err != nil || !failed {
+		t.Fatalf("bad compare: failed=%v err=%v, want regression", failed, err)
+	}
+	// Disjoint snapshots are an error, not a silent pass.
+	disjoint := writeSnapshot(t, dir, "disjoint.json", []BenchResult{
+		{Name: "BenchmarkZ", NsPerOp: 1},
+	})
+	if _, err := runCompare(oldPath, disjoint, 0.15); err == nil {
+		t.Fatal("disjoint snapshots compared without error")
+	}
+}

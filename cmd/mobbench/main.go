@@ -7,6 +7,12 @@
 // Usage:
 //
 //	mobbench [-bench regex] [-benchtime 1x] [-dir .] [-out BENCH_<date>.json]
+//	mobbench -compare old.json new.json [-tolerance 0.15]
+//
+// The -compare mode diffs two snapshots, prints per-benchmark ns/op
+// deltas, and exits non-zero when any benchmark regressed by more than
+// the tolerance (default 15%) — CI runs it against the committed
+// baseline.
 //
 // The default benchmark set covers the study pipeline's hot paths: the
 // end-to-end single-worker study pass, the grid-resolved area assignment
@@ -29,7 +35,7 @@ import (
 )
 
 // defaultBenchRegex selects the perf-trajectory benchmarks.
-const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$|BenchmarkIngest$|BenchmarkLiveQuery$"
+const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$|BenchmarkIngest$|BenchmarkLiveQuery$|BenchmarkClusterIngest$"
 
 // BenchResult is one benchmark's parsed measurements. Metric keys are the
 // benchmark units with "/op" trimmed and slashes made JSON-friendly:
@@ -64,8 +70,25 @@ func main() {
 		benchTime = flag.String("benchtime", "1x", "go test -benchtime value (1x keeps the heavy study pass affordable)")
 		dir       = flag.String("dir", ".", "package directory to benchmark")
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json in -dir)")
+		compare   = flag.Bool("compare", false, "compare two snapshots: mobbench -compare old.json new.json")
+		tolerance = flag.Float64("tolerance", 0.15, "ns/op regression tolerance for -compare (0.15 = fail beyond +15%)")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two snapshot paths: old.json new.json")
+		}
+		failed, err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if failed {
+			log.Fatalf("ns/op regressions beyond %.0f%% detected", *tolerance*100)
+		}
+		log.Print("no regressions beyond tolerance")
+		return
+	}
 
 	snap, raw, err := runBenchmarks(*dir, *benchRe, *benchTime)
 	if err != nil {

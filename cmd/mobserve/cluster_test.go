@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"geomob/internal/cluster"
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/synth"
+	"geomob/internal/testx"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// newClusterTestServer boots a coordinator-mode server over n in-process
+// partitions with per-partition stores — the -partitions mode.
+func newClusterTestServer(t *testing.T, n int) (*server, *httptest.Server, []*cluster.LocalShard) {
+	t.Helper()
+	dir := t.TempDir()
+	var shards []cluster.Shard
+	var locals []*cluster.LocalShard
+	for i := 0; i < n; i++ {
+		store, err := tweetdb.Open(filepath.Join(dir, "part", string(rune('a'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, shard)
+		locals = append(locals, shard)
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	s := newServer(nil, 0)
+	s.coord = coord
+	ts := httptest.NewServer(s.clusterRoutes())
+	t.Cleanup(ts.Close)
+	return s, ts, locals
+}
+
+// corpusNDJSON renders a synthetic corpus as an NDJSON body.
+func corpusNDJSON(t *testing.T, tweets []tweet.Tweet) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := tweet.NewNDJSONWriter(&buf)
+	for _, tw := range tweets {
+		if err := w.Write(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestClusterModeEndToEnd drives the in-process multi-partition service:
+// NDJSON ingest through the coordinator (durable per-partition stores),
+// /v1 answers bit-identical to a single-node pass, cached repeats with
+// zero shard folds, and a degradation-aware /healthz.
+func TestClusterModeEndToEnd(t *testing.T) {
+	s, ts, locals := newClusterTestServer(t, 3)
+
+	gen, err := synth.NewGenerator(synth.DefaultConfig(500, 11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", corpusNDJSON(t, tweets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || int(ing["ingested"].(float64)) != len(tweets) {
+		t.Fatalf("cluster ingest: status %d body %v", resp.StatusCode, ing)
+	}
+
+	// Every record is durable on exactly one partition's store.
+	var stored int64
+	for _, l := range locals {
+		stored += l.Store().Count()
+	}
+	if stored != int64(len(tweets)) {
+		t.Fatalf("partition stores hold %d records, want %d", stored, len(tweets))
+	}
+
+	// /v1/population via scatter-gather equals the single-node answer,
+	// bit for bit at the Result level.
+	sorted := append([]tweet.Tweet(nil), tweets...)
+	sort.Sort(tweet.ByUserTime(sorted))
+	study := core.NewStudyWithOptions(core.SliceSource(sorted), core.StudyOptions{Workers: 1})
+	clusterRes, cached, err := s.coord.Query(core.Request{})
+	if err != nil || cached {
+		t.Fatalf("cluster query: cached=%v err=%v", cached, err)
+	}
+	ref, err := study.Execute(context.Background(), core.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testx.ResultsBitEqual(clusterRes, ref) {
+		t.Fatal("cluster /v1 result diverges from single-node execute")
+	}
+
+	// HTTP surface: population non-empty and uncached, then cached on
+	// repeat with zero additional shard folds.
+	pop := fetchJSON(t, ts.URL+"/v1/population?scale=national")
+	if pop["cached"].(bool) {
+		t.Error("first population query reported cached")
+	}
+	folds := s.coord.PartialFetches()
+	if !fetchJSON(t, ts.URL+"/v1/population?scale=national")["cached"].(bool) {
+		t.Error("repeat population query not cached")
+	}
+	if got := s.coord.PartialFetches(); got != folds {
+		t.Fatalf("warm repeat issued %d shard folds", got-folds)
+	}
+
+	health := fetchJSON(t, ts.URL+"/healthz")
+	if health["status"].(string) != "ok" {
+		t.Fatalf("healthz status = %v", health["status"])
+	}
+	if n := len(health["shards"].([]any)); n != 3 {
+		t.Fatalf("healthz lists %d shards, want 3", n)
+	}
+
+	// Custom radii are not materialised by shard rings: a stated
+	// capability gap (501), not a server fault (500).
+	resp, err = http.Get(ts.URL + "/v1/population?scale=national&radius=30000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("custom radius in cluster mode: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestIngestBodyLimit: a request body over -max-ingest-bytes answers 413
+// (not 400, not OOM), in both single-node and cluster modes.
+func TestIngestBodyLimit(t *testing.T) {
+	s, ts := newLiveTestServer(t)
+	s.maxIngestBytes = 512
+
+	line := `{"id":1,"user":1,"ts":1,"lat":-33.8,"lon":151.2}` + "\n"
+	big := strings.Repeat(line, 64)
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// A within-bound upload still works on the same server.
+	resp, err = http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("within-bound ingest: status %d, want 200", resp.StatusCode)
+	}
+
+	sc, tsc, _ := newClusterTestServer(t, 2)
+	sc.maxIngestBytes = 512
+	resp, err = http.Post(tsc.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("cluster oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestIngestLineLimit: one NDJSON line beyond the reader's 1 MiB bound
+// answers 413 — an adversarial single-line upload cannot buffer the
+// service out of memory.
+func TestIngestLineLimit(t *testing.T) {
+	_, ts := newLiveTestServer(t)
+	long := `{"id":1,"user":1,"ts":1,"lat":-33.8,"lon":151.2,"pad":"` +
+		strings.Repeat("x", 1<<20) + `"}` + "\n"
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("overlong line: status %d, want 413", resp.StatusCode)
+	}
+}

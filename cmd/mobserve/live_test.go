@@ -198,7 +198,7 @@ func TestLiveIngestInvalidatesOnlyLandedBuckets(t *testing.T) {
 	if got := lateAfter["tweets"].(float64); got != 3 {
 		t.Errorf("late window tweets = %v, want 3 (new record folded in)", got)
 	}
-	hits, misses := s.cache.stats()
+	hits, misses := s.cache.Stats()
 	if hits != 2 || misses != 3 {
 		t.Errorf("cache stats hits=%d misses=%d, want 2 hits / 3 misses", hits, misses)
 	}

@@ -47,18 +47,22 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"geomob/internal/census"
+	"geomob/internal/cluster"
 	"geomob/internal/core"
 	"geomob/internal/geo"
 	"geomob/internal/heatmap"
 	"geomob/internal/live"
 	"geomob/internal/mobility"
+	"geomob/internal/svcache"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
 )
@@ -69,7 +73,7 @@ type server struct {
 	// zero means one worker per CPU.
 	workers int
 	// cache memoises completed /v1 executions per store generation.
-	cache *snapshotCache
+	cache *svcache.Cache
 	// baseCtx bounds snapshot computations to the server's lifetime, not
 	// to any single request: a computation may have several requests
 	// waiting on it, so the first requester's disconnect must not abort
@@ -81,6 +85,16 @@ type server struct {
 	agg *live.Aggregator
 	ing *live.Ingestor
 
+	// coord replaces the local execution paths entirely in cluster mode
+	// (-cluster-coordinator, -partitions): /v1 queries scatter-gather
+	// across the shards and /v1/ingest routes by user hash.
+	coord *cluster.Coordinator
+
+	// maxIngestBytes bounds POST /v1/ingest request bodies; oversized
+	// uploads (and overlong NDJSON lines) answer 413 instead of buffering
+	// without bound.
+	maxIngestBytes int64
+
 	// mappers caches the default-radius area mapper per scale: the
 	// gazetteer is immutable, so the grid resolver behind a mapper is
 	// built once per process instead of once per /flows request.
@@ -90,11 +104,12 @@ type server struct {
 
 func newServer(store *tweetdb.Store, workers int) *server {
 	return &server{
-		store:   store,
-		workers: workers,
-		cache:   newSnapshotCache(),
-		baseCtx: context.Background(),
-		mappers: map[census.Scale]*mobility.AreaMapper{},
+		store:          store,
+		workers:        workers,
+		cache:          svcache.New(0),
+		baseCtx:        context.Background(),
+		mappers:        map[census.Scale]*mobility.AreaMapper{},
+		maxIngestBytes: cluster.DefaultMaxBodyBytes,
 	}
 }
 
@@ -106,33 +121,7 @@ func (s *server) enableLive(width time.Duration) error {
 	if err != nil {
 		return err
 	}
-	it := s.store.Scan(tweetdb.Query{})
-	defer it.Close()
-	batch := make([]tweet.Tweet, 0, 1<<14)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		err := agg.Ingest(batch)
-		batch = batch[:0]
-		return err
-	}
-	for {
-		t, ok := it.Next()
-		if !ok {
-			break
-		}
-		batch = append(batch, t)
-		if len(batch) == cap(batch) {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := it.Err(); err != nil {
-		return err
-	}
-	if err := flush(); err != nil {
+	if _, err := live.Backfill(agg, s.store); err != nil {
 		return err
 	}
 	s.agg = agg
@@ -172,31 +161,27 @@ func main() {
 	log.SetPrefix("mobserve: ")
 
 	var (
-		dbDir    = flag.String("db", "", "tweetdb store directory (required)")
+		dbDir    = flag.String("db", "", "tweetdb store directory (required except with -cluster-coordinator)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "parallel segment scan workers (0 = one per CPU)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		liveMode = flag.Bool("live", false, "materialize time-bucketed aggregates; /v1 answers fold buckets instead of rescanning")
-		bucket   = flag.Duration("bucket", time.Hour, "live aggregation bucket width (with -live)")
+		bucket   = flag.Duration("bucket", time.Hour, "live aggregation bucket width (with -live, -cluster-shard and -partitions)")
+		maxBody  = flag.Int64("max-ingest-bytes", cluster.DefaultMaxBodyBytes, "maximum POST /v1/ingest request body in bytes (oversized uploads answer 413)")
+
+		shardMode = flag.Bool("cluster-shard", false, "serve the internal shard API (/shard/v1/*) over -db instead of the public endpoints")
+		coordsTo  = flag.String("cluster-coordinator", "", "comma-separated shard node base URLs; serve /v1 by scatter-gather across them (no local -db)")
+		partsN    = flag.Int("partitions", 0, "in-process user partitions under -db (implies live rings; per-partition ingest parallelism without the network hop)")
 	)
 	flag.Parse()
-	if *dbDir == "" {
-		log.Fatal("-db is required")
-	}
-	store, err := tweetdb.Open(*dbDir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := newServer(store, *workers)
-	if *liveMode {
-		if err := s.enableLive(*bucket); err != nil {
-			log.Fatal(err)
+	modes := 0
+	for _, on := range []bool{*shardMode, *coordsTo != "", *partsN > 0} {
+		if on {
+			modes++
 		}
-		log.Printf("live aggregation on: %d records backfilled into %d buckets of %v",
-			s.agg.Ingested(), s.agg.Buckets(), *bucket)
 	}
-	if err := s.initIngest(); err != nil {
-		log.Fatal(err)
+	if modes > 1 {
+		log.Fatal("-cluster-shard, -cluster-coordinator and -partitions are mutually exclusive")
 	}
 
 	// SIGINT/SIGTERM cancel ctx; it is also the base context of every
@@ -204,11 +189,94 @@ func main() {
 	// abort instead of holding the drain hostage.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	s.baseCtx = ctx
+
+	var handler http.Handler
+	switch {
+	case *shardMode:
+		if *dbDir == "" {
+			log.Fatal("-db is required")
+		}
+		store, err := tweetdb.Open(*dbDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: *bucket})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard node: %d records backfilled into %d buckets of %v",
+			shard.Aggregator().Ingested(), shard.Aggregator().Buckets(), *bucket)
+		handler = cluster.NewNode(shard, cluster.NodeOptions{MaxBodyBytes: *maxBody})
+
+	case *coordsTo != "", *partsN > 0:
+		var shards []cluster.Shard
+		if *coordsTo != "" {
+			for _, base := range strings.Split(*coordsTo, ",") {
+				base = strings.TrimSpace(base)
+				if base == "" {
+					continue
+				}
+				shards = append(shards, cluster.NewHTTPShard(base, nil))
+			}
+			if len(shards) == 0 {
+				log.Fatal("-cluster-coordinator lists no shard URLs")
+			}
+			log.Printf("coordinator over %d remote shards", len(shards))
+		} else {
+			if *dbDir == "" {
+				log.Fatal("-db is required")
+			}
+			for i := 0; i < *partsN; i++ {
+				store, err := tweetdb.Open(filepath.Join(*dbDir, fmt.Sprintf("part-%03d", i)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: *bucket})
+				if err != nil {
+					log.Fatal(err)
+				}
+				shards = append(shards, shard)
+			}
+			log.Printf("coordinator over %d in-process partitions under %s", *partsN, *dbDir)
+		}
+		coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer coord.Close()
+		s := newServer(nil, *workers)
+		s.coord = coord
+		s.maxIngestBytes = *maxBody
+		s.baseCtx = ctx
+		handler = s.clusterRoutes()
+
+	default:
+		if *dbDir == "" {
+			log.Fatal("-db is required")
+		}
+		store, err := tweetdb.Open(*dbDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := newServer(store, *workers)
+		s.maxIngestBytes = *maxBody
+		if *liveMode {
+			if err := s.enableLive(*bucket); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("live aggregation on: %d records backfilled into %d buckets of %v",
+				s.agg.Ingested(), s.agg.Buckets(), *bucket)
+		}
+		if err := s.initIngest(); err != nil {
+			log.Fatal(err)
+		}
+		s.baseCtx = ctx
+		handler = s.routes()
+	}
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      s.routes(),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 120 * time.Second,
 		BaseContext:  func(net.Listener) context.Context { return ctx },
@@ -248,6 +316,21 @@ func (s *server) routes() *http.ServeMux {
 	return mux
 }
 
+// clusterRoutes is the coordinator-mode mux: the versioned analysis API
+// and health only. The store-backed endpoints (/stats, /tweets,
+// /density.png, /flows) have no meaning here — the records live on the
+// shard nodes.
+func (s *server) clusterRoutes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
+	mux.HandleFunc("GET /v1/population", s.handleV1Population)
+	mux.HandleFunc("GET /v1/models", s.handleV1Models)
+	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	return mux
+}
+
 // scanWorkers resolves the configured scan parallelism.
 func (s *server) scanWorkers() int {
 	if s.workers > 0 {
@@ -271,7 +354,31 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	hits, misses := s.cache.stats()
+	if s.coord != nil {
+		// Cluster mode: the coordinator's cache is the live one (the
+		// server-level cache never sees a query).
+		hits, misses := s.coord.CacheStats()
+		shards := s.coord.Health()
+		degraded := false
+		for _, st := range shards {
+			if !st.OK || st.Degraded {
+				degraded = true
+			}
+		}
+		status := "ok"
+		if degraded {
+			status = "degraded"
+		}
+		writeJSON(w, map[string]any{
+			"status":          status,
+			"shards":          shards,
+			"ingested":        s.coord.Ingested(),
+			"partial_fetches": s.coord.PartialFetches(),
+			"cache":           map[string]int64{"hits": hits, "misses": misses},
+		})
+		return
+	}
+	hits, misses := s.cache.Stats()
 	resp := map[string]any{
 		"status":     "ok",
 		"tweets":     s.store.Count(),
@@ -295,19 +402,34 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // the assignment hot path into the bucket ring. Cached /v1 results whose
 // windows do not cover the landed buckets stay warm.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	n, err := s.ing.IngestNDJSON(r.Body)
+	// The request body is bounded (-max-ingest-bytes) and NDJSON lines
+	// are capped at 1 MiB by the reader, so one oversized upload cannot
+	// buffer the service out of memory; both violations answer 413.
+	body := http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	var n int
+	var err error
+	if s.coord != nil {
+		n, err = s.coord.IngestNDJSON(body)
+	} else {
+		n, err = s.ing.IngestNDJSON(body)
+	}
 	if err != nil {
-		// The caller's records are a 400 (do not retry the payload);
-		// internal storage or routing failures are a 500. Ingest is
-		// at-least-once: records accepted before a 500 are (or will be)
-		// durable, so re-posting the same payload can duplicate them —
-		// the store has no dedup. Idempotent retry needs client-side
-		// resume from the accepted count.
-		code := http.StatusInternalServerError
-		if errors.Is(err, live.ErrBadInput) {
-			code = http.StatusBadRequest
-		}
-		httpError(w, code, "ingest: %v (accepted %d records)", err, n)
+		// The caller's records are a 400 (do not retry the payload) and
+		// size-limit violations a 413; internal storage or routing
+		// failures are a 500. Ingest is at-least-once: records accepted
+		// before a 500 are (or will be) durable, so re-posting the same
+		// payload can duplicate them — the store has no dedup.
+		// Idempotent retry needs client-side resume from the accepted
+		// count.
+		httpError(w, cluster.IngestStatus(err), "ingest: %v (accepted %d records)", err, n)
+		return
+	}
+	if s.coord != nil {
+		writeJSON(w, map[string]any{
+			"ingested": n,
+			"shards":   s.coord.Shards(),
+			"routed":   s.coord.Ingested(),
+		})
 		return
 	}
 	resp := map[string]any{
@@ -567,11 +689,16 @@ func parseV1Request(r *http.Request, analysis core.Analysis, scaled bool) (core.
 // cancel it — the pass completes, populates the snapshot, and serves
 // everyone else.
 func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
+	if s.coord != nil {
+		// Cluster mode: the coordinator owns both the scatter-gather
+		// computation and its coverage-fingerprint cache.
+		return s.coord.Query(req)
+	}
 	if s.agg != nil {
 		ckey, err := s.agg.CoverageKeyRequest(req)
 		switch {
 		case err == nil:
-			return s.cache.get(req.Key()+"|b="+ckey, func() (*core.Result, error) {
+			return s.cache.Get(req.Key()+"|b="+ckey, func() (*core.Result, error) {
 				return s.agg.Query(req)
 			})
 		case errors.Is(err, live.ErrNotCovered):
@@ -581,7 +708,7 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 			// ring routes the batch — a generation key taken in that gap
 			// would cache ring-stale data under a store-fresh key.
 			rev := strconv.FormatUint(s.agg.Revision(), 16)
-			return s.cache.get(req.Key()+"|rr="+rev, func() (*core.Result, error) {
+			return s.cache.Get(req.Key()+"|rr="+rev, func() (*core.Result, error) {
 				tweets, err := s.agg.WindowTweetsRequest(req)
 				if err != nil {
 					return nil, err
@@ -597,7 +724,7 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 		}
 	}
 	gen := strconv.FormatUint(s.store.Generation(), 16)
-	return s.cache.get(req.Key()+"|g="+gen, func() (*core.Result, error) {
+	return s.cache.Get(req.Key()+"|g="+gen, func() (*core.Result, error) {
 		study := core.NewStudyWithOptions(
 			core.StoreSource{Store: s.store},
 			core.StudyOptions{Workers: s.scanWorkers()},
@@ -609,11 +736,18 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 // writeExecuteError maps an Execute failure onto a response: an empty
 // window is the caller's (absent) data, not a server fault; a cancelled
 // context can only be the server shutting down (computations are bound
-// to the server lifetime, not to any request), which is a 503.
+// to the server lifetime, not to any request), which is a 503. A shape
+// the cluster's shard rings do not materialise (custom radii — the
+// single-node ring falls back to an exact in-memory pass, the cluster
+// does not yet; see ROADMAP) is a stated capability gap, 501, not a
+// server fault.
 func writeExecuteError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrEmptyDataset):
 		httpError(w, http.StatusNotFound, "no tweets in the requested window")
+	case errors.Is(err, live.ErrNotCovered):
+		httpError(w, http.StatusNotImplemented,
+			"this request shape is not materialized by the cluster's shard rings (custom radii need a single-node deployment): %v", err)
 	case errors.Is(err, context.Canceled):
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	default:

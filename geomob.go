@@ -32,6 +32,7 @@ package geomob
 
 import (
 	"geomob/internal/census"
+	"geomob/internal/cluster"
 	"geomob/internal/core"
 	"geomob/internal/epidemic"
 	"geomob/internal/geo"
@@ -220,6 +221,57 @@ func NewLiveAggregator(opts LiveOptions) (*LiveAggregator, error) {
 func NewLiveIngestor(store *Store, agg *LiveAggregator, batchSize int) (*LiveIngestor, error) {
 	return live.NewIngestor(store, agg, batchSize)
 }
+
+// Cluster scale-out (DESIGN.md §8): user-hash-partitioned shard nodes
+// answering Study requests by scatter-gather, bit-identical to a
+// single-node pass.
+type (
+	// ClusterPartitioner is the stable user-id hash → partition rule every
+	// node of a cluster must share.
+	ClusterPartitioner = cluster.Partitioner
+	// ClusterShard is one user partition behind a uniform interface
+	// (in-process or remote).
+	ClusterShard = cluster.Shard
+	// ClusterLocalShard is an in-process partition: a bucket ring in
+	// lockstep with an optional per-partition store.
+	ClusterLocalShard = cluster.LocalShard
+	// ClusterNode serves one local shard over the internal /shard/v1 API.
+	ClusterNode = cluster.Node
+	// ClusterHTTPShard is the client side of a remote shard node.
+	ClusterHTTPShard = cluster.HTTPShard
+	// ClusterCoordinator routes ingest by user hash and answers requests
+	// by scatter-gather with coverage-fingerprint snapshot caching.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterCoordinatorOptions tune batching, backpressure and caching.
+	ClusterCoordinatorOptions = cluster.CoordinatorOptions
+	// ClusterShardPartial is the scatter-gather unit: one shard's folded
+	// observer state at per-user granularity.
+	ClusterShardPartial = live.ShardPartial
+)
+
+// NewClusterPartitioner builds the stable user→partition hash rule.
+func NewClusterPartitioner(n int) (ClusterPartitioner, error) { return cluster.NewPartitioner(n) }
+
+// NewClusterLocalShard builds an in-process partition over a store (nil
+// for a ring-only shard) with the given ring options.
+func NewClusterLocalShard(store *Store, opts LiveOptions) (*ClusterLocalShard, error) {
+	return cluster.NewLocalShard(store, opts)
+}
+
+// NewClusterCoordinator builds a coordinator over the shards; the shard
+// order fixes the partitioning, so it must be identical cluster-wide.
+func NewClusterCoordinator(shards []ClusterShard, opts ClusterCoordinatorOptions) (*ClusterCoordinator, error) {
+	return cluster.NewCoordinator(shards, opts)
+}
+
+// NewClusterNode serves one local shard over the internal shard API.
+func NewClusterNode(shard *ClusterLocalShard, opts cluster.NodeOptions) *ClusterNode {
+	return cluster.NewNode(shard, opts)
+}
+
+// NewClusterHTTPShard builds a client for a remote shard node (hc nil
+// selects a sensible default).
+func NewClusterHTTPShard(base string) *ClusterHTTPShard { return cluster.NewHTTPShard(base, nil) }
 
 // Mobility models (§IV).
 type (

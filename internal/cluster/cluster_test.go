@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/synth"
+	"geomob/internal/testx"
+	"geomob/internal/tweet"
+)
+
+func TestPartitionerStability(t *testing.T) {
+	if _, err := NewPartitioner(0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	p1, err := NewPartitioner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := NewPartitioner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for id := int64(0); id < 100_000; id++ {
+		if got := p1.Partition(id); got != 0 {
+			t.Fatalf("1-way partition of %d = %d", id, got)
+		}
+		k := p8.Partition(id)
+		if k < 0 || k >= 8 {
+			t.Fatalf("8-way partition of %d = %d, out of range", id, k)
+		}
+		if k != p8.Partition(id) {
+			t.Fatalf("partition of %d is not deterministic", id)
+		}
+		counts[k]++
+	}
+	// Dense ids must spread, not stripe: every partition within 10% of
+	// uniform over 100k ids (binomial deviation is far below that).
+	for k, c := range counts {
+		if c < 11_250 || c > 13_750 {
+			t.Fatalf("partition %d holds %d of 100000 dense ids; want ~12500", k, c)
+		}
+	}
+	// The rule is a pure function of the id — pin a few values so an
+	// accidental hash change (which would strand every stored partition)
+	// fails loudly.
+	pinned := map[int64]int{0: p8.Partition(0), 1: p8.Partition(1), 1 << 40: p8.Partition(1 << 40)}
+	again, _ := NewPartitioner(8)
+	for id, want := range pinned {
+		if got := again.Partition(id); got != want {
+			t.Fatalf("partition of %d changed between instances: %d vs %d", id, got, want)
+		}
+	}
+}
+
+// TestHTTPClusterMatchesExecute drives the full wire path — coordinator →
+// HTTPShard → Node → LocalShard and back through the binary partial codec
+// — and checks the answer is still bit-identical to a single-node pass.
+func TestHTTPClusterMatchesExecute(t *testing.T) {
+	gen, err := synth.NewGenerator(synth.DefaultConfig(400, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shards []Shard
+	for i := 0; i < 2; i++ {
+		local, err := NewLocalShard(nil, live.Options{BucketWidth: 7 * 24 * time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(NewNode(local, NodeOptions{}))
+		t.Cleanup(srv.Close)
+		shards = append(shards, NewHTTPShard(srv.URL, srv.Client()))
+	}
+	coord, err := NewCoordinator(shards, CoordinatorOptions{BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for _, tw := range all {
+		if err := coord.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sorted := append([]tweet.Tweet(nil), all...)
+	sort.Sort(tweet.ByUserTime(sorted))
+	study := core.NewStudyWithOptions(core.SliceSource(sorted), core.StudyOptions{Workers: 1})
+
+	req := core.Request{}
+	res, cached, err := coord.Query(req)
+	if err != nil || cached {
+		t.Fatalf("http cluster query: cached=%v err=%v", cached, err)
+	}
+	ref, err := study.Execute(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testx.ResultsBitEqual(res, ref) {
+		t.Fatal("http scatter-gather diverges from single-node execute")
+	}
+
+	// Warm repeat across the wire: served from the coordinator cache.
+	res2, cached, err := coord.Query(req)
+	if err != nil || !cached || !testx.ResultsBitEqual(res2, ref) {
+		t.Fatalf("warm http repeat: cached=%v err=%v", cached, err)
+	}
+
+	// Sentinel errors survive the wire: a shape the shard rings do not
+	// materialise reports ErrNotCovered through HTTP status mapping.
+	_, _, err = coord.Query(core.Request{
+		Analyses: []core.Analysis{core.AnalysisPopulation},
+		Radius:   123,
+	})
+	if !errors.Is(err, live.ErrNotCovered) {
+		t.Fatalf("custom radius over http: err = %v, want ErrNotCovered", err)
+	}
+
+	// Shard health flows back through the coordinator.
+	for _, st := range coord.Health() {
+		if !st.OK || st.Degraded {
+			t.Fatalf("shard %d unhealthy: %+v", st.Index, st)
+		}
+		if st.Health.Ingested == 0 {
+			t.Fatalf("shard %d reports zero ingested records", st.Index)
+		}
+	}
+}
+
+// TestNodeIngestLimits: the shard ingest endpoint rejects malformed
+// records with 400 and honours the body bound with 413.
+func TestNodeIngestLimits(t *testing.T) {
+	local, err := NewLocalShard(nil, live.Options{BucketWidth: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewNode(local, NodeOptions{MaxBodyBytes: 256}))
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Post(srv.URL+pathIngest, "application/x-ndjson",
+		strings.NewReader(`{"id":1,"user":1,"ts":1,"lat":999,"lon":0}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("invalid record: status %d, want 400", resp.StatusCode)
+	}
+
+	big := strings.Repeat(`{"id":1,"user":1,"ts":1,"lat":-33.8,"lon":151.2}`+"\n", 64)
+	resp, err = srv.Client().Post(srv.URL+pathIngest, "application/x-ndjson", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 413 {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}

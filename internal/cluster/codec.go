@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"geomob/internal/census"
+	"geomob/internal/geo"
+	"geomob/internal/live"
+	"geomob/internal/mobility"
+)
+
+// The shard partial wire codec: a versioned little-endian binary format
+// whose floats are raw IEEE-754 bit patterns, so a decoded partial is
+// bit-for-bit the encoded one by construction — the property the §8
+// exactness argument needs from the transport (JSON would survive a
+// round-trip only by the grace of shortest-representation parsing, and
+// not at all for NaN or infinities).
+//
+// Layout (all integers little-endian, floats as Float64bits):
+//
+//	u32 magic "GMCP" | u16 version | u8 flags(seen,users,metro)
+//	i64 tweets | f64×4 bbox(minLat,minLon,maxLat,maxLon) | i64 first,last
+//	u16 nscales | per scale: u8 scale id
+//	per scale: u8 hasCounts [u32 len, f64×len]
+//	per scale: u8 hasFlows  [u32 n, f64×n×n flows row-major, f64×n stays]
+//	if metro:  u32 len, f64×len
+//	if users:  u32 count | per user:
+//	           i64 id, i64 tweets, f64 sx,sy,sz, i64 cells,
+//	           u32 nw, f64×nw waits, u32 nd, f64×nd disps
+//
+// Flow matrices travel as bare numbers; the decoder re-attaches the area
+// lists from its own embedded gazetteer (every node bakes in the same
+// one), keeping user-count-independent metadata off the wire.
+const (
+	partialMagic   uint32 = 0x50434d47 // "GMCP" little-endian
+	partialVersion uint16 = 1
+
+	flagSeen  byte = 1 << 0
+	flagUsers byte = 1 << 1
+	flagMetro byte = 1 << 2
+)
+
+// EncodePartial renders p in the wire format.
+func EncodePartial(p *live.ShardPartial) []byte {
+	var w wireWriter
+	w.u32(partialMagic)
+	w.u16(partialVersion)
+	flags := byte(0)
+	if p.Seen {
+		flags |= flagSeen
+	}
+	if p.Users != nil {
+		flags |= flagUsers
+	}
+	if p.Metro500 != nil {
+		flags |= flagMetro
+	}
+	w.u8(flags)
+	w.i64(p.Tweets)
+	w.f64(p.BBox.MinLat)
+	w.f64(p.BBox.MinLon)
+	w.f64(p.BBox.MaxLat)
+	w.f64(p.BBox.MaxLon)
+	w.i64(p.FirstTS)
+	w.i64(p.LastTS)
+	w.u16(uint16(len(p.Scales)))
+	for _, sc := range p.Scales {
+		w.u8(byte(sc))
+	}
+	for _, sc := range p.Scales {
+		c, ok := p.Counts[sc]
+		w.bool(ok)
+		if ok {
+			w.f64s(c)
+		}
+	}
+	for _, sc := range p.Scales {
+		fm := p.Flows[sc]
+		w.bool(fm != nil)
+		if fm != nil {
+			w.u32(uint32(len(fm.Flows)))
+			for _, row := range fm.Flows {
+				for _, v := range row {
+					w.f64(v)
+				}
+			}
+			for _, v := range fm.Stays {
+				w.f64(v)
+			}
+		}
+	}
+	if p.Metro500 != nil {
+		w.f64s(p.Metro500)
+	}
+	if p.Users != nil {
+		w.u32(uint32(len(p.Users)))
+		for i := range p.Users {
+			u := &p.Users[i]
+			w.i64(u.ID)
+			w.i64(u.Tweets)
+			w.f64(u.SumX)
+			w.f64(u.SumY)
+			w.f64(u.SumZ)
+			w.i64(u.DistinctCells)
+			w.f64s(u.Waits)
+			w.f64s(u.Disps)
+		}
+	}
+	return w.buf
+}
+
+// DecodePartial parses the wire format back into a ShardPartial,
+// re-attaching area metadata from the embedded gazetteer.
+func DecodePartial(data []byte) (*live.ShardPartial, error) {
+	r := wireReader{buf: data}
+	if m := r.u32(); m != partialMagic && r.err == nil {
+		return nil, fmt.Errorf("cluster: partial codec: bad magic %#x", m)
+	}
+	if v := r.u16(); v != partialVersion && r.err == nil {
+		return nil, fmt.Errorf("cluster: partial codec: unsupported version %d", v)
+	}
+	flags := r.u8()
+	p := &live.ShardPartial{}
+	p.Seen = flags&flagSeen != 0
+	p.Tweets = r.i64()
+	p.BBox = geo.BBox{MinLat: r.f64(), MinLon: r.f64(), MaxLat: r.f64(), MaxLon: r.f64()}
+	p.FirstTS = r.i64()
+	p.LastTS = r.i64()
+	nscales := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nscales > 16 {
+		return nil, fmt.Errorf("cluster: partial codec: implausible scale count %d", nscales)
+	}
+	gaz := census.Australia()
+	if nscales > 0 { // keep nil for scale-free plans so round-trips are exact
+		p.Scales = make([]census.Scale, nscales)
+	}
+	for i := range p.Scales {
+		p.Scales[i] = census.Scale(r.u8())
+	}
+	for _, sc := range p.Scales {
+		if r.bool() {
+			if p.Counts == nil {
+				p.Counts = map[census.Scale][]float64{}
+			}
+			p.Counts[sc] = r.f64s()
+		}
+	}
+	for _, sc := range p.Scales {
+		if !r.bool() {
+			continue
+		}
+		n := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		rs, err := gaz.Regions(sc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partial codec: regions for %s: %w", sc, err)
+		}
+		if n != len(rs.Areas) {
+			return nil, fmt.Errorf("cluster: partial codec: %s flow matrix over %d areas, gazetteer has %d",
+				sc, n, len(rs.Areas))
+		}
+		fm := mobility.NewFlowMatrix(rs.Areas)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				fm.Flows[i][j] = r.f64()
+			}
+		}
+		for i := 0; i < n; i++ {
+			fm.Stays[i] = r.f64()
+		}
+		if p.Flows == nil {
+			p.Flows = map[census.Scale]*mobility.FlowMatrix{}
+		}
+		p.Flows[sc] = fm
+	}
+	if flags&flagMetro != 0 {
+		p.Metro500 = r.f64s()
+	}
+	if flags&flagUsers != 0 {
+		n := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if n > len(data) { // each user costs well over one byte
+			return nil, fmt.Errorf("cluster: partial codec: implausible user count %d", n)
+		}
+		p.Users = make([]live.UserTrajectory, n)
+		for i := range p.Users {
+			u := &p.Users[i]
+			u.ID = r.i64()
+			u.Tweets = r.i64()
+			u.SumX = r.f64()
+			u.SumY = r.f64()
+			u.SumZ = r.f64()
+			u.DistinctCells = r.i64()
+			u.Waits = r.f64s()
+			u.Disps = r.f64s()
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("cluster: partial codec: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return p, nil
+}
+
+// wireWriter appends fixed-width little-endian fields to a buffer.
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *wireWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) i64(v int64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *wireWriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *wireWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// f64s writes a length-prefixed float slice. Nil and empty encode
+// identically (length 0) and decode to nil.
+func (w *wireWriter) f64s(vs []float64) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+// wireReader consumes the writer's format, latching the first error.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("cluster: partial codec: truncated at byte %d (need %d more)", r.off, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *wireReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *wireReader) bool() bool { return r.u8() != 0 }
+
+func (r *wireReader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n*8 > len(r.buf)-r.off {
+		r.err = fmt.Errorf("cluster: partial codec: float slice of %d exceeds remaining %d bytes", n, len(r.buf)-r.off)
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.f64()
+	}
+	return vs
+}

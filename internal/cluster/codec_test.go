@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/synth"
+	"geomob/internal/testx"
+)
+
+// codecAggregator builds a ring loaded with a small corpus, returning
+// the ring and the corpus's timestamp span.
+func codecAggregator(t *testing.T) (*live.Aggregator, int64, int64) {
+	t.Helper()
+	gen, err := synth.NewGenerator(synth.DefaultConfig(300, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := live.NewAggregator(live.Options{BucketWidth: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Ingest(all); err != nil {
+		t.Fatal(err)
+	}
+	minTS, maxTS := all[0].TS, all[0].TS
+	for _, tw := range all {
+		minTS = min(minTS, tw.TS)
+		maxTS = max(maxTS, tw.TS)
+	}
+	return agg, minTS, maxTS
+}
+
+// TestPartialCodecRoundTrip: encode→decode is the identity, bit for bit,
+// across request shapes exercising every section of the format (full
+// study, stats-only, flows-only, windowed subsets, empty windows).
+func TestPartialCodecRoundTrip(t *testing.T) {
+	agg, minTS, maxTS := codecAggregator(t)
+	mid := minTS + (maxTS-minTS)/2
+	reqs := []core.Request{
+		{},
+		{Analyses: []core.Analysis{core.AnalysisStats}},
+		{Analyses: []core.Analysis{core.AnalysisFlows}, Scales: []census.Scale{census.ScaleState}},
+		{Analyses: []core.Analysis{core.AnalysisPopulation}},
+		{From: time.UnixMilli(minTS + 1).UTC(), To: time.UnixMilli(mid).UTC()},
+		{From: time.UnixMilli(maxTS + 10).UTC(), To: time.UnixMilli(maxTS + 20).UTC()}, // matches nothing
+	}
+	for ri, req := range reqs {
+		p, err := agg.FoldPartial(req)
+		if err != nil {
+			t.Fatalf("req %d (%s): fold partial: %v", ri, req.Key(), err)
+		}
+		data := EncodePartial(p)
+		q, err := DecodePartial(data)
+		if err != nil {
+			t.Fatalf("req %d (%s): decode: %v", ri, req.Key(), err)
+		}
+		if !testx.ValuesBitEqual(p, q) {
+			t.Fatalf("req %d (%s): decoded partial is not bit-identical (%d wire bytes)", ri, req.Key(), len(data))
+		}
+	}
+}
+
+// TestPartialCodecRejectsCorruption: truncations, trailing garbage and a
+// bad magic must error, never yield a partial.
+func TestPartialCodecRejectsCorruption(t *testing.T) {
+	agg, _, _ := codecAggregator(t)
+	p, err := agg.FoldPartial(core.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodePartial(p)
+
+	if _, err := DecodePartial(data[:0]); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+	for _, cut := range []int{1, 7, len(data) / 2, len(data) - 1} {
+		if _, err := DecodePartial(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if _, err := DecodePartial(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := DecodePartial(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestMergeRejectsDuplicateUsers: the same user appearing on two shards
+// violates the partitioning contract and must be an error, not a silent
+// double count.
+func TestMergeRejectsDuplicateUsers(t *testing.T) {
+	agg, _, _ := codecAggregator(t)
+	req := core.Request{Analyses: []core.Analysis{core.AnalysisStats}}
+	p1, err := agg.FoldPartial(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := agg.FoldPartial(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergePartials(req, []*live.ShardPartial{p1, p2}); err == nil {
+		t.Fatal("duplicate users across shards merged without error")
+	}
+}

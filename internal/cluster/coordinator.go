@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/svcache"
+	"geomob/internal/tweet"
+)
+
+// CoordinatorOptions configure a Coordinator.
+type CoordinatorOptions struct {
+	// BatchSize is how many records accumulate per shard before a send is
+	// enqueued; zero means 4096. Larger batches amortise the per-send
+	// overhead (an HTTP round-trip for remote shards, a ring lock for
+	// local ones).
+	BatchSize int
+	// QueueDepth bounds the per-shard send queue in batches; zero means
+	// 4. A full queue blocks the enqueuer — the coordinator's
+	// backpressure: one slow shard throttles the feed instead of letting
+	// unsent batches grow without bound.
+	QueueDepth int
+	// CacheSize bounds the snapshot cache; zero means
+	// svcache.DefaultMaxSnapshots.
+	CacheSize int
+}
+
+// Coordinator is the cluster front door: it routes ingest records to the
+// shard owning each user (batched, concurrent, with per-shard
+// backpressure), scatters fold requests across every shard, merges the
+// returned user-disjoint partials through core.AssembleFolded, and
+// memoises results keyed on the fingerprint-sum of the shards' coverage
+// keys — a warm repeat does zero shard folds.
+type Coordinator struct {
+	part   Partitioner
+	shards []Shard
+	cache  *svcache.Cache
+
+	// mu serialises the buffered ingest path (Add/Flush), exactly like
+	// live.Ingestor; the lanes behind it drain concurrently.
+	mu    sync.Mutex
+	bufs  [][]tweet.Tweet
+	lanes []*lane
+	batch int
+
+	closed atomic.Bool
+
+	ingested       atomic.Int64 // records routed into lanes
+	partialFetches atomic.Int64 // shard fold RPCs issued
+	coverageProbes atomic.Int64 // shard coverage RPCs issued
+}
+
+// lane is one shard's asynchronous delivery pipe: a bounded queue of
+// batches drained by a dedicated sender goroutine.
+type lane struct {
+	ch chan []tweet.Tweet
+	wg sync.WaitGroup // outstanding enqueued batches
+
+	mu       sync.Mutex
+	err      error // first undelivered-batch error since the last Flush
+	lastErr  string
+	errAt    time.Time
+	failures int64
+	sent     int64
+}
+
+// NewCoordinator builds a coordinator over the shards. At least one
+// shard is required; the partitioner is bound to the shard count, so the
+// shard order must be identical on every coordinator of the cluster.
+func NewCoordinator(shards []Shard, opts CoordinatorOptions) (*Coordinator, error) {
+	part, err := NewPartitioner(len(shards))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard: %w", err)
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 4096
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 4
+	}
+	c := &Coordinator{
+		part:   part,
+		shards: shards,
+		cache:  svcache.New(opts.CacheSize),
+		bufs:   make([][]tweet.Tweet, len(shards)),
+		lanes:  make([]*lane, len(shards)),
+		batch:  batch,
+	}
+	for i := range c.lanes {
+		l := &lane{ch: make(chan []tweet.Tweet, depth)}
+		c.lanes[i] = l
+		go c.runLane(i, l)
+	}
+	return c, nil
+}
+
+// Partitioner returns the routing rule.
+func (c *Coordinator) Partitioner() Partitioner { return c.part }
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// runLane drains one shard's queue. Delivery errors are latched on the
+// lane — surfaced at the next Flush and in Health — and the records of
+// the failed batch are lost from this coordinator's perspective
+// (delivery is at-least-once end to end; the shard may hold part of the
+// batch).
+func (c *Coordinator) runLane(i int, l *lane) {
+	for batch := range l.ch {
+		err := c.shards[i].Ingest(batch)
+		l.mu.Lock()
+		if err != nil {
+			if l.err == nil {
+				l.err = fmt.Errorf("cluster: shard %d ingest: %w", i, err)
+			}
+			l.lastErr = err.Error()
+			l.errAt = time.Now()
+			l.failures++
+		} else {
+			l.sent += int64(len(batch))
+		}
+		l.mu.Unlock()
+		l.wg.Done()
+	}
+}
+
+// Close drains and stops the lane senders. The coordinator must not be
+// used afterwards.
+func (c *Coordinator) Close() error {
+	err := c.Flush()
+	if c.closed.CompareAndSwap(false, true) {
+		for _, l := range c.lanes {
+			close(l.ch)
+		}
+	}
+	return err
+}
+
+// Add routes one record toward its owning shard, enqueueing a batch send
+// whenever the shard's buffer fills. Safe for concurrent use; a full
+// shard queue blocks (backpressure).
+func (c *Coordinator) Add(t tweet.Tweet) error {
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.part.Partition(t.UserID)
+	c.bufs[i] = append(c.bufs[i], t)
+	if len(c.bufs[i]) >= c.batch {
+		c.enqueueLocked(i)
+	}
+	return nil
+}
+
+// enqueueLocked hands shard i's buffered records to its lane. Caller
+// holds c.mu. The send into the bounded channel may block — that is the
+// backpressure contract — and lane workers never take c.mu, so the wait
+// cannot deadlock.
+func (c *Coordinator) enqueueLocked(i int) {
+	if len(c.bufs[i]) == 0 {
+		return
+	}
+	batch := c.bufs[i]
+	c.bufs[i] = make([]tweet.Tweet, 0, c.batch)
+	c.ingested.Add(int64(len(batch)))
+	l := c.lanes[i]
+	l.wg.Add(1)
+	l.ch <- batch
+}
+
+// Flush pushes every buffered record out, waits for all in-flight
+// batches to deliver, flushes the shards, and reports the first delivery
+// error latched since the previous Flush.
+func (c *Coordinator) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.bufs {
+		c.enqueueLocked(i)
+	}
+	var firstErr error
+	for _, l := range c.lanes {
+		l.wg.Wait()
+		l.mu.Lock()
+		if firstErr == nil && l.err != nil {
+			firstErr = l.err
+		}
+		l.err = nil
+		l.mu.Unlock()
+	}
+	// Shard flushes fan out concurrently: each one may cut a store
+	// segment, and the point of partitioning is that shards do not wait
+	// on one another.
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			errs[i] = s.Flush()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if firstErr == nil && err != nil {
+			firstErr = fmt.Errorf("cluster: shard %d flush: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// IngestNDJSON drains an NDJSON stream through the coordinator and
+// flushes at the end, returning how many records the stream contributed
+// — the cluster-mode twin of live.Ingestor.IngestNDJSON, riding the same
+// shared loop and error contract (live.ErrBadInput marks the caller's
+// records).
+func (c *Coordinator) IngestNDJSON(r io.Reader) (int, error) {
+	return live.DrainNDJSON(r, c.Add, c.Flush)
+}
+
+// Ingested returns the number of records routed into shard lanes.
+func (c *Coordinator) Ingested() int64 { return c.ingested.Load() }
+
+// PartialFetches returns the number of shard fold RPCs issued — the
+// quantity warm cache hits keep flat (the §8 "zero shard scans"
+// assertion).
+func (c *Coordinator) PartialFetches() int64 { return c.partialFetches.Load() }
+
+// CacheStats exposes the snapshot cache counters.
+func (c *Coordinator) CacheStats() (hits, misses int64) { return c.cache.Stats() }
+
+// scatter runs fn against every shard concurrently and returns the
+// per-shard results, failing on the first error.
+func scatter[T any](shards []Shard, fn func(Shard) (T, error)) ([]T, error) {
+	out := make([]T, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			out[i], errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// coverageFingerprint scatters the cheap coverage probe and folds the
+// shards' keys into one fingerprint-sum: each shard's 64-bit coverage
+// key, rotated by its shard index (so two shards swapping coverage do
+// not cancel), summed with wraparound. The fingerprint moves exactly
+// when some shard's covered buckets changed — the cluster-wide cache
+// validity component.
+func (c *Coordinator) coverageFingerprint(req core.Request) (string, error) {
+	keys, err := scatter(c.shards, func(s Shard) (string, error) {
+		c.coverageProbes.Add(1)
+		return s.Coverage(req)
+	})
+	if err != nil {
+		return "", err
+	}
+	var sum uint64
+	for i, k := range keys {
+		v, err := strconv.ParseUint(k, 16, 64)
+		if err != nil {
+			return "", fmt.Errorf("cluster: shard %d coverage key %q: %w", i, k, err)
+		}
+		sum += bits.RotateLeft64(v, i&63)
+	}
+	return fmt.Sprintf("%d:%016x", len(keys), sum), nil
+}
+
+// Query answers req by scatter-gather: coverage probes build the cache
+// key; on a miss every shard folds its partial concurrently and the
+// merged pass is assembled through the exact single-node float pipeline
+// (core.AssembleFolded), so the result is bit-identical to a single-node
+// Study.Execute over the union substream. cached reports a warm hit,
+// which costs the probes and nothing else.
+func (c *Coordinator) Query(req core.Request) (*core.Result, bool, error) {
+	if _, err := core.PlanRequest(req); err != nil {
+		return nil, false, err
+	}
+	fp, err := c.coverageFingerprint(req)
+	if err != nil {
+		return nil, false, err
+	}
+	return c.cache.Get(req.Key()+"|cf="+fp, func() (*core.Result, error) {
+		parts, err := scatter(c.shards, func(s Shard) (*live.ShardPartial, error) {
+			c.partialFetches.Add(1)
+			return s.Partial(req)
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged, err := MergePartials(req, parts)
+		if err != nil {
+			return nil, err
+		}
+		return core.AssembleFolded(req, merged)
+	})
+}
+
+// ShardStatus is one shard's entry in the coordinator's health report.
+type ShardStatus struct {
+	Index int  `json:"index"`
+	OK    bool `json:"ok"`
+	// Degraded marks a shard whose ingest lane has recorded delivery
+	// failures; LastError/LastErrorAt describe the most recent one.
+	Degraded    bool        `json:"degraded,omitempty"`
+	LastError   string      `json:"last_error,omitempty"`
+	LastErrorAt string      `json:"last_error_at,omitempty"`
+	Failures    int64       `json:"failures,omitempty"`
+	Delivered   int64       `json:"delivered"`
+	Queue       int         `json:"queue"`
+	Health      ShardHealth `json:"health"`
+}
+
+// Health probes every shard and combines the liveness with the lanes'
+// delivery state — the payload of the coordinator's /healthz.
+func (c *Coordinator) Health() []ShardStatus {
+	out := make([]ShardStatus, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			st := ShardStatus{Index: i}
+			h, err := s.Health()
+			st.OK = err == nil
+			st.Health = h
+			if err != nil {
+				st.LastError = err.Error()
+			}
+			l := c.lanes[i]
+			st.Queue = len(l.ch)
+			l.mu.Lock()
+			st.Delivered = l.sent
+			st.Failures = l.failures
+			if l.failures > 0 {
+				st.Degraded = true
+				st.LastError = l.lastErr
+				st.LastErrorAt = l.errAt.UTC().Format(time.RFC3339)
+			}
+			l.mu.Unlock()
+			out[i] = st
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+
+	"geomob/internal/census"
+	"geomob/internal/core"
+	"geomob/internal/geo"
+	"geomob/internal/live"
+	"geomob/internal/mobility"
+)
+
+// MergePartials folds the user-disjoint shard partials of one request
+// into the single core.FoldedPass that core.AssembleFolded consumes —
+// the gather half of scatter-gather. Exactness (DESIGN.md §8):
+//
+//   - tweet counts, span bounds, per-area unique-user counts and flow
+//     matrices are whole-number sums / min-max reductions, exact in any
+//     order; a user contributes to each of them on exactly one shard
+//     because the partitioner keeps trajectories whole;
+//   - the Table I series are rebuilt by interleaving the shards' per-user
+//     records in ascending user id — the canonical serial order — and
+//     flattening exactly as a local fold would: the per-user waiting and
+//     displacement series were computed whole on the owning shard, and
+//     the gyration radius is derived from the shipped addends with the
+//     same mobility.GyrationRadiusKM call, so every float carries the
+//     bits a single-node pass would have produced.
+//
+// A user id appearing on two shards violates the partitioning contract
+// and is reported as an error rather than silently double-counted.
+func MergePartials(req core.Request, parts []*live.ShardPartial) (*core.FoldedPass, error) {
+	info, err := core.PlanRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	gaz := census.Australia()
+	f := &core.FoldedPass{BBox: geo.EmptyBBox()}
+	for si, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("cluster: merge: shard %d returned no partial", si)
+		}
+		if len(p.Scales) != len(info.Scales) {
+			return nil, fmt.Errorf("cluster: merge: shard %d folded %d scales, plan has %d",
+				si, len(p.Scales), len(info.Scales))
+		}
+		for i, sc := range info.Scales {
+			if p.Scales[i] != sc {
+				return nil, fmt.Errorf("cluster: merge: shard %d scale %d is %s, plan wants %s",
+					si, i, p.Scales[i], sc)
+			}
+		}
+		f.Tweets += p.Tweets
+		if p.Seen {
+			f.BBox = f.BBox.Union(p.BBox)
+			if !f.Seen || p.FirstTS < f.FirstTS {
+				f.FirstTS = p.FirstTS
+			}
+			if !f.Seen || p.LastTS > f.LastTS {
+				f.LastTS = p.LastTS
+			}
+			f.Seen = true
+		}
+	}
+
+	scaleAreas := func(sc census.Scale) ([]census.Area, error) {
+		rs, err := gaz.Regions(sc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: merge: regions for %s: %w", sc, err)
+		}
+		return rs.Areas, nil
+	}
+	if info.Count {
+		f.Counts = map[census.Scale][]float64{}
+		for _, sc := range info.Scales {
+			areas, err := scaleAreas(sc)
+			if err != nil {
+				return nil, err
+			}
+			sum := make([]float64, len(areas))
+			for si, p := range parts {
+				c := p.Counts[sc]
+				if len(c) != len(sum) {
+					return nil, fmt.Errorf("cluster: merge: shard %d counts for %s: got %d areas, want %d",
+						si, sc, len(c), len(sum))
+				}
+				for i, v := range c {
+					sum[i] += v
+				}
+			}
+			f.Counts[sc] = sum
+		}
+	}
+	if info.Metro500 {
+		rs, err := gaz.Regions(census.ScaleMetropolitan)
+		if err != nil {
+			return nil, err
+		}
+		sum := make([]float64, len(rs.Areas))
+		for si, p := range parts {
+			if len(p.Metro500) != len(sum) {
+				return nil, fmt.Errorf("cluster: merge: shard %d metro 0.5 km counts: got %d areas, want %d",
+					si, len(p.Metro500), len(sum))
+			}
+			for i, v := range p.Metro500 {
+				sum[i] += v
+			}
+		}
+		f.Metro500 = sum
+	}
+	if info.Extract {
+		f.Flows = map[census.Scale]*mobility.FlowMatrix{}
+		for _, sc := range info.Scales {
+			areas, err := scaleAreas(sc)
+			if err != nil {
+				return nil, err
+			}
+			fm := mobility.NewFlowMatrix(areas)
+			for si, p := range parts {
+				src := p.Flows[sc]
+				if src == nil || len(src.Flows) != len(areas) {
+					return nil, fmt.Errorf("cluster: merge: shard %d flow matrix for %s missing or mis-sized", si, sc)
+				}
+				if err := fm.Merge(src); err != nil {
+					return nil, fmt.Errorf("cluster: merge: shard %d flows for %s: %w", si, sc, err)
+				}
+			}
+			f.Flows[sc] = fm
+		}
+	}
+	if info.Stats {
+		st, err := mergeUsers(parts)
+		if err != nil {
+			return nil, err
+		}
+		st.Tweets = int(f.Tweets)
+		f.Stats = st
+	}
+	return f, nil
+}
+
+// mergeUsers interleaves the shards' per-user trajectory records in
+// ascending user id and flattens them into the Table I series, exactly
+// as a serial pass emits them.
+func mergeUsers(parts []*live.ShardPartial) (*mobility.Stats, error) {
+	st := &mobility.Stats{}
+	heads := make([]int, len(parts))
+	for {
+		best, found := -1, false
+		for pi, p := range parts {
+			if heads[pi] >= len(p.Users) {
+				continue
+			}
+			id := p.Users[heads[pi]].ID
+			if !found || id < parts[best].Users[heads[best]].ID {
+				best, found = pi, true
+				continue
+			}
+			if id == parts[best].Users[heads[best]].ID {
+				return nil, fmt.Errorf("cluster: merge: user %d present on shards %d and %d — partitioning contract violated",
+					id, best, pi)
+			}
+		}
+		if !found {
+			break
+		}
+		u := &parts[best].Users[heads[best]]
+		heads[best]++
+		st.Users++
+		st.TweetsPerUser = append(st.TweetsPerUser, float64(u.Tweets))
+		st.WaitingSecs = append(st.WaitingSecs, u.Waits...)
+		st.DisplacementsKM = append(st.DisplacementsKM, u.Disps...)
+		st.CellsPerUser = append(st.CellsPerUser, float64(u.DistinctCells))
+		st.GyrationKM = append(st.GyrationKM, mobility.GyrationRadiusKM(u.SumX, u.SumY, u.SumZ, int(u.Tweets)))
+	}
+	return st, nil
+}

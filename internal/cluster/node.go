@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/tweet"
+)
+
+// The internal shard API. Requests travel as JSON-encoded core.Request
+// bodies (times RFC 3339, floats by shortest representation — exact on
+// round-trip); partials come back in the binary wire codec. Error status
+// codes carry the sentinel semantics across the wire so a coordinator
+// behaves identically over LocalShard and HTTPShard:
+//
+//	POST /shard/v1/ingest    NDJSON batch → {"ingested": n}
+//	POST /shard/v1/partial   core.Request → binary ShardPartial
+//	POST /shard/v1/coverage  core.Request → {"coverage": key}
+//	GET  /shard/v1/health    ShardHealth
+//	GET  /healthz            liveness (boot-wait probes)
+//
+//	400 caller's request/records   422 live.ErrNotCovered
+//	410 live.ErrEvicted            413 body or line too large
+const (
+	pathIngest   = "/shard/v1/ingest"
+	pathPartial  = "/shard/v1/partial"
+	pathCoverage = "/shard/v1/coverage"
+	pathHealth   = "/shard/v1/health"
+)
+
+// NodeOptions configure a shard node server.
+type NodeOptions struct {
+	// MaxBodyBytes bounds request bodies; zero means 64 MiB. Oversized
+	// requests answer 413 (like the public /v1/ingest).
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes is the request-body bound services apply when the
+// operator configures none.
+const DefaultMaxBodyBytes int64 = 64 << 20
+
+// Node serves one LocalShard over the internal shard API.
+type Node struct {
+	shard *LocalShard
+	mux   *http.ServeMux
+	maxB  int64
+}
+
+// NewNode builds the HTTP front of one shard.
+func NewNode(shard *LocalShard, opts NodeOptions) *Node {
+	n := &Node{shard: shard, maxB: opts.MaxBodyBytes}
+	if n.maxB <= 0 {
+		n.maxB = DefaultMaxBodyBytes
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathIngest, n.handleIngest)
+	mux.HandleFunc("POST "+pathPartial, n.handlePartial)
+	mux.HandleFunc("POST "+pathCoverage, n.handleCoverage)
+	mux.HandleFunc("GET "+pathHealth, n.handleHealth)
+	mux.HandleFunc("GET /healthz", n.handleHealth)
+	n.mux = mux
+	return n
+}
+
+// ServeHTTP implements http.Handler.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) { n.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// IngestStatus maps an ingest failure onto the HTTP status the public
+// and internal ingest endpoints share: the caller's malformed records
+// are a 400, size-limit violations (request body bound, NDJSON line
+// bound) a 413, everything else a 500.
+func IngestStatus(err error) int {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe), errors.Is(err, bufio.ErrTooLong):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, live.ErrBadInput):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, n.maxB)
+	count, err := ingestNDJSON(n.shard, body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard ingest: %v (accepted %d records)", err, count), IngestStatus(err))
+		return
+	}
+	h, _ := n.shard.Health()
+	writeJSON(w, map[string]any{"ingested": count, "tweets": h.Tweets, "buckets": h.Buckets})
+}
+
+// ingestNDJSON drains an NDJSON stream into a shard in ring-sized
+// batches and flushes at the end, through the shared live.DrainNDJSON
+// loop — one counting and error contract across every ingest front. A
+// record is counted only once its batch delivered, so the "accepted"
+// count a failure reports never includes records a failed delivery
+// dropped (clients resume from it).
+func ingestNDJSON(s Shard, r io.Reader) (int, error) {
+	batch := make([]tweet.Tweet, 0, 1<<13)
+	deliver := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := s.Ingest(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	delivered := 0
+	add := func(t tweet.Tweet) error {
+		batch = append(batch, t)
+		if len(batch) == cap(batch) {
+			n := len(batch)
+			if err := deliver(); err != nil {
+				return err
+			}
+			delivered += n
+		}
+		return nil
+	}
+	flush := func() error {
+		n := len(batch)
+		if err := deliver(); err != nil {
+			return err
+		}
+		delivered += n
+		return s.Flush()
+	}
+	if _, err := live.DrainNDJSON(r, add, flush); err != nil {
+		return delivered, err
+	}
+	return delivered, nil
+}
+
+// decodeRequest parses the JSON core.Request body shared by the partial
+// and coverage endpoints.
+func (n *Node) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var req core.Request
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("shard: bad request body: %v", err), http.StatusBadRequest)
+		return core.Request{}, false
+	}
+	return req, true
+}
+
+// foldStatus maps a fold/coverage failure onto its wire status.
+func foldStatus(err error) int {
+	switch {
+	case errors.Is(err, live.ErrNotCovered):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, live.ErrEvicted):
+		return http.StatusGone
+	}
+	return http.StatusBadRequest
+}
+
+func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
+	req, ok := n.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	p, err := n.shard.Partial(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard partial: %v", err), foldStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(EncodePartial(p))
+}
+
+func (n *Node) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	req, ok := n.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	key, err := n.shard.Coverage(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard coverage: %v", err), foldStatus(err))
+		return
+	}
+	writeJSON(w, map[string]string{"coverage": key})
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h, _ := n.shard.Health()
+	writeJSON(w, map[string]any{"status": "ok", "shard": h})
+}
+
+// HTTPShard talks to a remote Node. It implements Shard, translating the
+// wire statuses back into the sentinel errors LocalShard reports, so the
+// coordinator's behaviour is transport-independent.
+type HTTPShard struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPShard builds a client for the shard node at base (scheme://host
+// [:port]); hc nil selects a client with a 120 s overall timeout (fold
+// requests over large windows are slow, not hung).
+func NewHTTPShard(base string, hc *http.Client) *HTTPShard {
+	if hc == nil {
+		hc = &http.Client{Timeout: 120 * time.Second}
+	}
+	return &HTTPShard{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Base returns the shard node's base URL.
+func (s *HTTPShard) Base() string { return s.base }
+
+// Ingest implements Shard: the batch travels as one NDJSON POST, flushed
+// server-side on arrival.
+func (s *HTTPShard) Ingest(batch []tweet.Tweet) error {
+	var buf bytes.Buffer
+	w := tweet.NewNDJSONWriter(&buf)
+	for _, t := range batch {
+		if err := w.Write(t); err != nil {
+			return fmt.Errorf("%w: %w", live.ErrBadInput, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	resp, err := s.hc.Post(s.base+pathIngest, "application/x-ndjson", &buf)
+	if err != nil {
+		return fmt.Errorf("cluster: shard %s ingest: %w", s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s.statusError("ingest", resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Flush implements Shard; HTTP ingests flush per request.
+func (s *HTTPShard) Flush() error { return nil }
+
+// post sends a JSON core.Request and returns the successful response.
+func (s *HTTPShard) post(path string, req core.Request) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.hc.Post(s.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s %s: %w", s.base, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, s.statusError(path, resp)
+	}
+	return resp, nil
+}
+
+// statusError reconstructs the sentinel for a non-200 response.
+func (s *HTTPShard) statusError(what string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	switch resp.StatusCode {
+	case http.StatusUnprocessableEntity:
+		return fmt.Errorf("%w (shard %s: %s)", live.ErrNotCovered, s.base, detail)
+	case http.StatusGone:
+		return fmt.Errorf("%w (shard %s: %s)", live.ErrEvicted, s.base, detail)
+	}
+	return fmt.Errorf("cluster: shard %s %s: http %d: %s", s.base, what, resp.StatusCode, detail)
+}
+
+// Partial implements Shard.
+func (s *HTTPShard) Partial(req core.Request) (*live.ShardPartial, error) {
+	resp, err := s.post(pathPartial, req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s partial: %w", s.base, err)
+	}
+	return DecodePartial(data)
+}
+
+// Coverage implements Shard.
+func (s *HTTPShard) Coverage(req core.Request) (string, error) {
+	resp, err := s.post(pathCoverage, req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Coverage string `json:"coverage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("cluster: shard %s coverage: %w", s.base, err)
+	}
+	return out.Coverage, nil
+}
+
+// Health implements Shard.
+func (s *HTTPShard) Health() (ShardHealth, error) {
+	resp, err := s.hc.Get(s.base + pathHealth)
+	if err != nil {
+		return ShardHealth{}, fmt.Errorf("cluster: shard %s health: %w", s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ShardHealth{}, s.statusError("health", resp)
+	}
+	var out struct {
+		Shard ShardHealth `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return ShardHealth{}, fmt.Errorf("cluster: shard %s health: %w", s.base, err)
+	}
+	return out.Shard, nil
+}

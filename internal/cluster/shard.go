@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// Shard is one user partition of the cluster behind a uniform interface:
+// the coordinator routes ingest to it and scatters fold requests at it
+// without knowing whether the partition lives in-process (LocalShard) or
+// behind the internal HTTP API (HTTPShard → Node).
+type Shard interface {
+	// Ingest absorbs one batch of records belonging to this partition:
+	// durably appended when the shard has a store, and routed through the
+	// assignment hot path into the shard's bucket ring. Batches may be
+	// buffered; Flush forces them out.
+	Ingest(batch []tweet.Tweet) error
+	// Flush forces any buffered ingest out to the store and ring, so a
+	// subsequent Partial observes everything ingested so far.
+	Flush() error
+	// Partial folds the shard's materialised bucket partials covering
+	// req's window into the scatter-gather unit.
+	Partial(req core.Request) (*live.ShardPartial, error)
+	// Coverage fingerprints the shard's bucket coverage of req's window
+	// (live.Aggregator.CoverageKey): the coordinator's cache key
+	// component that moves exactly when an ingest lands in a covered
+	// bucket.
+	Coverage(req core.Request) (string, error)
+	// Health reports the shard's liveness counters; an error marks the
+	// shard unreachable (degraded in the coordinator's /healthz).
+	Health() (ShardHealth, error)
+}
+
+// ShardHealth is one shard's liveness report.
+type ShardHealth struct {
+	// Tweets is the durable record count (0 without a store); Ingested
+	// counts records accepted into the ring since boot.
+	Tweets   int64 `json:"tweets"`
+	Ingested int64 `json:"ingested"`
+	// Buckets and Builds describe the ring: live buckets and partial
+	// materialisations performed.
+	Buckets int   `json:"buckets"`
+	Builds  int64 `json:"builds"`
+	// Scans counts store segment scans — the number the scatter-gather
+	// exactness tests pin to zero on warm folds.
+	Scans int64 `json:"scans"`
+}
+
+// LocalShard is an in-process partition: a live bucket ring, optionally
+// in lockstep with a durable store (the -partitions mode of cmd/mobserve
+// runs one LocalShard per partition, so a multi-core box gets
+// per-partition ingest parallelism without a network hop; a ShardNode
+// serves one LocalShard remotely).
+type LocalShard struct {
+	agg   *live.Aggregator
+	store *tweetdb.Store // nil for a ring-only shard
+	ing   *live.Ingestor // nil iff store is nil
+}
+
+// NewLocalShard builds a shard over the store (nil for a ring-only
+// shard) with the given ring options. When a store is present its
+// records are backfilled into the ring — one scan at boot, then zero
+// forever — and ingest runs through a live.Ingestor so ring and store
+// flush in lockstep.
+func NewLocalShard(store *tweetdb.Store, opts live.Options) (*LocalShard, error) {
+	agg, err := live.NewAggregator(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &LocalShard{agg: agg, store: store}
+	if store != nil {
+		if _, err := live.Backfill(agg, store); err != nil {
+			return nil, fmt.Errorf("cluster: backfill shard ring: %w", err)
+		}
+		ing, err := live.NewIngestor(store, agg, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.ing = ing
+	}
+	return s, nil
+}
+
+// Aggregator exposes the shard's bucket ring.
+func (s *LocalShard) Aggregator() *live.Aggregator { return s.agg }
+
+// Store exposes the shard's store (nil for ring-only shards).
+func (s *LocalShard) Store() *tweetdb.Store { return s.store }
+
+// Ingestor exposes the shard's write path (nil for ring-only shards).
+func (s *LocalShard) Ingestor() *live.Ingestor { return s.ing }
+
+// Ingest implements Shard. With a store the batch goes through the
+// ingestor (buffered; durable and ring-routed at flush); without one it
+// lands in the ring directly.
+func (s *LocalShard) Ingest(batch []tweet.Tweet) error {
+	if s.ing == nil {
+		return s.agg.Ingest(batch)
+	}
+	for _, t := range batch {
+		if err := s.ing.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements Shard.
+func (s *LocalShard) Flush() error {
+	if s.ing == nil {
+		return nil
+	}
+	return s.ing.Flush()
+}
+
+// Partial implements Shard.
+func (s *LocalShard) Partial(req core.Request) (*live.ShardPartial, error) {
+	return s.agg.FoldPartial(req)
+}
+
+// Coverage implements Shard.
+func (s *LocalShard) Coverage(req core.Request) (string, error) {
+	return s.agg.CoverageKeyRequest(req)
+}
+
+// Health implements Shard.
+func (s *LocalShard) Health() (ShardHealth, error) {
+	h := ShardHealth{
+		Ingested: s.agg.Ingested(),
+		Buckets:  s.agg.Buckets(),
+		Builds:   s.agg.Builds(),
+	}
+	if s.store != nil {
+		h.Tweets = s.store.Count()
+		h.Scans = s.store.ScanCount()
+	}
+	return h, nil
+}

@@ -29,6 +29,19 @@ import (
 // The folded state is therefore bit-identical to the merged observer set
 // of a streaming pass over the same substream (property-tested).
 func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPass {
+	f, _ := a.foldInto(info, parts, false)
+	return f
+}
+
+// foldInto is the fold with a selectable statistics sink. With perUser
+// unset it fills FoldedPass.Stats — the flat Table I series of a local
+// query. With perUser set the identical per-user values (the same waits,
+// displacements, gyration addends and distinct-cell counts, in the same
+// order) are emitted as id-keyed UserTrajectory records instead and
+// FoldedPass.Stats stays nil: a cluster coordinator interleaves the
+// user-disjoint records of several shards back into ascending-id order
+// before flattening, which a shard-local flat series could not support.
+func (a *Aggregator) foldInto(info *core.PlanInfo, parts []*partial, perUser bool) (*core.FoldedPass, []UserTrajectory) {
 	f := &core.FoldedPass{BBox: geo.EmptyBBox()}
 	for _, p := range parts {
 		f.Tweets += p.tweets
@@ -89,7 +102,8 @@ func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPas
 		}
 	}
 	var st *mobility.Stats
-	if info.Stats {
+	var users []UserTrajectory
+	if info.Stats && !perUser {
 		st = &mobility.Stats{Tweets: int(f.Tweets)}
 	}
 
@@ -101,6 +115,7 @@ func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPas
 	heads := make([]int, len(parts))
 	var recs []rec
 	var cellScratch []uint64
+	var waitsBuf, dispsBuf []float64
 	for {
 		u, found := int64(0), false
 		for pi, p := range parts {
@@ -122,20 +137,19 @@ func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPas
 			}
 		}
 
-		if st != nil {
-			st.Users++
-			st.TweetsPerUser = append(st.TweetsPerUser, float64(n))
+		if info.Stats {
+			waitsBuf, dispsBuf = waitsBuf[:0], dispsBuf[:0]
 			var sx, sy, sz float64
 			cellScratch = cellScratch[:0]
 			for k, rc := range recs {
 				r := &rc.p.users[rc.row]
 				if k > 0 {
 					pr := &recs[k-1].p.users[recs[k-1].row]
-					st.WaitingSecs = append(st.WaitingSecs, mobility.WaitingSecs(pr.lastTS, r.firstTS))
-					st.DisplacementsKM = append(st.DisplacementsKM, mobility.DisplacementKM(pr.lastPt, r.firstPt))
+					waitsBuf = append(waitsBuf, mobility.WaitingSecs(pr.lastTS, r.firstTS))
+					dispsBuf = append(dispsBuf, mobility.DisplacementKM(pr.lastPt, r.firstPt))
 				}
-				st.WaitingSecs = append(st.WaitingSecs, rc.p.waits[r.w0:r.w1]...)
-				st.DisplacementsKM = append(st.DisplacementsKM, rc.p.disps[r.w0:r.w1]...)
+				waitsBuf = append(waitsBuf, rc.p.waits[r.w0:r.w1]...)
+				dispsBuf = append(dispsBuf, rc.p.disps[r.w0:r.w1]...)
 				for j := r.v0; j < r.v0+3*int(r.n); j += 3 {
 					sx += rc.p.vecs[j]
 					sy += rc.p.vecs[j+1]
@@ -150,8 +164,25 @@ func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPas
 					distinct++
 				}
 			}
-			st.CellsPerUser = append(st.CellsPerUser, float64(distinct))
-			st.GyrationKM = append(st.GyrationKM, mobility.GyrationRadiusKM(sx, sy, sz, n))
+			if perUser {
+				users = append(users, UserTrajectory{
+					ID:            u,
+					Tweets:        int64(n),
+					SumX:          sx,
+					SumY:          sy,
+					SumZ:          sz,
+					DistinctCells: int64(distinct),
+					Waits:         cloneOrNil(waitsBuf),
+					Disps:         cloneOrNil(dispsBuf),
+				})
+			} else {
+				st.Users++
+				st.TweetsPerUser = append(st.TweetsPerUser, float64(n))
+				st.WaitingSecs = append(st.WaitingSecs, waitsBuf...)
+				st.DisplacementsKM = append(st.DisplacementsKM, dispsBuf...)
+				st.CellsPerUser = append(st.CellsPerUser, float64(distinct))
+				st.GyrationKM = append(st.GyrationKM, mobility.GyrationRadiusKM(sx, sy, sz, n))
+			}
 		}
 
 		for _, ct := range countTargets {
@@ -188,5 +219,14 @@ func (a *Aggregator) fold(info *core.PlanInfo, parts []*partial) *core.FoldedPas
 	if st != nil {
 		f.Stats = st
 	}
-	return f
+	return f, users
+}
+
+// cloneOrNil copies a scratch slice into fresh memory, mapping empty to
+// nil so wire codecs round-trip the value exactly.
+func cloneOrNil(vs []float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	return slices.Clone(vs)
 }

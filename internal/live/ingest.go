@@ -59,7 +59,7 @@ func NewIngestor(store *tweetdb.Store, agg *Aggregator, batchSize int) (*Ingesto
 // Add buffers one record, flushing when the batch fills.
 func (i *Ingestor) Add(t tweet.Tweet) error {
 	if err := t.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadInput, err)
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
 	}
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -113,12 +113,67 @@ func (i *Ingestor) flushLocked() error {
 // Total returns the number of records flushed so far.
 func (i *Ingestor) Total() int64 { return i.total.Load() }
 
+// Backfill routes every record of the store into the aggregator's ring in
+// one scan — the boot-time hydration of a live (or cluster shard) node:
+// one scan now, then never again, because every later record arrives
+// through an Ingestor and is resolved exactly once on its way in. It
+// returns the number of records backfilled.
+func Backfill(a *Aggregator, store *tweetdb.Store) (int64, error) {
+	it := store.Scan(tweetdb.Query{})
+	defer it.Close()
+	total := int64(0)
+	batch := make([]tweet.Tweet, 0, 1<<14)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := a.Ingest(batch)
+		total += int64(len(batch))
+		batch = batch[:0]
+		return err
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, t)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return total, err
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
 // IngestNDJSON drains an NDJSON stream through the ingestor and flushes
 // at the end, returning how many records the stream contributed. On a
 // malformed record the error carries the line number and everything
 // before it is still flushed — the batch boundary the caller observes is
 // exactly what was accepted.
 func (i *Ingestor) IngestNDJSON(r io.Reader) (int, error) {
+	return DrainNDJSON(r, i.Add, i.Flush)
+}
+
+// DrainNDJSON is the single NDJSON ingest loop every write front shares
+// (Ingestor, cluster coordinator, cluster shard node): records stream
+// into add one by one and flush runs at the end. The returned count is
+// the records add accepted before the first failure — the resume point
+// the at-least-once contract hands back to clients; a record whose add
+// failed is never counted. On a malformed record (or a failed
+// transport: the reader surfaces stream errors such as request-body
+// bounds) everything accepted so far is still flushed, and the error
+// wraps ErrBadInput plus the cause with %w on both sides so service
+// layers can map it by walking the chain (400 for the caller's records,
+// 413 for bufio.ErrTooLong / http.MaxBytesError size violations).
+func DrainNDJSON(r io.Reader, add func(tweet.Tweet) error, flush func() error) (int, error) {
 	rd := tweet.NewNDJSONReader(r)
 	n := 0
 	for {
@@ -127,15 +182,15 @@ func (i *Ingestor) IngestNDJSON(r io.Reader) (int, error) {
 			break
 		}
 		if err != nil {
-			if ferr := i.Flush(); ferr != nil {
+			if ferr := flush(); ferr != nil {
 				return n, ferr
 			}
-			return n, fmt.Errorf("%w: %v", ErrBadInput, err)
+			return n, fmt.Errorf("%w: %w", ErrBadInput, err)
 		}
-		if err := i.Add(t); err != nil {
+		if err := add(t); err != nil {
 			return n, err
 		}
 		n++
 	}
-	return n, i.Flush()
+	return n, flush()
 }

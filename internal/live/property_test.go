@@ -4,9 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
-	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -14,84 +12,14 @@ import (
 	"geomob/internal/census"
 	"geomob/internal/core"
 	"geomob/internal/synth"
+	"geomob/internal/testx"
 	"geomob/internal/tweet"
 )
 
-// bitEqual reports whether two values are bit-for-bit identical: floats
-// compare by their IEEE-754 bits (NaN equals NaN, +0 differs from -0),
-// everything else structurally. This is the repo's "bit-identical"
-// invariant made executable — reflect.DeepEqual would falsely fail on
-// identical NaNs from degenerate correlations.
-func bitEqual(a, b reflect.Value) bool {
-	if a.Kind() != b.Kind() || a.Type() != b.Type() {
-		return false
-	}
-	switch a.Kind() {
-	case reflect.Float32, reflect.Float64:
-		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
-	case reflect.Bool:
-		return a.Bool() == b.Bool()
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		return a.Int() == b.Int()
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		return a.Uint() == b.Uint()
-	case reflect.String:
-		return a.String() == b.String()
-	case reflect.Ptr:
-		if a.IsNil() || b.IsNil() {
-			return a.IsNil() == b.IsNil()
-		}
-		if a.Pointer() == b.Pointer() {
-			return true
-		}
-		return bitEqual(a.Elem(), b.Elem())
-	case reflect.Interface:
-		if a.IsNil() || b.IsNil() {
-			return a.IsNil() == b.IsNil()
-		}
-		return bitEqual(a.Elem(), b.Elem())
-	case reflect.Slice:
-		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
-			return false
-		}
-		for i := 0; i < a.Len(); i++ {
-			if !bitEqual(a.Index(i), b.Index(i)) {
-				return false
-			}
-		}
-		return true
-	case reflect.Array:
-		for i := 0; i < a.Len(); i++ {
-			if !bitEqual(a.Index(i), b.Index(i)) {
-				return false
-			}
-		}
-		return true
-	case reflect.Map:
-		if a.IsNil() != b.IsNil() || a.Len() != b.Len() {
-			return false
-		}
-		for _, k := range a.MapKeys() {
-			bv := b.MapIndex(k)
-			if !bv.IsValid() || !bitEqual(a.MapIndex(k), bv) {
-				return false
-			}
-		}
-		return true
-	case reflect.Struct:
-		for i := 0; i < a.NumField(); i++ {
-			if !bitEqual(a.Field(i), b.Field(i)) {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
-	}
-}
-
+// resultsBitEqual is the repo's "bit-identical" invariant made
+// executable; see testx.BitEqual.
 func resultsBitEqual(a, b *core.Result) bool {
-	return bitEqual(reflect.ValueOf(a), reflect.ValueOf(b))
+	return testx.ResultsBitEqual(a, b)
 }
 
 // randomBatches shuffles a corpus and splits it into 1..maxBatches random

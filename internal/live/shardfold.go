@@ -1,0 +1,89 @@
+package live
+
+import (
+	"geomob/internal/census"
+	"geomob/internal/core"
+)
+
+// This file is the live subsystem's contribution to the cluster scale-out
+// (internal/cluster, DESIGN.md §8): a shard node answers a scatter query
+// not with an assembled Result but with a ShardPartial — its own folded
+// observer state at per-user granularity — which the coordinator merges
+// with the user-disjoint partials of the other shards.
+
+// UserTrajectory is one user's folded trajectory state over a request
+// window. A user-hash-partitioned cluster keeps each user's records whole
+// on one shard, but the global stream order interleaves the users of all
+// shards by ascending id, so the flat Table I series (per-user counts,
+// waiting/displacement runs, gyration radii) cannot be concatenated shard
+// by shard. Shipping the state per user lets the coordinator re-interleave
+// users into exactly the serial order and reassemble the flat series a
+// single-node pass emits, bit for bit.
+type UserTrajectory struct {
+	// ID is the user id; Tweets the user's in-window record count.
+	ID     int64
+	Tweets int64
+	// SumX, SumY and SumZ are the radius-of-gyration unit-vector addends,
+	// accumulated in serial record order on the shard (where the complete
+	// trajectory lives). The coordinator derives the radius with the same
+	// mobility.GyrationRadiusKM call a local fold performs, so the result
+	// carries identical bits.
+	SumX, SumY, SumZ float64
+	// DistinctCells is the user's distinct ~5 km geohash cell count
+	// (Table I "locations"), exact on the shard because the whole
+	// trajectory is local.
+	DistinctCells int64
+	// Waits and Disps are the user's complete waiting-time and
+	// displacement series in record order (length Tweets-1 each),
+	// cross-bucket boundaries already stitched by the shard's fold.
+	Waits, Disps []float64
+}
+
+// ShardPartial is the scatter-gather unit of internal/cluster: the folded
+// observer state of one aggregator — one user partition — over one request
+// window. The aggregate fields ride the embedded core.FoldedPass, whose
+// additive pieces (tweet count, span, per-area unique-user counts, flow
+// matrices) merge exactly across user-disjoint shards; Stats stays nil and
+// the trajectory statistics travel per user in Users instead.
+//
+// Per-area unique-user counts are additive here — with no bitset on the
+// wire — precisely because the partitioner keeps users whole: each user is
+// counted toward an area by exactly one shard, so the per-shard count
+// vectors sum to the global ones.
+type ShardPartial struct {
+	core.FoldedPass
+	// Scales are the request plan's scales in plan order — the canonical
+	// iteration order of the Counts and Flows maps for wire codecs.
+	Scales []census.Scale
+	// Users holds the per-user trajectory state in ascending id order.
+	// Nil unless the plan wants stats.
+	Users []UserTrajectory
+}
+
+// FoldPartial folds the materialised partials covering req's window into
+// the shard partial a cluster coordinator merges. Like Query it touches no
+// storage and reuses every covered bucket's materialised partial; unlike
+// Query it stops before assembly, leaving the trajectory statistics at
+// per-user granularity so user-disjoint shard partials can be interleaved
+// exactly. Shapes the aggregator does not materialise answer ErrNotCovered
+// and windows below the eviction floor ErrEvicted, exactly like Query.
+func (a *Aggregator) FoldPartial(req core.Request) (*ShardPartial, error) {
+	info, err := core.PlanRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.covers(info); err != nil {
+		return nil, err
+	}
+	lo, hi := window(info)
+	parts, err := a.collect(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	fp, users := a.foldInto(info, parts, true)
+	return &ShardPartial{
+		FoldedPass: *fp,
+		Scales:     append([]census.Scale(nil), info.Scales...),
+		Users:      users,
+	}, nil
+}

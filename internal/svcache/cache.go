@@ -1,4 +1,21 @@
-package main
+// Package svcache is the snapshot cache shared by the service layers
+// (cmd/mobserve, internal/cluster): it memoises completed Study
+// executions keyed on a composite string the caller builds from the
+// canonical request (core.Request.Key) plus a validity component — the
+// store generation (tweetdb.Store.Generation) for full-rescan
+// computations, the live bucket-coverage fingerprint
+// (live.Aggregator.CoverageKey) for bucket-fold computations, or the
+// cluster-wide coverage fingerprint-sum for scatter-gather computations.
+//
+// Because validity lives in the key, an append invalidates exactly the
+// entries whose coverage it touched — entries over unchanged buckets keep
+// hitting across store generations — and stale entries age out through
+// oldest-first eviction instead of a wholesale reset.
+//
+// The §4/§7/§8 merge contracts make the cached value exact: a pass (or
+// fold) over fixed inputs is deterministic, so one completed computation
+// answers every repeat of its key.
+package svcache
 
 import (
 	"fmt"
@@ -7,28 +24,16 @@ import (
 	"geomob/internal/core"
 )
 
-// maxSnapshots bounds the cache entry count. Distinct windowed requests
-// are unbounded, so the cache evicts oldest-first when full: one burst of
-// distinct windows ages out the stalest entries instead of wiping every
-// warm one at once.
-const maxSnapshots = 128
+// DefaultMaxSnapshots bounds the entry count when New is given zero.
+// Distinct windowed requests are unbounded, so the cache evicts
+// oldest-first when full: one burst of distinct windows ages out the
+// stalest entries instead of wiping every warm one at once.
+const DefaultMaxSnapshots = 128
 
-// snapshotCache memoises completed Study executions keyed on a composite
-// string the caller builds from the canonical request (core.Request.Key)
-// plus a validity component: the store generation
-// (tweetdb.Store.Generation) for full-rescan computations, or the live
-// bucket-coverage fingerprint (live.Aggregator.CoverageKey) for
-// bucket-fold computations. Because validity lives in the key, an append
-// invalidates exactly the entries whose coverage it touched — entries
-// over unchanged buckets keep hitting across store generations — and
-// stale entries age out through the oldest-first eviction instead of a
-// wholesale reset.
-//
-// The §4/§7 merge contracts make the cached value exact: a pass (or
-// fold) over fixed inputs is deterministic, so one completed computation
-// answers every repeat of its key.
-type snapshotCache struct {
+// Cache memoises completed executions. Safe for concurrent use.
+type Cache struct {
 	mu      sync.Mutex
+	max     int
 	entries map[string]*snapshot
 	// order is the FIFO insertion order backing oldest-first eviction.
 	// Slots whose entry was already replaced or removed are skipped.
@@ -42,20 +47,25 @@ type cacheSlot struct {
 }
 
 // snapshot is one memoised execution; ready closes once res/err are set,
-// so concurrent requests for the same key wait instead of rescanning.
+// so concurrent requests for the same key wait instead of recomputing.
 type snapshot struct {
 	ready chan struct{}
 	res   *core.Result
 	err   error
 }
 
-func newSnapshotCache() *snapshotCache {
-	return &snapshotCache{entries: map[string]*snapshot{}}
+// New builds a cache bounded to max entries (0 means
+// DefaultMaxSnapshots).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxSnapshots
+	}
+	return &Cache{max: max, entries: map[string]*snapshot{}}
 }
 
-// stats reports how many lookups were served from a completed or
+// Stats reports how many lookups were served from a completed or
 // in-flight entry (hits) versus how many invoked compute (misses).
-func (c *snapshotCache) stats() (hits, misses int64) {
+func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
@@ -64,8 +74,8 @@ func (c *snapshotCache) stats() (hits, misses int64) {
 // evictLocked drops oldest entries until the cache fits. Caller holds
 // c.mu. Only slots still holding their original entry count — a key that
 // failed and was re-inserted occupies a younger slot.
-func (c *snapshotCache) evictLocked() {
-	for len(c.entries) >= maxSnapshots && len(c.order) > 0 {
+func (c *Cache) evictLocked() {
+	for len(c.entries) >= c.max && len(c.order) > 0 {
 		slot := c.order[0]
 		c.order = c.order[1:]
 		if c.entries[slot.key] == slot.e {
@@ -74,12 +84,12 @@ func (c *snapshotCache) evictLocked() {
 	}
 }
 
-// get returns the result for key, running compute at most once per key
+// Get returns the result for key, running compute at most once per key
 // while the entry lives. cached reports whether the result was served
 // without invoking compute. Failed computations are not kept: the entry
 // is dropped so the next request retries — a cancelled or panicking pass
 // must not poison the key for everyone else.
-func (c *snapshotCache) get(key string, compute func() (*core.Result, error)) (res *core.Result, cached bool, err error) {
+func (c *Cache) Get(key string, compute func() (*core.Result, error)) (res *core.Result, cached bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++

@@ -70,10 +70,10 @@ func (r *NDJSONReader) Read() (Tweet, error) {
 		}
 		var t Tweet
 		if err := json.Unmarshal(line, &t); err != nil {
-			return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
+			return Tweet{}, r.lineErr(err)
 		}
 		if err := t.Validate(); err != nil {
-			return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
+			return Tweet{}, r.lineErr(err)
 		}
 		return t, nil
 	}
@@ -81,6 +81,19 @@ func (r *NDJSONReader) Read() (Tweet, error) {
 		return Tweet{}, fmt.Errorf("ndjson line %d: %w", r.line, err)
 	}
 	return Tweet{}, io.EOF
+}
+
+// lineErr wraps a per-record failure, preferring a pending stream error:
+// when the underlying reader failed mid-line (a bounded request body, a
+// dropped connection), the scanner still surfaces the truncated tail as
+// a final token, and the resulting parse failure is an artifact of the
+// transport — the transport error is the one service layers must see
+// (e.g. to answer 413 rather than blaming the caller's records).
+func (r *NDJSONReader) lineErr(err error) error {
+	if serr := r.sc.Err(); serr != nil {
+		return fmt.Errorf("ndjson line %d: %w", r.line, serr)
+	}
+	return fmt.Errorf("ndjson line %d: %w", r.line, err)
 }
 
 // ReadAll drains the stream into a slice.

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Cluster end-to-end smoke (CI's e2e-cluster job; also runs locally):
+# boot 2 shard nodes + 1 coordinator with the real mobserve binary, plus
+# a single-node live mobserve as the reference. Ingest the same NDJSON
+# corpus into both deployments through their public /v1/ingest, then
+# assert that /v1/population and /v1/flows answer byte-for-byte
+# identically — the scatter-gather exactness contract (DESIGN.md §8) at
+# the HTTP surface — and that the coordinator reports healthy shards and
+# cached repeats.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+BASE_PORT="${CLUSTER_SMOKE_PORT:-18180}"
+P_SHARD0=$BASE_PORT; P_SHARD1=$((BASE_PORT+1)); P_COORD=$((BASE_PORT+2)); P_SINGLE=$((BASE_PORT+3))
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/mobserve" ./cmd/mobserve
+go build -o "$WORK/mobgen" ./cmd/mobgen
+
+"$WORK/mobserve" -cluster-shard -db "$WORK/shard0" -addr "127.0.0.1:$P_SHARD0" >"$WORK/shard0.log" 2>&1 &
+PIDS+=($!)
+"$WORK/mobserve" -cluster-shard -db "$WORK/shard1" -addr "127.0.0.1:$P_SHARD1" >"$WORK/shard1.log" 2>&1 &
+PIDS+=($!)
+"$WORK/mobserve" -cluster-coordinator "http://127.0.0.1:$P_SHARD0,http://127.0.0.1:$P_SHARD1" \
+  -addr "127.0.0.1:$P_COORD" >"$WORK/coord.log" 2>&1 &
+PIDS+=($!)
+"$WORK/mobserve" -live -db "$WORK/single" -addr "127.0.0.1:$P_SINGLE" >"$WORK/single.log" 2>&1 &
+PIDS+=($!)
+
+wait_up() {
+  local port=$1 name=$2
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "cluster-smoke: $name did not come up"; cat "$WORK/$name.log"; exit 1
+}
+wait_up "$P_SHARD0" shard0
+wait_up "$P_SHARD1" shard1
+wait_up "$P_COORD" coord
+wait_up "$P_SINGLE" single
+
+"$WORK/mobgen" -users 400 -ndjson >"$WORK/batch.ndjson" 2>/dev/null
+
+jsonget() { python3 -c 'import json,sys; d=json.load(sys.stdin)
+for k in sys.argv[1].split("."): d=d[k]
+print(d)' "$1"; }
+
+# The coordinator splits the corpus across the shards; the single node
+# keeps it whole.
+N_CLUSTER=$(curl -fsS -X POST --data-binary @"$WORK/batch.ndjson" "http://127.0.0.1:$P_COORD/v1/ingest" | jsonget ingested)
+N_SINGLE=$(curl -fsS -X POST --data-binary @"$WORK/batch.ndjson" "http://127.0.0.1:$P_SINGLE/v1/ingest" | jsonget ingested)
+echo "cluster-smoke: ingested $N_CLUSTER (cluster) / $N_SINGLE (single)"
+[ "$N_CLUSTER" = "$N_SINGLE" ] && [ "$N_CLUSTER" -gt 0 ] || { echo "cluster-smoke: ingest mismatch"; exit 1; }
+
+# Both shards must actually hold records — the partitioner spread the users.
+for port in "$P_SHARD0" "$P_SHARD1"; do
+  HELD=$(curl -fsS "http://127.0.0.1:$port/shard/v1/health" | jsonget shard.tweets)
+  echo "cluster-smoke: shard :$port holds $HELD records"
+  [ "$HELD" -gt 0 ] || { echo "cluster-smoke: a shard holds no records"; exit 1; }
+done
+
+# Scatter-gather answers equal the single node's, byte for byte.
+for ep in "v1/population?scale=national" "v1/flows?scale=national" "v1/stats" "v1/population?scale=metro"; do
+  curl -fsS "http://127.0.0.1:$P_COORD/$ep" >"$WORK/cluster.json"
+  curl -fsS "http://127.0.0.1:$P_SINGLE/$ep" >"$WORK/single.json"
+  if ! cmp -s "$WORK/cluster.json" "$WORK/single.json"; then
+    echo "cluster-smoke: /$ep diverges between cluster and single node:"
+    diff "$WORK/cluster.json" "$WORK/single.json" || true
+    exit 1
+  fi
+  echo "cluster-smoke: /$ep byte-identical"
+done
+
+# Warm repeat is cached and the coordinator reports healthy shards.
+[ "$(curl -fsS "http://127.0.0.1:$P_COORD/v1/population?scale=national" | jsonget cached)" = "True" ] \
+  || { echo "cluster-smoke: repeat not cached"; exit 1; }
+STATUS=$(curl -fsS "http://127.0.0.1:$P_COORD/healthz" | jsonget status)
+[ "$STATUS" = "ok" ] || { echo "cluster-smoke: coordinator health is $STATUS"; exit 1; }
+
+echo "cluster-smoke: OK"
