@@ -11,6 +11,7 @@ package geomob
 // suite completes in minutes; scale-up happens via cmd/mobrepro -users.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -455,41 +456,129 @@ func BenchmarkTweetDecode(b *testing.B) {
 	b.SetBytes(int64(len(tweets)))
 }
 
-// BenchmarkIngest measures the streaming write path end to end — the
-// cost of absorbing one tweet through live.Ingestor: durable append into
-// the store plus routing through the multi-scale assignment hot path
-// into the bucket ring (DESIGN.md §7). tweets/sec is the headline ingest
-// throughput the live service sustains.
+// benchIngestEnv builds one fresh ingest stack (store + ring + ingestor)
+// — the per-iteration setup of the ingest wire benchmarks.
+func benchIngestEnv(b *testing.B) *live.Ingestor {
+	b.Helper()
+	store, err := tweetdb.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := live.NewAggregator(live.Options{BucketWidth: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ing, err := live.NewIngestor(store, agg, 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ing
+}
+
+// BenchmarkIngest measures the NDJSON ingest path end to end — the cost
+// of absorbing a POST /v1/ingest NDJSON body through live.Ingestor: one
+// JSON decode and one Add per record, then durable append into the store
+// plus routing through the multi-scale assignment hot path into the
+// bucket ring (DESIGN.md §7). tweets/sec is the headline row-at-a-time
+// ingest throughput the live service sustains.
 func BenchmarkIngest(b *testing.B) {
 	tweets := makeBenchTweets(50000)
+	var body bytes.Buffer
+	w := tweet.NewNDJSONWriter(&body)
+	for _, t := range tweets {
+		if err := w.Write(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		store, err := tweetdb.Open(b.TempDir())
-		if err != nil {
-			b.Fatal(err)
-		}
-		agg, err := live.NewAggregator(live.Options{BucketWidth: time.Hour})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ing, err := live.NewIngestor(store, agg, 1<<14)
-		if err != nil {
-			b.Fatal(err)
-		}
+		ing := benchIngestEnv(b)
 		b.StartTimer()
-		for _, t := range tweets {
-			if err := ing.Add(t); err != nil {
-				b.Fatal(err)
-			}
-		}
-		if err := ing.Flush(); err != nil {
+		n, err := ing.IngestNDJSON(bytes.NewReader(body.Bytes()))
+		if err != nil {
 			b.Fatal(err)
+		}
+		if n != len(tweets) {
+			b.Fatalf("ingested %d", n)
 		}
 	}
 	b.ReportMetric(float64(len(tweets)), "tweets/op")
 	b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkIngestBatch measures the same end-to-end write path fed the
+// binary batch wire format instead (Content-Type
+// application/x-geomob-batch): frames decode straight into columns and
+// flow batch → appender columns → v2 segment without per-record structs
+// or JSON. The tweets/sec and allocs/op deltas against BenchmarkIngest
+// are the headline wins of the columnar hot path; mobbench -compare
+// gates them (>= 3x tweets/sec at <= 0.1x allocs/op).
+func BenchmarkIngestBatch(b *testing.B) {
+	tweets := makeBenchTweets(50000)
+	const frame = 8192 // matches the mobgen -format binary frame size
+	var body bytes.Buffer
+	w := tweet.NewBatchWriter(&body)
+	all := tweet.BatchOf(tweets)
+	for off := 0; off < all.Len(); off += frame {
+		end := min(off+frame, all.Len())
+		if err := w.Write(all.Slice(off, end)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ing := benchIngestEnv(b)
+		b.StartTimer()
+		n, err := ing.IngestBinary(bytes.NewReader(body.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(tweets) {
+			b.Fatalf("ingested %d", n)
+		}
+	}
+	b.ReportMetric(float64(len(tweets)), "tweets/op")
+	b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkBackfill measures rebuilding the live bucket ring from a
+// durable store at boot: a zero-copy block scan feeding the assignment
+// hot path in columnar chunks (DESIGN.md §7).
+func BenchmarkBackfill(b *testing.B) {
+	dir := b.TempDir()
+	store, err := tweetdb.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Append(makeBenchTweets(50000)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		agg, err := live.NewAggregator(live.Options{BucketWidth: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, err := live.Backfill(agg, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 50000 {
+			b.Fatalf("backfilled %d", n)
+		}
+	}
+	b.ReportMetric(50000, "tweets/op")
+	b.ReportMetric(50000*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
 }
 
 // BenchmarkClusterIngest measures the in-process multi-partition ingest

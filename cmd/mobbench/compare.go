@@ -9,9 +9,24 @@ import (
 )
 
 // The -compare mode: diff two BENCH_*.json snapshots and fail on ns/op
-// regressions beyond the tolerance. CI's bench-smoke job runs it against
-// the committed baseline, turning the performance trajectory into a
-// gate instead of folklore.
+// or allocs/op regressions beyond their tolerances, plus the
+// batched-ingest contract asserted on the new snapshot alone. CI's
+// bench-smoke job runs it against the committed baseline, turning the
+// performance trajectory into a gate instead of folklore.
+
+// compareOptions are the -compare gates. Zero disables a gate (except
+// tolerance, whose zero means "no ns/op slack").
+type compareOptions struct {
+	tolerance      float64 // ns/op: new may be at most (1+tolerance) × old
+	allocTolerance float64 // allocs/op: same shape; 0 disables
+	// batchSpeedup and batchAllocRatio assert the columnar ingest
+	// contract between BenchmarkIngestBatch and BenchmarkIngest within
+	// the new snapshot — same box, same run, so no cross-machine noise:
+	// batched tweets/sec ≥ batchSpeedup × per-record tweets/sec, and
+	// batched allocs/op ≤ batchAllocRatio × per-record allocs/op.
+	batchSpeedup    float64
+	batchAllocRatio float64
+}
 
 // loadSnapshot reads one BENCH_*.json file.
 func loadSnapshot(path string) (*Snapshot, error) {
@@ -33,6 +48,11 @@ type compareDelta struct {
 	newNs    float64
 	ratio    float64 // new/old
 	regessed bool
+
+	oldAllocs      float64
+	newAllocs      float64
+	allocRatio     float64 // new/old; 0 when not gated
+	allocRegressed bool
 }
 
 // normalizeBenchName strips the trailing "-<GOMAXPROCS>" suffix go test
@@ -54,8 +74,12 @@ func normalizeBenchName(name string) string {
 // compareSnapshots matches benchmarks by normalised name (benchmarks
 // present in only one snapshot are reported but never fail the
 // comparison — the set grows over time) and flags every ns/op
-// regression beyond tolerance (0.15 = new may be at most 15% slower).
-func compareSnapshots(oldSnap, newSnap *Snapshot, tolerance float64) (deltas []compareDelta, onlyOld, onlyNew []string) {
+// regression beyond opts.tolerance (0.15 = new may be at most 15%
+// slower) and, when opts.allocTolerance > 0, every allocs/op regression
+// beyond it. Benchmarks whose baseline reports zero allocs are never
+// alloc-gated: a 0 → anything ratio is undefined and such benches gate
+// on ns/op alone.
+func compareSnapshots(oldSnap, newSnap *Snapshot, opts compareOptions) (deltas []compareDelta, onlyOld, onlyNew []string) {
 	oldBy := map[string]BenchResult{}
 	for _, r := range oldSnap.Results {
 		oldBy[normalizeBenchName(r.Name)] = r
@@ -69,10 +93,18 @@ func compareSnapshots(oldSnap, newSnap *Snapshot, tolerance float64) (deltas []c
 			onlyNew = append(onlyNew, nr.Name)
 			continue
 		}
-		d := compareDelta{name: key, oldNs: or.NsPerOp, newNs: nr.NsPerOp}
+		d := compareDelta{
+			name: key,
+			oldNs: or.NsPerOp, newNs: nr.NsPerOp,
+			oldAllocs: or.AllocsOp, newAllocs: nr.AllocsOp,
+		}
 		if or.NsPerOp > 0 {
 			d.ratio = nr.NsPerOp / or.NsPerOp
-			d.regessed = d.ratio > 1+tolerance
+			d.regessed = d.ratio > 1+opts.tolerance
+		}
+		if opts.allocTolerance > 0 && or.AllocsOp > 0 {
+			d.allocRatio = nr.AllocsOp / or.AllocsOp
+			d.allocRegressed = d.allocRatio > 1+opts.allocTolerance
 		}
 		deltas = append(deltas, d)
 	}
@@ -88,8 +120,8 @@ func compareSnapshots(oldSnap, newSnap *Snapshot, tolerance float64) (deltas []c
 }
 
 // runCompare prints the per-benchmark deltas and reports whether any
-// regression exceeded the tolerance.
-func runCompare(oldPath, newPath string, tolerance float64) (failed bool, err error) {
+// regression exceeded a tolerance or the batch-ingest contract failed.
+func runCompare(oldPath, newPath string, opts compareOptions) (failed bool, err error) {
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -98,20 +130,24 @@ func runCompare(oldPath, newPath string, tolerance float64) (failed bool, err er
 	if err != nil {
 		return false, err
 	}
-	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, tolerance)
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, opts)
 	if len(deltas) == 0 {
 		return false, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
 	}
-	log.Printf("comparing %s (%s) -> %s (%s), tolerance %+.0f%%",
-		oldPath, oldSnap.Date, newPath, newSnap.Date, tolerance*100)
+	log.Printf("comparing %s (%s) -> %s (%s), tolerance %+.0f%% ns/op, %+.0f%% allocs/op",
+		oldPath, oldSnap.Date, newPath, newSnap.Date, opts.tolerance*100, opts.allocTolerance*100)
 	for _, d := range deltas {
 		verdict := "ok"
 		if d.regessed {
 			verdict = "REGRESSION"
 			failed = true
 		}
-		log.Printf("%-44s %14.1f -> %14.1f ns/op  %+7.1f%%  %s",
-			d.name, d.oldNs, d.newNs, (d.ratio-1)*100, verdict)
+		if d.allocRegressed {
+			verdict += " ALLOC-REGRESSION"
+			failed = true
+		}
+		log.Printf("%-44s %14.1f -> %14.1f ns/op  %+7.1f%%  %8.0f -> %8.0f allocs/op  %s",
+			d.name, d.oldNs, d.newNs, (d.ratio-1)*100, d.oldAllocs, d.newAllocs, verdict)
 	}
 	for _, name := range onlyOld {
 		log.Printf("%-44s only in %s", name, oldPath)
@@ -119,5 +155,59 @@ func runCompare(oldPath, newPath string, tolerance float64) (failed bool, err er
 	for _, name := range onlyNew {
 		log.Printf("%-44s only in %s (new benchmark)", name, newPath)
 	}
+	if bad, checked := checkBatchContract(newSnap, opts); checked && bad {
+		failed = true
+	}
 	return failed, nil
+}
+
+// checkBatchContract asserts the columnar-ingest contract within one
+// snapshot: BenchmarkIngestBatch against BenchmarkIngest, both measured
+// in the same run on the same machine, so the ratios are free of
+// cross-baseline noise. checked is false when either benchmark (or the
+// tweets/sec metric) is absent — e.g. a narrowed -bench regex — which
+// never fails the comparison.
+func checkBatchContract(snap *Snapshot, opts compareOptions) (failed, checked bool) {
+	if opts.batchSpeedup <= 0 && opts.batchAllocRatio <= 0 {
+		return false, false
+	}
+	var ingest, batch *BenchResult
+	for i := range snap.Results {
+		switch normalizeBenchName(snap.Results[i].Name) {
+		case "BenchmarkIngest":
+			ingest = &snap.Results[i]
+		case "BenchmarkIngestBatch":
+			batch = &snap.Results[i]
+		}
+	}
+	if ingest == nil || batch == nil {
+		return false, false
+	}
+	if opts.batchSpeedup > 0 {
+		rowRate := ingest.Extra["tweets/sec"]
+		batchRate := batch.Extra["tweets/sec"]
+		if rowRate > 0 && batchRate > 0 {
+			checked = true
+			ratio := batchRate / rowRate
+			verdict := "ok"
+			if ratio < opts.batchSpeedup {
+				verdict = "CONTRACT VIOLATION"
+				failed = true
+			}
+			log.Printf("batch-ingest speedup: %.0f / %.0f tweets/sec = %.2fx (want >= %.1fx)  %s",
+				batchRate, rowRate, ratio, opts.batchSpeedup, verdict)
+		}
+	}
+	if opts.batchAllocRatio > 0 && ingest.AllocsOp > 0 {
+		checked = true
+		ratio := batch.AllocsOp / ingest.AllocsOp
+		verdict := "ok"
+		if ratio > opts.batchAllocRatio {
+			verdict = "CONTRACT VIOLATION"
+			failed = true
+		}
+		log.Printf("batch-ingest allocs: %.0f / %.0f allocs/op = %.3fx (want <= %.2fx)  %s",
+			batch.AllocsOp, ingest.AllocsOp, ratio, opts.batchAllocRatio, verdict)
+	}
+	return failed, checked
 }

@@ -42,7 +42,7 @@ func TestNormalizeBenchName(t *testing.T) {
 func TestCompareAcrossGOMAXPROCS(t *testing.T) {
 	oldSnap := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 100}}}
 	newSnap := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA-4", NsPerOp: 105}}}
-	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, 0.15)
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, compareOptions{tolerance: 0.15})
 	if len(deltas) != 1 || len(onlyOld) != 0 || len(onlyNew) != 0 {
 		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v, want one match", len(deltas), onlyOld, onlyNew)
 	}
@@ -62,7 +62,7 @@ func TestCompareSnapshots(t *testing.T) {
 		{Name: "BenchmarkB", NsPerOp: 1200}, // +20%: regression
 		{Name: "BenchmarkNew", NsPerOp: 7},
 	}}
-	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, 0.15)
+	deltas, onlyOld, onlyNew := compareSnapshots(oldSnap, newSnap, compareOptions{tolerance: 0.15})
 	if len(deltas) != 2 {
 		t.Fatalf("deltas = %d, want 2", len(deltas))
 	}
@@ -95,11 +95,11 @@ func TestRunCompare(t *testing.T) {
 		{Name: "BenchmarkB", NsPerOp: 1000},
 	})
 
-	failed, err := runCompare(oldPath, okPath, 0.15)
+	failed, err := runCompare(oldPath, okPath, compareOptions{tolerance: 0.15})
 	if err != nil || failed {
 		t.Fatalf("ok compare: failed=%v err=%v", failed, err)
 	}
-	failed, err = runCompare(oldPath, badPath, 0.15)
+	failed, err = runCompare(oldPath, badPath, compareOptions{tolerance: 0.15})
 	if err != nil || !failed {
 		t.Fatalf("bad compare: failed=%v err=%v, want regression", failed, err)
 	}
@@ -107,7 +107,76 @@ func TestRunCompare(t *testing.T) {
 	disjoint := writeSnapshot(t, dir, "disjoint.json", []BenchResult{
 		{Name: "BenchmarkZ", NsPerOp: 1},
 	})
-	if _, err := runCompare(oldPath, disjoint, 0.15); err == nil {
+	if _, err := runCompare(oldPath, disjoint, compareOptions{tolerance: 0.15}); err == nil {
 		t.Fatal("disjoint snapshots compared without error")
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	oldSnap := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsOp: 1000},
+		{Name: "BenchmarkZeroBase", NsPerOp: 100, AllocsOp: 0},
+	}}
+	newSnap := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsOp: 1500}, // +50% allocs
+		{Name: "BenchmarkZeroBase", NsPerOp: 100, AllocsOp: 40},
+	}}
+	deltas, _, _ := compareSnapshots(oldSnap, newSnap, compareOptions{tolerance: 0.15, allocTolerance: 0.25})
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	if deltas[0].name != "BenchmarkA" || !deltas[0].allocRegressed || deltas[0].regessed {
+		t.Errorf("A: %+v, want alloc regression only", deltas[0])
+	}
+	// Zero-alloc baselines are never gated: 0 → 40 has no meaningful ratio.
+	if deltas[1].allocRegressed {
+		t.Errorf("ZeroBase: %+v, want no alloc gate", deltas[1])
+	}
+	// allocTolerance 0 disables the gate entirely.
+	deltas, _, _ = compareSnapshots(oldSnap, newSnap, compareOptions{tolerance: 0.15})
+	if deltas[0].allocRegressed {
+		t.Errorf("disabled gate still flagged: %+v", deltas[0])
+	}
+	// Within tolerance passes.
+	within := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 100, AllocsOp: 1200}}}
+	deltas, _, _ = compareSnapshots(oldSnap, within, compareOptions{tolerance: 0.15, allocTolerance: 0.25})
+	if deltas[0].allocRegressed {
+		t.Errorf("+20%% allocs flagged at 25%% tolerance: %+v", deltas[0])
+	}
+}
+
+func TestBatchContract(t *testing.T) {
+	opts := compareOptions{batchSpeedup: 3.0, batchAllocRatio: 0.1}
+	good := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkIngest-4", NsPerOp: 100, AllocsOp: 14000, Extra: map[string]float64{"tweets/sec": 1e6}},
+		{Name: "BenchmarkIngestBatch-4", NsPerOp: 25, AllocsOp: 900, Extra: map[string]float64{"tweets/sec": 4e6}},
+	}}
+	if failed, checked := checkBatchContract(good, opts); failed || !checked {
+		t.Fatalf("good snapshot: failed=%v checked=%v", failed, checked)
+	}
+	slow := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkIngest", NsPerOp: 100, AllocsOp: 14000, Extra: map[string]float64{"tweets/sec": 1e6}},
+		{Name: "BenchmarkIngestBatch", NsPerOp: 50, AllocsOp: 900, Extra: map[string]float64{"tweets/sec": 2e6}},
+	}}
+	if failed, checked := checkBatchContract(slow, opts); !failed || !checked {
+		t.Fatalf("2x speedup passed a 3x contract: failed=%v checked=%v", failed, checked)
+	}
+	allocHeavy := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkIngest", NsPerOp: 100, AllocsOp: 14000, Extra: map[string]float64{"tweets/sec": 1e6}},
+		{Name: "BenchmarkIngestBatch", NsPerOp: 25, AllocsOp: 7000, Extra: map[string]float64{"tweets/sec": 4e6}},
+	}}
+	if failed, _ := checkBatchContract(allocHeavy, opts); !failed {
+		t.Fatal("half the allocs passed a 0.1x contract")
+	}
+	// Absent benchmarks (narrowed -bench regex) skip the contract.
+	partial := &Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkIngest", NsPerOp: 100, AllocsOp: 14000, Extra: map[string]float64{"tweets/sec": 1e6}},
+	}}
+	if failed, checked := checkBatchContract(partial, opts); failed || checked {
+		t.Fatalf("partial snapshot: failed=%v checked=%v, want skip", failed, checked)
+	}
+	// Disabled gates never check.
+	if failed, checked := checkBatchContract(good, compareOptions{}); failed || checked {
+		t.Fatalf("disabled contract: failed=%v checked=%v", failed, checked)
 	}
 }

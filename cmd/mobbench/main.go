@@ -9,10 +9,15 @@
 //	mobbench [-bench regex] [-benchtime 1x] [-dir .] [-out BENCH_<date>.json]
 //	mobbench -compare old.json new.json [-tolerance 0.15]
 //
-// The -compare mode diffs two snapshots, prints per-benchmark ns/op
-// deltas, and exits non-zero when any benchmark regressed by more than
-// the tolerance (default 15%) — CI runs it against the committed
-// baseline.
+// The -compare mode diffs two snapshots, prints per-benchmark ns/op and
+// allocs/op deltas, and exits non-zero when any benchmark regressed by
+// more than the tolerances (-tolerance for ns/op, -alloc-tolerance for
+// allocs/op) — CI runs it against the committed baseline. It also
+// asserts the batched-ingest contract on the new snapshot alone:
+// BenchmarkIngestBatch must sustain at least -batch-speedup times the
+// tweets/sec of BenchmarkIngest at no more than -batch-alloc-ratio of
+// its allocs/op, so the columnar hot path cannot silently decay back to
+// per-record costs.
 //
 // The default benchmark set covers the study pipeline's hot paths: the
 // end-to-end single-worker study pass, the grid-resolved area assignment
@@ -35,7 +40,7 @@ import (
 )
 
 // defaultBenchRegex selects the perf-trajectory benchmarks.
-const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$|BenchmarkIngest$|BenchmarkLiveQuery$|BenchmarkClusterIngest$"
+const defaultBenchRegex = "BenchmarkStudyRun/workers=1$|BenchmarkAreaAssign$|BenchmarkKDTreeNearest$|BenchmarkMultiScaleMap$|BenchmarkHaversine$|BenchmarkStoreScan$|BenchmarkIngest$|BenchmarkIngestBatch$|BenchmarkBackfill$|BenchmarkLiveQuery$|BenchmarkClusterIngest$"
 
 // BenchResult is one benchmark's parsed measurements. Metric keys are the
 // benchmark units with "/op" trimmed and slashes made JSON-friendly:
@@ -72,6 +77,9 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json in -dir)")
 		compare   = flag.Bool("compare", false, "compare two snapshots: mobbench -compare old.json new.json")
 		tolerance = flag.Float64("tolerance", 0.15, "ns/op regression tolerance for -compare (0.15 = fail beyond +15%)")
+		allocTol  = flag.Float64("alloc-tolerance", 0.25, "allocs/op regression tolerance for -compare (0 disables; benchmarks with zero baseline allocs are never gated)")
+		speedup   = flag.Float64("batch-speedup", 3.0, "minimum tweets/sec ratio BenchmarkIngestBatch/BenchmarkIngest asserted on the new snapshot (0 disables)")
+		allocRat  = flag.Float64("batch-alloc-ratio", 0.1, "maximum allocs/op ratio BenchmarkIngestBatch/BenchmarkIngest asserted on the new snapshot (0 disables)")
 	)
 	flag.Parse()
 
@@ -79,12 +87,17 @@ func main() {
 		if flag.NArg() != 2 {
 			log.Fatal("-compare needs exactly two snapshot paths: old.json new.json")
 		}
-		failed, err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		failed, err := runCompare(flag.Arg(0), flag.Arg(1), compareOptions{
+			tolerance:       *tolerance,
+			allocTolerance:  *allocTol,
+			batchSpeedup:    *speedup,
+			batchAllocRatio: *allocRat,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		if failed {
-			log.Fatalf("ns/op regressions beyond %.0f%% detected", *tolerance*100)
+			log.Fatal("regressions beyond tolerance (or batch-ingest contract violations) detected")
 		}
 		log.Print("no regressions beyond tolerance")
 		return

@@ -1,11 +1,14 @@
 // mobgen generates a synthetic geo-tagged tweet corpus — the stand-in for
-// the paper's 6.3M-tweet collection — and writes it either into a tweetdb
-// store directory or to NDJSON on stdout.
+// the paper's 6.3M-tweet collection — and writes it into a tweetdb store
+// directory or to stdout as NDJSON or binary batch frames (the compact
+// wire format POST /v1/ingest accepts with Content-Type
+// application/x-geomob-batch).
 //
 // Usage:
 //
 //	mobgen -users 50000 -seed 42 -db /tmp/tweets.db
 //	mobgen -users 1000 -ndjson > tweets.ndjson
+//	mobgen -users 1000 -format binary > tweets.gmb
 //	mobgen -users 473956 -db full.db        # paper-scale corpus
 package main
 
@@ -30,12 +33,21 @@ func main() {
 		seed2  = flag.Uint64("seed2", 43, "second PCG seed")
 		dbDir  = flag.String("db", "", "write into a tweetdb store at this directory")
 		ndjson = flag.Bool("ndjson", false, "write NDJSON to stdout")
+		format = flag.String("format", "", "stdout wire format: ndjson or binary (batch frames)")
 		gamma  = flag.Float64("gamma", 2.0, "planted gravity distance exponent")
 	)
 	flag.Parse()
 
-	if *dbDir == "" && !*ndjson {
-		log.Fatal("choose an output: -db DIR or -ndjson")
+	if *ndjson && *format == "" {
+		*format = "ndjson"
+	}
+	switch *format {
+	case "", "ndjson", "binary":
+	default:
+		log.Fatalf("unknown -format %q (want ndjson or binary)", *format)
+	}
+	if *dbDir == "" && *format == "" {
+		log.Fatal("choose an output: -db DIR, -ndjson or -format binary")
 	}
 	cfg := synth.DefaultConfig(*users, *seed1, *seed2)
 	cfg.Gamma = *gamma
@@ -45,7 +57,7 @@ func main() {
 	}
 
 	switch {
-	case *ndjson:
+	case *format == "ndjson":
 		w := tweet.NewNDJSONWriter(os.Stdout)
 		n, err := gen.Generate(w.Write)
 		if err != nil {
@@ -55,6 +67,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "mobgen: wrote %d tweets as NDJSON\n", n)
+	case *format == "binary":
+		// Frames of 8192 records: large enough to amortise the frame
+		// header, small enough that an ingesting service never buffers
+		// more than a few MB per frame.
+		const frameRecords = 8192
+		w := tweet.NewBatchWriter(os.Stdout)
+		b := &tweet.Batch{}
+		b.Grow(frameRecords)
+		n, err := gen.Generate(func(t tweet.Tweet) error {
+			b.Append(t)
+			if b.Len() >= frameRecords {
+				if err := w.Write(b); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b.Len() > 0 {
+			if err := w.Write(b); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mobgen: wrote %d tweets as binary batch frames\n", n)
 	default:
 		store, err := tweetdb.Open(*dbDir)
 		if err != nil {

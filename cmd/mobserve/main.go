@@ -397,20 +397,29 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleIngest drains an NDJSON tweet batch into the streaming write
-// path: durably appended to the store and, with -live, routed through
-// the assignment hot path into the bucket ring. Cached /v1 results whose
-// windows do not cover the landed buckets stay warm.
+// handleIngest drains a tweet batch into the streaming write path:
+// durably appended to the store and, with -live, routed through the
+// assignment hot path into the bucket ring. Cached /v1 results whose
+// windows do not cover the landed buckets stay warm. Content-Type
+// selects the wire format: tweet.BatchContentType streams binary column
+// frames (the hot path), anything else is read as NDJSON.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	// The request body is bounded (-max-ingest-bytes) and NDJSON lines
-	// are capped at 1 MiB by the reader, so one oversized upload cannot
-	// buffer the service out of memory; both violations answer 413.
+	// The request body is bounded (-max-ingest-bytes), NDJSON lines are
+	// capped at 1 MiB by the reader and binary frames at the same body
+	// bound, so one oversized upload cannot buffer the service out of
+	// memory; every such violation answers 413.
 	body := http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	binary := r.Header.Get("Content-Type") == tweet.BatchContentType
 	var n int
 	var err error
-	if s.coord != nil {
+	switch {
+	case s.coord != nil && binary:
+		n, err = live.DrainBinary(body, s.maxIngestBytes, s.coord.AddBatch, s.coord.Flush)
+	case s.coord != nil:
 		n, err = s.coord.IngestNDJSON(body)
-	} else {
+	case binary:
+		n, err = live.DrainBinary(body, s.maxIngestBytes, s.ing.IngestBatch, s.ing.Flush)
+	default:
 		n, err = s.ing.IngestNDJSON(body)
 	}
 	if err != nil {

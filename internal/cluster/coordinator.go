@@ -46,7 +46,7 @@ type Coordinator struct {
 	// mu serialises the buffered ingest path (Add/Flush), exactly like
 	// live.Ingestor; the lanes behind it drain concurrently.
 	mu    sync.Mutex
-	bufs  [][]tweet.Tweet
+	bufs  []*tweet.Batch
 	lanes []*lane
 	batch int
 
@@ -60,7 +60,7 @@ type Coordinator struct {
 // lane is one shard's asynchronous delivery pipe: a bounded queue of
 // batches drained by a dedicated sender goroutine.
 type lane struct {
-	ch chan []tweet.Tweet
+	ch chan *tweet.Batch
 	wg sync.WaitGroup // outstanding enqueued batches
 
 	mu       sync.Mutex
@@ -91,12 +91,17 @@ func NewCoordinator(shards []Shard, opts CoordinatorOptions) (*Coordinator, erro
 		part:   part,
 		shards: shards,
 		cache:  svcache.New(opts.CacheSize),
-		bufs:   make([][]tweet.Tweet, len(shards)),
+		bufs:   make([]*tweet.Batch, len(shards)),
 		lanes:  make([]*lane, len(shards)),
 		batch:  batch,
 	}
+	for i := range c.bufs {
+		b := &tweet.Batch{}
+		b.Grow(batch)
+		c.bufs[i] = b
+	}
 	for i := range c.lanes {
-		l := &lane{ch: make(chan []tweet.Tweet, depth)}
+		l := &lane{ch: make(chan *tweet.Batch, depth)}
 		c.lanes[i] = l
 		go c.runLane(i, l)
 	}
@@ -126,7 +131,7 @@ func (c *Coordinator) runLane(i int, l *lane) {
 			l.errAt = time.Now()
 			l.failures++
 		} else {
-			l.sent += int64(len(batch))
+			l.sent += int64(batch.Len())
 		}
 		l.mu.Unlock()
 		l.wg.Done()
@@ -155,9 +160,33 @@ func (c *Coordinator) Add(t tweet.Tweet) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	i := c.part.Partition(t.UserID)
-	c.bufs[i] = append(c.bufs[i], t)
-	if len(c.bufs[i]) >= c.batch {
+	c.bufs[i].Append(t)
+	if c.bufs[i].Len() >= c.batch {
 		c.enqueueLocked(i)
+	}
+	return nil
+}
+
+// AddBatch routes a whole columnar batch, splitting it across the owning
+// shards by the UserID column and enqueueing any shard buffer that
+// fills. The batch is validated once up front and only read; ownership
+// stays with the caller. Safe for concurrent use; a full shard queue
+// blocks (backpressure).
+func (c *Coordinator) AddBatch(b *tweet.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for r := 0; r < b.Len(); r++ {
+		i := c.part.Partition(b.UserID[r])
+		c.bufs[i].Append(b.Row(r))
+		if c.bufs[i].Len() >= c.batch {
+			c.enqueueLocked(i)
+		}
 	}
 	return nil
 }
@@ -167,12 +196,14 @@ func (c *Coordinator) Add(t tweet.Tweet) error {
 // backpressure contract — and lane workers never take c.mu, so the wait
 // cannot deadlock.
 func (c *Coordinator) enqueueLocked(i int) {
-	if len(c.bufs[i]) == 0 {
+	if c.bufs[i].Len() == 0 {
 		return
 	}
 	batch := c.bufs[i]
-	c.bufs[i] = make([]tweet.Tweet, 0, c.batch)
-	c.ingested.Add(int64(len(batch)))
+	fresh := &tweet.Batch{}
+	fresh.Grow(c.batch)
+	c.bufs[i] = fresh
+	c.ingested.Add(int64(batch.Len()))
 	l := c.lanes[i]
 	l.wg.Add(1)
 	l.ch <- batch
@@ -225,6 +256,14 @@ func (c *Coordinator) Flush() error {
 // records).
 func (c *Coordinator) IngestNDJSON(r io.Reader) (int, error) {
 	return live.DrainNDJSON(r, c.Add, c.Flush)
+}
+
+// IngestBinary drains a binary batch stream through the coordinator and
+// flushes at the end — the cluster-mode twin of
+// live.Ingestor.IngestBinary. Frames split across shard lanes by the
+// UserID column without ever materialising per-record values.
+func (c *Coordinator) IngestBinary(r io.Reader) (int, error) {
+	return live.DrainBinary(r, 0, c.AddBatch, c.Flush)
 }
 
 // Ingested returns the number of records routed into shard lanes.

@@ -82,11 +82,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 // IngestStatus maps an ingest failure onto the HTTP status the public
 // and internal ingest endpoints share: the caller's malformed records
 // are a 400, size-limit violations (request body bound, NDJSON line
-// bound) a 413, everything else a 500.
+// bound, binary frame bound) a 413, everything else a 500. The size
+// checks run first: an oversized input also wraps live.ErrBadInput, and
+// 413 is the more precise verdict.
 func IngestStatus(err error) int {
 	var mbe *http.MaxBytesError
 	switch {
-	case errors.As(err, &mbe), errors.Is(err, bufio.ErrTooLong):
+	case errors.As(err, &mbe), errors.Is(err, bufio.ErrTooLong), errors.Is(err, tweet.ErrFrameTooLarge):
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, live.ErrBadInput):
 		return http.StatusBadRequest
@@ -96,7 +98,13 @@ func IngestStatus(err error) int {
 
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, n.maxB)
-	count, err := ingestNDJSON(n.shard, body)
+	var count int
+	var err error
+	if r.Header.Get("Content-Type") == tweet.BatchContentType {
+		count, err = ingestBinary(n.shard, body, n.maxB)
+	} else {
+		count, err = ingestNDJSON(n.shard, body)
+	}
 	if err != nil {
 		http.Error(w, fmt.Sprintf("shard ingest: %v (accepted %d records)", err, count), IngestStatus(err))
 		return
@@ -112,38 +120,56 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 // count a failure reports never includes records a failed delivery
 // dropped (clients resume from it).
 func ingestNDJSON(s Shard, r io.Reader) (int, error) {
-	batch := make([]tweet.Tweet, 0, 1<<13)
+	const chunk = 1 << 13
+	batch := &tweet.Batch{}
+	batch.Grow(chunk)
+	delivered := 0
 	deliver := func() error {
-		if len(batch) == 0 {
+		n := batch.Len()
+		if n == 0 {
 			return nil
 		}
 		if err := s.Ingest(batch); err != nil {
 			return err
 		}
-		batch = batch[:0]
+		batch.Reset()
+		delivered += n
 		return nil
 	}
-	delivered := 0
 	add := func(t tweet.Tweet) error {
-		batch = append(batch, t)
-		if len(batch) == cap(batch) {
-			n := len(batch)
-			if err := deliver(); err != nil {
-				return err
-			}
-			delivered += n
+		batch.Append(t)
+		if batch.Len() >= chunk {
+			return deliver()
 		}
 		return nil
 	}
 	flush := func() error {
-		n := len(batch)
 		if err := deliver(); err != nil {
 			return err
 		}
-		delivered += n
 		return s.Flush()
 	}
 	if _, err := live.DrainNDJSON(r, add, flush); err != nil {
+		return delivered, err
+	}
+	return delivered, nil
+}
+
+// ingestBinary drains a binary batch stream into a shard frame by frame
+// and flushes at the end — the pre-encoded columns of every frame pass
+// straight through to the shard with no re-encoding. Counting matches
+// ingestNDJSON: a record counts only once its frame delivered.
+func ingestBinary(s Shard, r io.Reader, maxFrame int64) (int, error) {
+	delivered := 0
+	add := func(b *tweet.Batch) error {
+		n := b.Len()
+		if err := s.Ingest(b); err != nil {
+			return err
+		}
+		delivered += n
+		return nil
+	}
+	if _, err := live.DrainBinary(r, maxFrame, add, s.Flush); err != nil {
 		return delivered, err
 	}
 	return delivered, nil
@@ -225,20 +251,15 @@ func NewHTTPShard(base string, hc *http.Client) *HTTPShard {
 // Base returns the shard node's base URL.
 func (s *HTTPShard) Base() string { return s.base }
 
-// Ingest implements Shard: the batch travels as one NDJSON POST, flushed
+// Ingest implements Shard: the batch travels as one binary frame POST —
+// the columns are framed directly, never re-encoded as text — flushed
 // server-side on arrival.
-func (s *HTTPShard) Ingest(batch []tweet.Tweet) error {
-	var buf bytes.Buffer
-	w := tweet.NewNDJSONWriter(&buf)
-	for _, t := range batch {
-		if err := w.Write(t); err != nil {
-			return fmt.Errorf("%w: %w", live.ErrBadInput, err)
-		}
+func (s *HTTPShard) Ingest(b *tweet.Batch) error {
+	frame, err := tweet.AppendFrame(nil, b)
+	if err != nil {
+		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	resp, err := s.hc.Post(s.base+pathIngest, "application/x-ndjson", &buf)
+	resp, err := s.hc.Post(s.base+pathIngest, tweet.BatchContentType, bytes.NewReader(frame))
 	if err != nil {
 		return fmt.Errorf("cluster: shard %s ingest: %w", s.base, err)
 	}

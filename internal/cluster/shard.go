@@ -14,11 +14,12 @@ import (
 // without knowing whether the partition lives in-process (LocalShard) or
 // behind the internal HTTP API (HTTPShard → Node).
 type Shard interface {
-	// Ingest absorbs one batch of records belonging to this partition:
-	// durably appended when the shard has a store, and routed through the
-	// assignment hot path into the shard's bucket ring. Batches may be
+	// Ingest absorbs one columnar batch of records belonging to this
+	// partition: durably appended when the shard has a store, and routed
+	// through the assignment hot path into the shard's bucket ring. The
+	// batch is only read; ownership stays with the caller. Batches may be
 	// buffered; Flush forces them out.
-	Ingest(batch []tweet.Tweet) error
+	Ingest(b *tweet.Batch) error
 	// Flush forces any buffered ingest out to the store and ring, so a
 	// subsequent Partial observes everything ingested so far.
 	Flush() error
@@ -96,17 +97,13 @@ func (s *LocalShard) Ingestor() *live.Ingestor { return s.ing }
 
 // Ingest implements Shard. With a store the batch goes through the
 // ingestor (buffered; durable and ring-routed at flush); without one it
-// lands in the ring directly.
-func (s *LocalShard) Ingest(batch []tweet.Tweet) error {
+// lands in the ring directly. Either way the records stay columnar end
+// to end.
+func (s *LocalShard) Ingest(b *tweet.Batch) error {
 	if s.ing == nil {
-		return s.agg.Ingest(batch)
+		return s.agg.IngestBatch(b)
 	}
-	for _, t := range batch {
-		if err := s.ing.Add(t); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.ing.IngestBatch(b)
 }
 
 // Flush implements Shard.

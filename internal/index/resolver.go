@@ -365,6 +365,17 @@ func (r *Resolver) Resolve(p geo.Point) int64 {
 	return r.ids[best]
 }
 
+// ResolveBatch resolves whole coordinate columns in one call, writing the
+// entry ID (or -1) for point i into out[i]. It is the batched-ingest entry
+// point into the assignment grid: identical to calling Resolve per point,
+// but without per-point call overhead across package boundaries. lats,
+// lons and out must have equal length.
+func (r *Resolver) ResolveBatch(lats, lons []float64, out []int64) {
+	for i := range lats {
+		out[i] = r.Resolve(geo.Point{Lat: lats[i], Lon: lons[i]})
+	}
+}
+
 // resolveTree answers through the exact k-d tree oracle.
 func (r *Resolver) resolveTree(p geo.Point) int64 {
 	e, _, ok := r.tree.NearestWithin(p, r.radius)

@@ -23,10 +23,11 @@ type Ingestor struct {
 	mu  sync.Mutex
 	app *tweetdb.Appender
 	agg *Aggregator // nil disables ring routing (durable-only ingest)
-	// batch buffers the records of the in-progress flush; batch[:handed]
-	// were already handed to the appender, so a flush retried after a
-	// transient failure never re-appends them (no duplicate writes).
-	batch  []tweet.Tweet
+	// batch buffers the records of the in-progress flush column-wise; the
+	// first handed records were already handed to the appender, so a flush
+	// retried after a transient failure never re-appends them (no
+	// duplicate writes).
+	batch  *tweet.Batch
 	handed int
 	limit  int
 	total  atomic.Int64
@@ -48,10 +49,12 @@ func NewIngestor(store *tweetdb.Store, agg *Aggregator, batchSize int) (*Ingesto
 	if batchSize == 0 {
 		batchSize = tweetdb.DefaultSegmentRecords
 	}
+	b := &tweet.Batch{}
+	b.Grow(min(batchSize, 1<<14))
 	return &Ingestor{
 		app:   app,
 		agg:   agg,
-		batch: make([]tweet.Tweet, 0, min(batchSize, 1<<14)),
+		batch: b,
 		limit: batchSize,
 	}, nil
 }
@@ -63,8 +66,28 @@ func (i *Ingestor) Add(t tweet.Tweet) error {
 	}
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	i.batch = append(i.batch, t)
-	if len(i.batch) >= i.limit {
+	i.batch.Append(t)
+	if i.batch.Len() >= i.limit {
+		return i.flushLocked()
+	}
+	return nil
+}
+
+// IngestBatch buffers a whole batch, flushing when the buffer fills —
+// the column-wise counterpart of Add used by the binary ingest path.
+// Invalid records reject the entire batch before any is buffered. The
+// batch is copied in; the caller keeps ownership.
+func (i *Ingestor) IngestBatch(b *tweet.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadInput, err)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.batch.AppendBatch(b)
+	if i.batch.Len() >= i.limit {
 		return i.flushLocked()
 	}
 	return nil
@@ -78,21 +101,24 @@ func (i *Ingestor) Flush() error {
 }
 
 func (i *Ingestor) flushLocked() error {
-	if len(i.batch) == 0 {
+	n := i.batch.Len()
+	if n == 0 {
 		return nil
 	}
-	// Hand each record to the appender exactly once: a retried Flush
-	// after a transient failure resumes at the high-water mark instead
-	// of re-appending records the appender (or an internal auto-flush)
+	// Hand the pending records to the appender exactly once: the appender
+	// copies them into its own buffer before attempting any write and
+	// keeps that buffer across failures, so a retried Flush resumes at
+	// the high-water mark instead of re-appending records the appender
 	// already owns. This makes flush retries on the same Ingestor safe;
 	// delivery to the Ingestor itself is still at-least-once — a caller
 	// that re-sends records it already handed in will duplicate them,
 	// as the store keeps no dedup state.
-	for i.handed < len(i.batch) {
-		if err := i.app.Add(i.batch[i.handed]); err != nil {
+	if i.handed < n {
+		pending := i.batch.Slice(i.handed, n)
+		i.handed = n
+		if err := i.app.AppendBatch(pending); err != nil {
 			return err
 		}
-		i.handed++
 	}
 	if err := i.app.Flush(); err != nil {
 		return err
@@ -102,10 +128,10 @@ func (i *Ingestor) flushLocked() error {
 	// but a duplicate store write would be the worse failure).
 	routeErr := error(nil)
 	if i.agg != nil {
-		routeErr = i.agg.Ingest(i.batch)
+		routeErr = i.agg.IngestBatch(i.batch)
 	}
-	i.total.Add(int64(len(i.batch)))
-	i.batch = i.batch[:0]
+	i.total.Add(int64(n))
+	i.batch.Reset()
 	i.handed = 0
 	return routeErr
 }
@@ -122,35 +148,30 @@ func Backfill(a *Aggregator, store *tweetdb.Store) (int64, error) {
 	it := store.Scan(tweetdb.Query{})
 	defer it.Close()
 	total := int64(0)
-	batch := make([]tweet.Tweet, 0, 1<<14)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		err := a.Ingest(batch)
-		total += int64(len(batch))
-		batch = batch[:0]
-		return err
-	}
+	buf := &tweet.Batch{}
+	const chunk = 1 << 14
 	for {
-		t, ok := it.Next()
+		blk, ok := it.NextBlock()
 		if !ok {
 			break
 		}
-		batch = append(batch, t)
-		if len(batch) == cap(batch) {
-			if err := flush(); err != nil {
+		// The block aliases the segment file bytes; records move into the
+		// ring in bounded column chunks, never one at a time.
+		for off := 0; off < blk.Len(); off += chunk {
+			end := off + chunk
+			if end > blk.Len() {
+				end = blk.Len()
+			}
+			buf.Reset()
+			blk.AppendTo(buf, off, end)
+			err := a.IngestBatch(buf)
+			total += int64(end - off)
+			if err != nil {
 				return total, err
 			}
 		}
 	}
-	if err := it.Err(); err != nil {
-		return total, err
-	}
-	if err := flush(); err != nil {
-		return total, err
-	}
-	return total, nil
+	return total, it.Err()
 }
 
 // IngestNDJSON drains an NDJSON stream through the ingestor and flushes
@@ -191,6 +212,46 @@ func DrainNDJSON(r io.Reader, add func(tweet.Tweet) error, flush func() error) (
 			return n, err
 		}
 		n++
+	}
+	return n, flush()
+}
+
+// IngestBinary drains a length-prefixed binary batch stream (the
+// tweet.BatchReader wire format) through the ingestor and flushes at the
+// end, returning how many records the stream contributed.
+func (i *Ingestor) IngestBinary(r io.Reader) (int, error) {
+	return DrainBinary(r, 0, i.IngestBatch, i.Flush)
+}
+
+// DrainBinary is DrainNDJSON for the binary batch wire format: frames
+// stream into add one whole batch at a time and flush runs at the end.
+// maxFrame bounds a single frame (0 selects tweet.DefaultMaxFrameBytes);
+// oversized frames surface tweet.ErrFrameTooLarge through the returned
+// error chain so service layers can answer 413, exactly like
+// http.MaxBytesError on the NDJSON path. The returned count is in
+// records (not frames): all records of every frame add accepted before
+// the first failure — a frame whose add failed contributes none. On a
+// corrupt frame everything accepted so far is still flushed and the
+// error wraps ErrBadInput plus the cause.
+func DrainBinary(r io.Reader, maxFrame int64, add func(*tweet.Batch) error, flush func() error) (int, error) {
+	rd := tweet.NewBatchReader(r, maxFrame)
+	b := &tweet.Batch{}
+	n := 0
+	for {
+		err := rd.Read(b)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return n, ferr
+			}
+			return n, fmt.Errorf("%w: %w", ErrBadInput, err)
+		}
+		if err := add(b); err != nil {
+			return n, err
+		}
+		n += b.Len()
 	}
 	return n, flush()
 }

@@ -44,6 +44,7 @@ import (
 
 	"geomob/internal/census"
 	"geomob/internal/core"
+	"geomob/internal/geo"
 	"geomob/internal/mobility"
 	"geomob/internal/tweet"
 )
@@ -259,27 +260,43 @@ func (a *Aggregator) bucketIdx(ts int64) int64 {
 // batch and its materialised partial is invalidated; untouched buckets
 // (and every cached result derived from them alone) stay warm.
 func (a *Aggregator) Ingest(batch []tweet.Tweet) error {
-	for _, t := range batch {
-		if err := t.Validate(); err != nil {
-			return fmt.Errorf("live: ingest: %w", err)
-		}
+	if len(batch) == 0 {
+		return nil
+	}
+	return a.IngestBatch(tweet.BatchOf(batch))
+}
+
+// IngestBatch is Ingest over columns — the hot path behind binary batch
+// ingest. The batch is validated column-wise, its coordinate columns go
+// through the multi-scale resolver as whole columns, and records are
+// distributed into buckets with a one-entry bucket memo, so a
+// time-clustered batch costs one map lookup per bucket run rather than
+// one per record. The batch is only read, never retained.
+func (a *Aggregator) IngestBatch(b *tweet.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("live: ingest: %w", err)
 	}
 	// Resolve the whole batch before taking the lock: the mappers are
 	// immutable (Execute's workers already share them concurrently), so
 	// the expensive per-record work — grid resolution, trigonometry,
 	// cell hashing — must not stall concurrent queries on a.mu. The
-	// critical section below is pure appends and revision bumps.
+	// critical section below is pure appends and revision bumps. The
+	// resolved columns live in pooled scratch (fully overwritten, bucket
+	// appends copy out of them), so a steady batch feed allocates nothing
+	// here.
 	slots := a.slots
-	assign := make([]int16, len(batch)*slots)
-	vecs := make([]float64, 3*len(batch))
-	cells := make([]uint64, len(batch))
-	buf := make([]int, slots)
-	for i, t := range batch {
-		pt := t.Point()
-		a.msm.MapAll(pt, buf)
-		for s, ar := range buf {
-			assign[i*slots+s] = int16(ar)
-		}
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer ingestScratchPool.Put(sc)
+	assign := growSlice(&sc.assign, n*slots)
+	vecs := growSlice(&sc.vecs, 3*n)
+	cells := growSlice(&sc.cells, n)
+	a.msm.MapAllBatch(b.Lat, b.Lon, assign, slots)
+	for i := 0; i < n; i++ {
+		pt := geo.Point{Lat: b.Lat[i], Lon: b.Lon[i]}
 		vecs[3*i], vecs[3*i+1], vecs[3*i+2] = mobility.UnitVec(pt)
 		cells[i] = geo5(pt)
 	}
@@ -287,34 +304,68 @@ func (a *Aggregator) Ingest(batch []tweet.Tweet) error {
 	defer a.mu.Unlock()
 	touched := map[int64]*bucket{}
 	accepted := int64(0)
-	for i, t := range batch {
-		idx := a.bucketIdx(t.TS)
+	// Append run-wise: records land in bucket-contiguous runs (time-ordered
+	// feeds put whole batches in one or two buckets), so each run costs one
+	// map lookup and four bulk appends instead of per-record slice growth.
+	for i := 0; i < n; {
+		idx := a.bucketIdx(b.TS[i])
+		j := i + 1
+		for j < n && a.bucketIdx(b.TS[j]) == idx {
+			j++
+		}
 		if a.hasFloor && idx < a.floorIdx {
-			a.dropped.Add(1)
+			a.dropped.Add(int64(j - i))
+			i = j
 			continue
 		}
-		b := a.buckets[idx]
-		if b == nil {
-			b = &bucket{}
-			a.buckets[idx] = b
+		bk := a.buckets[idx]
+		if bk == nil {
+			bk = &bucket{}
+			a.buckets[idx] = bk
 		}
-		b.tweets = append(b.tweets, t)
-		b.assign = append(b.assign, assign[i*slots:(i+1)*slots]...)
-		b.vecs = append(b.vecs, vecs[3*i], vecs[3*i+1], vecs[3*i+2])
-		b.cells = append(b.cells, cells[i])
-		touched[idx] = b
-		accepted++
+		touched[idx] = bk
+		bk.assign = append(bk.assign, assign[i*slots:j*slots]...)
+		bk.vecs = append(bk.vecs, vecs[3*i:3*j]...)
+		bk.cells = append(bk.cells, cells[i:j]...)
+		off := len(bk.tweets)
+		bk.tweets = slices.Grow(bk.tweets, j-i)[:off+j-i]
+		for k := i; k < j; k++ {
+			bk.tweets[off+k-i] = b.Row(k)
+		}
+		accepted += int64(j - i)
+		i = j
 	}
-	for _, b := range touched {
+	for _, bk := range touched {
 		a.rev++
-		b.rev = a.rev
-		b.sorted = false
-		b.part = nil
+		bk.rev = a.rev
+		bk.sorted = false
+		bk.part = nil
 	}
 	a.ingested.Add(accepted)
 	a.evictLocked()
 	return nil
 }
+
+// ingestScratch holds the per-batch resolved columns between IngestBatch
+// calls. Every element is overwritten before use, so reuse needs no
+// clearing.
+type ingestScratch struct {
+	assign []int16
+	vecs   []float64
+	cells  []uint64
+}
+
+// growSlice resizes *s to length n, reusing capacity when possible.
+func growSlice[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 
 // evictLocked drops the oldest buckets until the ring fits MaxBuckets,
 // raising the eviction floor past them.

@@ -105,6 +105,27 @@ func (m *MultiScaleMapper) MapAll(p geo.Point, out []int) {
 	}
 }
 
+// MapAllBatch assigns whole coordinate columns at every bundled scale:
+// the assignment of point i at mapper s lands in out[i*stride+s] as an
+// int16 area index (area counts are far below 32k at every census scale;
+// -1 marks unassigned). stride must be at least Len() and out must hold
+// len(lats)*stride elements. This is the batched-ingest counterpart of
+// MapAll: per scale it resolves one whole column before scattering, so
+// the per-point cost is the resolver's array lookup and nothing else.
+func (m *MultiScaleMapper) MapAllBatch(lats, lons []float64, out []int16, stride int) {
+	n := len(lats)
+	if n == 0 {
+		return
+	}
+	scratch := make([]int64, n)
+	for s, am := range m.mappers {
+		am.resolver.ResolveBatch(lats, lons, scratch)
+		for i, v := range scratch {
+			out[i*stride+s] = int16(v)
+		}
+	}
+}
+
 // FlowMatrix holds the directed flow counts between the areas of one
 // region set. Flows[i][j] counts observed transitions i→j; the diagonal
 // (non-moves between mapped tweets) is tracked separately by Stays.

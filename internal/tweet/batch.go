@@ -1,0 +1,446 @@
+package tweet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+
+	"geomob/internal/geo"
+)
+
+// Batch is the struct-of-arrays form of a tweet slice: one column per
+// field, all of equal length. It is the unit of the batched ingest path —
+// the wire frame codec below, tweetdb's columnar v2 segments and the live
+// aggregator's batch resolvers all consume columns directly, so a record
+// never has to materialise as a Tweet value on its way through the hot
+// path.
+type Batch struct {
+	ID     []int64
+	UserID []int64
+	TS     []int64
+	Lat    []float64
+	Lon    []float64
+}
+
+// Len returns the number of records in the batch.
+func (b *Batch) Len() int { return len(b.ID) }
+
+// Reset empties the batch, keeping column capacity for reuse.
+func (b *Batch) Reset() {
+	b.ID = b.ID[:0]
+	b.UserID = b.UserID[:0]
+	b.TS = b.TS[:0]
+	b.Lat = b.Lat[:0]
+	b.Lon = b.Lon[:0]
+}
+
+// Grow ensures capacity for n additional records without reallocating.
+func (b *Batch) Grow(n int) {
+	if need := len(b.ID) + n; need > cap(b.ID) {
+		b.ID = append(make([]int64, 0, need), b.ID...)
+		b.UserID = append(make([]int64, 0, need), b.UserID...)
+		b.TS = append(make([]int64, 0, need), b.TS...)
+		b.Lat = append(make([]float64, 0, need), b.Lat...)
+		b.Lon = append(make([]float64, 0, need), b.Lon...)
+	}
+}
+
+// Append adds one record to the batch.
+func (b *Batch) Append(t Tweet) {
+	b.ID = append(b.ID, t.ID)
+	b.UserID = append(b.UserID, t.UserID)
+	b.TS = append(b.TS, t.TS)
+	b.Lat = append(b.Lat, t.Lat)
+	b.Lon = append(b.Lon, t.Lon)
+}
+
+// AppendBatch appends every record of o.
+func (b *Batch) AppendBatch(o *Batch) {
+	b.ID = append(b.ID, o.ID...)
+	b.UserID = append(b.UserID, o.UserID...)
+	b.TS = append(b.TS, o.TS...)
+	b.Lat = append(b.Lat, o.Lat...)
+	b.Lon = append(b.Lon, o.Lon...)
+}
+
+// Row materialises record i as a Tweet value.
+func (b *Batch) Row(i int) Tweet {
+	return Tweet{ID: b.ID[i], UserID: b.UserID[i], TS: b.TS[i], Lat: b.Lat[i], Lon: b.Lon[i]}
+}
+
+// Rows materialises the whole batch as a fresh Tweet slice.
+func (b *Batch) Rows() []Tweet {
+	out := make([]Tweet, b.Len())
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out
+}
+
+// Slice returns a view of records [i, j): the columns alias b, no copy.
+func (b *Batch) Slice(i, j int) *Batch {
+	return &Batch{
+		ID:     b.ID[i:j],
+		UserID: b.UserID[i:j],
+		TS:     b.TS[i:j],
+		Lat:    b.Lat[i:j],
+		Lon:    b.Lon[i:j],
+	}
+}
+
+// BatchOf converts a tweet slice into a fresh batch.
+func BatchOf(tweets []Tweet) *Batch {
+	b := &Batch{}
+	b.Grow(len(tweets))
+	for _, t := range tweets {
+		b.Append(t)
+	}
+	return b
+}
+
+// Validate reports the first invalid record, column-wise — the batched
+// twin of Tweet.Validate, checked once per record for the whole ingest
+// path.
+func (b *Batch) Validate() error {
+	n := b.Len()
+	if len(b.UserID) != n || len(b.TS) != n || len(b.Lat) != n || len(b.Lon) != n {
+		return fmt.Errorf("batch: ragged columns: id=%d user=%d ts=%d lat=%d lon=%d",
+			n, len(b.UserID), len(b.TS), len(b.Lat), len(b.Lon))
+	}
+	for i := 0; i < n; i++ {
+		if b.ID[i] < 0 {
+			return fmt.Errorf("batch record %d: negative id %d", i, b.ID[i])
+		}
+		if b.UserID[i] < 0 {
+			return fmt.Errorf("batch record %d: negative user id %d", i, b.UserID[i])
+		}
+		if !(geo.Point{Lat: b.Lat[i], Lon: b.Lon[i]}).Valid() {
+			return fmt.Errorf("batch record %d: invalid coordinates (%v, %v)", i, b.Lat[i], b.Lon[i])
+		}
+	}
+	return nil
+}
+
+// IsSorted reports whether the batch is in canonical (user, time, id)
+// order — an O(n) scan that lets already-ordered feeds skip the sort
+// entirely.
+func (b *Batch) IsSorted() bool {
+	for i := 1; i < b.Len(); i++ {
+		if b.less(i, i-1) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Batch) less(i, j int) bool {
+	if b.UserID[i] != b.UserID[j] {
+		return b.UserID[i] < b.UserID[j]
+	}
+	if b.TS[i] != b.TS[j] {
+		return b.TS[i] < b.TS[j]
+	}
+	return b.ID[i] < b.ID[j]
+}
+
+func (b *Batch) swap(i, j int) {
+	b.ID[i], b.ID[j] = b.ID[j], b.ID[i]
+	b.UserID[i], b.UserID[j] = b.UserID[j], b.UserID[i]
+	b.TS[i], b.TS[j] = b.TS[j], b.TS[i]
+	b.Lat[i], b.Lat[j] = b.Lat[j], b.Lat[i]
+	b.Lon[i], b.Lon[j] = b.Lon[j], b.Lon[i]
+}
+
+// Sort establishes canonical (user, time, id) order in place, co-sorting
+// all columns. Already-sorted batches return after the O(n) check.
+func (b *Batch) Sort() {
+	if b.IsSorted() {
+		return
+	}
+	sort.Sort((*batchOrder)(b))
+}
+
+// batchOrder adapts Batch to sort.Interface by tweet.ByUserTime order.
+type batchOrder Batch
+
+func (s *batchOrder) Len() int           { return (*Batch)(s).Len() }
+func (s *batchOrder) Less(i, j int) bool { return (*Batch)(s).less(i, j) }
+func (s *batchOrder) Swap(i, j int)      { (*Batch)(s).swap(i, j) }
+
+// Microdegrees quantises a coordinate in degrees to microdegrees (1e-6°,
+// ~0.11 m), rounding half away from zero — the exact quantisation of the
+// v1 row codec, exported so the columnar segment format stays
+// bit-compatible with it. Valid coordinates fit int32 (±180e6).
+func Microdegrees(deg float64) int32 { return int32(quantiseCoord(deg)) }
+
+// DegreesFromMicro is the inverse of Microdegrees, bit-identical to the
+// v1 row codec's decode (float64(micro) / 1e6).
+func DegreesFromMicro(m int32) float64 { return float64(m) / coordScale }
+
+// Binary batch frame format. Every frame is one Batch, length-prefixed so
+// frames stream back to back over one connection. Following the cluster
+// wire codec conventions: little-endian fixed-width integers, magic + u16
+// version, coordinates as raw IEEE-754 bits so a binary round-trip is
+// bit-exact (unlike the storage codec, the wire does not quantise).
+//
+//	u32 frameLen            length of everything after this field
+//	u32 magic "GMTB"        0x42544d47 little-endian
+//	u16 version (1)
+//	u16 reserved (0)
+//	u32 count               records in the frame
+//	5 × column:             id, user, ts (i64), lat, lon (f64 bits)
+//	  u32 colLen            column byte length (8 × count)
+//	  u32 colCRC            CRC-32 (IEEE) of the column bytes
+//	  bytes
+const (
+	batchMagic   uint32 = 0x42544d47 // "GMTB" little-endian
+	batchVersion uint16 = 1
+	// batchFixedLen is the frame byte length after the length prefix,
+	// excluding the column bytes: magic, version, reserved, count, and
+	// five (len, crc) column headers.
+	batchFixedLen = 4 + 2 + 2 + 4 + 5*8
+)
+
+// BatchContentType is the media type of a binary batch frame stream, the
+// content-negotiation key of POST /v1/ingest.
+const BatchContentType = "application/x-geomob-batch"
+
+// DefaultMaxFrameBytes bounds a single decoded frame when the reader is
+// given no explicit limit — matching the services' default request-body
+// bound, so a corrupt or hostile length prefix cannot trigger an
+// unbounded allocation.
+const DefaultMaxFrameBytes int64 = 64 << 20
+
+// ErrFrameTooLarge marks a frame whose length prefix exceeds the reader's
+// limit. Service layers map it to 413, like the other size bounds.
+var ErrFrameTooLarge = errors.New("tweet: batch frame exceeds size limit")
+
+// MaxBatchLen is the largest record count a single frame may carry
+// (bounded so count × 40 bytes stays within any sane frame limit).
+const MaxBatchLen = 1 << 26
+
+// AppendFrame encodes b as one binary frame appended to dst.
+func AppendFrame(dst []byte, b *Batch) ([]byte, error) {
+	n := b.Len()
+	if n > MaxBatchLen {
+		return dst, fmt.Errorf("tweet: batch of %d records exceeds the %d frame cap", n, MaxBatchLen)
+	}
+	frameLen := batchFixedLen + 5*8*n
+	need := 4 + frameLen
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	buf := dst[off:]
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:4], uint32(frameLen))
+	le.PutUint32(buf[4:8], batchMagic)
+	le.PutUint16(buf[8:10], batchVersion)
+	le.PutUint16(buf[10:12], 0)
+	le.PutUint32(buf[12:16], uint32(n))
+	p := 16
+	putInts := func(col []int64) {
+		le.PutUint32(buf[p:], uint32(8*n))
+		body := buf[p+8 : p+8+8*n]
+		for i, v := range col {
+			le.PutUint64(body[8*i:], uint64(v))
+		}
+		le.PutUint32(buf[p+4:], crc32.ChecksumIEEE(body))
+		p += 8 + 8*n
+	}
+	putFloats := func(col []float64) {
+		le.PutUint32(buf[p:], uint32(8*n))
+		body := buf[p+8 : p+8+8*n]
+		for i, v := range col {
+			le.PutUint64(body[8*i:], math.Float64bits(v))
+		}
+		le.PutUint32(buf[p+4:], crc32.ChecksumIEEE(body))
+		p += 8 + 8*n
+	}
+	putInts(b.ID)
+	putInts(b.UserID)
+	putInts(b.TS)
+	putFloats(b.Lat)
+	putFloats(b.Lon)
+	return dst, nil
+}
+
+// decodeFrame decodes one frame body (everything after the length prefix)
+// into b, replacing its contents. Structural errors (magic, version,
+// lengths, CRC) are reported without panicking on any input.
+func decodeFrame(buf []byte, b *Batch) error {
+	if len(buf) < batchFixedLen {
+		return fmt.Errorf("tweet: batch frame truncated: %d bytes", len(buf))
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(buf[0:4]); m != batchMagic {
+		return fmt.Errorf("tweet: bad batch frame magic %08x", m)
+	}
+	if v := le.Uint16(buf[4:6]); v != batchVersion {
+		return fmt.Errorf("tweet: unsupported batch frame version %d", v)
+	}
+	n := int(le.Uint32(buf[8:12]))
+	if n > MaxBatchLen {
+		return fmt.Errorf("tweet: batch frame count %d exceeds the %d cap", n, MaxBatchLen)
+	}
+	if want := batchFixedLen + 5*8*n; len(buf) != want {
+		return fmt.Errorf("tweet: batch frame of %d records has %d bytes, want %d", n, len(buf), want)
+	}
+	b.Reset()
+	b.Grow(n)
+	p := 12
+	col := func(name string) ([]byte, error) {
+		colLen := int(le.Uint32(buf[p:]))
+		crc := le.Uint32(buf[p+4:])
+		if colLen != 8*n {
+			return nil, fmt.Errorf("tweet: batch frame column %s: length %d, want %d", name, colLen, 8*n)
+		}
+		body := buf[p+8 : p+8+colLen]
+		if got := crc32.ChecksumIEEE(body); got != crc {
+			return nil, fmt.Errorf("tweet: batch frame column %s: checksum mismatch (stored %08x, computed %08x)", name, crc, got)
+		}
+		p += 8 + colLen
+		return body, nil
+	}
+	ints := func(name string, dst *[]int64) error {
+		body, err := col(name)
+		if err != nil {
+			return err
+		}
+		out := (*dst)[:0]
+		for i := 0; i < n; i++ {
+			out = append(out, int64(le.Uint64(body[8*i:])))
+		}
+		*dst = out
+		return nil
+	}
+	floats := func(name string, dst *[]float64) error {
+		body, err := col(name)
+		if err != nil {
+			return err
+		}
+		out := (*dst)[:0]
+		for i := 0; i < n; i++ {
+			out = append(out, math.Float64frombits(le.Uint64(body[8*i:])))
+		}
+		*dst = out
+		return nil
+	}
+	if err := ints("id", &b.ID); err != nil {
+		return err
+	}
+	if err := ints("user", &b.UserID); err != nil {
+		return err
+	}
+	if err := ints("ts", &b.TS); err != nil {
+		return err
+	}
+	if err := floats("lat", &b.Lat); err != nil {
+		return err
+	}
+	return floats("lon", &b.Lon)
+}
+
+// BatchWriter streams batches as binary frames onto w.
+type BatchWriter struct {
+	w   io.Writer
+	buf []byte
+	n   int64
+}
+
+// NewBatchWriter wraps w.
+func NewBatchWriter(w io.Writer) *BatchWriter { return &BatchWriter{w: w} }
+
+// Write encodes b as one frame and writes it out.
+func (w *BatchWriter) Write(b *Batch) error {
+	buf, err := AppendFrame(w.buf[:0], b)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.n += int64(b.Len())
+	return nil
+}
+
+// Total returns the number of records written.
+func (w *BatchWriter) Total() int64 { return w.n }
+
+// BatchReader streams binary frames off r.
+type BatchReader struct {
+	r        io.Reader
+	maxFrame int64
+	buf      []byte
+	err      error
+}
+
+// NewBatchReader wraps r, bounding single frames at maxFrame bytes
+// (DefaultMaxFrameBytes when maxFrame <= 0).
+func NewBatchReader(r io.Reader, maxFrame int64) *BatchReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	return &BatchReader{r: r, maxFrame: maxFrame}
+}
+
+// Read decodes the next frame into b, replacing its contents. At a clean
+// end of stream it returns io.EOF. A stream error from the underlying
+// reader (e.g. http.MaxBytesError from a bounded request body) is
+// returned as-is so transport bounds keep their status mapping; a frame
+// whose length prefix exceeds the reader's limit returns
+// ErrFrameTooLarge; structural corruption returns a descriptive error. No
+// input makes Read panic.
+func (r *BatchReader) Read(b *Batch) error {
+	if r.err != nil {
+		return r.err
+	}
+	var pfx [4]byte
+	if _, err := io.ReadFull(r.r, pfx[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			r.err = io.EOF
+			return io.EOF
+		}
+		r.err = r.streamErr(err, "frame length")
+		return r.err
+	}
+	frameLen := int64(binary.LittleEndian.Uint32(pfx[:]))
+	if frameLen > r.maxFrame {
+		r.err = fmt.Errorf("%w: frame of %d bytes, limit %d", ErrFrameTooLarge, frameLen, r.maxFrame)
+		return r.err
+	}
+	if frameLen < batchFixedLen {
+		r.err = fmt.Errorf("tweet: corrupt batch frame length %d", frameLen)
+		return r.err
+	}
+	if int64(cap(r.buf)) < frameLen {
+		r.buf = make([]byte, frameLen)
+	}
+	buf := r.buf[:frameLen]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = r.streamErr(err, "frame body")
+		return r.err
+	}
+	if err := decodeFrame(buf, b); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// streamErr wraps an underlying read failure, preserving transport
+// sentinels (http.MaxBytesError, unexpected EOF) in the chain.
+func (r *BatchReader) streamErr(err error, what string) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Errorf("tweet: batch %s: %w", what, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("tweet: truncated batch %s: %w", what, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("tweet: batch %s: %w", what, err)
+}

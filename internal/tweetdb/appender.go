@@ -8,14 +8,17 @@ import (
 
 // Appender buffers streaming writes into batched Append calls, bounding
 // memory while ingesting corpora far larger than RAM would allow as a
-// single slice. It is the ingestion front door used by cmd/mobgen.
+// single slice. It is the ingestion front door used by cmd/mobgen and the
+// live ingest path. The buffer is columnar, so batched callers hand whole
+// column slices through to segment encoding without materialising
+// per-record values.
 //
 // An Appender is not safe for concurrent use; wrap it or shard streams by
 // writer. Always call Flush (or Close) at the end — buffered records are
 // otherwise lost.
 type Appender struct {
 	store *Store
-	buf   []tweet.Tweet
+	buf   *tweet.Batch
 	limit int
 	total int64
 }
@@ -32,9 +35,11 @@ func NewAppender(store *Store, batchSize int) (*Appender, error) {
 	if batchSize < 1 {
 		return nil, fmt.Errorf("tweetdb: appender batch size must be positive, got %d", batchSize)
 	}
+	b := &tweet.Batch{}
+	b.Grow(batchSize)
 	return &Appender{
 		store: store,
-		buf:   make([]tweet.Tweet, 0, batchSize),
+		buf:   b,
 		limit: batchSize,
 	}, nil
 }
@@ -44,23 +49,39 @@ func (a *Appender) Add(t tweet.Tweet) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("tweetdb: appender: %w", err)
 	}
-	a.buf = append(a.buf, t)
-	if len(a.buf) >= a.limit {
+	a.buf.Append(t)
+	if a.buf.Len() >= a.limit {
 		return a.Flush()
 	}
 	return nil
 }
 
-// Flush writes any buffered records as a segment batch.
-func (a *Appender) Flush() error {
-	if len(a.buf) == 0 {
+// AppendBatch buffers a whole batch column-wise, flushing if the buffer
+// reaches its limit. The records are copied into the appender's buffer
+// before any write is attempted, so the appender owns every record handed
+// to it even when a flush fails — a later Flush retries them.
+func (a *Appender) AppendBatch(b *tweet.Batch) error {
+	if b.Len() == 0 {
 		return nil
 	}
-	if err := a.store.Append(a.buf); err != nil {
+	a.buf.AppendBatch(b)
+	if a.buf.Len() >= a.limit {
+		return a.Flush()
+	}
+	return nil
+}
+
+// Flush writes any buffered records as a segment batch. On failure the
+// buffer is retained for retry.
+func (a *Appender) Flush() error {
+	if a.buf.Len() == 0 {
+		return nil
+	}
+	if err := a.store.AppendBatch(a.buf); err != nil {
 		return fmt.Errorf("tweetdb: appender flush: %w", err)
 	}
-	a.total += int64(len(a.buf))
-	a.buf = a.buf[:0]
+	a.total += int64(a.buf.Len())
+	a.buf.Reset()
 	return nil
 }
 
@@ -68,7 +89,7 @@ func (a *Appender) Flush() error {
 // Close.
 func (a *Appender) Close() error {
 	err := a.Flush()
-	a.buf = nil
+	a.buf = &tweet.Batch{}
 	a.limit = 0
 	return err
 }

@@ -1,0 +1,239 @@
+package tweetdb
+
+// The version-2 columnar segment payload (DESIGN.md §9): a struct-of-
+// arrays layout replacing the v1 row-wise varint stream. Each segment
+// stores five columns behind a fixed directory of (length, CRC-32) pairs:
+// id, user and ts as zig-zag varint deltas down the column, lat and lon as
+// fixed-width little-endian int32 microdegrees. The delta columns decode
+// with no per-record branching on field order, and the packed coordinate
+// columns are readable in place — a ColumnBlock aliases them straight out
+// of the segment file bytes, so a full-segment scan hands batches of
+// column data to consumers without materialising tweet.Tweet values.
+//
+// Quantisation is identical to the v1 codec (tweet.Microdegrees), so a
+// v1 → v2 compaction rewrite is lossless with respect to what v1 decode
+// produced, and mixed-version stores scan bit-identically.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"geomob/internal/geo"
+	"geomob/internal/tweet"
+)
+
+// v2 column directory: five (u32 length, u32 crc) entries, in column
+// order id, user, ts, lat, lon, followed by the column bytes back to
+// back.
+const (
+	colID = iota
+	colUser
+	colTS
+	colLat
+	colLon
+	numCols
+)
+
+const colDirSize = numCols * 8
+
+var colNames = [numCols]string{"id", "user", "ts", "lat", "lon"}
+
+// ColumnBlock is the zero-copy read view of one segment: decoded integer
+// columns plus coordinate columns aliasing the raw segment payload
+// (microdegree int32, little-endian). Iterators and live.Backfill consume
+// blocks wholesale instead of materialising records one at a time.
+type ColumnBlock struct {
+	ID     []int64
+	UserID []int64
+	TS     []int64
+	// latRaw/lonRaw alias the segment payload (4 bytes per record,
+	// little-endian int32 microdegrees); Lat/Lon decode on access.
+	latRaw []byte
+	lonRaw []byte
+}
+
+// Len returns the number of records in the block.
+func (c *ColumnBlock) Len() int { return len(c.ID) }
+
+// LatMicro returns record i's latitude in microdegrees.
+func (c *ColumnBlock) LatMicro(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(c.latRaw[4*i:]))
+}
+
+// LonMicro returns record i's longitude in microdegrees.
+func (c *ColumnBlock) LonMicro(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(c.lonRaw[4*i:]))
+}
+
+// Lat returns record i's latitude in degrees.
+func (c *ColumnBlock) Lat(i int) float64 { return tweet.DegreesFromMicro(c.LatMicro(i)) }
+
+// Lon returns record i's longitude in degrees.
+func (c *ColumnBlock) Lon(i int) float64 { return tweet.DegreesFromMicro(c.LonMicro(i)) }
+
+// Point returns record i's coordinate.
+func (c *ColumnBlock) Point(i int) geo.Point { return geo.Point{Lat: c.Lat(i), Lon: c.Lon(i)} }
+
+// Row materialises record i as a Tweet value.
+func (c *ColumnBlock) Row(i int) tweet.Tweet {
+	return tweet.Tweet{ID: c.ID[i], UserID: c.UserID[i], TS: c.TS[i], Lat: c.Lat(i), Lon: c.Lon(i)}
+}
+
+// AppendTo appends records [from, to) to the batch column-wise.
+func (c *ColumnBlock) AppendTo(b *tweet.Batch, from, to int) {
+	b.Grow(to - from)
+	b.ID = append(b.ID, c.ID[from:to]...)
+	b.UserID = append(b.UserID, c.UserID[from:to]...)
+	b.TS = append(b.TS, c.TS[from:to]...)
+	for i := from; i < to; i++ {
+		b.Lat = append(b.Lat, c.Lat(i))
+		b.Lon = append(b.Lon, c.Lon(i))
+	}
+}
+
+// appendRow copies record i of src onto the end of a materialised block —
+// the filtered-scan path, where a block is rebuilt from matching rows.
+func (c *ColumnBlock) appendRow(src *ColumnBlock, i int) {
+	c.ID = append(c.ID, src.ID[i])
+	c.UserID = append(c.UserID, src.UserID[i])
+	c.TS = append(c.TS, src.TS[i])
+	var raw [4]byte
+	binary.LittleEndian.PutUint32(raw[:], uint32(src.LatMicro(i)))
+	c.latRaw = append(c.latRaw, raw[:]...)
+	binary.LittleEndian.PutUint32(raw[:], uint32(src.LonMicro(i)))
+	c.lonRaw = append(c.lonRaw, raw[:]...)
+}
+
+// encodeColumnsV2 serialises records [from, to) of the batch as a v2
+// payload appended to dst: the column directory, then each column.
+// Coordinates are quantised exactly like the v1 codec.
+func encodeColumnsV2(dst []byte, b *tweet.Batch, from, to int) []byte {
+	n := to - from
+	le := binary.LittleEndian
+	dirOff := len(dst)
+	dst = append(dst, make([]byte, colDirSize)...)
+	putDir := func(col, length int, crc uint32) {
+		le.PutUint32(dst[dirOff+8*col:], uint32(length))
+		le.PutUint32(dst[dirOff+8*col+4:], crc)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	deltaCol := func(col int, vals []int64) {
+		start := len(dst)
+		prev := int64(0)
+		for _, v := range vals {
+			k := binary.PutVarint(scratch[:], v-prev)
+			dst = append(dst, scratch[:k]...)
+			prev = v
+		}
+		putDir(col, len(dst)-start, checksum(dst[start:]))
+	}
+	deltaCol(colID, b.ID[from:to])
+	deltaCol(colUser, b.UserID[from:to])
+	deltaCol(colTS, b.TS[from:to])
+	microCol := func(col int, vals []float64) {
+		start := len(dst)
+		dst = append(dst, make([]byte, 4*n)...)
+		body := dst[start:]
+		for i, v := range vals {
+			le.PutUint32(body[4*i:], uint32(tweet.Microdegrees(v)))
+		}
+		putDir(col, 4*n, checksum(body))
+	}
+	microCol(colLat, b.Lat[from:to])
+	microCol(colLon, b.Lon[from:to])
+	return dst
+}
+
+// decodeColumnsV2 parses a v2 payload of n records into a block. The
+// coordinate columns alias payload; the caller must keep it alive (and
+// immutable) for the block's lifetime. Every structural defect — bad
+// directory, short columns, CRC mismatch — is a clean error, never a
+// panic.
+func decodeColumnsV2(payload []byte, n int) (*ColumnBlock, error) {
+	if len(payload) < colDirSize {
+		return nil, fmt.Errorf("column directory truncated: %d bytes", len(payload))
+	}
+	le := binary.LittleEndian
+	var cols [numCols][]byte
+	off := colDirSize
+	for c := 0; c < numCols; c++ {
+		length := int(le.Uint32(payload[8*c:]))
+		crc := le.Uint32(payload[8*c+4:])
+		if length < 0 || off+length > len(payload) {
+			return nil, fmt.Errorf("column %s: length %d overruns payload (%d of %d bytes used)",
+				colNames[c], length, off, len(payload))
+		}
+		body := payload[off : off+length]
+		if got := checksum(body); got != crc {
+			return nil, fmt.Errorf("column %s: checksum mismatch (stored %08x, computed %08x)",
+				colNames[c], crc, got)
+		}
+		cols[c] = body
+		off += length
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("payload has %d trailing bytes after columns", len(payload)-off)
+	}
+	blk := &ColumnBlock{}
+	deltaCol := func(c int) ([]int64, error) {
+		out := make([]int64, 0, n)
+		buf := cols[c]
+		pos := 0
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			v, k := binary.Varint(buf[pos:])
+			if k <= 0 {
+				return nil, fmt.Errorf("column %s: truncated varint at offset %d (record %d of %d)",
+					colNames[c], pos, i, n)
+			}
+			pos += k
+			prev += v
+			out = append(out, prev)
+		}
+		if pos != len(buf) {
+			return nil, fmt.Errorf("column %s: %d trailing bytes after %d records", colNames[c], len(buf)-pos, n)
+		}
+		return out, nil
+	}
+	var err error
+	if blk.ID, err = deltaCol(colID); err != nil {
+		return nil, err
+	}
+	if blk.UserID, err = deltaCol(colUser); err != nil {
+		return nil, err
+	}
+	if blk.TS, err = deltaCol(colTS); err != nil {
+		return nil, err
+	}
+	for _, c := range []int{colLat, colLon} {
+		if len(cols[c]) != 4*n {
+			return nil, fmt.Errorf("column %s: %d bytes for %d records, want %d",
+				colNames[c], len(cols[c]), n, 4*n)
+		}
+	}
+	blk.latRaw = cols[colLat]
+	blk.lonRaw = cols[colLon]
+	return blk, nil
+}
+
+// blockFromTweets converts decoded v1 records into a block, so the
+// iterator serves both segment versions through one view.
+func blockFromTweets(tweets []tweet.Tweet) *ColumnBlock {
+	n := len(tweets)
+	blk := &ColumnBlock{
+		ID:     make([]int64, n),
+		UserID: make([]int64, n),
+		TS:     make([]int64, n),
+		latRaw: make([]byte, 4*n),
+		lonRaw: make([]byte, 4*n),
+	}
+	le := binary.LittleEndian
+	for i, t := range tweets {
+		blk.ID[i] = t.ID
+		blk.UserID[i] = t.UserID
+		blk.TS[i] = t.TS
+		le.PutUint32(blk.latRaw[4*i:], uint32(tweet.Microdegrees(t.Lat)))
+		le.PutUint32(blk.lonRaw[4*i:], uint32(tweet.Microdegrees(t.Lon)))
+	}
+	return blk
+}

@@ -21,11 +21,16 @@ import (
 	"geomob/internal/geo"
 )
 
-// File format constants.
+// File format constants. Both segment versions share the magic and the
+// fixed header; they differ only in the payload layout — v1 is the
+// row-wise delta varint stream of tweet.Encoder, v2 the columnar layout
+// of column.go. New segments are written as v2; v1 stays readable and
+// Compact rewrites it.
 const (
-	segMagic   = "GMSEG1\x00\x00" // 8 bytes
-	segVersion = 1
-	headerSize = 8 + 2 + 2 + 4 + 8*4 + 8*4 + 4 + 4 // magic, ver, flags, count, ts/user ranges, bbox, payload len, crc
+	segMagic     = "GMSEG1\x00\x00" // 8 bytes
+	segVersionV1 = 1
+	segVersionV2 = 2
+	headerSize   = 8 + 2 + 2 + 4 + 8*4 + 8*4 + 4 + 4 // magic, ver, flags, count, ts/user ranges, bbox, payload len, crc
 )
 
 // SegmentMeta describes one immutable segment file. All ranges are
@@ -51,6 +56,7 @@ func (m SegmentMeta) BBox() geo.BBox {
 
 // header is the fixed-size binary prefix of a segment file.
 type header struct {
+	version    uint16
 	count      uint32
 	minTS      int64
 	maxTS      int64
@@ -65,7 +71,7 @@ type header struct {
 func marshalHeader(h header) []byte {
 	buf := make([]byte, headerSize)
 	copy(buf[0:8], segMagic)
-	binary.LittleEndian.PutUint16(buf[8:10], segVersion)
+	binary.LittleEndian.PutUint16(buf[8:10], h.version)
 	// buf[10:12] reserved flags, zero.
 	binary.LittleEndian.PutUint32(buf[12:16], h.count)
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.minTS))
@@ -90,7 +96,10 @@ func unmarshalHeader(buf []byte) (header, error) {
 	if string(buf[0:8]) != segMagic {
 		return h, fmt.Errorf("tweetdb: bad segment magic %q", buf[0:8])
 	}
-	if v := binary.LittleEndian.Uint16(buf[8:10]); v != segVersion {
+	switch v := binary.LittleEndian.Uint16(buf[8:10]); v {
+	case segVersionV1, segVersionV2:
+		h.version = v
+	default:
 		return h, fmt.Errorf("tweetdb: unsupported segment version %d", v)
 	}
 	h.count = binary.LittleEndian.Uint32(buf[12:16])

@@ -2,7 +2,6 @@ package tweetdb
 
 import (
 	"fmt"
-	"sort"
 
 	"geomob/internal/geo"
 	"geomob/internal/tweet"
@@ -47,6 +46,60 @@ func (q Query) matches(t tweet.Tweet) bool {
 	return true
 }
 
+// matchesRow is matches over a column block row, without materialising
+// the record.
+func (q Query) matchesRow(blk *ColumnBlock, i int) bool {
+	ts := blk.TS[i]
+	if ts < q.FromTS {
+		return false
+	}
+	if q.ToTS != 0 && ts >= q.ToTS {
+		return false
+	}
+	u := blk.UserID[i]
+	if q.UserID != nil && u != *q.UserID {
+		return false
+	}
+	if q.MinUserID != nil && u < *q.MinUserID {
+		return false
+	}
+	if q.MaxUserID != nil && u > *q.MaxUserID {
+		return false
+	}
+	if q.BBox != nil && !q.BBox.Contains(blk.Point(i)) {
+		return false
+	}
+	return true
+}
+
+// coversSegment reports whether every record of the segment is known to
+// match from metadata alone — the dual of prunes, and the condition for
+// handing a loaded block to the consumer without per-row filtering.
+// Spatial queries never take the fast path: segment bounding boxes track
+// unquantised coordinates, so edge rows are only decided exactly by the
+// per-row check.
+func (q Query) coversSegment(m SegmentMeta) bool {
+	if q.BBox != nil {
+		return false
+	}
+	if m.MinTS < q.FromTS {
+		return false
+	}
+	if q.ToTS != 0 && m.MaxTS >= q.ToTS {
+		return false
+	}
+	if q.UserID != nil && (m.MinUser != *q.UserID || m.MaxUser != *q.UserID) {
+		return false
+	}
+	if q.MinUserID != nil && m.MinUser < *q.MinUserID {
+		return false
+	}
+	if q.MaxUserID != nil && m.MaxUser > *q.MaxUserID {
+		return false
+	}
+	return true
+}
+
 // prunes reports whether an entire segment can be skipped without reading
 // its payload — the predicate-pushdown fast path.
 func (q Query) prunes(m SegmentMeta) bool {
@@ -81,8 +134,9 @@ type Iterator struct {
 	query    Query
 	segments []SegmentMeta
 	segIdx   int
-	buf      []tweet.Tweet
-	bufIdx   int
+	block    *ColumnBlock
+	rowIdx   int
+	covered  bool // every row of block matches; no per-row filtering needed
 	err      error
 	released bool
 	scanned  int // segments whose payload was decoded
@@ -113,8 +167,36 @@ func (it *Iterator) release() {
 // concurrent Compact's retired files do not linger.
 func (it *Iterator) Close() {
 	it.segIdx = len(it.segments)
-	it.buf = nil
+	it.block = nil
 	it.release()
+}
+
+// loadNext decodes the next non-pruned segment into it.block. It returns
+// false when the scan is exhausted or failed.
+func (it *Iterator) loadNext() bool {
+	for {
+		if it.segIdx >= len(it.segments) {
+			it.release()
+			return false
+		}
+		meta := it.segments[it.segIdx]
+		it.segIdx++
+		if it.query.prunes(meta) {
+			it.prunedN++
+			continue
+		}
+		blk, err := it.store.loadBlock(meta)
+		if err != nil {
+			it.err = err
+			it.release()
+			return false
+		}
+		it.scanned++
+		it.block = blk
+		it.rowIdx = 0
+		it.covered = it.query.coversSegment(meta)
+		return true
+	}
 }
 
 // Next returns the next matching tweet. ok is false when the scan is
@@ -125,35 +207,52 @@ func (it *Iterator) Next() (t tweet.Tweet, ok bool) {
 		return tweet.Tweet{}, false
 	}
 	for {
-		for it.bufIdx < len(it.buf) {
-			cand := it.buf[it.bufIdx]
-			it.bufIdx++
-			if it.query.matches(cand) {
-				return cand, true
+		for it.block != nil && it.rowIdx < it.block.Len() {
+			i := it.rowIdx
+			it.rowIdx++
+			if it.covered || it.query.matchesRow(it.block, i) {
+				return it.block.Row(i), true
 			}
 		}
-		// Advance to the next non-pruned segment.
-		for {
-			if it.segIdx >= len(it.segments) {
-				it.release()
-				return tweet.Tweet{}, false
+		if !it.loadNext() {
+			return tweet.Tweet{}, false
+		}
+	}
+}
+
+// NextBlock returns the next run of matching records as a column block —
+// the zero-copy scan path. When the query covers a whole segment (always
+// the case for the unrestricted scans of backfill and compaction) the
+// block aliases the segment file bytes directly; otherwise matching rows
+// are gathered into a fresh block. ok is false when the scan is exhausted
+// or failed; check Err afterwards. Mixing NextBlock with Next is allowed:
+// NextBlock resumes from the first unconsumed row.
+func (it *Iterator) NextBlock() (blk *ColumnBlock, ok bool) {
+	if it.err != nil {
+		it.release()
+		return nil, false
+	}
+	for {
+		if it.block != nil && it.rowIdx < it.block.Len() {
+			cur, start := it.block, it.rowIdx
+			it.block, it.rowIdx = nil, 0
+			if it.covered && start == 0 {
+				return cur, true
 			}
-			meta := it.segments[it.segIdx]
-			it.segIdx++
-			if it.query.prunes(meta) {
-				it.prunedN++
-				continue
+			out := &ColumnBlock{}
+			for i := start; i < cur.Len(); i++ {
+				if it.covered || it.query.matchesRow(cur, i) {
+					out.appendRow(cur, i)
+				}
 			}
-			buf, err := it.store.loadSegment(meta)
-			if err != nil {
-				it.err = err
-				it.release()
-				return tweet.Tweet{}, false
+			if out.Len() > 0 {
+				return out, true
 			}
-			it.scanned++
-			it.buf = buf
-			it.bufIdx = 0
-			break
+			continue
+		}
+		it.block = nil
+		if !it.loadNext() {
+			return nil, false
 		}
 	}
 }
@@ -181,29 +280,31 @@ func (it *Iterator) ReadAll() ([]tweet.Tweet, error) {
 // Compact merges every segment into a fresh set of segments holding all
 // records in global (user, time) order, replacing the old catalogue and
 // deleting the old files. Mobility extraction requires this order.
+// Compacted segments are always written in the current format, so a
+// compaction pass also upgrades any remaining v1 segments to v2.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.man.Segments) == 0 {
 		return nil
 	}
-	var all []tweet.Tweet
+	all := &tweet.Batch{}
 	for _, meta := range s.man.Segments {
-		tweets, err := s.loadSegment(meta)
+		blk, err := s.loadBlock(meta)
 		if err != nil {
 			return fmt.Errorf("tweetdb: compact: %w", err)
 		}
-		all = append(all, tweets...)
+		blk.AppendTo(all, 0, blk.Len())
 	}
-	sort.Sort(tweet.ByUserTime(all))
+	all.Sort()
 	old := s.man.Segments
 	s.man.Segments = nil
-	for off := 0; off < len(all); off += s.segRecords {
+	for off := 0; off < all.Len(); off += s.segRecords {
 		end := off + s.segRecords
-		if end > len(all) {
-			end = len(all)
+		if end > all.Len() {
+			end = all.Len()
 		}
-		if err := s.writeSegmentLocked(all[off:end]); err != nil {
+		if err := s.writeSegmentLocked(all, off, end); err != nil {
 			return fmt.Errorf("tweetdb: compact: %w", err)
 		}
 	}

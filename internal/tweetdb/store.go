@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +46,10 @@ type Store struct {
 	mu         sync.Mutex
 	man        manifest
 	segRecords int // max records per segment; DefaultSegmentRecords unless overridden
+	// segVersion is the format new segments are written in — always
+	// segVersionV2 in production; tests dial it back to segVersionV1 to
+	// exercise mixed-version stores.
+	segVersion uint16
 	// garbage lists segment files retired by Compact that could not be
 	// unlinked yet because scans were in flight; dropped as soon as the
 	// store goes scan-idle.
@@ -59,7 +62,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tweetdb: open %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, man: manifest{Version: 1}, segRecords: DefaultSegmentRecords}
+	s := &Store{dir: dir, man: manifest{Version: 1}, segRecords: DefaultSegmentRecords, segVersion: segVersionV2}
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -136,58 +139,82 @@ func (s *Store) Segments() []SegmentMeta {
 // DefaultSegmentRecords) and commits them to the manifest. Records are
 // sorted by (user, time) within each segment so the binary delta coding
 // compresses well; global order across segments is only established by
-// Compact.
+// Compact. The caller's slice is never mutated.
 func (s *Store) Append(tweets []tweet.Tweet) error {
 	if len(tweets) == 0 {
 		return nil
 	}
-	sorted := append([]tweet.Tweet(nil), tweets...)
-	sort.Sort(tweet.ByUserTime(sorted))
+	return s.AppendBatch(tweet.BatchOf(tweets))
+}
+
+// AppendBatch is Append over columns: the batch is validated once,
+// sorted in place into canonical (user, time, id) order — an O(n) no-op
+// when the feed is already ordered, which the batched ingest path
+// usually is — and written as one or more columnar segments without ever
+// materialising tweet.Tweet values. The batch is owned by the store for
+// the duration of the call (it may be reordered); its columns are not
+// retained.
+func (s *Store) AppendBatch(b *tweet.Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("tweetdb: append: %w", err)
+	}
+	b.Sort()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for off := 0; off < len(sorted); off += s.segRecords {
+	for off := 0; off < b.Len(); off += s.segRecords {
 		end := off + s.segRecords
-		if end > len(sorted) {
-			end = len(sorted)
+		if end > b.Len() {
+			end = b.Len()
 		}
-		if err := s.writeSegmentLocked(sorted[off:end]); err != nil {
+		if err := s.writeSegmentLocked(b, off, end); err != nil {
 			return err
 		}
 	}
 	return s.saveManifestLocked()
 }
 
-// writeSegmentLocked serialises one batch into a new segment file and adds
-// it to the in-memory manifest (not yet persisted). Caller holds s.mu.
-func (s *Store) writeSegmentLocked(batch []tweet.Tweet) error {
-	enc := tweet.NewEncoder()
+// writeSegmentLocked serialises records [from, to) of the (validated)
+// batch into a new segment file and adds it to the in-memory manifest
+// (not yet persisted). Caller holds s.mu.
+func (s *Store) writeSegmentLocked(b *tweet.Batch, from, to int) error {
 	h := header{
-		minTS:   batch[0].TS,
-		maxTS:   batch[0].TS,
-		minUser: batch[0].UserID,
-		maxUser: batch[0].UserID,
+		version: s.segVersion,
+		minTS:   b.TS[from],
+		maxTS:   b.TS[from],
+		minUser: b.UserID[from],
+		maxUser: b.UserID[from],
 		bbox:    geo.EmptyBBox(),
 	}
-	for _, t := range batch {
-		if err := enc.Append(t); err != nil {
-			return fmt.Errorf("tweetdb: encode: %w", err)
+	for i := from; i < to; i++ {
+		if ts := b.TS[i]; ts < h.minTS {
+			h.minTS = ts
+		} else if ts > h.maxTS {
+			h.maxTS = ts
 		}
-		if t.TS < h.minTS {
-			h.minTS = t.TS
+		if u := b.UserID[i]; u < h.minUser {
+			h.minUser = u
+		} else if u > h.maxUser {
+			h.maxUser = u
 		}
-		if t.TS > h.maxTS {
-			h.maxTS = t.TS
-		}
-		if t.UserID < h.minUser {
-			h.minUser = t.UserID
-		}
-		if t.UserID > h.maxUser {
-			h.maxUser = t.UserID
-		}
-		h.bbox = h.bbox.Extend(t.Point())
+		h.bbox = h.bbox.Extend(geo.Point{Lat: b.Lat[i], Lon: b.Lon[i]})
 	}
-	payload := enc.Bytes()
-	h.count = uint32(len(batch))
+	var payload []byte
+	switch s.segVersion {
+	case segVersionV2:
+		payload = encodeColumnsV2(nil, b, from, to)
+	default:
+		enc := tweet.NewEncoder()
+		for i := from; i < to; i++ {
+			if err := enc.Append(b.Row(i)); err != nil {
+				return fmt.Errorf("tweetdb: encode: %w", err)
+			}
+		}
+		payload = enc.Bytes()
+	}
+	h.count = uint32(to - from)
 	h.payloadLen = uint32(len(payload))
 	h.crc = checksum(payload)
 
@@ -203,7 +230,7 @@ func (s *Store) writeSegmentLocked(batch []tweet.Tweet) error {
 	}
 	s.man.Segments = append(s.man.Segments, SegmentMeta{
 		File:    name,
-		Count:   len(batch),
+		Count:   to - from,
 		MinTS:   h.minTS,
 		MaxTS:   h.maxTS,
 		MinUser: h.minUser,
@@ -259,8 +286,11 @@ func atomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// loadSegment reads, CRC-verifies and decodes one segment file.
-func (s *Store) loadSegment(meta SegmentMeta) ([]tweet.Tweet, error) {
+// loadBlock reads, CRC-verifies and decodes one segment file into a
+// column block. v2 segments decode their integer columns and alias the
+// coordinate columns straight out of the file bytes (zero copy); v1
+// segments decode row-wise and are bridged into the same view.
+func (s *Store) loadBlock(meta SegmentMeta) (*ColumnBlock, error) {
 	raw, err := os.ReadFile(filepath.Join(s.dir, meta.File))
 	if err != nil {
 		return nil, fmt.Errorf("tweetdb: read segment %s: %w", meta.File, err)
@@ -276,11 +306,20 @@ func (s *Store) loadSegment(meta SegmentMeta) ([]tweet.Tweet, error) {
 	if got := checksum(payload); got != h.crc {
 		return nil, fmt.Errorf("tweetdb: segment %s: checksum mismatch (stored %08x, computed %08x)", meta.File, h.crc, got)
 	}
-	tweets, err := tweet.DecodeAll(payload, int(h.count))
-	if err != nil {
-		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
+	switch h.version {
+	case segVersionV2:
+		blk, err := decodeColumnsV2(payload, int(h.count))
+		if err != nil {
+			return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
+		}
+		return blk, nil
+	default:
+		tweets, err := tweet.DecodeAll(payload, int(h.count))
+		if err != nil {
+			return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)
+		}
+		return blockFromTweets(tweets), nil
 	}
-	return tweets, nil
 }
 
 // dropGarbageLocked unlinks segment files retired by Compact once no
@@ -317,12 +356,12 @@ func (s *Store) scanReleased() {
 // counts. It returns the first corruption found.
 func (s *Store) Verify() error {
 	for _, meta := range s.Segments() {
-		tweets, err := s.loadSegment(meta)
+		blk, err := s.loadBlock(meta)
 		if err != nil {
 			return err
 		}
-		if len(tweets) != meta.Count {
-			return fmt.Errorf("tweetdb: segment %s: manifest count %d != decoded %d", meta.File, meta.Count, len(tweets))
+		if blk.Len() != meta.Count {
+			return fmt.Errorf("tweetdb: segment %s: manifest count %d != decoded %d", meta.File, meta.Count, blk.Len())
 		}
 	}
 	return nil
