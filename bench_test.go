@@ -33,6 +33,7 @@ import (
 	"geomob/internal/synth"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
+	"geomob/internal/wal"
 )
 
 const benchUsers = 10000
@@ -609,6 +610,81 @@ func BenchmarkClusterIngest(b *testing.B) {
 					shards[k] = shard
 				}
 				coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, t := range tweets {
+					if err := coord.Add(t); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := coord.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := coord.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(tweets)), "tweets/op")
+			b.ReportMetric(float64(len(tweets))*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+		})
+	}
+}
+
+// BenchmarkWALAppend measures the durable ingest acknowledgement point
+// (DESIGN.md §10): appending one slot frame to the segmented
+// write-ahead spool, CRC and group-commit fsync included. ns/op here is
+// the floor a spooled /v1/ingest ack can ever reach.
+func BenchmarkWALAppend(b *testing.B) {
+	const frameRows = 512
+	tweets := makeBenchTweets(frameRows)
+	batch := tweet.BatchOf(tweets)
+	frame, err := tweet.AppendFrame(nil, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := wal.Open(wal.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Append(i%16, 0b11, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(frameRows, "tweets/op")
+	b.ReportMetric(frameRows*float64(b.N)/b.Elapsed().Seconds(), "tweets/sec")
+}
+
+// BenchmarkIngestReplicated measures what replication costs the cluster
+// ingest path: a 3-member coordinator routing the corpus into per-slot
+// frames and delivering each frame to r replicas through the per-member
+// lanes. r=1 is the PR 5 baseline; r=2 buys single-failure tolerance
+// for (ideally) one extra delivery, not a rerouted pipeline.
+func BenchmarkIngestReplicated(b *testing.B) {
+	tweets := makeBenchTweets(50000)
+	for _, r := range []int{1, 2} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := make([]cluster.Shard, 3)
+				for k := range shards {
+					shard, err := cluster.NewLocalShard(nil, live.Options{BucketWidth: time.Hour})
+					if err != nil {
+						b.Fatal(err)
+					}
+					shards[k] = shard
+				}
+				coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{Replication: r})
 				if err != nil {
 					b.Fatal(err)
 				}

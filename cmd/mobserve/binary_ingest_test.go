@@ -75,8 +75,8 @@ func TestBinaryIngestEndToEnd(t *testing.T) {
 
 	_, tsc, locals := newClusterTestServer(t, 3)
 	status, body = postBinary(t, tsc.URL, corpusBinary(t, tweets, 1000))
-	if status != http.StatusOK || int(body["ingested"].(float64)) != len(tweets) {
-		t.Fatalf("cluster binary ingest: status %d body %v", status, body)
+	if status != http.StatusAccepted || int(body["ingested"].(float64)) != len(tweets) {
+		t.Fatalf("cluster binary ingest: status %d body %v, want 202", status, body)
 	}
 	var stored int64
 	for _, l := range locals {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -92,8 +94,8 @@ func TestClusterModeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || int(ing["ingested"].(float64)) != len(tweets) {
-		t.Fatalf("cluster ingest: status %d body %v", resp.StatusCode, ing)
+	if resp.StatusCode != http.StatusAccepted || int(ing["ingested"].(float64)) != len(tweets) {
+		t.Fatalf("cluster ingest: status %d body %v, want 202", resp.StatusCode, ing)
 	}
 
 	// Every record is durable on exactly one partition's store.
@@ -191,6 +193,162 @@ func TestIngestBodyLimit(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("cluster oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// downableShard wraps a Shard with an injectable outage: while down,
+// every method answers cluster.ErrUnavailable, exactly like an HTTPShard
+// whose node is unreachable.
+type downableShard struct {
+	inner cluster.Shard
+	down  atomic.Bool
+}
+
+func (d *downableShard) err() error {
+	return fmt.Errorf("%w: injected outage", cluster.ErrUnavailable)
+}
+
+func (d *downableShard) Deliver(sender string, seq uint64, slot int, frame []byte) error {
+	if d.down.Load() {
+		return d.err()
+	}
+	return d.inner.Deliver(sender, seq, slot, frame)
+}
+
+func (d *downableShard) Ingest(b *tweet.Batch) error {
+	if d.down.Load() {
+		return d.err()
+	}
+	return d.inner.Ingest(b)
+}
+
+func (d *downableShard) Flush() error {
+	if d.down.Load() {
+		return d.err()
+	}
+	return d.inner.Flush()
+}
+
+func (d *downableShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+	if d.down.Load() {
+		return nil, d.err()
+	}
+	return d.inner.Partials(req, slots)
+}
+
+func (d *downableShard) Coverage(req core.Request, slots []int) (string, error) {
+	if d.down.Load() {
+		return "", d.err()
+	}
+	return d.inner.Coverage(req, slots)
+}
+
+func (d *downableShard) Export(slot int, fn func(*tweet.Batch) error) error {
+	if d.down.Load() {
+		return d.err()
+	}
+	return d.inner.Export(slot, fn)
+}
+
+func (d *downableShard) Health() (cluster.ShardHealth, error) {
+	if d.down.Load() {
+		return cluster.ShardHealth{}, d.err()
+	}
+	return d.inner.Health()
+}
+
+// TestDegradedReadUnavailable is the degraded-read contract on the HTTP
+// surface: with a user-range's only replica down, /v1/population and
+// /v1/flows answer 503 with a Retry-After header and a JSON body naming
+// the missing user-hash ranges — never a silent partial answer.
+func TestDegradedReadUnavailable(t *testing.T) {
+	var shards []cluster.Shard
+	var flaky []*downableShard
+	for i := 0; i < 2; i++ {
+		inner, err := cluster.NewLocalShard(nil, live.Options{BucketWidth: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &downableShard{inner: inner}
+		flaky = append(flaky, d)
+		shards = append(shards, d)
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	s := newServer(nil, 0)
+	s.coord = coord
+	ts := httptest.NewServer(s.clusterRoutes())
+	t.Cleanup(ts.Close)
+
+	gen, err := synth.NewGenerator(synth.DefaultConfig(400, 21, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", corpusNDJSON(t, tweets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d, want 202", resp.StatusCode)
+	}
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy baseline first, so the 503s below are the outage, not a
+	// broken pipeline.
+	for _, path := range []string{"/v1/population?scale=national", "/v1/flows?scale=national"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthy GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// With R == 1, shard 0's slots have no surviving replica.
+	flaky[0].down.Store(true)
+	for _, path := range []string{"/v1/population?scale=national", "/v1/flows?scale=national"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("degraded GET %s: status %d, want 503 (body %v)", path, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "5" {
+			t.Fatalf("degraded GET %s: Retry-After = %q, want \"5\"", path, ra)
+		}
+		ranges, ok := body["user_ranges"].([]any)
+		if !ok || len(ranges) == 0 {
+			t.Fatalf("degraded GET %s: body names no user ranges: %v", path, body)
+		}
+	}
+
+	// Recovery heals reads without operator action.
+	flaky[0].down.Store(false)
+	resp, err = http.Get(ts.URL + "/v1/population?scale=national")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered GET: status %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -20,6 +20,9 @@
 //	GET  /flows?scale=national         OD flow matrix at a scale (uncached)
 //	POST /v1/ingest                    NDJSON tweet batch: appended to the
 //	                                   store and routed into the bucket ring
+//	                                   (202 in cluster mode: acknowledged
+//	                                   once durably spooled, delivered to
+//	                                   the replicas asynchronously)
 //
 // Versioned analysis API (request-scoped Study executions, snapshot-cached;
 // `from`/`to` are RFC3339, `radius` is metres):
@@ -172,6 +175,8 @@ func main() {
 		shardMode = flag.Bool("cluster-shard", false, "serve the internal shard API (/shard/v1/*) over -db instead of the public endpoints")
 		coordsTo  = flag.String("cluster-coordinator", "", "comma-separated shard node base URLs; serve /v1 by scatter-gather across them (no local -db)")
 		partsN    = flag.Int("partitions", 0, "in-process user partitions under -db (implies live rings; per-partition ingest parallelism without the network hop)")
+		replicas  = flag.Int("replication", 1, "copies of every user-range slot across the cluster (with -cluster-coordinator or -partitions)")
+		walDir    = flag.String("wal-dir", "", "durable ingest spool directory: /v1/ingest acks only after the write-ahead append, and unacknowledged deliveries replay across coordinator restarts")
 	)
 	flag.Parse()
 	modes := 0
@@ -182,6 +187,14 @@ func main() {
 	}
 	if modes > 1 {
 		log.Fatal("-cluster-shard, -cluster-coordinator and -partitions are mutually exclusive")
+	}
+	if coordMode := *coordsTo != "" || *partsN > 0; !coordMode {
+		if *replicas != 1 {
+			log.Fatal("-replication needs -cluster-coordinator or -partitions")
+		}
+		if *walDir != "" {
+			log.Fatal("-wal-dir needs -cluster-coordinator or -partitions")
+		}
 	}
 
 	// SIGINT/SIGTERM cancel ctx; it is also the base context of every
@@ -205,7 +218,7 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("shard node: %d records backfilled into %d buckets of %v",
-			shard.Aggregator().Ingested(), shard.Aggregator().Buckets(), *bucket)
+			shard.Ingested(), shard.Buckets(), *bucket)
 		handler = cluster.NewNode(shard, cluster.NodeOptions{MaxBodyBytes: *maxBody})
 
 	case *coordsTo != "", *partsN > 0:
@@ -239,7 +252,10 @@ func main() {
 			}
 			log.Printf("coordinator over %d in-process partitions under %s", *partsN, *dbDir)
 		}
-		coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+		coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{
+			Replication: *replicas,
+			WALDir:      *walDir,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -341,7 +357,13 @@ func (s *server) scanWorkers() int {
 
 // writeJSON writes v with the proper content type.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes v under an explicit status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
@@ -371,6 +393,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 		writeJSON(w, map[string]any{
 			"status":          status,
+			"ring":            s.coord.RingStatus(),
 			"shards":          shards,
 			"ingested":        s.coord.Ingested(),
 			"partial_fetches": s.coord.PartialFetches(),
@@ -434,7 +457,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.coord != nil {
-		writeJSON(w, map[string]any{
+		// 202, not 200: the records are durably spooled (the coordinator's
+		// acknowledgement point), but replica delivery is asynchronous —
+		// the lanes replay until every copy has acked.
+		writeJSONStatus(w, http.StatusAccepted, map[string]any{
 			"ingested": n,
 			"shards":   s.coord.Shards(),
 			"routed":   s.coord.Ingested(),
@@ -751,7 +777,22 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 // does not yet; see ROADMAP) is a stated capability gap, 501, not a
 // server fault.
 func writeExecuteError(w http.ResponseWriter, err error) {
+	var unavail *cluster.UnavailableError
 	switch {
+	case errors.As(err, &unavail):
+		// Degraded read: some user-range slots have no live current
+		// replica (the member and all its replicas are down or still
+		// replaying). The data is durable in the spool and the lanes keep
+		// retrying, so this heals without operator action — tell the
+		// client to retry, and name exactly which user-hash ranges are
+		// affected so a partial-tolerance client can re-scope.
+		w.Header().Set("Retry-After", "5")
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
+			"error":       "degraded: no live replica for part of the user space",
+			"slots":       unavail.Slots,
+			"user_ranges": unavail.UserRanges(),
+			"retry_after": 5,
+		})
 	case errors.Is(err, core.ErrEmptyDataset):
 		httpError(w, http.StatusNotFound, "no tweets in the requested window")
 	case errors.Is(err, live.ErrNotCovered):

@@ -1,38 +1,53 @@
-// Package cluster scales the live pipeline horizontally: it partitions
-// the tweet stream by a stable hash of the user id across N shard nodes
-// and answers Study requests by scatter-gather (DESIGN.md §8).
+// Package cluster scales the live pipeline horizontally and makes it
+// fault-tolerant: a consistent-hash ring places user-hash slots on
+// shard members with replication factor R, a spooled delivery layer
+// makes ingest acknowledgement durable and replayable, and queries
+// scatter-gather over any one live replica per slot (DESIGN.md §8,
+// §10).
 //
 // The design rests on the invariant PRs 1 and 4 proved: user-disjoint
-// observer state merges bit-identically to a cold serial pass. Hash
-// partitioning keeps every user's trajectory whole on one shard, so
+// observer state merges bit-identically to a cold serial pass. Slot
+// placement (internal/ring) keeps every user's trajectory whole inside
+// one placement slot, and every replica of a slot applies the identical
+// slot substream, so
 //
 //   - every consecutive-tweet quantity (waiting time, displacement, flow
-//     transition, gyration addend) is computed entirely on one shard with
-//     the single-sourced mobility ops the streaming extractor uses;
+//     transition, gyration addend) is computed entirely within one slot
+//     with the single-sourced mobility ops the streaming extractor uses;
 //   - the additive aggregates (tweet counts, per-area unique-user counts,
-//     flow matrices, span bounds) sum or union exactly across shards;
-//   - only the per-user Table I series need care: the global serial order
-//     interleaves the users of all shards by ascending id, so shards ship
-//     their state per user (live.ShardPartial) and the coordinator
-//     re-interleaves before flattening.
+//     flow matrices, span bounds) sum or union exactly across slots;
+//   - the per-user Table I series re-interleave by ascending user id
+//     when the coordinator merges the slot partials — and it does not
+//     matter which replica served which slot, because replicas of a
+//     slot are bit-identical by construction.
 //
 // The pieces:
 //
-//   - Partitioner: the stable user-id hash → partition rule (the only
-//     piece every node must agree on);
-//   - Shard: one partition behind a uniform interface — LocalShard runs
-//     in-process (the -partitions mode of cmd/mobserve, giving
-//     multi-core boxes per-partition ingest parallelism with no network
-//     hop), HTTPShard talks to a remote ShardNode over the internal
-//     /shard/v1 API served by Node;
-//   - Coordinator: routes ingest batches to owning shards (batched,
-//     concurrent, per-shard bounded queues for backpressure), scatters
-//     queries, merges the returned partials through core.FoldedPass /
-//     core.AssembleFolded, and snapshot-caches results keyed on the
-//     fingerprint-sum of the shards' bucket-coverage keys — so an
-//     N-shard cluster answer is bit-identical to a single-node
-//     Study.Execute rescan (property-tested) and warm repeats do zero
-//     shard folds.
+//   - internal/ring: the versioned consistent-hash placement rule — a
+//     pure function of (ring version, user id) every node agrees on;
+//   - Shard: one member behind a uniform interface — LocalShard runs
+//     in-process with one bucket ring per slot, HTTPShard talks to a
+//     remote member over the internal /shard/v1 API served by Node;
+//   - spool (internal/wal behind CoordinatorOptions.WALDir): the ingest
+//     acknowledgement point — frames are acked to the client once
+//     spooled, delivered to each replica by per-member lanes with
+//     retry and backoff, and truncated once every replica acked;
+//   - Coordinator: routes ingest into per-slot frames, replicates them
+//     via the spool and lanes, scatters queries over one live current
+//     replica per slot with failover, merges the partials through
+//     core.FoldedPass / core.AssembleFolded, and snapshot-caches
+//     results keyed on the served topology plus the replicas'
+//     bucket-coverage keys — so a replicated cluster answer is
+//     bit-identical to a single-node Study.Execute rescan
+//     (property-tested, including under single-member crashes) and
+//     warm repeats do zero shard folds;
+//   - handoff (Coordinator.AddShard / RemoveShard): live membership
+//     changes that stream moved slots from settled replicas before the
+//     new ring version takes effect.
+//
+// Partitioner remains as the PR 5 modulo-placement rule for the
+// in-process -partitions mode's store layout; ring placement supersedes
+// it for cluster routing.
 package cluster
 
 import "fmt"

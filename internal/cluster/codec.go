@@ -216,6 +216,50 @@ func DecodePartial(data []byte) (*live.ShardPartial, error) {
 	return p, nil
 }
 
+// EncodePartials renders a slot-ordered partial list: u32 count, then
+// each partial length-prefixed (u32) in the single-partial format. The
+// nesting keeps the exactness property — every float still travels as
+// its raw bit pattern.
+func EncodePartials(ps []*live.ShardPartial) []byte {
+	var w wireWriter
+	w.u32(uint32(len(ps)))
+	for _, p := range ps {
+		enc := EncodePartial(p)
+		w.u32(uint32(len(enc)))
+		w.buf = append(w.buf, enc...)
+	}
+	return w.buf
+}
+
+// DecodePartials parses an EncodePartials payload.
+func DecodePartials(data []byte) ([]*live.ShardPartial, error) {
+	r := wireReader{buf: data}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > len(data) { // each partial costs well over one byte
+		return nil, fmt.Errorf("cluster: partial codec: implausible partial count %d", n)
+	}
+	out := make([]*live.ShardPartial, 0, n)
+	for i := 0; i < n; i++ {
+		ln := int(r.u32())
+		blob := r.take(ln)
+		if r.err != nil {
+			return nil, r.err
+		}
+		p, err := DecodePartial(blob)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partial %d of %d: %w", i, n, err)
+		}
+		out = append(out, p)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("cluster: partial codec: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return out, nil
+}
+
 // wireWriter appends fixed-width little-endian fields to a buffer.
 type wireWriter struct{ buf []byte }
 

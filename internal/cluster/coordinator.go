@@ -1,177 +1,240 @@
 package cluster
 
 import (
+	"crypto/rand"
 	"fmt"
+	"hash/fnv"
 	"io"
-	"math/bits"
-	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"geomob/internal/core"
 	"geomob/internal/live"
+	"geomob/internal/ring"
 	"geomob/internal/svcache"
 	"geomob/internal/tweet"
+	"geomob/internal/wal"
 )
 
 // CoordinatorOptions configure a Coordinator.
 type CoordinatorOptions struct {
-	// BatchSize is how many records accumulate per shard before a send is
-	// enqueued; zero means 4096. Larger batches amortise the per-send
-	// overhead (an HTTP round-trip for remote shards, a ring lock for
-	// local ones).
+	// BatchSize is how many records accumulate per placement slot
+	// before the slot's buffer is framed, spooled, and staged on its
+	// replica lanes; zero means 4096. Larger batches amortise the
+	// per-frame overhead (an fsync'd spool append plus one HTTP
+	// round-trip per replica).
 	BatchSize int
-	// QueueDepth bounds the per-shard send queue in batches; zero means
-	// 4. A full queue blocks the enqueuer — the coordinator's
-	// backpressure: one slow shard throttles the feed instead of letting
-	// unsent batches grow without bound.
+	// QueueDepth bounds each delivery lane's staged frames; zero means
+	// DefaultQueueDepth. Overflow is not lost and does not block the
+	// feed: it stays in the spool and the lane refills as it drains, so
+	// a dead shard costs bounded coordinator memory.
 	QueueDepth int
 	// CacheSize bounds the snapshot cache; zero means
 	// svcache.DefaultMaxSnapshots.
 	CacheSize int
+	// Replication is the ring's replica factor R: every placement slot
+	// is delivered to R members (clamped to the member count) and any
+	// one of them can serve it. Zero means 1 — no redundancy, the PR 5
+	// behaviour.
+	Replication int
+	// WALDir, when set, backs the ingest spool with a segmented WAL in
+	// that directory: ingest acknowledges only after the fsync'd
+	// append, and a coordinator reopened over the same directory (with
+	// the same shard order) replays every unacknowledged frame. Empty
+	// keeps the spool in memory — same replay semantics, no crash
+	// durability.
+	WALDir string
+	// RetryBase/RetryMax bound the lanes' exponential delivery backoff;
+	// zero means DefaultRetryBase/DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
-// Coordinator is the cluster front door: it routes ingest records to the
-// shard owning each user (batched, concurrent, with per-shard
-// backpressure), scatters fold requests across every shard, merges the
-// returned user-disjoint partials through core.AssembleFolded, and
-// memoises results keyed on the fingerprint-sum of the shards' coverage
-// keys — a warm repeat does zero shard folds.
+const (
+	// DefaultQueueDepth stages up to four full flush cycles of slot
+	// frames per lane before spilling to the spool.
+	DefaultQueueDepth = 4 * ring.Slots
+	// DefaultRetryBase/DefaultRetryMax bound delivery backoff.
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryMax  = 5 * time.Second
+)
+
+// Coordinator is the cluster front door: it routes ingest records into
+// per-slot batches, spools each framed batch durably (the
+// acknowledgement point), and stages it on the delivery lane of every
+// replica the ring places the slot on. Queries scatter slot-set folds
+// over one live, current replica per slot — failing over replica by
+// replica — merge the slot-disjoint partials, and assemble through the
+// exact single-node float pipeline, so answers are bit-identical to a
+// single-node Study.Execute over the union substream no matter which
+// replicas serve (DESIGN.md §10).
 type Coordinator struct {
-	part   Partitioner
+	batch     int
+	depth     int
+	retryBase time.Duration
+	retryMax  time.Duration
+	cache     *svcache.Cache
+	sp        spool
+
+	// topoMu guards the (ring, shards, lanes) triple for readers.
+	// Membership writers additionally hold mu, so holding either locks
+	// the topology still.
+	topoMu sync.RWMutex
+	ring   *ring.Ring
 	shards []Shard
-	cache  *svcache.Cache
+	lanes  []*lane
 
-	// mu serialises the buffered ingest path (Add/Flush), exactly like
-	// live.Ingestor; the lanes behind it drain concurrently.
-	mu    sync.Mutex
-	bufs  []*tweet.Batch
-	lanes []*lane
-	batch int
+	// mu serialises ingest buffering (Add/Flush) exactly like
+	// live.Ingestor — and, because membership changes take it too, a
+	// ring change is write-quiesced by construction.
+	mu   sync.Mutex
+	bufs [ring.Slots]*tweet.Batch
 
+	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	ingested       atomic.Int64 // records routed into lanes
+	ingested       atomic.Int64 // records accepted (spooled)
 	partialFetches atomic.Int64 // shard fold RPCs issued
 	coverageProbes atomic.Int64 // shard coverage RPCs issued
 }
 
-// lane is one shard's asynchronous delivery pipe: a bounded queue of
-// batches drained by a dedicated sender goroutine.
-type lane struct {
-	ch chan *tweet.Batch
-	wg sync.WaitGroup // outstanding enqueued batches
-
-	mu       sync.Mutex
-	err      error // first undelivered-batch error since the last Flush
-	lastErr  string
-	errAt    time.Time
-	failures int64
-	sent     int64
-}
+// memberName names ring member i; names are positional so a WAL-backed
+// coordinator reopened over the same shard order rebuilds the same
+// ring.
+func memberName(i int) string { return fmt.Sprintf("member-%03d", i) }
 
 // NewCoordinator builds a coordinator over the shards. At least one
-// shard is required; the partitioner is bound to the shard count, so the
-// shard order must be identical on every coordinator of the cluster.
+// shard is required; member i of the ring is shards[i], so the shard
+// order must be identical on every coordinator of the cluster (and
+// across restarts when WALDir is set, for spool replay to reach the
+// right nodes).
 func NewCoordinator(shards []Shard, opts CoordinatorOptions) (*Coordinator, error) {
-	part, err := NewPartitioner(len(shards))
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	r := opts.Replication
+	if r <= 0 {
+		r = 1
+	}
+	if r > len(shards) {
+		r = len(shards)
+	}
+	names := make([]string, len(shards))
+	for i := range names {
+		names[i] = memberName(i)
+	}
+	rg, err := ring.New(names, r)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: coordinator needs at least one shard: %w", err)
-	}
-	batch := opts.BatchSize
-	if batch <= 0 {
-		batch = 4096
-	}
-	depth := opts.QueueDepth
-	if depth <= 0 {
-		depth = 4
+		return nil, err
 	}
 	c := &Coordinator{
-		part:   part,
-		shards: shards,
-		cache:  svcache.New(opts.CacheSize),
-		bufs:   make([]*tweet.Batch, len(shards)),
-		lanes:  make([]*lane, len(shards)),
-		batch:  batch,
+		batch:     opts.BatchSize,
+		depth:     opts.QueueDepth,
+		retryBase: opts.RetryBase,
+		retryMax:  opts.RetryMax,
+		cache:     svcache.New(opts.CacheSize),
+		ring:      rg,
+		shards:    append([]Shard(nil), shards...),
 	}
-	for i := range c.bufs {
-		b := &tweet.Batch{}
-		b.Grow(batch)
-		c.bufs[i] = b
+	if c.batch <= 0 {
+		c.batch = 4096
 	}
-	for i := range c.lanes {
-		l := &lane{ch: make(chan *tweet.Batch, depth)}
-		c.lanes[i] = l
-		go c.runLane(i, l)
+	if c.depth <= 0 {
+		c.depth = DefaultQueueDepth
+	}
+	if c.retryBase <= 0 {
+		c.retryBase = DefaultRetryBase
+	}
+	if c.retryMax < c.retryBase {
+		c.retryMax = DefaultRetryMax
+	}
+	if opts.WALDir != "" {
+		sp, err := wal.Open(wal.Options{Dir: opts.WALDir})
+		if err != nil {
+			return nil, err
+		}
+		c.sp = sp
+	} else {
+		c.sp = newMemSpool(randomSenderID())
+	}
+	for i, sh := range c.shards {
+		l := newLane(i, sh, c.sp, c.depth, c.retryBase, c.retryMax)
+		if c.sp.PendingRowsNode(i) > 0 {
+			// The reopened WAL owes this node deliveries: replay them
+			// through the lane's spool-refill path.
+			l.markGapped()
+		}
+		c.lanes = append(c.lanes, l)
+		c.wg.Add(1)
+		go l.run(&c.wg)
 	}
 	return c, nil
 }
 
-// Partitioner returns the routing rule.
-func (c *Coordinator) Partitioner() Partitioner { return c.part }
-
-// Shards returns the shard count.
-func (c *Coordinator) Shards() int { return len(c.shards) }
-
-// runLane drains one shard's queue. Delivery errors are latched on the
-// lane — surfaced at the next Flush and in Health — and the records of
-// the failed batch are lost from this coordinator's perspective
-// (delivery is at-least-once end to end; the shard may hold part of the
-// batch).
-func (c *Coordinator) runLane(i int, l *lane) {
-	for batch := range l.ch {
-		err := c.shards[i].Ingest(batch)
-		l.mu.Lock()
-		if err != nil {
-			if l.err == nil {
-				l.err = fmt.Errorf("cluster: shard %d ingest: %w", i, err)
-			}
-			l.lastErr = err.Error()
-			l.errAt = time.Now()
-			l.failures++
-		} else {
-			l.sent += int64(batch.Len())
-		}
-		l.mu.Unlock()
-		l.wg.Done()
-	}
+// Shards returns the number of live members.
+func (c *Coordinator) Shards() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.ring.Live()
 }
 
-// Close drains and stops the lane senders. The coordinator must not be
-// used afterwards.
-func (c *Coordinator) Close() error {
-	err := c.Flush()
-	if c.closed.CompareAndSwap(false, true) {
-		for _, l := range c.lanes {
-			close(l.ch)
-		}
-	}
-	return err
-}
+// Ingested returns the number of records accepted (spooled) so far.
+func (c *Coordinator) Ingested() int64 { return c.ingested.Load() }
 
-// Add routes one record toward its owning shard, enqueueing a batch send
-// whenever the shard's buffer fills. Safe for concurrent use; a full
-// shard queue blocks (backpressure).
+// PartialFetches returns the number of shard fold RPCs issued — the
+// quantity warm cache hits keep flat (the §8 "zero shard scans"
+// assertion).
+func (c *Coordinator) PartialFetches() int64 { return c.partialFetches.Load() }
+
+// CoverageProbes returns the number of shard coverage RPCs issued.
+func (c *Coordinator) CoverageProbes() int64 { return c.coverageProbes.Load() }
+
+// CacheStats exposes the snapshot cache counters.
+func (c *Coordinator) CacheStats() (hits, misses int64) { return c.cache.Stats() }
+
+// SenderID exposes the spool's delivery identity (tests).
+func (c *Coordinator) SenderID() string { return c.sp.SenderID() }
+
+// SpoolStats exposes the spool's pending counters.
+func (c *Coordinator) SpoolStats() wal.Stats { return c.sp.Stats() }
+
+// Add routes one record into its placement slot's buffer, shipping the
+// slot when the buffer fills. Safe for concurrent use. Acceptance (a
+// nil return from the enclosing Flush) means the record is spooled —
+// durably under a WALDir — and owed to every replica, not that every
+// replica already holds it.
 func (c *Coordinator) Add(t tweet.Tweet) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	i := c.part.Partition(t.UserID)
-	c.bufs[i].Append(t)
-	if c.bufs[i].Len() >= c.batch {
-		c.enqueueLocked(i)
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: coordinator closed")
+	}
+	return c.addLocked(t)
+}
+
+func (c *Coordinator) addLocked(t tweet.Tweet) error {
+	k := ring.SlotOf(t.UserID)
+	b := c.bufs[k]
+	if b == nil {
+		b = &tweet.Batch{}
+		b.Grow(c.batch)
+		c.bufs[k] = b
+	}
+	b.Append(t)
+	if b.Len() >= c.batch {
+		return c.shipLocked(k)
 	}
 	return nil
 }
 
-// AddBatch routes a whole columnar batch, splitting it across the owning
-// shards by the UserID column and enqueueing any shard buffer that
-// fills. The batch is validated once up front and only read; ownership
-// stays with the caller. Safe for concurrent use; a full shard queue
-// blocks (backpressure).
+// AddBatch routes a whole columnar batch, splitting it across placement
+// slots by the UserID column. The batch is validated once up front and
+// only read; ownership stays with the caller. Safe for concurrent use.
 func (c *Coordinator) AddBatch(b *tweet.Batch) error {
 	if b.Len() == 0 {
 		return nil
@@ -181,168 +244,223 @@ func (c *Coordinator) AddBatch(b *tweet.Batch) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: coordinator closed")
+	}
 	for r := 0; r < b.Len(); r++ {
-		i := c.part.Partition(b.UserID[r])
-		c.bufs[i].Append(b.Row(r))
-		if c.bufs[i].Len() >= c.batch {
-			c.enqueueLocked(i)
+		if err := c.addLocked(b.Row(r)); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// enqueueLocked hands shard i's buffered records to its lane. Caller
-// holds c.mu. The send into the bounded channel may block — that is the
-// backpressure contract — and lane workers never take c.mu, so the wait
-// cannot deadlock.
-func (c *Coordinator) enqueueLocked(i int) {
-	if c.bufs[i].Len() == 0 {
-		return
+// shipLocked frames slot k's buffer, appends it to the spool (the
+// durability/acknowledgement point), and stages it on every replica
+// lane. Caller holds c.mu.
+func (c *Coordinator) shipLocked(k int) error {
+	b := c.bufs[k]
+	if b == nil || b.Len() == 0 {
+		return nil
 	}
-	batch := c.bufs[i]
-	fresh := &tweet.Batch{}
-	fresh.Grow(c.batch)
-	c.bufs[i] = fresh
-	c.ingested.Add(int64(batch.Len()))
-	l := c.lanes[i]
-	l.wg.Add(1)
-	l.ch <- batch
+	frame, err := tweet.AppendFrame(nil, b)
+	if err != nil {
+		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
+	}
+	c.topoMu.RLock()
+	replicas := c.ring.Replicas(k)
+	lanes := c.lanes
+	c.topoMu.RUnlock()
+	var mask uint64
+	for _, nd := range replicas {
+		mask |= 1 << uint(nd)
+	}
+	seq, err := c.sp.Append(k, mask, frame)
+	if err != nil {
+		return fmt.Errorf("cluster: spool append: %w", err)
+	}
+	rows := b.Len()
+	for _, nd := range replicas {
+		lanes[nd].enqueue(seq, k, rows, frame)
+	}
+	c.ingested.Add(int64(rows))
+	b.Reset()
+	return nil
 }
 
-// Flush pushes every buffered record out, waits for all in-flight
-// batches to deliver, flushes the shards, and reports the first delivery
-// error latched since the previous Flush.
+// Flush ships every buffered slot batch and waits for the lanes to
+// settle: on a healthy cluster every replica has applied everything on
+// return, while a lane whose shard is down returns immediately — its
+// frames are safe in the spool, surfaced as pending in Health, and
+// delivered on recovery. Flush therefore fails only when spooling
+// itself fails; a dead shard degrades the report, not the ingest.
 func (c *Coordinator) Flush() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.bufs {
-		c.enqueueLocked(i)
-	}
 	var firstErr error
-	for _, l := range c.lanes {
-		l.wg.Wait()
-		l.mu.Lock()
-		if firstErr == nil && l.err != nil {
-			firstErr = l.err
-		}
-		l.err = nil
-		l.mu.Unlock()
-	}
-	// Shard flushes fan out concurrently: each one may cut a store
-	// segment, and the point of partitioning is that shards do not wait
-	// on one another.
-	errs := make([]error, len(c.shards))
-	var wg sync.WaitGroup
-	for i, s := range c.shards {
-		wg.Add(1)
-		go func(i int, s Shard) {
-			defer wg.Done()
-			errs[i] = s.Flush()
-		}(i, s)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if firstErr == nil && err != nil {
-			firstErr = fmt.Errorf("cluster: shard %d flush: %w", i, err)
+	for k := range c.bufs {
+		if err := c.shipLocked(k); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return firstErr
+	c.topoMu.RLock()
+	lanes := append([]*lane(nil), c.lanes...)
+	c.topoMu.RUnlock()
+	c.mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, l := range lanes {
+		l.waitSettled()
+	}
+	return nil
+}
+
+// Close flushes, stops the lanes, and closes the spool. Undelivered
+// frames stay spooled — durably under a WALDir, for the next
+// coordinator over the same directory. The coordinator must not be
+// used afterwards.
+func (c *Coordinator) Close() error {
+	if c.closed.Load() {
+		return nil
+	}
+	err := c.Flush()
+	c.closed.Store(true)
+	c.topoMu.RLock()
+	lanes := append([]*lane(nil), c.lanes...)
+	c.topoMu.RUnlock()
+	for _, l := range lanes {
+		l.close()
+	}
+	c.wg.Wait()
+	if cerr := c.sp.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // IngestNDJSON drains an NDJSON stream through the coordinator and
 // flushes at the end, returning how many records the stream contributed
-// — the cluster-mode twin of live.Ingestor.IngestNDJSON, riding the same
-// shared loop and error contract (live.ErrBadInput marks the caller's
-// records).
+// — the cluster-mode twin of live.Ingestor.IngestNDJSON, riding the
+// same shared loop and error contract (live.ErrBadInput marks the
+// caller's records).
 func (c *Coordinator) IngestNDJSON(r io.Reader) (int, error) {
 	return live.DrainNDJSON(r, c.Add, c.Flush)
 }
 
 // IngestBinary drains a binary batch stream through the coordinator and
 // flushes at the end — the cluster-mode twin of
-// live.Ingestor.IngestBinary. Frames split across shard lanes by the
-// UserID column without ever materialising per-record values.
+// live.Ingestor.IngestBinary.
 func (c *Coordinator) IngestBinary(r io.Reader) (int, error) {
 	return live.DrainBinary(r, 0, c.AddBatch, c.Flush)
 }
 
-// Ingested returns the number of records routed into shard lanes.
-func (c *Coordinator) Ingested() int64 { return c.ingested.Load() }
-
-// PartialFetches returns the number of shard fold RPCs issued — the
-// quantity warm cache hits keep flat (the §8 "zero shard scans"
-// assertion).
-func (c *Coordinator) PartialFetches() int64 { return c.partialFetches.Load() }
-
-// CacheStats exposes the snapshot cache counters.
-func (c *Coordinator) CacheStats() (hits, misses int64) { return c.cache.Stats() }
-
-// scatter runs fn against every shard concurrently and returns the
-// per-shard results, failing on the first error.
-func scatter[T any](shards []Shard, fn func(Shard) (T, error)) ([]T, error) {
-	out := make([]T, len(shards))
-	errs := make([]error, len(shards))
-	var wg sync.WaitGroup
-	for i, s := range shards {
-		wg.Add(1)
-		go func(i int, s Shard) {
-			defer wg.Done()
-			out[i], errs[i] = fn(s)
-		}(i, s)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// UnavailableError reports placement slots with no live, current
+// replica: the member owning them and every other replica are
+// unreachable (or still replaying missed deliveries). Callers surface
+// it as 503 + Retry-After, naming the missing user-hash ranges.
+type UnavailableError struct {
+	Slots []int
 }
 
-// coverageFingerprint scatters the cheap coverage probe and folds the
-// shards' keys into one fingerprint-sum: each shard's 64-bit coverage
-// key, rotated by its shard index (so two shards swapping coverage do
-// not cancel), summed with wraparound. The fingerprint moves exactly
-// when some shard's covered buckets changed — the cluster-wide cache
-// validity component.
-func (c *Coordinator) coverageFingerprint(req core.Request) (string, error) {
-	keys, err := scatter(c.shards, func(s Shard) (string, error) {
-		c.coverageProbes.Add(1)
-		return s.Coverage(req)
-	})
-	if err != nil {
-		return "", err
+// UserRanges renders the unavailable slots' contiguous user-hash
+// ranges (inclusive, over ring.HashUser space).
+func (e *UnavailableError) UserRanges() []string {
+	out := make([]string, len(e.Slots))
+	for i, k := range e.Slots {
+		lo, hi := ring.SlotRange(k)
+		out[i] = fmt.Sprintf("%016x-%016x", lo, hi)
 	}
-	var sum uint64
-	for i, k := range keys {
-		v, err := strconv.ParseUint(k, 16, 64)
-		if err != nil {
-			return "", fmt.Errorf("cluster: shard %d coverage key %q: %w", i, k, err)
-		}
-		sum += bits.RotateLeft64(v, i&63)
-	}
-	return fmt.Sprintf("%d:%016x", len(keys), sum), nil
+	return out
 }
 
-// Query answers req by scatter-gather: coverage probes build the cache
-// key; on a miss every shard folds its partial concurrently and the
-// merged pass is assembled through the exact single-node float pipeline
-// (core.AssembleFolded), so the result is bit-identical to a single-node
-// Study.Execute over the union substream. cached reports a warm hit,
-// which costs the probes and nothing else.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("cluster: no live replica for %d of %d user-ranges (%s)",
+		len(e.Slots), ring.Slots, strings.Join(e.UserRanges(), ", "))
+}
+
+// assignSlots picks the replica to serve each slot: the first
+// non-banned replica in ring order whose copy is current (zero spooled
+// rows still owed for that slot — a replica mid-replay would answer
+// with stale buckets). Slots with no candidate come back as an
+// UnavailableError.
+func (c *Coordinator) assignSlots(rg *ring.Ring, banned map[int]bool) ([ring.Slots]int, *UnavailableError) {
+	var assign [ring.Slots]int
+	var missing []int
+	for k := 0; k < ring.Slots; k++ {
+		chosen := -1
+		for _, nd := range rg.Replicas(k) {
+			if banned[nd] || c.sp.PendingRowsSlotNode(nd, k) > 0 {
+				continue
+			}
+			chosen = nd
+			break
+		}
+		if chosen < 0 {
+			missing = append(missing, k)
+			continue
+		}
+		assign[k] = chosen
+	}
+	if missing != nil {
+		return assign, &UnavailableError{Slots: missing}
+	}
+	return assign, nil
+}
+
+// groupAssign buckets the slot→node assignment into one ascending slot
+// list per node, skipping slots in skip.
+func groupAssign(assign [ring.Slots]int, skip map[int]bool) map[int][]int {
+	groups := map[int][]int{}
+	for k := 0; k < ring.Slots; k++ {
+		if skip != nil && skip[k] {
+			continue
+		}
+		groups[assign[k]] = append(groups[assign[k]], k)
+	}
+	return groups
+}
+
+// Query answers req by replicated scatter-gather: pick one live,
+// current replica per slot, probe their coverage to build the cache
+// key, and on a miss fold the slot partials concurrently, merging
+// through the exact single-node float pipeline (core.AssembleFolded).
+// Because every replica of a slot holds the identical slot substream,
+// the answer is bit-identical no matter which replicas serve; a
+// replica dropping mid-query fails over to the next, and only a slot
+// with no live replica at all fails the query (*UnavailableError).
+// cached reports a warm hit, which costs the probes and nothing else.
 func (c *Coordinator) Query(req core.Request) (*core.Result, bool, error) {
 	if _, err := core.PlanRequest(req); err != nil {
 		return nil, false, err
 	}
-	fp, err := c.coverageFingerprint(req)
-	if err != nil {
-		return nil, false, err
+	c.topoMu.RLock()
+	rg := c.ring
+	shards := append([]Shard(nil), c.shards...)
+	c.topoMu.RUnlock()
+
+	banned := map[int]bool{}
+	var assign [ring.Slots]int
+	var keys map[int]string
+	for {
+		a, uerr := c.assignSlots(rg, banned)
+		if uerr != nil {
+			return nil, false, uerr
+		}
+		ks, failed, err := c.coverageScatter(shards, req, groupAssign(a, nil))
+		if err != nil {
+			return nil, false, err
+		}
+		if failed >= 0 {
+			banned[failed] = true
+			continue
+		}
+		assign, keys = a, ks
+		break
 	}
+
+	fp := coverageFingerprint(rg.Version(), assign, keys)
 	return c.cache.Get(req.Key()+"|cf="+fp, func() (*core.Result, error) {
-		parts, err := scatter(c.shards, func(s Shard) (*live.ShardPartial, error) {
-			c.partialFetches.Add(1)
-			return s.Partial(req)
-		})
+		parts, err := c.fetchPartials(shards, rg, req, assign, banned)
 		if err != nil {
 			return nil, err
 		}
@@ -354,51 +472,252 @@ func (c *Coordinator) Query(req core.Request) (*core.Result, bool, error) {
 	})
 }
 
-// ShardStatus is one shard's entry in the coordinator's health report.
+// coverageScatter probes each chosen node's coverage over its slot set,
+// concurrently. An unavailable node is reported back for failover;
+// sentinel fold errors propagate as-is (every replica would answer
+// identically, so failing over is pointless).
+func (c *Coordinator) coverageScatter(shards []Shard, req core.Request, groups map[int][]int) (map[int]string, int, error) {
+	type probe struct {
+		node int
+		key  string
+		err  error
+	}
+	ch := make(chan probe, len(groups))
+	for nd, slots := range groups {
+		c.coverageProbes.Add(1)
+		go func(nd int, slots []int) {
+			key, err := shards[nd].Coverage(req, slots)
+			ch <- probe{nd, key, err}
+		}(nd, slots)
+	}
+	keys := map[int]string{}
+	failed := -1
+	var firstErr error
+	for range groups {
+		p := <-ch
+		switch {
+		case p.err == nil:
+			keys[p.node] = p.key
+		case isUnavailable(p.err):
+			if failed < 0 || p.node < failed {
+				failed = p.node
+			}
+		default:
+			if firstErr == nil {
+				firstErr = p.err
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, -1, firstErr
+	}
+	if failed >= 0 {
+		return nil, failed, nil
+	}
+	return keys, -1, nil
+}
+
+// fetchPartials gathers every slot's partial from its assigned replica,
+// failing over slot by slot if a node drops between the coverage probe
+// and the fetch.
+func (c *Coordinator) fetchPartials(shards []Shard, rg *ring.Ring, req core.Request, assign [ring.Slots]int, banned map[int]bool) ([]*live.ShardPartial, error) {
+	parts := make([]*live.ShardPartial, ring.Slots)
+	done := map[int]bool{}
+	for len(done) < ring.Slots {
+		groups := groupAssign(assign, done)
+		type fetched struct {
+			node  int
+			slots []int
+			ps    []*live.ShardPartial
+			err   error
+		}
+		ch := make(chan fetched, len(groups))
+		for nd, slots := range groups {
+			c.partialFetches.Add(1)
+			go func(nd int, slots []int) {
+				ps, err := shards[nd].Partials(req, slots)
+				ch <- fetched{nd, slots, ps, err}
+			}(nd, slots)
+		}
+		var failedNodes []int
+		for range groups {
+			f := <-ch
+			switch {
+			case f.err == nil:
+				if len(f.ps) != len(f.slots) {
+					return nil, fmt.Errorf("cluster: node %d returned %d partials for %d slots", f.node, len(f.ps), len(f.slots))
+				}
+				for i, k := range f.slots {
+					parts[k] = f.ps[i]
+					done[k] = true
+				}
+			case isUnavailable(f.err):
+				failedNodes = append(failedNodes, f.node)
+			default:
+				return nil, f.err
+			}
+		}
+		if len(failedNodes) > 0 {
+			for _, nd := range failedNodes {
+				banned[nd] = true
+			}
+			// Reassign the slots still missing to surviving replicas.
+			a, uerr := c.assignSlots(rg, banned)
+			if uerr != nil {
+				var stuck []int
+				for _, k := range uerr.Slots {
+					if !done[k] {
+						stuck = append(stuck, k)
+					}
+				}
+				if len(stuck) > 0 {
+					return nil, &UnavailableError{Slots: stuck}
+				}
+			}
+			for k := 0; k < ring.Slots; k++ {
+				if !done[k] {
+					assign[k] = a[k]
+				}
+			}
+		}
+	}
+	return parts, nil
+}
+
+// coverageFingerprint condenses (ring version, slot→node assignment,
+// per-node coverage keys) into the cache key component that moves
+// exactly when any served slot's covered buckets change — or when the
+// serving topology does.
+func coverageFingerprint(version uint64, assign [ring.Slots]int, keys map[int]string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v=%016x;", version)
+	for k := 0; k < ring.Slots; k++ {
+		fmt.Fprintf(h, "%d:%d;", k, assign[k])
+	}
+	// Node keys in node order; each embeds its slot list and the
+	// per-slot coverage keys.
+	for nd := 0; nd < 64; nd++ {
+		if key, ok := keys[nd]; ok {
+			fmt.Fprintf(h, "n%d=%s;", nd, key)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ShardStatus is one member's entry in the coordinator's health report.
 type ShardStatus struct {
-	Index int  `json:"index"`
-	OK    bool `json:"ok"`
-	// Degraded marks a shard whose ingest lane has recorded delivery
-	// failures; LastError/LastErrorAt describe the most recent one.
-	Degraded    bool        `json:"degraded,omitempty"`
+	Index  int    `json:"index"`
+	Member string `json:"member"`
+	Gone   bool   `json:"gone,omitempty"`
+	// OK means the member answered its health probe. Degraded means it
+	// currently owes spooled deliveries or its last delivery failed —
+	// transient by design: it clears once the lane catches the member
+	// back up.
+	OK       bool `json:"ok"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Pending counts spooled rows not yet acknowledged by this member;
+	// Queue counts frames staged in its lane. Retries/Failures/Dropped
+	// count delivery attempts that failed, and LastError/LastErrorAt
+	// latch the most recent failure — nothing a 202 accepted is ever
+	// dropped without a trace here.
+	Pending     int64       `json:"pending"`
+	Queue       int         `json:"queue"`
+	Delivered   int64       `json:"delivered"`
+	Batches     int64       `json:"batches"`
+	Retries     int64       `json:"retries,omitempty"`
+	Failures    int64       `json:"failures,omitempty"`
+	Dropped     int64       `json:"dropped,omitempty"`
 	LastError   string      `json:"last_error,omitempty"`
 	LastErrorAt string      `json:"last_error_at,omitempty"`
-	Failures    int64       `json:"failures,omitempty"`
-	Delivered   int64       `json:"delivered"`
-	Queue       int         `json:"queue"`
+	Slots       []int       `json:"slots"`
 	Health      ShardHealth `json:"health"`
 }
 
-// Health probes every shard and combines the liveness with the lanes'
-// delivery state — the payload of the coordinator's /healthz.
+// RingStatus summarises the placement ring and spool for /healthz.
+type RingStatus struct {
+	Version     string    `json:"version"`
+	Members     int       `json:"members"`
+	Live        int       `json:"live"`
+	Replication int       `json:"replication"`
+	Slots       int       `json:"slots"`
+	Spool       wal.Stats `json:"spool"`
+}
+
+// RingStatus reports the current ring configuration and spool state.
+func (c *Coordinator) RingStatus() RingStatus {
+	c.topoMu.RLock()
+	rg := c.ring
+	c.topoMu.RUnlock()
+	return RingStatus{
+		Version:     fmt.Sprintf("%016x", rg.Version()),
+		Members:     len(rg.Members()),
+		Live:        rg.Live(),
+		Replication: rg.Replication(),
+		Slots:       ring.Slots,
+		Spool:       c.sp.Stats(),
+	}
+}
+
+// Health probes every member and combines the liveness with the lanes'
+// delivery state — the payload of the coordinator's /healthz. A member
+// with undelivered spooled rows or a failing lane reports Degraded
+// rather than silently shedding its batches.
 func (c *Coordinator) Health() []ShardStatus {
-	out := make([]ShardStatus, len(c.shards))
+	c.topoMu.RLock()
+	rg := c.ring
+	shards := append([]Shard(nil), c.shards...)
+	lanes := append([]*lane(nil), c.lanes...)
+	c.topoMu.RUnlock()
+	members := rg.Members()
+	out := make([]ShardStatus, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i := range shards {
+		st := &out[i]
+		st.Index = i
+		st.Member = members[i].Name
+		st.Gone = members[i].Gone
+		ls := lanes[i].status()
+		st.Pending = c.sp.PendingRowsNode(i)
+		st.Queue = ls.queued
+		st.Delivered = ls.delivered
+		st.Batches = ls.batches
+		st.Retries = ls.retries
+		st.Failures = ls.failures
+		st.Dropped = ls.dropped
+		st.LastError = ls.lastErr
+		if !ls.errAt.IsZero() {
+			st.LastErrorAt = ls.errAt.UTC().Format(time.RFC3339)
+		}
+		st.Degraded = ls.down || st.Pending > 0
+		st.Slots = rg.SlotsFor(i)
+		if members[i].Gone {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, s Shard) {
+		go func(i int) {
 			defer wg.Done()
-			st := ShardStatus{Index: i}
-			h, err := s.Health()
-			st.OK = err == nil
-			st.Health = h
+			h, err := shards[i].Health()
 			if err != nil {
-				st.LastError = err.Error()
+				out[i].Degraded = true
+				if out[i].LastError == "" {
+					out[i].LastError = err.Error()
+				}
+				return
 			}
-			l := c.lanes[i]
-			st.Queue = len(l.ch)
-			l.mu.Lock()
-			st.Delivered = l.sent
-			st.Failures = l.failures
-			if l.failures > 0 {
-				st.Degraded = true
-				st.LastError = l.lastErr
-				st.LastErrorAt = l.errAt.UTC().Format(time.RFC3339)
-			}
-			l.mu.Unlock()
-			out[i] = st
-		}(i, s)
+			out[i].OK = true
+			out[i].Health = h
+		}(i)
 	}
 	wg.Wait()
 	return out
+}
+
+// randomSenderID labels an in-memory spool's deliveries uniquely per
+// coordinator instance.
+func randomSenderID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "mem-sender"
+	}
+	return fmt.Sprintf("%x", buf)
 }

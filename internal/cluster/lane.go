@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"geomob/internal/live"
+)
+
+// ErrUnavailable marks a shard that cannot currently be reached — a
+// transport failure or a 5xx from its node. The coordinator's query
+// path fails over to another replica on it; the delivery lanes retry
+// it with backoff. Sentinel fold errors (live.ErrNotCovered,
+// live.ErrEvicted) are deliberately NOT unavailability: every replica
+// would answer them identically, so failing over is pointless.
+var ErrUnavailable = errors.New("cluster: shard unavailable")
+
+// errPermanent marks a delivery the shard actively rejected (4xx): a
+// retry loop would never succeed, so the lane drops the frame, counts
+// it, and latches the error instead of wedging the queue forever.
+var errPermanent = errors.New("cluster: delivery permanently rejected")
+
+func isUnavailable(err error) bool { return errors.Is(err, ErrUnavailable) }
+
+func permanentDeliveryError(err error) bool {
+	return errors.Is(err, errPermanent) || errors.Is(err, live.ErrBadInput)
+}
+
+// laneEntry is one spooled frame staged for delivery to a node.
+type laneEntry struct {
+	seq   uint64
+	slot  int
+	rows  int
+	frame []byte
+}
+
+// lane is one shard node's delivery pipeline: a bounded FIFO of
+// spooled frames drained by a single sender goroutine in sequence
+// order, with exponential backoff on failure. When the queue
+// overflows (a down shard, a restart replay) the lane goes "gapped":
+// the overflow stays in the spool and the sender refills from
+// PendingForNode as the queue drains, so coordinator memory stays
+// bounded by depth while the spool holds the tail.
+type lane struct {
+	node   int
+	shard  Shard
+	sp     spool
+	sender string
+	depth  int
+	base   time.Duration
+	max    time.Duration
+
+	mu         sync.Mutex
+	cv         *sync.Cond
+	q          []*laneEntry
+	gapped     bool
+	lastEnq    uint64 // highest seq ever staged in q
+	attempting bool
+	down       bool // last attempt failed; cleared on the next success
+	closed     bool
+
+	delivered int64 // rows delivered
+	batches   int64 // frames delivered
+	retries   int64
+	failures  int64
+	dropped   int64 // frames permanently rejected and abandoned
+	lastErr   string
+	errAt     time.Time
+
+	closeCh chan struct{}
+}
+
+func newLane(node int, shard Shard, sp spool, depth int, base, max time.Duration) *lane {
+	l := &lane{
+		node: node, shard: shard, sp: sp, sender: sp.SenderID(),
+		depth: depth, base: base, max: max,
+		closeCh: make(chan struct{}),
+	}
+	l.cv = sync.NewCond(&l.mu)
+	return l
+}
+
+// enqueue stages one freshly-spooled frame. A full (or already gapped)
+// queue flips the lane to gapped: the frame is already durable in the
+// spool, and the sender will pull it back via PendingForNode once the
+// queue drains.
+func (l *lane) enqueue(seq uint64, slot, rows int, frame []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if l.gapped || len(l.q) >= l.depth {
+		l.gapped = true
+		return
+	}
+	l.q = append(l.q, &laneEntry{seq: seq, slot: slot, rows: rows, frame: frame})
+	if seq > l.lastEnq {
+		l.lastEnq = seq
+	}
+	l.cv.Broadcast()
+}
+
+// markGapped marks the lane as having spool-resident work (boot replay
+// of a recovered WAL).
+func (l *lane) markGapped() {
+	l.mu.Lock()
+	l.gapped = true
+	l.cv.Broadcast()
+	l.mu.Unlock()
+}
+
+// run is the sender loop: deliver the queue head, ack the spool on
+// success, back off exponentially on failure. Strict FIFO in seq order
+// keeps per-sender sequences monotone at the shard, which is what
+// makes its high-water-mark dedup sound.
+func (l *lane) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	backoff := time.Duration(0)
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.gapped && !l.closed {
+			l.cv.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		if len(l.q) == 0 {
+			// Gapped: refill from the spool past the highest staged seq.
+			after := l.lastEnq
+			l.mu.Unlock()
+			recs, err := l.sp.PendingForNode(l.node, after, l.depth)
+			l.mu.Lock()
+			if err != nil {
+				l.failures++
+				l.lastErr = err.Error()
+				l.errAt = time.Now()
+				l.cv.Broadcast()
+				l.mu.Unlock()
+				if !l.sleep(l.base) {
+					return
+				}
+				continue
+			}
+			if len(recs) == 0 {
+				l.gapped = false
+				l.cv.Broadcast()
+				l.mu.Unlock()
+				continue
+			}
+			for i := range recs {
+				r := &recs[i]
+				l.q = append(l.q, &laneEntry{seq: r.Seq, slot: r.Slot, rows: r.Rows, frame: r.Frame})
+				if r.Seq > l.lastEnq {
+					l.lastEnq = r.Seq
+				}
+			}
+		}
+		e := l.q[0]
+		l.attempting = true
+		l.mu.Unlock()
+
+		err := l.shard.Deliver(l.sender, e.seq, e.slot, e.frame)
+
+		l.mu.Lock()
+		l.attempting = false
+		if err == nil {
+			_ = l.sp.Ack(e.seq, l.node)
+			l.q = l.q[1:]
+			l.delivered += int64(e.rows)
+			l.batches++
+			l.down = false
+			backoff = 0
+			l.cv.Broadcast()
+			l.mu.Unlock()
+			continue
+		}
+		l.failures++
+		l.lastErr = err.Error()
+		l.errAt = time.Now()
+		if permanentDeliveryError(err) {
+			// The shard rejected the frame outright; retrying cannot
+			// succeed. Drop it (counted, latched) rather than wedge
+			// every later frame behind it.
+			_ = l.sp.Ack(e.seq, l.node)
+			l.q = l.q[1:]
+			l.dropped++
+			l.cv.Broadcast()
+			l.mu.Unlock()
+			continue
+		}
+		l.down = true
+		l.retries++
+		l.cv.Broadcast()
+		l.mu.Unlock()
+		if backoff < l.base {
+			backoff = l.base
+		} else {
+			backoff *= 2
+			if backoff > l.max {
+				backoff = l.max
+			}
+		}
+		if !l.sleep(backoff) {
+			return
+		}
+	}
+}
+
+// sleep waits d or until the lane closes; false means closed.
+func (l *lane) sleep(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-l.closeCh:
+		return false
+	}
+}
+
+// waitSettled blocks until the lane has nothing left to attempt (queue
+// and spool tail drained) or is in a failure state. A down lane
+// returns immediately: its frames are safe in the spool, and ingest
+// acknowledgement must not wait out a dead shard's backoff.
+func (l *lane) waitSettled() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed || l.down {
+			return
+		}
+		if len(l.q) == 0 && !l.gapped && !l.attempting {
+			return
+		}
+		l.cv.Wait()
+	}
+}
+
+func (l *lane) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.cv.Broadcast()
+	l.mu.Unlock()
+	close(l.closeCh)
+}
+
+// laneStatus is a consistent snapshot for health reporting.
+type laneStatus struct {
+	queued    int
+	gapped    bool
+	down      bool
+	delivered int64
+	batches   int64
+	retries   int64
+	failures  int64
+	dropped   int64
+	lastErr   string
+	errAt     time.Time
+}
+
+func (l *lane) status() laneStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return laneStatus{
+		queued:    len(l.q),
+		gapped:    l.gapped,
+		down:      l.down,
+		delivered: l.delivered,
+		batches:   l.batches,
+		retries:   l.retries,
+		failures:  l.failures,
+		dropped:   l.dropped,
+		lastErr:   l.lastErr,
+		errAt:     l.errAt,
+	}
+}

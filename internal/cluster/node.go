@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -16,24 +18,35 @@ import (
 	"geomob/internal/tweet"
 )
 
-// The internal shard API. Requests travel as JSON-encoded core.Request
-// bodies (times RFC 3339, floats by shortest representation — exact on
-// round-trip); partials come back in the binary wire codec. Error status
-// codes carry the sentinel semantics across the wire so a coordinator
-// behaves identically over LocalShard and HTTPShard:
+// The internal shard API. Fold requests travel as JSON bodies pairing a
+// core.Request (times RFC 3339, floats by shortest representation —
+// exact on round-trip) with the placement slots the coordinator wants
+// this member to serve; partials come back in the binary wire codec.
+// Replicated deliveries and handoff exports move whole binary batch
+// frames, never re-encoded. Error status codes carry the sentinel
+// semantics across the wire so a coordinator behaves identically over
+// LocalShard and HTTPShard:
 //
-//	POST /shard/v1/ingest    NDJSON batch → {"ingested": n}
-//	POST /shard/v1/partial   core.Request → binary ShardPartial
-//	POST /shard/v1/coverage  core.Request → {"coverage": key}
+//	POST /shard/v1/ingest    NDJSON or binary batch → {"ingested": n}
+//	POST /shard/v1/deliver   ?sender=&seq=&slot=, binary frame body
+//	POST /shard/v1/partials  {"request":…,"slots":[…]} → binary partials
+//	POST /shard/v1/coverage  {"request":…,"slots":[…]} → {"coverage": key}
+//	GET  /shard/v1/export    ?slot= → binary frame stream
 //	GET  /shard/v1/health    ShardHealth
 //	GET  /healthz            liveness (boot-wait probes)
 //
 //	400 caller's request/records   422 live.ErrNotCovered
 //	410 live.ErrEvicted            413 body or line too large
+//
+// Any transport failure or 5xx wraps ErrUnavailable on the client side
+// — the coordinator's signal to fail a query over to another replica
+// and to keep a delivery spooled for retry.
 const (
 	pathIngest   = "/shard/v1/ingest"
-	pathPartial  = "/shard/v1/partial"
+	pathDeliver  = "/shard/v1/deliver"
+	pathPartials = "/shard/v1/partials"
 	pathCoverage = "/shard/v1/coverage"
+	pathExport   = "/shard/v1/export"
 	pathHealth   = "/shard/v1/health"
 )
 
@@ -63,8 +76,10 @@ func NewNode(shard *LocalShard, opts NodeOptions) *Node {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+pathIngest, n.handleIngest)
-	mux.HandleFunc("POST "+pathPartial, n.handlePartial)
+	mux.HandleFunc("POST "+pathDeliver, n.handleDeliver)
+	mux.HandleFunc("POST "+pathPartials, n.handlePartials)
 	mux.HandleFunc("POST "+pathCoverage, n.handleCoverage)
+	mux.HandleFunc("GET "+pathExport, n.handleExport)
 	mux.HandleFunc("GET "+pathHealth, n.handleHealth)
 	mux.HandleFunc("GET /healthz", n.handleHealth)
 	n.mux = mux
@@ -111,6 +126,34 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	h, _ := n.shard.Health()
 	writeJSON(w, map[string]any{"ingested": count, "tweets": h.Tweets, "buckets": h.Buckets})
+}
+
+// handleDeliver applies one replicated slot frame. Delivery is
+// synchronous: a 200 means the frame is durable (and deduplicated) on
+// this member, which is what lets the coordinator ack its spool.
+func (n *Node) handleDeliver(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sender := q.Get("sender")
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver: bad seq: %v", err), http.StatusBadRequest)
+		return
+	}
+	slot, err := strconv.Atoi(q.Get("slot"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver: bad slot: %v", err), http.StatusBadRequest)
+		return
+	}
+	frame, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.maxB))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver: read frame: %v", err), IngestStatus(err))
+		return
+	}
+	if err := n.shard.Deliver(sender, seq, slot, frame); err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver: %v", err), IngestStatus(err))
+		return
+	}
+	writeJSON(w, map[string]any{"applied": true})
 }
 
 // ingestNDJSON drains an NDJSON stream into a shard in ring-sized
@@ -175,14 +218,20 @@ func ingestBinary(s Shard, r io.Reader, maxFrame int64) (int, error) {
 	return delivered, nil
 }
 
-// decodeRequest parses the JSON core.Request body shared by the partial
-// and coverage endpoints.
-func (n *Node) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+// slotRequest is the JSON body of the partials and coverage endpoints.
+type slotRequest struct {
+	Request core.Request `json:"request"`
+	Slots   []int        `json:"slots"`
+}
+
+// decodeSlotRequest parses the JSON body shared by the partials and
+// coverage endpoints.
+func (n *Node) decodeSlotRequest(w http.ResponseWriter, r *http.Request) (slotRequest, bool) {
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
-	var req core.Request
+	var req slotRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("shard: bad request body: %v", err), http.StatusBadRequest)
-		return core.Request{}, false
+		return slotRequest{}, false
 	}
 	return req, true
 }
@@ -198,26 +247,26 @@ func foldStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func (n *Node) handlePartial(w http.ResponseWriter, r *http.Request) {
-	req, ok := n.decodeRequest(w, r)
+func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
+	req, ok := n.decodeSlotRequest(w, r)
 	if !ok {
 		return
 	}
-	p, err := n.shard.Partial(req)
+	ps, err := n.shard.Partials(req.Request, req.Slots)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("shard partial: %v", err), foldStatus(err))
+		http.Error(w, fmt.Sprintf("shard partials: %v", err), foldStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(EncodePartial(p))
+	_, _ = w.Write(EncodePartials(ps))
 }
 
 func (n *Node) handleCoverage(w http.ResponseWriter, r *http.Request) {
-	req, ok := n.decodeRequest(w, r)
+	req, ok := n.decodeSlotRequest(w, r)
 	if !ok {
 		return
 	}
-	key, err := n.shard.Coverage(req)
+	key, err := n.shard.Coverage(req.Request, req.Slots)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("shard coverage: %v", err), foldStatus(err))
 		return
@@ -225,27 +274,72 @@ func (n *Node) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"coverage": key})
 }
 
+// handleExport streams one slot's canonical substream as consecutive
+// binary batch frames — the handoff source endpoint.
+func (n *Node) handleExport(w http.ResponseWriter, r *http.Request) {
+	slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard export: bad slot: %v", err), http.StatusBadRequest)
+		return
+	}
+	wrote := false
+	err = n.shard.Export(slot, func(b *tweet.Batch) error {
+		frame, err := tweet.AppendFrame(nil, b)
+		if err != nil {
+			return err
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", tweet.BatchContentType)
+			wrote = true
+		}
+		_, err = w.Write(frame)
+		return err
+	})
+	if err != nil {
+		if !wrote {
+			http.Error(w, fmt.Sprintf("shard export: %v", err), http.StatusBadRequest)
+			return
+		}
+		// Mid-stream failure: abort so the client sees a decode error
+		// rather than a silently truncated stream.
+		panic(http.ErrAbortHandler)
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", tweet.BatchContentType)
+	}
+}
+
 func (n *Node) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	h, _ := n.shard.Health()
 	writeJSON(w, map[string]any{"status": "ok", "shard": h})
 }
 
-// HTTPShard talks to a remote Node. It implements Shard, translating the
-// wire statuses back into the sentinel errors LocalShard reports, so the
-// coordinator's behaviour is transport-independent.
+// HTTPShard talks to a remote Node. It implements Shard, translating
+// the wire statuses back into the errors LocalShard reports — sentinel
+// fold errors stay sentinels, transport failures and 5xx wrap
+// ErrUnavailable, and a 4xx delivery rejection wraps errPermanent — so
+// the coordinator's failover and retry behaviour is
+// transport-independent.
 type HTTPShard struct {
 	base string
-	hc   *http.Client
+	hc   *http.Client // folds/exports: generous timeout, slow ≠ hung
+	dc   *http.Client // deliveries: short timeout so retries engage fast
 }
 
 // NewHTTPShard builds a client for the shard node at base (scheme://host
 // [:port]); hc nil selects a client with a 120 s overall timeout (fold
-// requests over large windows are slow, not hung).
+// requests over large windows are slow, not hung). Deliveries use a
+// separate 30 s client regardless: a hung delivery must fail fast so
+// the lane's backoff-and-retry takes over.
 func NewHTTPShard(base string, hc *http.Client) *HTTPShard {
 	if hc == nil {
 		hc = &http.Client{Timeout: 120 * time.Second}
 	}
-	return &HTTPShard{base: strings.TrimRight(base, "/"), hc: hc}
+	return &HTTPShard{
+		base: strings.TrimRight(base, "/"),
+		hc:   hc,
+		dc:   &http.Client{Timeout: 30 * time.Second},
+	}
 }
 
 // Base returns the shard node's base URL.
@@ -261,7 +355,7 @@ func (s *HTTPShard) Ingest(b *tweet.Batch) error {
 	}
 	resp, err := s.hc.Post(s.base+pathIngest, tweet.BatchContentType, bytes.NewReader(frame))
 	if err != nil {
-		return fmt.Errorf("cluster: shard %s ingest: %w", s.base, err)
+		return fmt.Errorf("%w: shard %s ingest: %v", ErrUnavailable, s.base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -274,15 +368,41 @@ func (s *HTTPShard) Ingest(b *tweet.Batch) error {
 // Flush implements Shard; HTTP ingests flush per request.
 func (s *HTTPShard) Flush() error { return nil }
 
-// post sends a JSON core.Request and returns the successful response.
-func (s *HTTPShard) post(path string, req core.Request) (*http.Response, error) {
-	body, err := json.Marshal(req)
+// Deliver implements Shard: the frame POSTs with its identity in the
+// query string. A transport failure or 5xx is retriable
+// (ErrUnavailable — the record stays spooled); any other rejection is
+// permanent (errPermanent — the lane drops and counts it).
+func (s *HTTPShard) Deliver(sender string, seq uint64, slot int, frame []byte) error {
+	q := url.Values{}
+	q.Set("sender", sender)
+	q.Set("seq", strconv.FormatUint(seq, 10))
+	q.Set("slot", strconv.Itoa(slot))
+	resp, err := s.dc.Post(s.base+pathDeliver+"?"+q.Encode(), tweet.BatchContentType, bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("%w: shard %s deliver: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("%w: shard %s deliver: http %d: %s", ErrUnavailable, s.base, resp.StatusCode, detail)
+	}
+	return fmt.Errorf("%w: shard %s deliver: http %d: %s", errPermanent, s.base, resp.StatusCode, detail)
+}
+
+// post sends a JSON slot request and returns the successful response.
+func (s *HTTPShard) post(path string, req core.Request, slots []int) (*http.Response, error) {
+	body, err := json.Marshal(slotRequest{Request: req, Slots: slots})
 	if err != nil {
 		return nil, err
 	}
 	resp, err := s.hc.Post(s.base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %s %s: %w", s.base, path, err)
+		return nil, fmt.Errorf("%w: shard %s %s: %v", ErrUnavailable, s.base, path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
@@ -291,36 +411,41 @@ func (s *HTTPShard) post(path string, req core.Request) (*http.Response, error) 
 	return resp, nil
 }
 
-// statusError reconstructs the sentinel for a non-200 response.
+// statusError reconstructs the sentinel for a non-200 response: fold
+// sentinels by status, 5xx as ErrUnavailable (the node is up enough to
+// answer but failing — its replicas should serve), anything else as a
+// plain error.
 func (s *HTTPShard) statusError(what string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	detail := strings.TrimSpace(string(msg))
-	switch resp.StatusCode {
-	case http.StatusUnprocessableEntity:
+	switch {
+	case resp.StatusCode == http.StatusUnprocessableEntity:
 		return fmt.Errorf("%w (shard %s: %s)", live.ErrNotCovered, s.base, detail)
-	case http.StatusGone:
+	case resp.StatusCode == http.StatusGone:
 		return fmt.Errorf("%w (shard %s: %s)", live.ErrEvicted, s.base, detail)
+	case resp.StatusCode >= 500:
+		return fmt.Errorf("%w: shard %s %s: http %d: %s", ErrUnavailable, s.base, what, resp.StatusCode, detail)
 	}
 	return fmt.Errorf("cluster: shard %s %s: http %d: %s", s.base, what, resp.StatusCode, detail)
 }
 
-// Partial implements Shard.
-func (s *HTTPShard) Partial(req core.Request) (*live.ShardPartial, error) {
-	resp, err := s.post(pathPartial, req)
+// Partials implements Shard.
+func (s *HTTPShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+	resp, err := s.post(pathPartials, req, slots)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %s partial: %w", s.base, err)
+		return nil, fmt.Errorf("%w: shard %s partials: %v", ErrUnavailable, s.base, err)
 	}
-	return DecodePartial(data)
+	return DecodePartials(data)
 }
 
 // Coverage implements Shard.
-func (s *HTTPShard) Coverage(req core.Request) (string, error) {
-	resp, err := s.post(pathCoverage, req)
+func (s *HTTPShard) Coverage(req core.Request, slots []int) (string, error) {
+	resp, err := s.post(pathCoverage, req, slots)
 	if err != nil {
 		return "", err
 	}
@@ -329,16 +454,32 @@ func (s *HTTPShard) Coverage(req core.Request) (string, error) {
 		Coverage string `json:"coverage"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", fmt.Errorf("cluster: shard %s coverage: %w", s.base, err)
+		return "", fmt.Errorf("%w: shard %s coverage: %v", ErrUnavailable, s.base, err)
 	}
 	return out.Coverage, nil
+}
+
+// Export implements Shard: the slot's frames stream straight into fn.
+func (s *HTTPShard) Export(slot int, fn func(*tweet.Batch) error) error {
+	resp, err := s.hc.Get(s.base + pathExport + "?slot=" + strconv.Itoa(slot))
+	if err != nil {
+		return fmt.Errorf("%w: shard %s export: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s.statusError("export", resp)
+	}
+	if _, err := live.DrainBinary(resp.Body, 0, fn, func() error { return nil }); err != nil {
+		return fmt.Errorf("cluster: shard %s export: %w", s.base, err)
+	}
+	return nil
 }
 
 // Health implements Shard.
 func (s *HTTPShard) Health() (ShardHealth, error) {
 	resp, err := s.hc.Get(s.base + pathHealth)
 	if err != nil {
-		return ShardHealth{}, fmt.Errorf("cluster: shard %s health: %w", s.base, err)
+		return ShardHealth{}, fmt.Errorf("%w: shard %s health: %v", ErrUnavailable, s.base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -348,7 +489,7 @@ func (s *HTTPShard) Health() (ShardHealth, error) {
 		Shard ShardHealth `json:"shard"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return ShardHealth{}, fmt.Errorf("cluster: shard %s health: %w", s.base, err)
+		return ShardHealth{}, fmt.Errorf("%w: shard %s health: %v", ErrUnavailable, s.base, err)
 	}
 	return out.Shard, nil
 }

@@ -138,14 +138,14 @@ func TestScatterGatherMatchesExecuteProperty(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(int64(1000 + n)))
 			shards := make([]Shard, n)
-			aggs := make([]*live.Aggregator, n)
+			locals := make([]*LocalShard, n)
 			for i := range shards {
 				s, err := NewLocalShard(nil, live.Options{BucketWidth: 7 * 24 * time.Hour})
 				if err != nil {
 					t.Fatal(err)
 				}
 				shards[i] = s
-				aggs[i] = s.Aggregator()
+				locals[i] = s
 			}
 			coord, err := NewCoordinator(shards, CoordinatorOptions{BatchSize: 173, QueueDepth: 2})
 			if err != nil {
@@ -163,8 +163,8 @@ func TestScatterGatherMatchesExecuteProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 			var routed int64
-			for _, a := range aggs {
-				routed += a.Ingested()
+			for _, l := range locals {
+				routed += l.Ingested()
 			}
 			if routed != int64(len(prop.all)) {
 				t.Fatalf("routed %d of %d records into shard rings", routed, len(prop.all))
@@ -201,8 +201,8 @@ func TestScatterGatherMatchesExecuteProperty(t *testing.T) {
 			// rebuilds — only the cheap coverage probes run.
 			fetches := coord.PartialFetches()
 			builds := int64(0)
-			for _, a := range aggs {
-				builds += a.Builds()
+			for _, l := range locals {
+				builds += l.Builds()
 			}
 			for ri, req := range prop.reqs {
 				if prop.refErr[ri] != nil {
@@ -220,8 +220,8 @@ func TestScatterGatherMatchesExecuteProperty(t *testing.T) {
 				t.Fatalf("warm repeats issued %d shard folds, want 0", got-fetches)
 			}
 			var builds2 int64
-			for _, a := range aggs {
-				builds2 += a.Builds()
+			for _, l := range locals {
+				builds2 += l.Builds()
 			}
 			if builds2 != builds {
 				t.Fatalf("warm repeats rebuilt %d bucket partials, want 0", builds2-builds)

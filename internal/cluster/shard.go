@@ -1,36 +1,50 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
+	"math"
+	"strconv"
+	"sync"
 
 	"geomob/internal/core"
 	"geomob/internal/live"
+	"geomob/internal/ring"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
 )
 
-// Shard is one user partition of the cluster behind a uniform interface:
-// the coordinator routes ingest to it and scatters fold requests at it
-// without knowing whether the partition lives in-process (LocalShard) or
-// behind the internal HTTP API (HTTPShard → Node).
+// Shard is one cluster member behind a uniform interface: the
+// coordinator delivers slot-addressed replicated frames to it and
+// scatters slot-set fold requests at it, without knowing whether the
+// member lives in-process (LocalShard) or behind the internal HTTP API
+// (HTTPShard → Node).
 type Shard interface {
-	// Ingest absorbs one columnar batch of records belonging to this
-	// partition: durably appended when the shard has a store, and routed
-	// through the assignment hot path into the shard's bucket ring. The
-	// batch is only read; ownership stays with the caller. Batches may be
-	// buffered; Flush forces them out.
+	// Deliver applies one replicated batch frame for slot, exactly
+	// once: frames whose (sender, seq) fall at or below the shard's
+	// durable high-water mark for that sender are acknowledged without
+	// re-applying, which makes spool replay and redelivery after an
+	// ambiguous failure idempotent. An empty sender disables
+	// deduplication. Delivery is synchronous and durable on return.
+	Deliver(sender string, seq uint64, slot int, frame []byte) error
+	// Ingest absorbs one columnar batch directly (no replication, no
+	// dedup): rows are routed to their placement slots internally. The
+	// batch is only read; ownership stays with the caller.
 	Ingest(b *tweet.Batch) error
-	// Flush forces any buffered ingest out to the store and ring, so a
-	// subsequent Partial observes everything ingested so far.
+	// Flush forces any buffered ingest out, so a subsequent Partials
+	// observes everything ingested so far.
 	Flush() error
-	// Partial folds the shard's materialised bucket partials covering
-	// req's window into the scatter-gather unit.
-	Partial(req core.Request) (*live.ShardPartial, error)
+	// Partials folds the shard's materialised bucket partials covering
+	// req's window for each requested placement slot, in slot order.
+	Partials(req core.Request, slots []int) ([]*live.ShardPartial, error)
 	// Coverage fingerprints the shard's bucket coverage of req's window
-	// (live.Aggregator.CoverageKey): the coordinator's cache key
-	// component that moves exactly when an ingest lands in a covered
-	// bucket.
-	Coverage(req core.Request) (string, error)
+	// over the requested slots — the coordinator's cache key component
+	// that moves exactly when an ingest lands in a covered bucket.
+	Coverage(req core.Request, slots []int) (string, error)
+	// Export streams slot's full substream in canonical (user, time)
+	// order as bounded batches — the handoff source when the slot moves
+	// to another member.
+	Export(slot int, fn func(*tweet.Batch) error) error
 	// Health reports the shard's liveness counters; an error marks the
 	// shard unreachable (degraded in the coordinator's /healthz).
 	Health() (ShardHealth, error)
@@ -39,97 +53,287 @@ type Shard interface {
 // ShardHealth is one shard's liveness report.
 type ShardHealth struct {
 	// Tweets is the durable record count (0 without a store); Ingested
-	// counts records accepted into the ring since boot.
+	// counts records accepted into the bucket rings since boot.
 	Tweets   int64 `json:"tweets"`
 	Ingested int64 `json:"ingested"`
-	// Buckets and Builds describe the ring: live buckets and partial
-	// materialisations performed.
+	// Buckets and Builds describe the rings: live buckets and partial
+	// materialisations performed, summed over the shard's slots.
 	Buckets int   `json:"buckets"`
 	Builds  int64 `json:"builds"`
 	// Scans counts store segment scans — the number the scatter-gather
 	// exactness tests pin to zero on warm folds.
 	Scans int64 `json:"scans"`
+	// Slots counts placement slots holding at least one record here.
+	Slots int `json:"slots"`
 }
 
-// LocalShard is an in-process partition: a live bucket ring, optionally
-// in lockstep with a durable store (the -partitions mode of cmd/mobserve
-// runs one LocalShard per partition, so a multi-core box gets
-// per-partition ingest parallelism without a network hop; a ShardNode
-// serves one LocalShard remotely).
+// LocalShard is an in-process cluster member: one live bucket ring per
+// placement slot — all stamped from a single shared assignment Shape —
+// optionally in lockstep with one durable store. Slot-granular rings
+// are what make replicated reads exact: a fold over any subset of
+// slots never mixes users from slots another replica serves.
 type LocalShard struct {
-	agg   *live.Aggregator
+	shape *live.Shape
 	store *tweetdb.Store // nil for a ring-only shard
-	ing   *live.Ingestor // nil iff store is nil
+
+	mu   sync.Mutex
+	aggs [ring.Slots]*live.Aggregator
+	// hwm holds the highest applied delivery sequence per sender,
+	// persisted in the store manifest's meta table atomically with each
+	// applied batch (memory-only without a store).
+	hwm map[string]uint64
 }
+
+const hwmMetaPrefix = "hwm:"
 
 // NewLocalShard builds a shard over the store (nil for a ring-only
 // shard) with the given ring options. When a store is present its
-// records are backfilled into the ring — one scan at boot, then zero
-// forever — and ingest runs through a live.Ingestor so ring and store
-// flush in lockstep.
+// records are backfilled into the slot rings — one scan at boot, then
+// zero forever — and the per-sender delivery high-water marks are
+// reloaded from the manifest meta table, so replayed spool frames
+// deduplicate across restarts.
 func NewLocalShard(store *tweetdb.Store, opts live.Options) (*LocalShard, error) {
-	agg, err := live.NewAggregator(opts)
+	shape, err := live.NewShape(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &LocalShard{agg: agg, store: store}
+	s := &LocalShard{shape: shape, store: store, hwm: map[string]uint64{}}
+	for k := range s.aggs {
+		s.aggs[k] = shape.NewAggregator()
+	}
 	if store != nil {
-		if _, err := live.Backfill(agg, store); err != nil {
-			return nil, fmt.Errorf("cluster: backfill shard ring: %w", err)
+		if err := s.backfill(); err != nil {
+			return nil, fmt.Errorf("cluster: backfill shard rings: %w", err)
 		}
-		ing, err := live.NewIngestor(store, agg, 0)
-		if err != nil {
-			return nil, err
+		for key, val := range store.MetaPrefix(hwmMetaPrefix) {
+			seq, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: corrupt delivery mark %s=%q: %w", key, val, err)
+			}
+			s.hwm[key[len(hwmMetaPrefix):]] = seq
 		}
-		s.ing = ing
 	}
 	return s, nil
 }
 
-// Aggregator exposes the shard's bucket ring.
-func (s *LocalShard) Aggregator() *live.Aggregator { return s.agg }
+// backfill replays the store into the slot rings, routing each record
+// by its user's placement slot.
+func (s *LocalShard) backfill() error {
+	it := s.store.Scan(tweetdb.Query{})
+	defer it.Close()
+	buf := &tweet.Batch{}
+	const chunk = 1 << 14
+	for {
+		blk, ok := it.NextBlock()
+		if !ok {
+			break
+		}
+		for off := 0; off < blk.Len(); off += chunk {
+			end := off + chunk
+			if end > blk.Len() {
+				end = blk.Len()
+			}
+			buf.Reset()
+			blk.AppendTo(buf, off, end)
+			if err := s.routeLocked(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return it.Err()
+}
+
+// routeLocked splits one batch by placement slot and ingests each
+// piece into its ring. Callers must not require s.mu (boot) or must
+// hold it (Ingest).
+func (s *LocalShard) routeLocked(b *tweet.Batch) error {
+	var parts [ring.Slots]*tweet.Batch
+	for i, user := range b.UserID {
+		k := ring.SlotOf(user)
+		p := parts[k]
+		if p == nil {
+			p = &tweet.Batch{}
+			parts[k] = p
+		}
+		p.Append(b.Row(i))
+	}
+	for k, p := range parts {
+		if p == nil {
+			continue
+		}
+		if err := s.aggs[k].IngestBatch(p); err != nil {
+			return fmt.Errorf("slot %d: %w", k, err)
+		}
+	}
+	return nil
+}
 
 // Store exposes the shard's store (nil for ring-only shards).
 func (s *LocalShard) Store() *tweetdb.Store { return s.store }
 
-// Ingestor exposes the shard's write path (nil for ring-only shards).
-func (s *LocalShard) Ingestor() *live.Ingestor { return s.ing }
+// Shape exposes the shared assignment machinery.
+func (s *LocalShard) Shape() *live.Shape { return s.shape }
 
-// Ingest implements Shard. With a store the batch goes through the
-// ingestor (buffered; durable and ring-routed at flush); without one it
-// lands in the ring directly. Either way the records stay columnar end
-// to end.
-func (s *LocalShard) Ingest(b *tweet.Batch) error {
-	if s.ing == nil {
-		return s.agg.IngestBatch(b)
+// SlotAggregator exposes one placement slot's bucket ring (tests and
+// handoff plumbing).
+func (s *LocalShard) SlotAggregator(slot int) *live.Aggregator { return s.aggs[slot] }
+
+// Ingested sums records accepted into the slot rings.
+func (s *LocalShard) Ingested() int64 {
+	var n int64
+	for _, a := range s.aggs {
+		n += a.Ingested()
 	}
-	return s.ing.IngestBatch(b)
+	return n
 }
 
-// Flush implements Shard.
-func (s *LocalShard) Flush() error {
-	if s.ing == nil {
+// Builds sums partial materialisations over the slot rings.
+func (s *LocalShard) Builds() int64 {
+	var n int64
+	for _, a := range s.aggs {
+		n += a.Builds()
+	}
+	return n
+}
+
+// Buckets sums live buckets over the slot rings.
+func (s *LocalShard) Buckets() int {
+	n := 0
+	for _, a := range s.aggs {
+		n += a.Buckets()
+	}
+	return n
+}
+
+// Deliver implements Shard. The frame's batch is appended to the store
+// together with the sender's advanced high-water mark in one atomic
+// manifest commit, then routed into the slot's ring; a crash between
+// the two is healed by the boot backfill. Duplicate (sender, seq)
+// deliveries return success without re-applying.
+func (s *LocalShard) Deliver(sender string, seq uint64, slot int, frame []byte) error {
+	if slot < 0 || slot >= ring.Slots {
+		return fmt.Errorf("%w: slot %d out of range", live.ErrBadInput, slot)
+	}
+	batch := &tweet.Batch{}
+	if err := tweet.NewBatchReader(bytes.NewReader(frame), int64(len(frame))+1).Read(batch); err != nil {
+		return fmt.Errorf("%w: decode frame: %w", live.ErrBadInput, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sender != "" && seq <= s.hwm[sender] {
 		return nil
 	}
-	return s.ing.Flush()
+	if s.store != nil {
+		var meta map[string]string
+		if sender != "" {
+			meta = map[string]string{hwmMetaPrefix + sender: strconv.FormatUint(seq, 10)}
+		}
+		if err := s.store.AppendBatchMeta(batch, meta); err != nil {
+			return err
+		}
+	}
+	if err := s.aggs[slot].IngestBatch(batch); err != nil {
+		return err
+	}
+	if sender != "" {
+		s.hwm[sender] = seq
+	}
+	return nil
 }
 
-// Partial implements Shard.
-func (s *LocalShard) Partial(req core.Request) (*live.ShardPartial, error) {
-	return s.agg.FoldPartial(req)
+// Ingest implements Shard: a direct, non-replicated ingest used by the
+// node's public ingest endpoint and single-process setups. Rows are
+// routed to their placement slots; with a store the batch lands
+// durably first.
+func (s *LocalShard) Ingest(b *tweet.Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		if err := s.store.AppendBatch(b); err != nil {
+			return err
+		}
+	}
+	return s.routeLocked(b)
 }
 
-// Coverage implements Shard.
-func (s *LocalShard) Coverage(req core.Request) (string, error) {
-	return s.agg.CoverageKeyRequest(req)
+// Flush implements Shard; LocalShard applies synchronously.
+func (s *LocalShard) Flush() error { return nil }
+
+// Partials implements Shard.
+func (s *LocalShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+	out := make([]*live.ShardPartial, 0, len(slots))
+	for _, k := range slots {
+		if k < 0 || k >= ring.Slots {
+			return nil, fmt.Errorf("cluster: slot %d out of range", k)
+		}
+		p, err := s.aggs[k].FoldPartial(req)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Coverage implements Shard: a fingerprint over the per-slot coverage
+// keys, in slot order, so it moves exactly when any requested slot's
+// covered buckets change.
+func (s *LocalShard) Coverage(req core.Request, slots []int) (string, error) {
+	var buf bytes.Buffer
+	for _, k := range slots {
+		if k < 0 || k >= ring.Slots {
+			return "", fmt.Errorf("cluster: slot %d out of range", k)
+		}
+		key, err := s.aggs[k].CoverageKeyRequest(req)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&buf, "%d=%s;", k, key)
+	}
+	return buf.String(), nil
+}
+
+// exportChunk bounds one handoff export batch.
+const exportChunk = 4096
+
+// Export implements Shard: the slot's complete substream in canonical
+// (user, time) order, chunked. The canonical order makes a handoff
+// stream deterministic, so re-running an interrupted handoff
+// regenerates identical frames and the receiver's (sender, seq) dedup
+// resumes cleanly.
+func (s *LocalShard) Export(slot int, fn func(*tweet.Batch) error) error {
+	if slot < 0 || slot >= ring.Slots {
+		return fmt.Errorf("cluster: slot %d out of range", slot)
+	}
+	rows, err := s.aggs[slot].WindowTweets(math.MinInt64, math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(rows); off += exportChunk {
+		end := off + exportChunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := fn(tweet.BatchOf(rows[off:end])); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Health implements Shard.
 func (s *LocalShard) Health() (ShardHealth, error) {
-	h := ShardHealth{
-		Ingested: s.agg.Ingested(),
-		Buckets:  s.agg.Buckets(),
-		Builds:   s.agg.Builds(),
+	h := ShardHealth{}
+	for _, a := range s.aggs {
+		h.Ingested += a.Ingested()
+		h.Builds += a.Builds()
+		h.Buckets += a.Buckets()
+		if a.Ingested() > 0 {
+			h.Slots++
+		}
 	}
 	if s.store != nil {
 		h.Tweets = s.store.Count()

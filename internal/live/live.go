@@ -82,7 +82,14 @@ type Options struct {
 // request shape (stats + population + mobility at every configured scale,
 // plus the metro 0.5 km variant), which subsumes every analysis subset.
 // It is safe for concurrent use.
-type Aggregator struct {
+// Shape is the immutable assignment machinery an Aggregator runs on:
+// the resolved region sets, the multi-scale grid resolvers, and the
+// flat bitset layout. Building one is the expensive part of aggregator
+// construction (every grid resolver is materialised), so callers that
+// need many aggregators over the same configuration — the cluster tier
+// keeps one per placement slot — build one Shape and stamp aggregators
+// out of it with Shape.NewAggregator.
+type Shape struct {
 	width  int64 // bucket width in ms
 	scales []census.Scale
 	// regions[s] is the region set of scale slot s; slot layout is the
@@ -101,6 +108,10 @@ type Aggregator struct {
 	totalWords   int
 	zeroWords    []uint64
 	maxBuckets   int
+}
+
+type Aggregator struct {
+	*Shape
 
 	builds   atomic.Int64 // full-bucket partial materialisations
 	ingested atomic.Int64 // records accepted into the ring
@@ -130,6 +141,24 @@ type bucket struct {
 // NewAggregator builds the ring and its assignment machinery (one grid
 // resolver per slot, built once for the aggregator's lifetime).
 func NewAggregator(opts Options) (*Aggregator, error) {
+	sh, err := NewShape(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sh.NewAggregator(), nil
+}
+
+// NewAggregator stamps a fresh empty aggregator onto the shared shape.
+// Aggregators sharing a Shape are independent: only the immutable
+// assignment machinery is shared.
+func (sh *Shape) NewAggregator() *Aggregator {
+	return &Aggregator{Shape: sh, buckets: map[int64]*bucket{}}
+}
+
+// NewShape resolves opts into the immutable assignment machinery (one
+// grid resolver per scale slot). The Shape can back any number of
+// aggregators.
+func NewShape(opts Options) (*Shape, error) {
 	width := opts.BucketWidth
 	if width == 0 {
 		width = time.Hour
@@ -147,12 +176,11 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 	if len(scales) == 0 {
 		scales = census.Scales()
 	}
-	a := &Aggregator{
+	a := &Shape{
 		width:      width.Milliseconds(),
 		metroSlot:  -1,
 		slotOf:     map[census.Scale]int{},
 		maxBuckets: opts.MaxBuckets,
-		buckets:    map[int64]*bucket{},
 	}
 	gaz := census.Australia()
 	var mappers []*mobility.AreaMapper

@@ -1,0 +1,76 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"geomob/internal/testx"
+	"geomob/internal/tweet"
+)
+
+// TestShapeSharedAggregators: aggregators stamped from one Shape are
+// independent (separate buckets, counters, revisions) while sharing
+// the assignment machinery, and they fold bit-identically to an
+// aggregator built standalone over the same options.
+func TestShapeSharedAggregators(t *testing.T) {
+	opts := Options{BucketWidth: time.Hour}
+	sh, err := NewShape(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sh.NewAggregator(), sh.NewAggregator()
+	standalone, err := NewAggregator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(id, user int64, ts int64) tweet.Tweet {
+		return tweet.Tweet{ID: id, UserID: user, TS: ts, Lat: -33.87, Lon: 151.21}
+	}
+	base := int64(1378000000000)
+	batchA := tweet.BatchOf([]tweet.Tweet{
+		mk(1, 100, base), mk(2, 100, base+60000), mk(3, 101, base+120000),
+	})
+	batchB := tweet.BatchOf([]tweet.Tweet{
+		mk(4, 200, base), mk(5, 200, base+30000),
+	})
+	if err := a.IngestBatch(batchA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.IngestBatch(batchB); err != nil {
+		t.Fatal(err)
+	}
+	if err := standalone.IngestBatch(batchA); err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Ingested() != 3 || b.Ingested() != 2 {
+		t.Fatalf("counters leaked across shared shape: a=%d b=%d", a.Ingested(), b.Ingested())
+	}
+	if a.Buckets() == 0 || b.Buckets() == 0 {
+		t.Fatal("aggregator over shared shape holds no buckets")
+	}
+
+	lo, hi := base-1, base+600000
+	got, err := a.WindowTweets(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := standalone.WindowTweets(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testx.ValuesBitEqual(got, want) {
+		t.Fatal("shared-shape aggregator diverges from standalone over identical input")
+	}
+	// b never saw batchA's users.
+	bRows, err := b.WindowTweets(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range bRows {
+		if row.UserID != 200 {
+			t.Fatalf("aggregator b leaked user %d from aggregator a", row.UserID)
+		}
+	}
+}

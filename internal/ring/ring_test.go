@@ -1,0 +1,280 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSlotOfPinned pins the slot mapping: the SplitMix64 finalizer's
+// top bits, so each slot is a contiguous user-hash range. A change here
+// silently reshuffles every spool record and shard store.
+func TestSlotOfPinned(t *testing.T) {
+	pinned := map[int64]int{
+		0:       0,
+		1:       froz(1),
+		42:      froz(42),
+		-7:      froz(-7),
+		1 << 40: froz(1 << 40),
+	}
+	for id, want := range pinned {
+		if got := SlotOf(id); got != want {
+			t.Errorf("SlotOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	// Mix is the PR 5 partitioner finalizer: pin one known image.
+	if got := Mix(0); got != 0 {
+		t.Errorf("Mix(0) = %#x, want 0", got)
+	}
+	if got := Mix(1); got != 0x5692161d100b05e5 {
+		t.Errorf("Mix(1) = %#x, want 0x5692161d100b05e5", got)
+	}
+}
+
+// froz recomputes the slot from first principles so the pinned table
+// stays honest about the top-bits rule.
+func froz(id int64) int { return int(HashUser(id) >> 60) }
+
+func TestSlotRangeCoversHash(t *testing.T) {
+	for _, id := range []int64{0, 1, 2, 99, -5, 123456789, 1 << 50} {
+		k := SlotOf(id)
+		lo, hi := SlotRange(k)
+		h := HashUser(id)
+		if h < lo || h > hi {
+			t.Fatalf("user %d: hash %#x outside SlotRange(%d) = [%#x, %#x]", id, h, k, lo, hi)
+		}
+	}
+	if lo, _ := SlotRange(0); lo != 0 {
+		t.Errorf("SlotRange(0) lo = %#x, want 0", lo)
+	}
+	if _, hi := SlotRange(Slots - 1); hi != ^uint64(0) {
+		t.Errorf("SlotRange(%d) hi = %#x, want max", Slots-1, hi)
+	}
+}
+
+// TestSlotDistribution checks users spread evenly across slots: dense
+// sequential ids must land within 15% of uniform.
+func TestSlotDistribution(t *testing.T) {
+	const users = 160000
+	var counts [Slots]int
+	for id := int64(0); id < users; id++ {
+		counts[SlotOf(id)]++
+	}
+	want := float64(users) / Slots
+	for k, c := range counts {
+		if dev := (float64(c) - want) / want; dev > 0.15 || dev < -0.15 {
+			t.Errorf("slot %d holds %d users (%.1f%% off uniform)", k, c, dev*100)
+		}
+	}
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%03d", i)
+	}
+	return out
+}
+
+// TestPlacementPure: placement must be a pure function of the ring
+// configuration — rebuilding from the same names yields the same
+// version and identical replica sets.
+func TestPlacementPure(t *testing.T) {
+	a, err := New(names(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(names(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() != b.Version() {
+		t.Fatalf("same config, different versions: %#x vs %#x", a.Version(), b.Version())
+	}
+	for k := 0; k < Slots; k++ {
+		ra, rb := a.Replicas(k), b.Replicas(k)
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("slot %d placed differently: %v vs %v", k, ra, rb)
+		}
+	}
+	c, err := New(names(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == a.Version() {
+		t.Fatal("replication change did not change the version")
+	}
+}
+
+func TestReplicaSets(t *testing.T) {
+	for _, tc := range []struct{ n, r, want int }{
+		{1, 1, 1}, {1, 3, 1}, {3, 2, 2}, {3, 5, 3}, {5, 3, 3},
+	} {
+		g, err := New(names(tc.n), tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]int, tc.n)
+		for k := 0; k < Slots; k++ {
+			reps := g.Replicas(k)
+			if len(reps) != tc.want {
+				t.Fatalf("n=%d r=%d slot %d: %d replicas, want %d", tc.n, tc.r, k, len(reps), tc.want)
+			}
+			seen := map[int]bool{}
+			for _, m := range reps {
+				if seen[m] {
+					t.Fatalf("n=%d r=%d slot %d: duplicate replica %d", tc.n, tc.r, k, m)
+				}
+				seen[m] = true
+				covered[m]++
+			}
+			if g.Owner(k) != reps[0] {
+				t.Fatalf("Owner(%d) != Replicas(%d)[0]", k, k)
+			}
+		}
+		// Every member must carry some load in these small deterministic
+		// configurations.
+		for m, c := range covered {
+			if c == 0 {
+				t.Errorf("n=%d r=%d: member %d owns no slots", tc.n, tc.r, m)
+			}
+		}
+	}
+}
+
+func replicaSet(g *Ring, k int) map[int]bool {
+	s := map[int]bool{}
+	for _, m := range g.Replicas(k) {
+		s[m] = true
+	}
+	return s
+}
+
+// TestJoinMinimalMovement proves the consistent-hashing contract: a
+// join moves slots only onto the joining member — no slot ever moves
+// between two pre-existing members.
+func TestJoinMinimalMovement(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for _, r := range []int{1, 2, 3} {
+			old, err := New(names(n), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown, err := old.Join("joiner")
+			if err != nil {
+				t.Fatal(err)
+			}
+			joiner := n
+			moved := 0
+			for k := 0; k < Slots; k++ {
+				oldSet, newSet := replicaSet(old, k), replicaSet(grown, k)
+				for m := range newSet {
+					if !oldSet[m] && m != joiner {
+						t.Fatalf("n=%d r=%d slot %d: member %d gained the slot on an unrelated join", n, r, k, m)
+					}
+				}
+				if newSet[joiner] {
+					moved++
+				}
+			}
+			if moved == 0 && n < 6 {
+				t.Errorf("n=%d r=%d: joiner received no slots", n, r)
+			}
+			if moved == Slots && n > 1 && r == 1 {
+				t.Errorf("n=%d r=1: join moved every slot; movement is not minimal", n)
+			}
+		}
+	}
+}
+
+// TestLeaveMinimalMovement: a leave keeps every surviving replica in
+// place — survivors only ever gain the departed member's slots.
+func TestLeaveMinimalMovement(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for _, r := range []int{1, 2} {
+			old, err := New(names(n), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for leaver := 0; leaver < n; leaver++ {
+				shrunk, err := old.Leave(leaver)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := 0; k < Slots; k++ {
+					oldSet, newSet := replicaSet(old, k), replicaSet(shrunk, k)
+					for m := range oldSet {
+						if m != leaver && !newSet[m] {
+							t.Fatalf("n=%d r=%d leave(%d) slot %d: surviving replica %d was displaced", n, r, leaver, k, m)
+						}
+					}
+					if newSet[leaver] {
+						t.Fatalf("n=%d r=%d slot %d: departed member still a replica", n, r, k)
+					}
+				}
+				if len(shrunk.Members()) != n {
+					t.Fatalf("leave renumbered members: %d entries, want %d", len(shrunk.Members()), n)
+				}
+			}
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old, err := New(names(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(old, old); len(d) != 0 {
+		t.Fatalf("Diff(g, g) = %v, want empty", d)
+	}
+	grown, err := old.Join("joiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := Diff(old, grown)
+	if len(moves) == 0 {
+		t.Fatal("join produced no movement")
+	}
+	for _, mv := range moves {
+		for _, m := range mv.Added {
+			if m != 3 {
+				t.Fatalf("slot %d: join added member %d, want only the joiner", mv.Slot, m)
+			}
+		}
+		if len(mv.Added) == 0 && len(mv.Removed) == 0 {
+			t.Fatalf("slot %d: empty movement reported", mv.Slot)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("New(nil) succeeded")
+	}
+	if _, err := New([]string{"a", "a"}, 1); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := New([]string{"a"}, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	g, err := New([]string{"a", "b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Join("a"); err == nil {
+		t.Error("re-join of existing member accepted")
+	}
+	if _, err := g.Leave(5); err == nil {
+		t.Error("out-of-range leave accepted")
+	}
+	shrunk, err := g.Leave(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shrunk.Leave(0); err == nil {
+		t.Error("double leave accepted")
+	}
+	if _, err := shrunk.Leave(1); err == nil {
+		t.Error("removing the last live member accepted")
+	}
+}

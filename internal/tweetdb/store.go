@@ -25,6 +25,11 @@ type manifest struct {
 	Version  int           `json:"version"`
 	NextSeq  int           `json:"next_seq"`
 	Segments []SegmentMeta `json:"segments"`
+	// Meta holds small application key/values that must commit
+	// atomically with an append — the cluster stores per-sender
+	// delivery high-water marks here, so a batch and the mark that
+	// deduplicates its redelivery land in one manifest rename.
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
 // Store is an append-only tweet database rooted in one directory. A Store
@@ -155,13 +160,25 @@ func (s *Store) Append(tweets []tweet.Tweet) error {
 // the duration of the call (it may be reordered); its columns are not
 // retained.
 func (s *Store) AppendBatch(b *tweet.Batch) error {
-	if b.Len() == 0 {
+	return s.AppendBatchMeta(b, nil)
+}
+
+// AppendBatchMeta appends a batch and merges meta into the manifest's
+// key/value table in the same manifest save. Because AppendBatch
+// publishes all of an append's segments with one atomic manifest
+// rename, the batch and its meta updates commit together or not at
+// all — the property cluster shards rely on to make redelivery
+// deduplication exact across kill -9.
+func (s *Store) AppendBatchMeta(b *tweet.Batch, meta map[string]string) error {
+	if b.Len() == 0 && len(meta) == 0 {
 		return nil
 	}
-	if err := b.Validate(); err != nil {
-		return fmt.Errorf("tweetdb: append: %w", err)
+	if b.Len() > 0 {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("tweetdb: append: %w", err)
+		}
+		b.Sort()
 	}
-	b.Sort()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for off := 0; off < b.Len(); off += s.segRecords {
@@ -173,7 +190,36 @@ func (s *Store) AppendBatch(b *tweet.Batch) error {
 			return err
 		}
 	}
+	if len(meta) > 0 {
+		if s.man.Meta == nil {
+			s.man.Meta = make(map[string]string, len(meta))
+		}
+		for k, v := range meta {
+			s.man.Meta[k] = v
+		}
+	}
 	return s.saveManifestLocked()
+}
+
+// Meta returns the manifest meta value for key ("" when absent).
+func (s *Store) Meta(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Meta[key]
+}
+
+// MetaPrefix returns a copy of every manifest meta entry whose key
+// starts with prefix.
+func (s *Store) MetaPrefix(prefix string) map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]string{}
+	for k, v := range s.man.Meta {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // writeSegmentLocked serialises records [from, to) of the (validated)

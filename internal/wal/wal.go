@@ -1,0 +1,690 @@
+// Package wal implements the coordinator's segmented write-ahead
+// ingest spool (DESIGN.md §10). The cluster acknowledges /v1/ingest
+// only after the batch frame is durably appended here; per-shard
+// delivery lanes then replay spooled frames with retry, and a record
+// is dropped once every replica destination has acknowledged it.
+//
+// A spool is a directory of append-only segment files plus a SENDER
+// file holding the coordinator's stable sender identity. Each data
+// record wraps one PR 6 binary batch frame (the exact bytes shipped to
+// shards) together with its destination slot, a bitmask of replica
+// node indexes still owed the frame, and a monotone sequence number.
+// Shards deduplicate on (sender, seq), which makes replay after a
+// crash or a redelivery after an ambiguous failure idempotent.
+//
+// Durability model: Append returns only after the record bytes have
+// reached the file and fsync has covered them. Concurrent appenders
+// share fsyncs (group commit): whichever appender syncs first covers
+// everything written before it, and the rest return without issuing
+// their own. Ack records are appended without an immediate sync — a
+// lost ack merely causes a redelivery that the shard deduplicates.
+//
+// Recovery scans segments in order and keeps every record up to the
+// first corruption (CRC mismatch, truncated tail, bad header);
+// everything after it, including later segments, is abandoned — the
+// intact-prefix contract the corruption tests pin. Recovery never
+// panics on arbitrary byte damage. When a corruption is detected the
+// next sequence number is additionally bumped by a large safety margin
+// so seqs that may have been issued beyond the damaged point are never
+// reused with different payloads.
+package wal
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	segMagic   = 0x4c574d47 // "GMWL" little-endian
+	segVersion = 1
+	// magic u32 | version u16 | reserved u16 | floorSeq u64 | crc32 of
+	// the preceding 16 bytes — any damaged header byte reads as
+	// corruption, keeping the intact-prefix rule uniform.
+	segHeader = 20
+
+	recHeader  = 8  // payloadLen u32 | crc32(payload) u32
+	dataHeader = 24 // kind u8 | slot u8 | reserved u16 | rows u32 | seq u64 | destMask u64
+
+	kindData = 1
+	kindAck  = 2 // kind u8 | reserved u8+u16 | node u32 | seq u64 (16 bytes)
+	ackLen   = 16
+
+	// maxPayloadBytes rejects absurd lengths during recovery so a
+	// corrupted length field cannot trigger a giant allocation.
+	maxPayloadBytes = 256 << 20
+
+	// seqSkipOnCorruption is added to the recovered sequence floor when
+	// a damaged segment is found: records beyond the corruption point
+	// may have carried seqs we can no longer read, and reusing a seq
+	// with a different payload would be silently deduplicated by shards.
+	seqSkipOnCorruption = 1 << 20
+
+	// DefaultSegmentBytes rolls the active segment once it crosses
+	// 64 MiB, bounding both the recovery scan unit and how long a
+	// fully-acked range can pin disk space.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the spool directory; created if absent.
+	Dir string
+	// SegmentBytes overrides the roll threshold (DefaultSegmentBytes
+	// when <= 0). Tests use tiny segments to exercise rolling.
+	SegmentBytes int64
+}
+
+// Record is one pending spooled frame, returned by PendingForNode with
+// the frame bytes loaded back from disk.
+type Record struct {
+	Seq   uint64
+	Slot  int
+	Dests uint64 // bitmask of node indexes still owed this frame
+	Rows  int
+	Frame []byte
+}
+
+// Stats summarises spool state for health reporting.
+type Stats struct {
+	PendingRecords int
+	PendingRows    int64
+	Segments       int
+	NextSeq        uint64
+	Corrupt        bool // recovery abandoned a damaged suffix
+}
+
+type prec struct {
+	seq  uint64
+	slot uint8
+	mask uint64
+	rows int32
+	seg  int
+	off  int64 // record start (length field) within its segment
+	n    int32 // total record bytes including the 8-byte header
+}
+
+// Spool is a durable ingest spool. All methods are safe for concurrent
+// use.
+type Spool struct {
+	dir      string
+	sender   string
+	segBytes int64
+
+	mu         sync.Mutex
+	f          *os.File // active segment, nil until first append
+	fIdx       int
+	fSize      int64
+	maxSeg     int // highest segment index present (never deleted)
+	nextSeq    uint64
+	nextSeg    int
+	index      map[uint64]*prec
+	segPending map[int]int             // unacked data records per segment
+	rowsNode   map[int]int64           // pending rows per destination node
+	rowsSN     map[int]map[int]int64   // node -> slot -> pending rows
+	corrupt    bool
+
+	syncMu  sync.Mutex
+	syncIdx int
+	syncOff int64
+}
+
+// Open opens or creates the spool at opts.Dir, recovering any pending
+// records from existing segments.
+func Open(opts Options) (*Spool, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty spool directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create spool dir: %w", err)
+	}
+	s := &Spool{
+		dir:        opts.Dir,
+		segBytes:   opts.SegmentBytes,
+		fIdx:       -1,
+		maxSeg:     -1,
+		nextSeq:    1,
+		index:      map[uint64]*prec{},
+		segPending: map[int]int{},
+		rowsNode:   map[int]int64{},
+		rowsSN:     map[int]map[int]int64{},
+		syncIdx:    -1,
+	}
+	if s.segBytes <= 0 {
+		s.segBytes = DefaultSegmentBytes
+	}
+	if err := s.loadSender(); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SenderID returns the spool's stable sender identity. Shards key
+// their delivery high-water marks on it, so it persists across
+// coordinator restarts — replayed frames keep deduplicating.
+func (s *Spool) SenderID() string { return s.sender }
+
+func (s *Spool) loadSender() error {
+	path := filepath.Join(s.dir, "SENDER")
+	if raw, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(raw))
+		if id == "" {
+			return fmt.Errorf("wal: empty SENDER file %s", path)
+		}
+		s.sender = id
+		return nil
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return fmt.Errorf("wal: generate sender id: %w", err)
+	}
+	s.sender = hex.EncodeToString(buf[:])
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(s.sender+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func segName(idx int) string { return fmt.Sprintf("spool-%08d.wal", idx) }
+
+func (s *Spool) segPath(idx int) string { return filepath.Join(s.dir, segName(idx)) }
+
+func (s *Spool) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var segs []int
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "spool-%d.wal", &idx); n == 1 {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+	var floor uint64
+	for _, idx := range segs {
+		if idx > s.maxSeg {
+			s.maxSeg = idx
+		}
+		if idx >= s.nextSeg {
+			s.nextSeg = idx + 1
+		}
+		if s.corrupt {
+			// A damaged earlier segment already ended the intact
+			// prefix; later segments are abandoned, not parsed.
+			continue
+		}
+		segFloor, clean := s.scanSegment(idx)
+		if segFloor > floor {
+			floor = segFloor
+		}
+		if !clean {
+			s.corrupt = true
+		}
+	}
+	if floor >= s.nextSeq {
+		s.nextSeq = floor
+	}
+	if s.corrupt {
+		s.nextSeq += seqSkipOnCorruption
+	}
+	// Drop cleanly fully-acked segments, keeping the highest so the
+	// sequence floor in its header survives a fully-drained spool.
+	if !s.corrupt {
+		for _, idx := range segs {
+			if s.segPending[idx] == 0 && idx != s.maxSeg {
+				os.Remove(s.segPath(idx))
+				delete(s.segPending, idx)
+			}
+		}
+	}
+	return nil
+}
+
+// scanSegment indexes one segment's records, returning the smallest
+// sequence number the spool may issue next (one past everything seen,
+// and at least the segment's header floor) and whether the whole
+// segment parsed cleanly.
+func (s *Spool) scanSegment(idx int) (floor uint64, clean bool) {
+	raw, err := os.ReadFile(s.segPath(idx))
+	if err != nil {
+		return 0, false
+	}
+	if len(raw) < segHeader {
+		return 0, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(raw[0:4]) != segMagic || le.Uint16(raw[4:6]) != segVersion {
+		return 0, false
+	}
+	if crc32.ChecksumIEEE(raw[0:16]) != le.Uint32(raw[16:20]) {
+		return 0, false
+	}
+	floor = le.Uint64(raw[8:16])
+	off := int64(segHeader)
+	for int(off)+recHeader <= len(raw) {
+		plen := int64(le.Uint32(raw[off : off+4]))
+		crc := le.Uint32(raw[off+4 : off+8])
+		if plen <= 0 || plen > maxPayloadBytes || off+recHeader+plen > int64(len(raw)) {
+			return floor, false
+		}
+		payload := raw[off+recHeader : off+recHeader+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return floor, false
+		}
+		switch payload[0] {
+		case kindData:
+			if plen < dataHeader {
+				return floor, false
+			}
+			seq := le.Uint64(payload[8:16])
+			mask := le.Uint64(payload[16:24])
+			rec := &prec{
+				seq:  seq,
+				slot: payload[1],
+				mask: mask,
+				rows: int32(le.Uint32(payload[4:8])),
+				seg:  idx,
+				off:  off,
+				n:    int32(recHeader + plen),
+			}
+			if seq >= floor {
+				floor = seq + 1
+			}
+			if mask != 0 {
+				s.index[seq] = rec
+				s.segPending[idx]++
+				s.addPending(rec, mask)
+			}
+		case kindAck:
+			if plen != ackLen {
+				return floor, false
+			}
+			node := int(le.Uint32(payload[4:8]))
+			seq := le.Uint64(payload[8:16])
+			s.clearPendingLocked(seq, node)
+		default:
+			return floor, false
+		}
+		off += recHeader + plen
+	}
+	// Trailing bytes shorter than a record header are a torn final
+	// write: the prefix stands but the segment is not clean.
+	return floor, int(off) == len(raw)
+}
+
+func (s *Spool) addPending(rec *prec, mask uint64) {
+	for node := 0; mask != 0; node++ {
+		if mask&1 != 0 {
+			s.rowsNode[node] += int64(rec.rows)
+			sn := s.rowsSN[node]
+			if sn == nil {
+				sn = map[int]int64{}
+				s.rowsSN[node] = sn
+			}
+			sn[int(rec.slot)] += int64(rec.rows)
+		}
+		mask >>= 1
+	}
+}
+
+// clearPendingLocked applies one ack to the in-memory index. Caller
+// holds mu (or is single-threaded recovery).
+func (s *Spool) clearPendingLocked(seq uint64, node int) (cleared bool) {
+	rec := s.index[seq]
+	if rec == nil || rec.mask&(1<<uint(node)) == 0 {
+		return false
+	}
+	rec.mask &^= 1 << uint(node)
+	s.rowsNode[node] -= int64(rec.rows)
+	if sn := s.rowsSN[node]; sn != nil {
+		sn[int(rec.slot)] -= int64(rec.rows)
+		if sn[int(rec.slot)] <= 0 {
+			delete(sn, int(rec.slot))
+		}
+	}
+	if rec.mask == 0 {
+		delete(s.index, seq)
+		s.segPending[rec.seg]--
+		if s.segPending[rec.seg] == 0 && rec.seg != s.fIdx && rec.seg != s.maxSeg {
+			os.Remove(s.segPath(rec.seg))
+			delete(s.segPending, rec.seg)
+		}
+	}
+	return true
+}
+
+func (s *Spool) ensureActiveLocked() error {
+	if s.f != nil && s.fSize < s.segBytes {
+		return nil
+	}
+	if s.f != nil {
+		// Roll: the old segment must be fully durable before it stops
+		// receiving group-commit syncs.
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		s.f.Close()
+		s.f = nil
+	}
+	idx := s.nextSeg
+	f, err := os.OpenFile(s.segPath(idx), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [segHeader]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], segMagic)
+	le.PutUint16(hdr[4:6], segVersion)
+	le.PutUint64(hdr[8:16], s.nextSeq)
+	le.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[0:16]))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	s.f, s.fIdx, s.fSize = f, idx, segHeader
+	s.nextSeg = idx + 1
+	if idx > s.maxSeg {
+		s.maxSeg = idx
+	}
+	return nil
+}
+
+// appendRecordLocked writes one CRC-framed record to the active
+// segment. Caller holds mu.
+func (s *Spool) appendRecordLocked(payload []byte) error {
+	if err := s.ensureActiveLocked(); err != nil {
+		return err
+	}
+	buf := make([]byte, recHeader+len(payload))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:4], uint32(len(payload)))
+	le.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recHeader:], payload)
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	s.fSize += int64(len(buf))
+	return nil
+}
+
+// FrameRows peeks the record count out of a PR 6 binary batch frame
+// without decoding it (count lives at bytes [12:16] of the frame).
+func FrameRows(frame []byte) int {
+	if len(frame) < 16 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(frame[12:16]))
+}
+
+// Append durably spools one batch frame bound for the replica nodes in
+// destMask and returns its sequence number. On return the record has
+// been fsynced — this is the cluster's ingest acknowledgement point.
+func (s *Spool) Append(slot int, destMask uint64, frame []byte) (uint64, error) {
+	if destMask == 0 {
+		return 0, fmt.Errorf("wal: empty destination mask")
+	}
+	if slot < 0 || slot > 255 {
+		return 0, fmt.Errorf("wal: slot %d out of range", slot)
+	}
+	rows := FrameRows(frame)
+	payload := make([]byte, dataHeader+len(frame))
+	le := binary.LittleEndian
+	payload[0] = kindData
+	payload[1] = byte(slot)
+	le.PutUint32(payload[4:8], uint32(rows))
+	le.PutUint64(payload[16:24], destMask)
+	copy(payload[dataHeader:], frame)
+
+	s.mu.Lock()
+	seq := s.nextSeq
+	le.PutUint64(payload[8:16], seq)
+	// Recompute nothing: appendRecordLocked CRCs the payload as given.
+	if err := s.appendRecordLocked(payload); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.nextSeq = seq + 1
+	rec := &prec{
+		seq:  seq,
+		slot: uint8(slot),
+		mask: destMask,
+		rows: int32(rows),
+		seg:  s.fIdx,
+		off:  s.fSize - int64(recHeader+len(payload)),
+		n:    int32(recHeader + len(payload)),
+	}
+	s.index[seq] = rec
+	s.segPending[rec.seg]++
+	s.addPending(rec, destMask)
+	f, fileIdx, target := s.f, s.fIdx, s.fSize
+	s.mu.Unlock()
+
+	return seq, s.syncTo(f, fileIdx, target)
+}
+
+// syncTo implements group commit: returns once bytes [0, target) of
+// segment fileIdx are durable, piggybacking on any fsync that already
+// covered them.
+func (s *Spool) syncTo(f *os.File, fileIdx int, target int64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if fileIdx < s.syncIdx || (fileIdx == s.syncIdx && target <= s.syncOff) {
+		return nil
+	}
+	// Rolling syncs the old file before retiring it, so if the active
+	// segment moved past fileIdx these bytes are already durable.
+	s.mu.Lock()
+	curIdx, curSize := s.fIdx, s.fSize
+	s.mu.Unlock()
+	if fileIdx < curIdx {
+		if fileIdx > s.syncIdx {
+			s.syncIdx, s.syncOff = fileIdx, target
+		}
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		// A concurrent roll may have synced and closed this handle
+		// between the size snapshot and our Sync; those bytes are
+		// already durable.
+		if errors.Is(err, os.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+	s.syncIdx, s.syncOff = curIdx, curSize
+	return nil
+}
+
+// Ack marks seq delivered to node. When every destination has acked,
+// the record is dropped and its segment reclaimed once empty. Acks are
+// logged but not individually fsynced: a lost ack is redelivered and
+// deduplicated by the shard.
+func (s *Spool) Ack(seq uint64, node int) error {
+	if node < 0 || node >= 64 {
+		return fmt.Errorf("wal: node %d out of range", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.clearPendingLocked(seq, node) {
+		return nil
+	}
+	payload := make([]byte, ackLen)
+	le := binary.LittleEndian
+	payload[0] = kindAck
+	le.PutUint32(payload[4:8], uint32(node))
+	le.PutUint64(payload[8:16], seq)
+	return s.appendRecordLocked(payload)
+}
+
+// AckNode force-acks every pending record for node — used when a
+// member is removed from the ring and its deliveries become moot.
+func (s *Spool) AckNode(node int) error {
+	if node < 0 || node >= 64 {
+		return fmt.Errorf("wal: node %d out of range", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var seqs []uint64
+	for seq, rec := range s.index {
+		if rec.mask&(1<<uint(node)) != 0 {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	le := binary.LittleEndian
+	for _, seq := range seqs {
+		if !s.clearPendingLocked(seq, node) {
+			continue
+		}
+		payload := make([]byte, ackLen)
+		payload[0] = kindAck
+		le.PutUint32(payload[4:8], uint32(node))
+		le.PutUint64(payload[8:16], seq)
+		if err := s.appendRecordLocked(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PendingForNode returns up to max pending records destined for node
+// with seq > after, in ascending seq order, frames reloaded from disk.
+// Delivery lanes use it both for boot replay and to refill after a
+// queue overflow spilled to the spool.
+func (s *Spool) PendingForNode(node int, after uint64, max int) ([]Record, error) {
+	s.mu.Lock()
+	var recs []*prec
+	for seq, rec := range s.index {
+		if seq > after && rec.mask&(1<<uint(node)) != 0 {
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].seq < recs[b].seq })
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	// Snapshot the location fields before unlocking; the record itself
+	// may be acked concurrently (the frame bytes on disk are immutable
+	// until the whole segment is reclaimed, and reclaim requires the
+	// ack we have not sent yet).
+	snap := make([]prec, len(recs))
+	for i, r := range recs {
+		snap[i] = *r
+	}
+	s.mu.Unlock()
+
+	out := make([]Record, 0, len(snap))
+	for i := range snap {
+		frame, err := s.load(&snap[i])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Record{
+			Seq:   snap[i].seq,
+			Slot:  int(snap[i].slot),
+			Dests: snap[i].mask,
+			Rows:  int(snap[i].rows),
+			Frame: frame,
+		})
+	}
+	return out, nil
+}
+
+// load re-reads one data record's frame bytes from its segment,
+// re-validating the CRC.
+func (s *Spool) load(rec *prec) ([]byte, error) {
+	f, err := os.Open(s.segPath(rec.seg))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, rec.n)
+	if _, err := f.ReadAt(buf, rec.off); err != nil {
+		return nil, fmt.Errorf("wal: reload seq %d: %w", rec.seq, err)
+	}
+	le := binary.LittleEndian
+	plen := int(le.Uint32(buf[0:4]))
+	if plen != int(rec.n)-recHeader {
+		return nil, fmt.Errorf("wal: reload seq %d: length mismatch", rec.seq)
+	}
+	payload := buf[recHeader:]
+	if crc32.ChecksumIEEE(payload) != le.Uint32(buf[4:8]) {
+		return nil, fmt.Errorf("wal: reload seq %d: checksum mismatch", rec.seq)
+	}
+	return payload[dataHeader:], nil
+}
+
+// PendingRowsNode reports how many tweet rows are spooled for node.
+func (s *Spool) PendingRowsNode(node int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rowsNode[node]
+}
+
+// PendingRowsSlotNode reports how many rows of slot are still owed to
+// node — zero means the node's copy of the slot is current and safe to
+// serve reads from.
+func (s *Spool) PendingRowsSlotNode(node, slot int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn := s.rowsSN[node]; sn != nil {
+		return sn[slot]
+	}
+	return 0
+}
+
+// Stats summarises the spool for health endpoints.
+func (s *Spool) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		PendingRecords: len(s.index),
+		NextSeq:        s.nextSeq,
+		Corrupt:        s.corrupt,
+	}
+	for _, rec := range s.index {
+		st.PendingRows += int64(rec.rows)
+	}
+	segs := map[int]bool{}
+	for _, rec := range s.index {
+		segs[rec.seg] = true
+	}
+	if s.f != nil {
+		segs[s.fIdx] = true
+	}
+	st.Segments = len(segs)
+	return st
+}
+
+// Close syncs and closes the active segment. Pending records stay on
+// disk for the next Open to replay.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

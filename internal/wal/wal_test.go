@@ -1,0 +1,348 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"geomob/internal/tweet"
+)
+
+// testFrame builds a small valid binary batch frame whose rows are
+// recognisable by base id.
+func testFrame(t *testing.T, base int64, rows int) []byte {
+	t.Helper()
+	tweets := make([]tweet.Tweet, rows)
+	for i := range tweets {
+		tweets[i] = tweet.Tweet{
+			ID: base + int64(i), UserID: base, TS: 1378000000000 + base*1000 + int64(i),
+			Lat: -33.8, Lon: 151.2,
+		}
+	}
+	frame, err := tweet.AppendFrame(nil, tweet.BatchOf(tweets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func pendingSeqs(t *testing.T, s *Spool, node int) []uint64 {
+	t.Helper()
+	recs, err := s.PendingForNode(node, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]uint64, len(recs))
+	for i, r := range recs {
+		seqs[i] = r.Seq
+	}
+	return seqs
+}
+
+func TestSpoolRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := s.SenderID()
+	if sender == "" {
+		t.Fatal("empty sender id")
+	}
+	var seqs []uint64
+	for i := 0; i < 3; i++ {
+		seq, err := s.Append(i, 0b11, testFrame(t, int64(i)*100, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if seqs[0] >= seqs[1] || seqs[1] >= seqs[2] {
+		t.Fatalf("sequence numbers not monotone: %v", seqs)
+	}
+	if got := s.PendingRowsNode(0); got != 12 {
+		t.Fatalf("node 0 pending rows = %d, want 12", got)
+	}
+	if got := s.PendingRowsSlotNode(1, 2); got != 4 {
+		t.Fatalf("node 1 slot 2 pending rows = %d, want 4", got)
+	}
+
+	// Ack node 0 for everything; node 1 stays owed.
+	for _, seq := range seqs {
+		if err := s.Ack(seq, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pendingSeqs(t, s, 0); len(got) != 0 {
+		t.Fatalf("node 0 still pending %v after acks", got)
+	}
+	if got := pendingSeqs(t, s, 1); len(got) != 3 {
+		t.Fatalf("node 1 pending %v, want all three", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: node 1's debt and the sender identity must survive.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SenderID() != sender {
+		t.Fatalf("sender changed across reopen: %q vs %q", s2.SenderID(), sender)
+	}
+	recs, err := s2.PendingForNode(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d pending records for node 1, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != seqs[i] || r.Slot != i || r.Rows != 4 {
+			t.Fatalf("recovered record %d = %+v, want seq %d slot %d rows 4", i, r, seqs[i], i)
+		}
+		if FrameRows(r.Frame) != 4 {
+			t.Fatalf("recovered frame %d has %d rows", i, FrameRows(r.Frame))
+		}
+	}
+	for _, seq := range seqs {
+		if err := s2.Ack(seq, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s2.Stats(); st.PendingRecords != 0 {
+		t.Fatalf("pending records = %d after full ack", st.PendingRecords)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fully-drained spool must never reuse sequence numbers: reused
+	// seqs would be silently deduplicated by shards.
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s3.Append(0, 0b1, testFrame(t, 900, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= seqs[2] {
+		t.Fatalf("seq %d reused after drain (max issued was %d)", seq, seqs[2])
+	}
+	s3.Close()
+}
+
+func TestSpoolPendingWindow(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var seqs []uint64
+	for i := 0; i < 6; i++ {
+		seq, err := s.Append(0, 0b1, testFrame(t, int64(i)*10, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	recs, err := s.PendingForNode(0, seqs[1], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Seq != seqs[2] || recs[2].Seq != seqs[4] {
+		t.Fatalf("window after=%d max=3 returned %+v", seqs[1], recs)
+	}
+}
+
+// TestSpoolSegmentReclaim: tiny segments roll, and fully-acked
+// segments are unlinked — except the highest, which carries the
+// sequence floor.
+func TestSpoolSegmentReclaim(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for i := 0; i < 12; i++ {
+		seq, err := s.Append(0, 0b1, testFrame(t, int64(i)*10, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	before := countSegments(t, dir)
+	if before < 3 {
+		t.Fatalf("expected multiple segments from 256-byte roll threshold, got %d", before)
+	}
+	for _, seq := range seqs {
+		if err := s.Ack(seq, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := countSegments(t, dir)
+	if after >= before {
+		t.Fatalf("no segments reclaimed: %d before, %d after full ack", before, after)
+	}
+	// Reopen after drain: nothing pending, sequencing continues upward.
+	s2, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.PendingRecords != 0 || st.Corrupt {
+		t.Fatalf("reopened stats = %+v, want clean and empty", st)
+	}
+	seq, err := s2.Append(0, 0b1, testFrame(t, 999, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= seqs[len(seqs)-1] {
+		t.Fatalf("seq %d not above previous max %d", seq, seqs[len(seqs)-1])
+	}
+}
+
+func countSegments(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "spool-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// TestSpoolConcurrentAppend exercises the group-commit path: parallel
+// appenders must each get a unique sequence number and every record
+// must survive a reopen.
+func TestSpoolConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 16
+	frames := make([][][]byte, workers)
+	for w := 0; w < workers; w++ {
+		frames[w] = make([][]byte, per)
+		for i := 0; i < per; i++ {
+			frames[w][i] = testFrame(t, int64(w*1000+i), 1)
+		}
+	}
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := s.Append(w%8, 0b1, frames[w][i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				if seen[seq] {
+					errs <- fmt.Errorf("duplicate seq %d", seq)
+				}
+				seen[seq] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(pendingSeqs(t, s2, 0)); got != workers*per {
+		t.Fatalf("recovered %d records, want %d", got, workers*per)
+	}
+}
+
+func TestFrameRows(t *testing.T) {
+	if got := FrameRows(testFrame(t, 0, 7)); got != 7 {
+		t.Fatalf("FrameRows = %d, want 7", got)
+	}
+	if got := FrameRows(nil); got != 0 {
+		t.Fatalf("FrameRows(nil) = %d, want 0", got)
+	}
+}
+
+func TestSpoolRejectsBadArgs(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append(0, 0, testFrame(t, 0, 1)); err == nil {
+		t.Error("empty destination mask accepted")
+	}
+	if _, err := s.Append(300, 1, testFrame(t, 0, 1)); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := s.Ack(1, 64); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := Open(Options{}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestSpoolAckNode(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(i, 0b11, testFrame(t, int64(i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AckNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingRowsNode(1); got != 0 {
+		t.Fatalf("node 1 pending rows = %d after AckNode", got)
+	}
+	if got := len(pendingSeqs(t, s, 0)); got != 4 {
+		t.Fatalf("node 0 lost records to AckNode(1): %d pending, want 4", got)
+	}
+}
+
+// TestSpoolDirLayout pins the on-disk names other tooling greps for.
+func TestSpoolDirLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(0, 1, testFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "SENDER")); err != nil {
+		t.Errorf("SENDER file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spool-00000000.wal")); err != nil {
+		t.Errorf("first segment missing: %v", err)
+	}
+}
