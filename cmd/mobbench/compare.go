@@ -94,7 +94,7 @@ func compareSnapshots(oldSnap, newSnap *Snapshot, opts compareOptions) (deltas [
 			continue
 		}
 		d := compareDelta{
-			name: key,
+			name:  key,
 			oldNs: or.NsPerOp, newNs: nr.NsPerOp,
 			oldAllocs: or.AllocsOp, newAllocs: nr.AllocsOp,
 		}

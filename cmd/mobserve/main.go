@@ -23,6 +23,14 @@
 //	                                   (202 in cluster mode: acknowledged
 //	                                   once durably spooled, delivered to
 //	                                   the replicas asynchronously)
+//	POST /v1/snapshot                  force one durable snapshot commit
+//	                                   (-snapshot-dir modes only)
+//
+// With -snapshot-dir, sealed bucket partials persist to per-bucket
+// checksummed files (DESIGN.md §11): a restart restores intact buckets
+// and replays only the store tail instead of rescanning, SIGTERM drains
+// and flushes a final snapshot so a graceful restart replays nothing,
+// and -snapshot-interval bounds what a crash can cost.
 //
 // Versioned analysis API (request-scoped Study executions, snapshot-cached;
 // `from`/`to` are RFC3339, `radius` is metres):
@@ -88,6 +96,15 @@ type server struct {
 	agg *live.Aggregator
 	ing *live.Ingestor
 
+	// snaps is the ring's durable snapshot store (-snapshot-dir in live
+	// mode); recovery records what boot recovery actually did — restored
+	// vs backfilled buckets, tail replay size — for /healthz. In
+	// partition mode localShards holds the in-process shards instead,
+	// each owning its per-slot snapshot stores.
+	snaps       *live.SnapshotStore
+	recovery    live.RecoveryStats
+	localShards []*cluster.LocalShard
+
 	// coord replaces the local execution paths entirely in cluster mode
 	// (-cluster-coordinator, -partitions): /v1 queries scatter-gather
 	// across the shards and /v1/ingest routes by user hash.
@@ -120,15 +137,80 @@ func newServer(store *tweetdb.Store, workers int) *server {
 // one scan at boot, then never again: every later record arrives through
 // /v1/ingest and is resolved exactly once on its way in.
 func (s *server) enableLive(width time.Duration) error {
+	return s.enableLiveSnap(width, "")
+}
+
+// enableLiveSnap is enableLive with a durable snapshot directory: boot
+// restores every intact snapshotted bucket and replays only the store
+// tail (segments appended after the last commit), degrading per bucket
+// to a windowed cold backfill on any missing or corrupt file — the fast
+// restart path of DESIGN.md §11. An empty dir keeps the classic full
+// scan.
+func (s *server) enableLiveSnap(width time.Duration, snapDir string) error {
 	agg, err := live.NewAggregator(live.Options{BucketWidth: width})
 	if err != nil {
 		return err
 	}
-	if _, err := live.Backfill(agg, s.store); err != nil {
-		return err
+	if snapDir == "" {
+		if _, err := live.Backfill(agg, s.store); err != nil {
+			return err
+		}
+	} else {
+		snaps, err := live.OpenSnapshotStore(snapDir)
+		if err != nil {
+			return err
+		}
+		rec, err := live.Recover(agg, s.store, snaps, live.RecoverOpts{})
+		if err != nil {
+			return err
+		}
+		s.snaps = snaps
+		s.recovery = rec
 	}
 	s.agg = agg
 	return nil
+}
+
+// snapshotNow commits one durable snapshot of everything this process
+// owns — the single-node ring through the ingest lock, or every
+// in-process partition shard — and sums the stats. It backs the
+// periodic loop, the shutdown flush and POST /v1/snapshot.
+func (s *server) snapshotNow() (live.SnapshotStats, error) {
+	if len(s.localShards) > 0 {
+		var sum live.SnapshotStats
+		for _, sh := range s.localShards {
+			st, err := sh.Snapshot()
+			if err != nil {
+				return sum, err
+			}
+			sum.Buckets += st.Buckets
+			sum.Bytes += st.Bytes
+			sum.Written += st.Written
+			if st.LastUnixMs > sum.LastUnixMs {
+				sum.LastUnixMs = st.LastUnixMs
+			}
+		}
+		return sum, nil
+	}
+	if s.snaps == nil || s.ing == nil {
+		return live.SnapshotStats{}, fmt.Errorf("snapshots are not enabled (-snapshot-dir)")
+	}
+	return s.ing.Snapshot(s.snaps)
+}
+
+// snapshotHandler serves POST /v1/snapshot for any mode: force one
+// durable snapshot commit now and report its stats — the hook the
+// restart smoke test (and an operator about to SIGKILL a node) uses to
+// bound the replay a restart will pay.
+func snapshotHandler(snap func() (live.SnapshotStats, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		st, err := snap()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+			return
+		}
+		writeJSON(w, st)
+	}
 }
 
 // initIngest wires the streaming write path (after enableLive, so flushed
@@ -177,6 +259,9 @@ func main() {
 		partsN    = flag.Int("partitions", 0, "in-process user partitions under -db (implies live rings; per-partition ingest parallelism without the network hop)")
 		replicas  = flag.Int("replication", 1, "copies of every user-range slot across the cluster (with -cluster-coordinator or -partitions)")
 		walDir    = flag.String("wal-dir", "", "durable ingest spool directory: /v1/ingest acks only after the write-ahead append, and unacknowledged deliveries replay across coordinator restarts")
+
+		snapDir   = flag.String("snapshot-dir", "", "durable bucket-partial snapshot directory (with -live, -cluster-shard or -partitions): restart restores intact buckets and replays only the store tail")
+		snapEvery = flag.Duration("snapshot-interval", 0, "periodic snapshot commit interval (0 disables; needs -snapshot-dir); a final snapshot is always flushed on graceful drain")
 	)
 	flag.Parse()
 	modes := 0
@@ -196,12 +281,31 @@ func main() {
 			log.Fatal("-wal-dir needs -cluster-coordinator or -partitions")
 		}
 	}
+	if *snapEvery < 0 {
+		log.Fatal("-snapshot-interval must be >= 0")
+	}
+	if *snapEvery > 0 && *snapDir == "" {
+		log.Fatal("-snapshot-interval needs -snapshot-dir")
+	}
+	if *snapDir != "" {
+		switch {
+		case *coordsTo != "":
+			log.Fatal("-snapshot-dir needs a local store; the remote shard nodes own their own snapshot dirs")
+		case !*shardMode && *partsN == 0 && !*liveMode:
+			log.Fatal("-snapshot-dir needs -live, -cluster-shard or -partitions (snapshots persist the bucket ring)")
+		}
+	}
 
 	// SIGINT/SIGTERM cancel ctx; it is also the base context of every
 	// request and of the snapshot computations, so in-flight store scans
 	// abort instead of holding the drain hostage.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// snapFn, when set, is the mode's durable snapshot commit: the
+	// periodic loop, POST /v1/snapshot and the final drain flush all run
+	// through it.
+	var snapFn func() (live.SnapshotStats, error)
 
 	var handler http.Handler
 	switch {
@@ -213,16 +317,32 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: *bucket})
+		shard, err := cluster.NewLocalShardSnap(store, live.Options{BucketWidth: *bucket}, *snapDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("shard node: %d records backfilled into %d buckets of %v",
-			shard.Ingested(), shard.Buckets(), *bucket)
-		handler = cluster.NewNode(shard, cluster.NodeOptions{MaxBodyBytes: *maxBody})
+		if *snapDir == "" {
+			log.Printf("shard node: %d records backfilled into %d buckets of %v",
+				shard.Ingested(), shard.Buckets(), *bucket)
+		} else {
+			rec := shard.Recovery()
+			log.Printf("shard node: %d buckets restored, %d backfilled (full rescan: %v, tail %d records) into %d buckets of %v",
+				rec.Restored, rec.Backfilled, rec.FullRescan, rec.TailRecords, shard.Buckets(), *bucket)
+		}
+		node := cluster.NewNode(shard, cluster.NodeOptions{MaxBodyBytes: *maxBody})
+		if *snapDir == "" {
+			handler = node
+		} else {
+			snapFn = shard.Snapshot
+			mux := http.NewServeMux()
+			mux.Handle("/", node)
+			mux.Handle("POST /v1/snapshot", snapshotHandler(snapFn))
+			handler = mux
+		}
 
 	case *coordsTo != "", *partsN > 0:
 		var shards []cluster.Shard
+		var locals []*cluster.LocalShard
 		if *coordsTo != "" {
 			for _, base := range strings.Split(*coordsTo, ",") {
 				base = strings.TrimSpace(base)
@@ -244,9 +364,16 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				shard, err := cluster.NewLocalShard(store, live.Options{BucketWidth: *bucket})
+				partSnap := ""
+				if *snapDir != "" {
+					partSnap = filepath.Join(*snapDir, fmt.Sprintf("part-%03d", i))
+				}
+				shard, err := cluster.NewLocalShardSnap(store, live.Options{BucketWidth: *bucket}, partSnap)
 				if err != nil {
 					log.Fatal(err)
+				}
+				if *snapDir != "" {
+					locals = append(locals, shard)
 				}
 				shards = append(shards, shard)
 			}
@@ -264,6 +391,10 @@ func main() {
 		s.coord = coord
 		s.maxIngestBytes = *maxBody
 		s.baseCtx = ctx
+		s.localShards = locals
+		if len(locals) > 0 {
+			snapFn = s.snapshotNow
+		}
 		handler = s.clusterRoutes()
 
 	default:
@@ -277,17 +408,47 @@ func main() {
 		s := newServer(store, *workers)
 		s.maxIngestBytes = *maxBody
 		if *liveMode {
-			if err := s.enableLive(*bucket); err != nil {
+			if err := s.enableLiveSnap(*bucket, *snapDir); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("live aggregation on: %d records backfilled into %d buckets of %v",
-				s.agg.Ingested(), s.agg.Buckets(), *bucket)
+			if *snapDir == "" {
+				log.Printf("live aggregation on: %d records backfilled into %d buckets of %v",
+					s.agg.Ingested(), s.agg.Buckets(), *bucket)
+			} else {
+				log.Printf("live aggregation on: %d buckets restored, %d backfilled (full rescan: %v, tail %d records) of %v",
+					s.recovery.Restored, s.recovery.Backfilled, s.recovery.FullRescan, s.recovery.TailRecords, *bucket)
+			}
 		}
 		if err := s.initIngest(); err != nil {
 			log.Fatal(err)
 		}
+		if s.snaps != nil {
+			snapFn = s.snapshotNow
+		}
 		s.baseCtx = ctx
 		handler = s.routes()
+	}
+
+	// The periodic snapshot loop bounds the tail a crash restart must
+	// replay to at most one interval of ingest; it stops with ctx so the
+	// final drain flush below is the last writer.
+	if snapFn != nil && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if st, err := snapFn(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else if st.Written > 0 {
+						log.Printf("snapshot: %d buckets (%d files written, %d bytes)", st.Buckets, st.Written, st.Bytes)
+					}
+				}
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -313,6 +474,16 @@ func main() {
 			log.Printf("drain timed out: %v; closing", err)
 			srv.Close()
 		}
+		// Final snapshot after the listener has drained: every accepted
+		// ingest is in the ring, so the commit covers the whole store and
+		// the next boot restores with zero tail replay.
+		if snapFn != nil {
+			if st, err := snapFn(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot: %d buckets (%d files written, %d bytes)", st.Buckets, st.Written, st.Bytes)
+			}
+		}
 	}
 }
 
@@ -329,6 +500,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/models", s.handleV1Models)
 	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	if s.snaps != nil {
+		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
+	}
 	return mux
 }
 
@@ -344,6 +518,9 @@ func (s *server) clusterRoutes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/models", s.handleV1Models)
 	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	if len(s.localShards) > 0 {
+		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
+	}
 	return mux
 }
 
@@ -415,7 +592,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"width":    s.agg.Width().String(),
 			"ingested": s.agg.Ingested(),
 			"builds":   s.agg.Builds(),
+			"rollups":  s.agg.RollupStats(),
 		}
+	}
+	if s.snaps != nil {
+		st := s.snaps.Stats()
+		snap := map[string]any{
+			"buckets": st.Buckets,
+			"bytes":   st.Bytes,
+			"written": st.Written,
+		}
+		if st.LastUnixMs > 0 {
+			snap["last"] = time.UnixMilli(st.LastUnixMs).UTC()
+			snap["age_seconds"] = time.Since(time.UnixMilli(st.LastUnixMs)).Seconds()
+		}
+		resp["snapshot"] = snap
+		resp["recovery"] = s.recovery
 	}
 	writeJSON(w, resp)
 }

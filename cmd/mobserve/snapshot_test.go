@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// postNDJSON ingests tweets through POST /v1/ingest and fails the test
+// on anything but a clean 200.
+func postNDJSON(t *testing.T, url string, tweets []tweet.Tweet) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := tweet.NewNDJSONWriter(&buf)
+	for _, tw := range tweets {
+		if err := w.Write(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/ingest", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+}
+
+// TestSnapshotDrainRestartZeroReplay is the graceful-restart contract
+// end to end: run live with a snapshot dir, ingest across a mid-stream
+// snapshot commit, flush the final snapshot the drain path runs, and
+// boot a second server over the same directories. The restart must
+// restore every bucket from snapshot files — no full rescan, no tail
+// replay, zero store scans — and answer /v1 byte-identically.
+func TestSnapshotDrainRestartZeroReplay(t *testing.T) {
+	dbDir, snapDir := t.TempDir(), t.TempDir()
+	store, err := tweetdb.Open(dbDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(store, 0)
+	if err := s.enableLiveSnap(time.Hour, snapDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.initIngest(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+
+	gen, err := synth.NewGenerator(synth.DefaultConfig(800, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(tweets) / 2
+	postNDJSON(t, ts.URL, tweets[:cut])
+
+	// Force a mid-stream commit, then keep ingesting: the final snapshot
+	// below must cover the tail incrementally.
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mid); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || mid["buckets"].(float64) <= 0 {
+		t.Fatalf("POST /v1/snapshot: status %d body %v", resp.StatusCode, mid)
+	}
+	postNDJSON(t, ts.URL, tweets[cut:])
+
+	stats1 := fetchJSON(t, ts.URL+"/v1/stats")
+	pop1 := fetchJSON(t, ts.URL+"/v1/population?scale=state")
+
+	// The drain flush main() runs after the listener stops.
+	if _, err := s.snapshotNow(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	ts.Close()
+
+	// Restart over the same store and snapshot dir.
+	store2, err := tweetdb.Open(dbDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newServer(store2, 0)
+	if err := s2.enableLiveSnap(time.Hour, snapDir); err != nil {
+		t.Fatal(err)
+	}
+	rec := s2.recovery
+	if rec.FullRescan || rec.Restored == 0 || rec.Backfilled != 0 || rec.SnapErrors != 0 {
+		t.Fatalf("restart recovery degraded: %+v", rec)
+	}
+	if rec.TailSegments != 0 || rec.TailRecords != 0 {
+		t.Fatalf("graceful restart replayed a tail: %+v", rec)
+	}
+	if got := store2.ScanCount(); got != 0 {
+		t.Fatalf("restart scanned the store %d times, want 0", got)
+	}
+	if err := s2.initIngest(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.routes())
+	defer ts2.Close()
+
+	if stats2 := fetchJSON(t, ts2.URL+"/v1/stats"); !reflect.DeepEqual(stats1, stats2) {
+		t.Errorf("/v1/stats diverged across restart:\n before %v\n after  %v", stats1, stats2)
+	}
+	if pop2 := fetchJSON(t, ts2.URL+"/v1/population?scale=state"); !reflect.DeepEqual(pop1, pop2) {
+		t.Errorf("/v1/population diverged across restart:\n before %v\n after  %v", pop1, pop2)
+	}
+	if got := store2.ScanCount(); got != 0 {
+		t.Fatalf("restarted /v1 answers scanned the store %d times, want 0", got)
+	}
+
+	health := fetchJSON(t, ts2.URL+"/healthz")
+	snap, ok := health["snapshot"].(map[string]any)
+	if !ok || snap["buckets"].(float64) <= 0 || snap["bytes"].(float64) <= 0 {
+		t.Fatalf("healthz snapshot block missing or empty: %v", health["snapshot"])
+	}
+	if _, ok := snap["age_seconds"]; !ok {
+		t.Error("healthz snapshot block lacks age_seconds")
+	}
+	recov, ok := health["recovery"].(map[string]any)
+	if !ok || recov["restored"].(float64) <= 0 || recov["full_rescan"].(bool) {
+		t.Fatalf("healthz recovery block wrong: %v", health["recovery"])
+	}
+	lv, ok := health["live"].(map[string]any)
+	if !ok {
+		t.Fatal("healthz missing live section")
+	}
+	if _, ok := lv["rollups"].([]any); !ok {
+		t.Errorf("healthz live block lacks rollup tiers: %v", lv["rollups"])
+	}
+}

@@ -152,12 +152,22 @@ func (c *Coordinator) settleLocked(skip int) error {
 	return nil
 }
 
-// streamSlotLocked replays slot's canonical export from the first
-// reachable source into dst. The sender identity is a pure function of
-// (slot, target ring version) and sequence numbers are frame indexes,
-// so retries and source failover deduplicate instead of double-
-// applying. Caller holds c.mu.
+// streamSlotLocked replays slot's content from the first reachable
+// source into dst. Shape-matched ends stream snapshot blobs — the
+// source's pre-resolved bucket columns, which the receiver merges
+// without re-resolving assignments; otherwise the canonical record
+// export replays via Deliver. The choice is made once, up front, from
+// both ends' health reports: the two paths use distinct sender
+// namespaces, so switching modes mid-slot would defeat the (sender,
+// seq) dedup and double-apply — a failed stream retries sources in the
+// same mode instead. Either way the sender identity is a pure function
+// of (slot, target ring version) and sequence numbers are frame
+// indexes over a deterministic stream, so retries and source failover
+// deduplicate instead of double-applying. Caller holds c.mu.
 func (c *Coordinator) streamSlotLocked(slot int, sources []int, dst Shard, version uint64) error {
+	if recv, ok := dst.(SnapshotReceiver); ok && c.snapHandoffOK(sources, dst) {
+		return c.streamSlotSnapLocked(slot, sources, recv, version)
+	}
 	sender := fmt.Sprintf("handoff:%d:%016x", slot, version)
 	var lastErr error
 	for _, src := range sources {
@@ -177,6 +187,50 @@ func (c *Coordinator) streamSlotLocked(slot int, sources []int, dst Shard, versi
 	}
 	if lastErr != nil {
 		return fmt.Errorf("cluster: handoff of slot %d failed on every source: %w", slot, lastErr)
+	}
+	return nil
+}
+
+// snapHandoffOK reports whether snapshot streaming is sound for this
+// handoff: every source exports snapshots, and every end reports the
+// same non-empty shape hash — the receiver will validate each blob
+// against its own shape anyway, but checking health up front avoids
+// committing to a stream that would be permanently rejected.
+func (c *Coordinator) snapHandoffOK(sources []int, dst Shard) bool {
+	dh, err := dst.Health()
+	if err != nil || dh.ShapeHash == "" {
+		return false
+	}
+	for _, src := range sources {
+		if _, ok := c.shards[src].(SnapshotExporter); !ok {
+			return false
+		}
+		sh, err := c.shards[src].Health()
+		if err != nil || sh.ShapeHash != dh.ShapeHash {
+			return false
+		}
+	}
+	return true
+}
+
+// streamSlotSnapLocked is the snapshot-streaming arm of
+// streamSlotLocked, under its own sender namespace.
+func (c *Coordinator) streamSlotSnapLocked(slot int, sources []int, dst SnapshotReceiver, version uint64) error {
+	sender := fmt.Sprintf("handoffsnap:%d:%016x", slot, version)
+	var lastErr error
+	for _, src := range sources {
+		seq := uint64(0)
+		err := c.shards[src].(SnapshotExporter).ExportSnap(slot, func(blob []byte) error {
+			seq++
+			return dst.DeliverSnap(sender, seq, slot, blob)
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return fmt.Errorf("cluster: snapshot handoff of slot %d failed on every source: %w", slot, lastErr)
 	}
 	return nil
 }

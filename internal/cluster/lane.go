@@ -158,19 +158,53 @@ func (l *lane) run(wg *sync.WaitGroup) {
 				}
 			}
 		}
-		e := l.q[0]
+		// Drain: a batch-capable shard takes the whole staged queue in
+		// one durable commit (one high-water-mark advance per drain);
+		// otherwise deliver the head alone. The drained prefix is stable
+		// across the unlock — enqueue only appends, and only this
+		// goroutine removes.
+		ents := l.q[:1]
+		bd, batching := l.shard.(BatchDeliverer)
+		if batching && len(l.q) > 1 {
+			ents = l.q[:len(l.q):len(l.q)]
+		}
 		l.attempting = true
 		l.mu.Unlock()
 
-		err := l.shard.Deliver(l.sender, e.seq, e.slot, e.frame)
+		var err error
+		if len(ents) > 1 {
+			ds := make([]Delivery, len(ents))
+			for i, e := range ents {
+				ds[i] = Delivery{Seq: e.seq, Slot: e.slot, Frame: e.frame}
+			}
+			if err = bd.DeliverBatch(l.sender, ds); err != nil {
+				// Retry the head alone: a transient failure backs off as
+				// usual, and a single poison frame is isolated and dropped
+				// instead of permanently rejecting the whole drain.
+				ents = ents[:1]
+				err = l.shard.Deliver(l.sender, ents[0].seq, ents[0].slot, ents[0].frame)
+			}
+		} else {
+			err = l.shard.Deliver(l.sender, ents[0].seq, ents[0].slot, ents[0].frame)
+		}
 
 		l.mu.Lock()
 		l.attempting = false
 		if err == nil {
-			_ = l.sp.Ack(e.seq, l.node)
-			l.q = l.q[1:]
-			l.delivered += int64(e.rows)
-			l.batches++
+			if len(ents) == 1 {
+				_ = l.sp.Ack(ents[0].seq, l.node)
+			} else {
+				seqs := make([]uint64, len(ents))
+				for i, e := range ents {
+					seqs[i] = e.seq
+				}
+				_ = l.sp.AckBatch(seqs, l.node)
+			}
+			for _, e := range ents {
+				l.delivered += int64(e.rows)
+			}
+			l.q = l.q[len(ents):]
+			l.batches += int64(len(ents))
 			l.down = false
 			backoff = 0
 			l.cv.Broadcast()
@@ -184,7 +218,7 @@ func (l *lane) run(wg *sync.WaitGroup) {
 			// The shard rejected the frame outright; retrying cannot
 			// succeed. Drop it (counted, latched) rather than wedge
 			// every later frame behind it.
-			_ = l.sp.Ack(e.seq, l.node)
+			_ = l.sp.Ack(ents[0].seq, l.node)
 			l.q = l.q[1:]
 			l.dropped++
 			l.cv.Broadcast()

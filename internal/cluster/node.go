@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,13 +28,16 @@ import (
 // semantics across the wire so a coordinator behaves identically over
 // LocalShard and HTTPShard:
 //
-//	POST /shard/v1/ingest    NDJSON or binary batch → {"ingested": n}
-//	POST /shard/v1/deliver   ?sender=&seq=&slot=, binary frame body
-//	POST /shard/v1/partials  {"request":…,"slots":[…]} → binary partials
-//	POST /shard/v1/coverage  {"request":…,"slots":[…]} → {"coverage": key}
-//	GET  /shard/v1/export    ?slot= → binary frame stream
-//	GET  /shard/v1/health    ShardHealth
-//	GET  /healthz            liveness (boot-wait probes)
+//	POST /shard/v1/ingest        NDJSON or binary batch → {"ingested": n}
+//	POST /shard/v1/deliver       ?sender=&seq=&slot=, binary frame body
+//	POST /shard/v1/deliver-batch ?sender=, enveloped frames body
+//	POST /shard/v1/partials      {"request":…,"slots":[…]} → binary partials
+//	POST /shard/v1/coverage      {"request":…,"slots":[…]} → {"coverage": key}
+//	GET  /shard/v1/export        ?slot= → binary frame stream
+//	GET  /shard/v1/export-snap   ?slot= → length-prefixed snapshot blobs
+//	POST /shard/v1/deliver-snap  ?sender=&seq=&slot=, snapshot blob body
+//	GET  /shard/v1/health        ShardHealth
+//	GET  /healthz                liveness (boot-wait probes)
 //
 //	400 caller's request/records   422 live.ErrNotCovered
 //	410 live.ErrEvicted            413 body or line too large
@@ -42,12 +46,15 @@ import (
 // — the coordinator's signal to fail a query over to another replica
 // and to keep a delivery spooled for retry.
 const (
-	pathIngest   = "/shard/v1/ingest"
-	pathDeliver  = "/shard/v1/deliver"
-	pathPartials = "/shard/v1/partials"
-	pathCoverage = "/shard/v1/coverage"
-	pathExport   = "/shard/v1/export"
-	pathHealth   = "/shard/v1/health"
+	pathIngest       = "/shard/v1/ingest"
+	pathDeliver      = "/shard/v1/deliver"
+	pathDeliverBatch = "/shard/v1/deliver-batch"
+	pathPartials     = "/shard/v1/partials"
+	pathCoverage     = "/shard/v1/coverage"
+	pathExport       = "/shard/v1/export"
+	pathExportSnap   = "/shard/v1/export-snap"
+	pathDeliverSnap  = "/shard/v1/deliver-snap"
+	pathHealth       = "/shard/v1/health"
 )
 
 // NodeOptions configure a shard node server.
@@ -77,9 +84,12 @@ func NewNode(shard *LocalShard, opts NodeOptions) *Node {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+pathIngest, n.handleIngest)
 	mux.HandleFunc("POST "+pathDeliver, n.handleDeliver)
+	mux.HandleFunc("POST "+pathDeliverBatch, n.handleDeliverBatch)
 	mux.HandleFunc("POST "+pathPartials, n.handlePartials)
 	mux.HandleFunc("POST "+pathCoverage, n.handleCoverage)
 	mux.HandleFunc("GET "+pathExport, n.handleExport)
+	mux.HandleFunc("GET "+pathExportSnap, n.handleExportSnap)
+	mux.HandleFunc("POST "+pathDeliverSnap, n.handleDeliverSnap)
 	mux.HandleFunc("GET "+pathHealth, n.handleHealth)
 	mux.HandleFunc("GET /healthz", n.handleHealth)
 	n.mux = mux
@@ -151,6 +161,128 @@ func (n *Node) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := n.shard.Deliver(sender, seq, slot, frame); err != nil {
 		http.Error(w, fmt.Sprintf("shard deliver: %v", err), IngestStatus(err))
+		return
+	}
+	writeJSON(w, map[string]any{"applied": true})
+}
+
+// appendDeliveries envelopes a drain's frames for the wire: per frame a
+// 16-byte little-endian header (seq u64, slot u32, frame length u32)
+// followed by the frame bytes, concatenated. The frames themselves are
+// the CRC'd binary batch codec, never re-encoded.
+func appendDeliveries(dst []byte, ds []Delivery) []byte {
+	for _, d := range ds {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[0:], d.Seq)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(d.Slot))
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(len(d.Frame)))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, d.Frame...)
+	}
+	return dst
+}
+
+// decodeDeliveries parses an appendDeliveries envelope.
+func decodeDeliveries(p []byte) ([]Delivery, error) {
+	var ds []Delivery
+	for len(p) > 0 {
+		if len(p) < 16 {
+			return nil, fmt.Errorf("truncated delivery header (%d bytes)", len(p))
+		}
+		seq := binary.LittleEndian.Uint64(p[0:])
+		slot := int(int32(binary.LittleEndian.Uint32(p[8:])))
+		flen := int(binary.LittleEndian.Uint32(p[12:]))
+		p = p[16:]
+		if flen > len(p) {
+			return nil, fmt.Errorf("truncated delivery frame (want %d, have %d bytes)", flen, len(p))
+		}
+		ds = append(ds, Delivery{Seq: seq, Slot: slot, Frame: p[:flen:flen]})
+		p = p[flen:]
+	}
+	return ds, nil
+}
+
+// handleDeliverBatch applies several replicated frames from one sender
+// in a single durable commit — the lane's whole-drain fast path. Like
+// handleDeliver, a 200 means every frame is durable (or deduplicated).
+func (n *Node) handleDeliverBatch(w http.ResponseWriter, r *http.Request) {
+	sender := r.URL.Query().Get("sender")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.maxB))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-batch: read body: %v", err), IngestStatus(err))
+		return
+	}
+	ds, err := decodeDeliveries(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := n.shard.DeliverBatch(sender, ds); err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-batch: %v", err), IngestStatus(err))
+		return
+	}
+	writeJSON(w, map[string]any{"applied": true, "frames": len(ds)})
+}
+
+// handleExportSnap streams one slot's ring as length-prefixed snapshot
+// blobs — the handoff source endpoint for a shape-matched receiver.
+func (n *Node) handleExportSnap(w http.ResponseWriter, r *http.Request) {
+	slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard export-snap: bad slot: %v", err), http.StatusBadRequest)
+		return
+	}
+	wrote := false
+	err = n.shard.ExportSnap(slot, func(blob []byte) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			wrote = true
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(blob)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(blob)
+		return err
+	})
+	if err != nil {
+		if !wrote {
+			http.Error(w, fmt.Sprintf("shard export-snap: %v", err), http.StatusBadRequest)
+			return
+		}
+		// Mid-stream failure: abort so the client sees a decode error
+		// rather than a silently truncated stream.
+		panic(http.ErrAbortHandler)
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+}
+
+// handleDeliverSnap applies one handoff snapshot blob with deliver
+// semantics: a 200 means durable and merged (or deduplicated); a blob
+// failing validation answers 400 — permanent on the client side.
+func (n *Node) handleDeliverSnap(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sender := q.Get("sender")
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-snap: bad seq: %v", err), http.StatusBadRequest)
+		return
+	}
+	slot, err := strconv.Atoi(q.Get("slot"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-snap: bad slot: %v", err), http.StatusBadRequest)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.maxB))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-snap: read blob: %v", err), IngestStatus(err))
+		return
+	}
+	if err := n.shard.DeliverSnap(sender, seq, slot, blob); err != nil {
+		http.Error(w, fmt.Sprintf("shard deliver-snap: %v", err), IngestStatus(err))
 		return
 	}
 	writeJSON(w, map[string]any{"applied": true})
@@ -392,6 +524,85 @@ func (s *HTTPShard) Deliver(sender string, seq uint64, slot int, frame []byte) e
 		return fmt.Errorf("%w: shard %s deliver: http %d: %s", ErrUnavailable, s.base, resp.StatusCode, detail)
 	}
 	return fmt.Errorf("%w: shard %s deliver: http %d: %s", errPermanent, s.base, resp.StatusCode, detail)
+}
+
+// DeliverBatch implements BatchDeliverer: the drain's frames travel in
+// one enveloped POST, committed server-side as a single durable batch.
+// Status translation matches Deliver.
+func (s *HTTPShard) DeliverBatch(sender string, ds []Delivery) error {
+	q := url.Values{}
+	q.Set("sender", sender)
+	body := appendDeliveries(nil, ds)
+	resp, err := s.dc.Post(s.base+pathDeliverBatch+"?"+q.Encode(), "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: shard %s deliver-batch: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("%w: shard %s deliver-batch: http %d: %s", ErrUnavailable, s.base, resp.StatusCode, detail)
+	}
+	return fmt.Errorf("%w: shard %s deliver-batch: http %d: %s", errPermanent, s.base, resp.StatusCode, detail)
+}
+
+// ExportSnap implements SnapshotExporter over the wire: length-prefixed
+// snapshot blobs stream straight into fn.
+func (s *HTTPShard) ExportSnap(slot int, fn func(blob []byte) error) error {
+	resp, err := s.hc.Get(s.base + pathExportSnap + "?slot=" + strconv.Itoa(slot))
+	if err != nil {
+		return fmt.Errorf("%w: shard %s export-snap: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s.statusError("export-snap", resp)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("cluster: shard %s export-snap: %w", s.base, err)
+		}
+		blob := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("cluster: shard %s export-snap: %w", s.base, err)
+		}
+		if err := fn(blob); err != nil {
+			return err
+		}
+	}
+}
+
+// DeliverSnap implements SnapshotReceiver over the wire; status
+// translation matches Deliver, so a validation rejection (400) is
+// permanent and a transport failure or 5xx stays retriable.
+func (s *HTTPShard) DeliverSnap(sender string, seq uint64, slot int, blob []byte) error {
+	q := url.Values{}
+	q.Set("sender", sender)
+	q.Set("seq", strconv.FormatUint(seq, 10))
+	q.Set("slot", strconv.Itoa(slot))
+	resp, err := s.dc.Post(s.base+pathDeliverSnap+"?"+q.Encode(), "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("%w: shard %s deliver-snap: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("%w: shard %s deliver-snap: http %d: %s", ErrUnavailable, s.base, resp.StatusCode, detail)
+	}
+	return fmt.Errorf("%w: shard %s deliver-snap: http %d: %s", errPermanent, s.base, resp.StatusCode, detail)
 }
 
 // post sends a JSON slot request and returns the successful response.

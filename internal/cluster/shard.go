@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 
+	"path/filepath"
+
 	"geomob/internal/core"
 	"geomob/internal/live"
 	"geomob/internal/ring"
@@ -50,6 +52,43 @@ type Shard interface {
 	Health() (ShardHealth, error)
 }
 
+// Delivery is one spooled frame inside a batched delivery.
+type Delivery struct {
+	Seq   uint64
+	Slot  int
+	Frame []byte
+}
+
+// BatchDeliverer is the optional batched-delivery fast path: a lane that
+// finds several frames queued for the same shard hands them over in one
+// call, and the shard folds them into a single durable commit — one
+// high-water-mark manifest write per drain instead of one per frame.
+// The contract matches Deliver exactly: frames carry ascending sequence
+// numbers from one sender, duplicates at or below the sender's mark are
+// acknowledged without re-applying, and success means every frame is
+// durable. Shards that don't implement it get per-frame Deliver.
+type BatchDeliverer interface {
+	DeliverBatch(sender string, ds []Delivery) error
+}
+
+// SnapshotExporter streams a slot's ring content as encoded bucket
+// snapshot blobs — pre-resolved columns, not raw records — so a handoff
+// receiver with the same assignment shape skips re-resolving what the
+// sender already computed. The stream is deterministic over unchanged
+// ring content (ascending bucket order, content-addressed encoding).
+type SnapshotExporter interface {
+	ExportSnap(slot int, fn func(blob []byte) error) error
+}
+
+// SnapshotReceiver applies one handoff snapshot blob, with the same
+// (sender, seq) dedup and durability contract as Deliver. A blob whose
+// shape hash does not match the receiver's ring is rejected permanently
+// — the handoff driver only picks this path when both ends report the
+// same shape hash.
+type SnapshotReceiver interface {
+	DeliverSnap(sender string, seq uint64, slot int, blob []byte) error
+}
+
 // ShardHealth is one shard's liveness report.
 type ShardHealth struct {
 	// Tweets is the durable record count (0 without a store); Ingested
@@ -65,6 +104,15 @@ type ShardHealth struct {
 	Scans int64 `json:"scans"`
 	// Slots counts placement slots holding at least one record here.
 	Slots int `json:"slots"`
+	// ShapeHash fingerprints the assignment machinery (bucket width,
+	// scales, radii, area sets). Handoff streams snapshots — pre-resolved
+	// columns — only between shards reporting identical hashes.
+	ShapeHash string `json:"shape_hash,omitempty"`
+	// Snapshot and Recovery report the durable-snapshot state: what is
+	// on disk now, and what the last boot did (restored vs backfilled
+	// buckets, tail replay size). Nil on shards without a snapshot dir.
+	Snapshot *live.SnapshotStats `json:"snapshot,omitempty"`
+	Recovery *live.RecoveryStats `json:"recovery,omitempty"`
 }
 
 // LocalShard is an in-process cluster member: one live bucket ring per
@@ -82,6 +130,12 @@ type LocalShard struct {
 	// persisted in the store manifest's meta table atomically with each
 	// applied batch (memory-only without a store).
 	hwm map[string]uint64
+	// snaps holds one snapshot directory per placement slot when the
+	// shard was opened with a snapshot dir; recovery records what the
+	// boot hydration did with them.
+	snaps    [ring.Slots]*live.SnapshotStore
+	hasSnaps bool
+	recovery live.RecoveryStats
 }
 
 const hwmMetaPrefix = "hwm:"
@@ -93,16 +147,40 @@ const hwmMetaPrefix = "hwm:"
 // reloaded from the manifest meta table, so replayed spool frames
 // deduplicate across restarts.
 func NewLocalShard(store *tweetdb.Store, opts live.Options) (*LocalShard, error) {
+	return NewLocalShardSnap(store, opts, "")
+}
+
+// NewLocalShardSnap is NewLocalShard plus a snapshot directory: each
+// placement slot gets its own snapshot store under snapDir/slot-NN, and
+// boot hydration runs the snapshot recovery state machine per slot —
+// intact buckets restore from their files, only the segment tail
+// replays, and any slot whose snapshot is unusable joins one combined
+// full rescan instead of each paying for its own. An empty snapDir is
+// the classic full-rescan boot.
+func NewLocalShardSnap(store *tweetdb.Store, opts live.Options, snapDir string) (*LocalShard, error) {
 	shape, err := live.NewShape(opts)
 	if err != nil {
 		return nil, err
+	}
+	if snapDir != "" && store == nil {
+		return nil, fmt.Errorf("cluster: snapshot dir requires a store")
 	}
 	s := &LocalShard{shape: shape, store: store, hwm: map[string]uint64{}}
 	for k := range s.aggs {
 		s.aggs[k] = shape.NewAggregator()
 	}
+	if snapDir != "" {
+		s.hasSnaps = true
+		for k := range s.snaps {
+			st, err := live.OpenSnapshotStore(filepath.Join(snapDir, fmt.Sprintf("slot-%02d", k)))
+			if err != nil {
+				return nil, err
+			}
+			s.snaps[k] = st
+		}
+	}
 	if store != nil {
-		if err := s.backfill(); err != nil {
+		if err := s.hydrate(); err != nil {
 			return nil, fmt.Errorf("cluster: backfill shard rings: %w", err)
 		}
 		for key, val := range store.MetaPrefix(hwmMetaPrefix) {
@@ -116,28 +194,70 @@ func NewLocalShard(store *tweetdb.Store, opts live.Options) (*LocalShard, error)
 	return s, nil
 }
 
-// backfill replays the store into the slot rings, routing each record
-// by its user's placement slot.
-func (s *LocalShard) backfill() error {
+// hydrate fills the slot rings from the store at boot. Without
+// snapshots every slot joins one full scan; with them each slot first
+// runs its own recovery (restore + tail replay, filtered to its users)
+// and only the slots whose snapshots were unusable share the rescan.
+func (s *LocalShard) hydrate() error {
+	var rescan []int
+	if !s.hasSnaps {
+		for k := 0; k < ring.Slots; k++ {
+			rescan = append(rescan, k)
+		}
+	} else {
+		for k := 0; k < ring.Slots; k++ {
+			k := k
+			st, err := live.Recover(s.aggs[k], s.store, s.snaps[k], live.RecoverOpts{
+				Keep:       func(user int64) bool { return ring.SlotOf(user) == k },
+				NoFullScan: true,
+			})
+			if err != nil {
+				return fmt.Errorf("slot %d: %w", k, err)
+			}
+			s.recovery.Merge(st)
+			if st.FullRescan {
+				rescan = append(rescan, k)
+			}
+		}
+	}
+	if len(rescan) == 0 {
+		return nil
+	}
+	return s.backfillSlots(rescan)
+}
+
+// backfillSlots replays the store into the named slot rings, routing
+// each record by its user's placement slot and dropping rows owned by
+// slots not in the set — one scan no matter how many slots need it.
+func (s *LocalShard) backfillSlots(slots []int) error {
+	var want [ring.Slots]bool
+	for _, k := range slots {
+		want[k] = true
+	}
 	it := s.store.Scan(tweetdb.Query{})
 	defer it.Close()
 	buf := &tweet.Batch{}
-	const chunk = 1 << 14
 	for {
 		blk, ok := it.NextBlock()
 		if !ok {
 			break
 		}
-		for off := 0; off < blk.Len(); off += chunk {
-			end := off + chunk
-			if end > blk.Len() {
-				end = blk.Len()
+		for i := 0; i < blk.Len(); i++ {
+			if !want[ring.SlotOf(blk.UserID[i])] {
+				continue
 			}
-			buf.Reset()
-			blk.AppendTo(buf, off, end)
-			if err := s.routeLocked(buf); err != nil {
-				return err
+			buf.Append(blk.Row(i))
+			if buf.Len() >= 1<<14 {
+				if err := s.routeLocked(buf); err != nil {
+					return err
+				}
+				buf.Reset()
 			}
+		}
+	}
+	if buf.Len() > 0 {
+		if err := s.routeLocked(buf); err != nil {
+			return err
 		}
 	}
 	return it.Err()
@@ -211,32 +331,75 @@ func (s *LocalShard) Buckets() int {
 // the two is healed by the boot backfill. Duplicate (sender, seq)
 // deliveries return success without re-applying.
 func (s *LocalShard) Deliver(sender string, seq uint64, slot int, frame []byte) error {
-	if slot < 0 || slot >= ring.Slots {
-		return fmt.Errorf("%w: slot %d out of range", live.ErrBadInput, slot)
-	}
-	batch := &tweet.Batch{}
-	if err := tweet.NewBatchReader(bytes.NewReader(frame), int64(len(frame))+1).Read(batch); err != nil {
-		return fmt.Errorf("%w: decode frame: %w", live.ErrBadInput, err)
+	return s.DeliverBatch(sender, []Delivery{{Seq: seq, Slot: slot, Frame: frame}})
+}
+
+// DeliverBatch implements BatchDeliverer: several frames from one
+// sender land in a single atomic store commit whose meta advances the
+// sender's high-water mark to the batch's top sequence. That collapse
+// is sound because lanes are strict FIFO per sender — the sequences in
+// one drain are contiguous-from-pending and ascending, so acknowledging
+// the top acknowledges them all. Duplicate frames (at or below the
+// current mark) are dropped before the commit.
+func (s *LocalShard) DeliverBatch(sender string, ds []Delivery) error {
+	batches := make([]*tweet.Batch, len(ds))
+	for i, d := range ds {
+		if d.Slot < 0 || d.Slot >= ring.Slots {
+			return fmt.Errorf("%w: slot %d out of range", live.ErrBadInput, d.Slot)
+		}
+		b := &tweet.Batch{}
+		if err := tweet.NewBatchReader(bytes.NewReader(d.Frame), int64(len(d.Frame))+1).Read(b); err != nil {
+			return fmt.Errorf("%w: decode frame seq %d: %w", live.ErrBadInput, d.Seq, err)
+		}
+		batches[i] = b
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sender != "" && seq <= s.hwm[sender] {
+	combined := &tweet.Batch{}
+	var parts [ring.Slots]*tweet.Batch
+	var maxSeq uint64
+	fresh := false
+	for i, d := range ds {
+		if sender != "" && d.Seq <= s.hwm[sender] {
+			continue
+		}
+		fresh = true
+		if d.Seq > maxSeq {
+			maxSeq = d.Seq
+		}
+		b := batches[i]
+		p := parts[d.Slot]
+		if p == nil {
+			p = &tweet.Batch{}
+			parts[d.Slot] = p
+		}
+		for r := 0; r < b.Len(); r++ {
+			combined.Append(b.Row(r))
+			p.Append(b.Row(r))
+		}
+	}
+	if !fresh {
 		return nil
 	}
-	if s.store != nil {
+	if s.store != nil && combined.Len() > 0 {
 		var meta map[string]string
 		if sender != "" {
-			meta = map[string]string{hwmMetaPrefix + sender: strconv.FormatUint(seq, 10)}
+			meta = map[string]string{hwmMetaPrefix + sender: strconv.FormatUint(maxSeq, 10)}
 		}
-		if err := s.store.AppendBatchMeta(batch, meta); err != nil {
+		if err := s.store.AppendBatchMeta(combined, meta); err != nil {
 			return err
 		}
 	}
-	if err := s.aggs[slot].IngestBatch(batch); err != nil {
-		return err
+	for k, p := range parts {
+		if p == nil {
+			continue
+		}
+		if err := s.aggs[k].IngestBatch(p); err != nil {
+			return fmt.Errorf("slot %d: %w", k, err)
+		}
 	}
 	if sender != "" {
-		s.hwm[sender] = seq
+		s.hwm[sender] = maxSeq
 	}
 	return nil
 }
@@ -324,9 +487,113 @@ func (s *LocalShard) Export(slot int, fn func(*tweet.Batch) error) error {
 	return nil
 }
 
+// ExportSnap implements SnapshotExporter: the slot's ring streamed as
+// encoded bucket snapshot blobs in ascending bucket order.
+func (s *LocalShard) ExportSnap(slot int, fn func(blob []byte) error) error {
+	if slot < 0 || slot >= ring.Slots {
+		return fmt.Errorf("cluster: slot %d out of range", slot)
+	}
+	return s.aggs[slot].ExportSnapshots(fn)
+}
+
+// DeliverSnap implements SnapshotReceiver. The blob is decoded and
+// fully validated against this shard's shape before anything commits —
+// a corrupt or foreign-shape blob is a permanent delivery error, never
+// a partial apply. An accepted blob's records land durably in the store
+// with the sender's advanced mark (the same atomic commit Deliver
+// uses), then the pre-resolved columns merge into the slot's ring
+// without re-resolving assignments.
+func (s *LocalShard) DeliverSnap(sender string, seq uint64, slot int, blob []byte) error {
+	if slot < 0 || slot >= ring.Slots {
+		return fmt.Errorf("%w: slot %d out of range", live.ErrBadInput, slot)
+	}
+	bs, err := s.shape.DecodeBucketSnapshot(blob)
+	if err != nil {
+		return fmt.Errorf("%w: %w", live.ErrBadInput, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sender != "" && seq <= s.hwm[sender] {
+		return nil
+	}
+	if s.store != nil {
+		var meta map[string]string
+		if sender != "" {
+			meta = map[string]string{hwmMetaPrefix + sender: strconv.FormatUint(seq, 10)}
+		}
+		if err := s.store.AppendBatchMeta(bs.Batch(), meta); err != nil {
+			return err
+		}
+	}
+	s.aggs[slot].InjectSnapshot(bs)
+	if sender != "" {
+		s.hwm[sender] = seq
+	}
+	return nil
+}
+
+// Snapshot commits every slot ring's dirty buckets to the shard's
+// snapshot directories. All captures and the covered-segment catalogue
+// are taken under the delivery lock, so each slot's manifest names
+// exactly the segments whose records its ring reflects. Returns the
+// summed stats over the slots.
+func (s *LocalShard) Snapshot() (live.SnapshotStats, error) {
+	if !s.hasSnaps {
+		return live.SnapshotStats{}, fmt.Errorf("cluster: shard has no snapshot dir")
+	}
+	s.mu.Lock()
+	var caps [ring.Slots]*live.RingCapture
+	for k := range s.aggs {
+		caps[k] = s.aggs[k].Capture()
+	}
+	var covered []string
+	for _, m := range s.store.Segments() {
+		covered = append(covered, m.File)
+	}
+	s.mu.Unlock()
+	total := live.SnapshotStats{}
+	for k := range caps {
+		st, err := s.snaps[k].Commit(caps[k], covered)
+		if err != nil {
+			return total, fmt.Errorf("cluster: snapshot slot %d: %w", k, err)
+		}
+		s.aggs[k].MarkSnapshotted(caps[k])
+		total.Buckets += st.Buckets
+		total.Bytes += st.Bytes
+		total.Written += st.Written
+		if st.LastUnixMs > total.LastUnixMs {
+			total.LastUnixMs = st.LastUnixMs
+		}
+	}
+	return total, nil
+}
+
+// SnapshotStats sums the per-slot snapshot directories' stats (zero
+// value without a snapshot dir).
+func (s *LocalShard) SnapshotStats() live.SnapshotStats {
+	total := live.SnapshotStats{}
+	if !s.hasSnaps {
+		return total
+	}
+	for k := range s.snaps {
+		st := s.snaps[k].Stats()
+		total.Buckets += st.Buckets
+		total.Bytes += st.Bytes
+		total.Written += st.Written
+		if st.LastUnixMs > total.LastUnixMs {
+			total.LastUnixMs = st.LastUnixMs
+		}
+	}
+	return total
+}
+
+// Recovery reports what boot hydration did (zero value without a
+// snapshot dir).
+func (s *LocalShard) Recovery() live.RecoveryStats { return s.recovery }
+
 // Health implements Shard.
 func (s *LocalShard) Health() (ShardHealth, error) {
-	h := ShardHealth{}
+	h := ShardHealth{ShapeHash: fmt.Sprintf("%016x", s.shape.Hash())}
 	for _, a := range s.aggs {
 		h.Ingested += a.Ingested()
 		h.Builds += a.Builds()
@@ -338,6 +605,12 @@ func (s *LocalShard) Health() (ShardHealth, error) {
 	if s.store != nil {
 		h.Tweets = s.store.Count()
 		h.Scans = s.store.ScanCount()
+	}
+	if s.hasSnaps {
+		snap := s.SnapshotStats()
+		rec := s.recovery
+		h.Snapshot = &snap
+		h.Recovery = &rec
 	}
 	return h, nil
 }

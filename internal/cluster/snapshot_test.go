@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"geomob/internal/core"
+	"geomob/internal/live"
+	"geomob/internal/ring"
+	"geomob/internal/testx"
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// corruptOneSnapBlob flips a byte in the largest bucket blob under any
+// slot directory and returns how many files it damaged (0 or 1).
+func corruptOneSnapBlob(t *testing.T, snapDir string) int {
+	t.Helper()
+	var target string
+	var size int64
+	err := filepath.Walk(snapDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".gmsnap") && info.Size() > size {
+			target, size = path, info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xA5
+	if err := os.WriteFile(target, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return 1
+}
+
+// queryShard folds req over a throwaway single-member coordinator — the
+// scatter-gather answer a restarted member would serve.
+func queryShard(t *testing.T, s Shard, req core.Request) *core.Result {
+	t.Helper()
+	coord, err := NewCoordinator([]Shard{s}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	res, _, err := coord.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardSnapshotRestart is the tentpole's cluster-restart contract:
+// a store-backed member with a snapshot directory comes back from a
+// kill by restoring its per-slot bucket files — zero store scans after
+// a clean snapshot, tail-only replay otherwise, per-bucket cold
+// backfill when a file is corrupt — and every recovered state answers
+// bit-identically to a single-node cold execute.
+func TestShardSnapshotRestart(t *testing.T) {
+	all := failoverCorpus(t, 400, 53, 59)
+	cut := len(all) * 3 / 4
+	storeDir, snapDir := t.TempDir(), t.TempDir()
+	opts := live.Options{BucketWidth: 7 * 24 * time.Hour}
+
+	store, err := tweetdb.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewLocalShardSnap(store, opts, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator([]Shard{shard}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tw := range all[:cut] {
+		if err := coord.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeDrained(t, coord, 0, 10*time.Second)
+	snapSt, err := shard.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapSt.Buckets == 0 || snapSt.Written == 0 || snapSt.Bytes == 0 {
+		t.Fatalf("snapshot wrote nothing: %+v", snapSt)
+	}
+	// The tail: records delivered after the snapshot commit.
+	for _, tw := range all[cut:] {
+		if err := coord.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeDrained(t, coord, 0, 10*time.Second)
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req := core.Request{}
+	ref := singleNodeRef(t, all, req)
+
+	// Restart with a stale snapshot: intact buckets restore, only the
+	// tail replays, nothing falls back to a full rescan.
+	store2, err := tweetdb.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewLocalShardSnap(store2, opts, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s2.Recovery()
+	if rec.FullRescan || rec.Restored == 0 || rec.SnapErrors != 0 || rec.Backfilled != 0 {
+		t.Fatalf("tail restart recovery went wrong: %+v", rec)
+	}
+	if rec.TailSegments == 0 || rec.TailRecords != int64(len(all)-cut) {
+		t.Fatalf("tail restart replayed %d records over %d segments, want %d records",
+			rec.TailRecords, rec.TailSegments, len(all)-cut)
+	}
+	if !testx.ResultsBitEqual(queryShard(t, s2, req), ref) {
+		t.Fatal("tail-restart answer diverges from single-node execute")
+	}
+
+	// A fresh snapshot covering everything makes the next restart free:
+	// no scans, no segment loads, no replay of any kind.
+	if _, err := s2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := tweetdb.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewLocalShardSnap(store3, opts, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = s3.Recovery()
+	if rec.FullRescan || rec.SnapErrors != 0 || rec.Backfilled != 0 ||
+		rec.TailSegments != 0 || rec.TailRecords != 0 {
+		t.Fatalf("clean restart was not replay-free: %+v", rec)
+	}
+	if got := store3.ScanCount(); got != 0 {
+		t.Fatalf("clean restart scanned the store %d times, want 0", got)
+	}
+	if !testx.ResultsBitEqual(queryShard(t, s3, req), ref) {
+		t.Fatal("clean-restart answer diverges from single-node execute")
+	}
+	h, err := s3.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Snapshot == nil || h.Recovery == nil || h.Snapshot.Buckets == 0 || h.ShapeHash == "" {
+		t.Fatalf("health misses snapshot state: %+v", h)
+	}
+
+	// Corrupt one bucket file: only that bucket degrades to a windowed
+	// cold backfill; the answer does not move.
+	if corruptOneSnapBlob(t, snapDir) != 1 {
+		t.Fatal("no snapshot blob found to corrupt")
+	}
+	store4, err := tweetdb.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NewLocalShardSnap(store4, opts, snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = s4.Recovery()
+	if rec.FullRescan || rec.SnapErrors != 1 || rec.Backfilled != 1 {
+		t.Fatalf("corrupt-blob recovery should degrade exactly one bucket: %+v", rec)
+	}
+	if !testx.ResultsBitEqual(queryShard(t, s4, req), ref) {
+		t.Fatal("corrupt-blob restart answer diverges from single-node execute")
+	}
+}
+
+// TestDeliverBatchDedup pins the batched fast path's contract: one
+// durable commit applies every fresh frame and advances the sender's
+// mark to the top sequence, duplicates inside and across batches drop
+// without re-applying, and the mark survives a restart.
+func TestDeliverBatchDedup(t *testing.T) {
+	dir := t.TempDir()
+	store, err := tweetdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewLocalShard(store, live.Options{BucketWidth: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFrame := func(id int64) (int, []byte) {
+		tw := tweet.Tweet{ID: id, UserID: 40 + id, TS: 1378000000000 + id, Lat: -33.87, Lon: 151.21}
+		frame, err := tweet.AppendFrame(nil, tweet.BatchOf([]tweet.Tweet{tw}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ring.SlotOf(tw.UserID), frame
+	}
+	var ds []Delivery
+	for i := int64(1); i <= 4; i++ {
+		slot, frame := mkFrame(i)
+		ds = append(ds, Delivery{Seq: uint64(i), Slot: slot, Frame: frame})
+	}
+	segsBefore := len(store.Segments())
+	if err := s.DeliverBatch("sender-a", ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ingested(); got != 4 {
+		t.Fatalf("batch ingested %d records, want 4", got)
+	}
+	if got := len(store.Segments()) - segsBefore; got != 1 {
+		t.Fatalf("batch committed %d segments, want 1", got)
+	}
+	// The whole batch again, and each frame singly: all duplicates.
+	if err := s.DeliverBatch("sender-a", ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if err := s.Deliver("sender-a", d.Seq, d.Slot, d.Frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Ingested(); got != 4 {
+		t.Fatalf("redelivery re-applied: ingested %d, want 4", got)
+	}
+	// A partially duplicate batch applies only the fresh tail.
+	slot5, frame5 := mkFrame(5)
+	mixed := append(append([]Delivery(nil), ds[2:]...), Delivery{Seq: 5, Slot: slot5, Frame: frame5})
+	if err := s.DeliverBatch("sender-a", mixed); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ingested(); got != 5 {
+		t.Fatalf("mixed batch ingested %d records, want 5", got)
+	}
+	// The advanced mark is durable: a rebuilt shard over the same store
+	// still drops everything at or below it.
+	store2, err := tweetdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewLocalShard(store2, live.Options{BucketWidth: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeliverBatch("sender-a", mixed); err != nil {
+		t.Fatal(err)
+	}
+	if got := store2.Count(); got != 5 {
+		t.Fatalf("post-restart redelivery stored %d records, want 5", got)
+	}
+}
+
+// TestHandoffSnapshotStreaming: when both ends of a handoff share the
+// assignment shape, joining streams snapshot blobs (visible as the
+// receiver's durable handoffsnap sender marks) and the grown cluster
+// answers exactly; a source hidden behind a shape-blind wrapper falls
+// back to the record-export path under the classic handoff sender.
+func TestHandoffSnapshotStreaming(t *testing.T) {
+	all := failoverCorpus(t, 500, 61, 67)
+	opts := live.Options{BucketWidth: 7 * 24 * time.Hour}
+	newStored := func() *LocalShard {
+		st, err := tweetdb.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewLocalShard(st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	coord, err := NewCoordinator([]Shard{newStored(), newStored()}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for _, tw := range all {
+		if err := coord.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	joined := newStored()
+	if err := coord.AddShard(joined); err != nil {
+		t.Fatal(err)
+	}
+	req := core.Request{}
+	res, _, err := coord.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testx.ResultsBitEqual(res, singleNodeRef(t, all, req)) {
+		t.Fatal("post-join answer diverges from single-node execute")
+	}
+	snapSenders, recSenders := 0, 0
+	for key := range joined.Store().MetaPrefix(hwmMetaPrefix) {
+		switch {
+		case strings.HasPrefix(key, hwmMetaPrefix+"handoffsnap:"):
+			snapSenders++
+		case strings.HasPrefix(key, hwmMetaPrefix+"handoff:"):
+			recSenders++
+		}
+	}
+	if snapSenders == 0 || recSenders != 0 {
+		t.Fatalf("shape-matched join should stream snapshots only: %d snapshot senders, %d record senders",
+			snapSenders, recSenders)
+	}
+
+	// Sources that don't export snapshots (the chaos wrapper only
+	// implements Shard) force the record-export path.
+	coord2, err := NewCoordinator([]Shard{newChaosShard(newStored()), newChaosShard(newStored())}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	for _, tw := range all[:200] {
+		if err := coord2.Add(tw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	joined2 := newStored()
+	if err := coord2.AddShard(joined2); err != nil {
+		t.Fatal(err)
+	}
+	// Stats only: the 200-record subset is too sparse for the gravity
+	// fit the default request includes.
+	statsReq := core.Request{Analyses: []core.Analysis{core.AnalysisStats}}
+	res, _, err = coord2.Query(statsReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testx.ResultsBitEqual(res, singleNodeRef(t, all[:200], statsReq)) {
+		t.Fatal("record-path join answer diverges from single-node execute")
+	}
+	snapSenders, recSenders = 0, 0
+	for key := range joined2.Store().MetaPrefix(hwmMetaPrefix) {
+		switch {
+		case strings.HasPrefix(key, hwmMetaPrefix+"handoffsnap:"):
+			snapSenders++
+		case strings.HasPrefix(key, hwmMetaPrefix+"handoff:"):
+			recSenders++
+		}
+	}
+	if recSenders == 0 || snapSenders != 0 {
+		t.Fatalf("snapshot-blind sources should stream records only: %d snapshot senders, %d record senders",
+			snapSenders, recSenders)
+	}
+}

@@ -16,6 +16,7 @@ type spool interface {
 	SenderID() string
 	Append(slot int, destMask uint64, frame []byte) (uint64, error)
 	Ack(seq uint64, node int) error
+	AckBatch(seqs []uint64, node int) error
 	AckNode(node int) error
 	PendingForNode(node int, after uint64, max int) ([]wal.Record, error)
 	PendingRowsNode(node int) int64
@@ -94,6 +95,15 @@ func (m *memSpool) Ack(seq uint64, node int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.ackLocked(seq, node)
+	return nil
+}
+
+func (m *memSpool) AckBatch(seqs []uint64, node int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, seq := range seqs {
+		m.ackLocked(seq, node)
+	}
 	return nil
 }
 

@@ -20,9 +20,10 @@ import (
 // Unlike the bare Appender, an Ingestor is safe for concurrent use —
 // it is the front door of mobserve's POST /v1/ingest handler.
 type Ingestor struct {
-	mu  sync.Mutex
-	app *tweetdb.Appender
-	agg *Aggregator // nil disables ring routing (durable-only ingest)
+	mu    sync.Mutex
+	app   *tweetdb.Appender
+	store *tweetdb.Store
+	agg   *Aggregator // nil disables ring routing (durable-only ingest)
 	// batch buffers the records of the in-progress flush column-wise; the
 	// first handed records were already handed to the appender, so a flush
 	// retried after a transient failure never re-appends them (no
@@ -53,10 +54,35 @@ func NewIngestor(store *tweetdb.Store, agg *Aggregator, batchSize int) (*Ingesto
 	b.Grow(min(batchSize, 1<<14))
 	return &Ingestor{
 		app:   app,
+		store: store,
 		agg:   agg,
 		batch: b,
 		limit: batchSize,
 	}, nil
+}
+
+// Snapshot captures the ring and the store's segment catalogue under
+// the ingest lock — the lock that orders every store append before its
+// ring route, which is exactly what makes "these segment files are
+// fully reflected in these bucket files" a true statement — and commits
+// the capture to snaps. On success the captured buckets go clean, so
+// the next snapshot writes only what changed since.
+func (i *Ingestor) Snapshot(snaps *SnapshotStore) (SnapshotStats, error) {
+	if i.agg == nil {
+		return SnapshotStats{}, fmt.Errorf("live: snapshot: ingestor has no ring")
+	}
+	i.mu.Lock()
+	c := i.agg.Capture()
+	var covered []string
+	for _, m := range i.store.Segments() {
+		covered = append(covered, m.File)
+	}
+	i.mu.Unlock()
+	st, err := snaps.Commit(c, covered)
+	if err == nil {
+		i.agg.MarkSnapshotted(c)
+	}
+	return st, err
 }
 
 // Add buffers one record, flushing when the batch fills.

@@ -108,6 +108,13 @@ type Shape struct {
 	totalWords   int
 	zeroWords    []uint64
 	maxBuckets   int
+	// hash fingerprints the assignment configuration (width, scales,
+	// radii, area counts). Snapshot files record it so a restore never
+	// injects pre-resolved columns into a ring with different machinery.
+	hash uint64
+	// rollups are the tier grouping factors, in base buckets, coarsening
+	// left to right (day, then ~month, when the width divides them).
+	rollups []int64
 }
 
 type Aggregator struct {
@@ -122,6 +129,10 @@ type Aggregator struct {
 	rev      uint64
 	floorIdx int64 // buckets below this index were evicted
 	hasFloor bool
+	// tiers are the rollup caches, one per grouping factor (finest
+	// first): lazily merged multi-bucket partials that let a wide window
+	// fold dozens of partials instead of thousands (DESIGN.md §11).
+	tiers []*rollupTier
 }
 
 // bucket holds one time bucket's raw pre-resolved records plus the
@@ -136,6 +147,10 @@ type bucket struct {
 	cells  []uint64
 	sorted bool
 	part   *partial
+	// snapRev is the revision last committed to a durable snapshot; the
+	// bucket is dirty — and will be rewritten by the next snapshot
+	// commit — exactly while rev != snapRev.
+	snapRev uint64
 }
 
 // NewAggregator builds the ring and its assignment machinery (one grid
@@ -152,7 +167,11 @@ func NewAggregator(opts Options) (*Aggregator, error) {
 // Aggregators sharing a Shape are independent: only the immutable
 // assignment machinery is shared.
 func (sh *Shape) NewAggregator() *Aggregator {
-	return &Aggregator{Shape: sh, buckets: map[int64]*bucket{}}
+	a := &Aggregator{Shape: sh, buckets: map[int64]*bucket{}}
+	for _, f := range sh.rollups {
+		a.tiers = append(a.tiers, &rollupTier{factor: f, groups: map[int64]*rollupGroup{}})
+	}
+	return a
 }
 
 // NewShape resolves opts into the immutable assignment machinery (one
@@ -235,8 +254,24 @@ func NewShape(opts Options) (*Shape, error) {
 		}
 	}
 	a.zeroWords = make([]uint64, a.totalWords)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "w=%d;slots=%d;metro=%d;", a.width, a.slots, a.metroSlot)
+	for i, sc := range a.scales {
+		fmt.Fprintf(h, "s%d=%s;", i, sc)
+	}
+	for s, rs := range a.regions {
+		fmt.Fprintf(h, "r%d=%d:%x;", s, len(rs.Areas), math.Float64bits(a.slotRadius[s]))
+	}
+	a.hash = h.Sum64()
+	a.rollups = rollupFactors(a.width)
 	return a, nil
 }
+
+// Hash fingerprints the shape's assignment configuration: bucket width,
+// scale slots, radii and per-slot area counts. Two shapes with equal
+// hashes resolve records identically, so pre-resolved snapshot columns
+// written under one can be restored under the other.
+func (sh *Shape) Hash() uint64 { return sh.hash }
 
 // Width returns the bucket width.
 func (a *Aggregator) Width() time.Duration { return time.Duration(a.width) * time.Millisecond }
@@ -280,6 +315,10 @@ func (a *Aggregator) bucketIdx(ts int64) int64 {
 	}
 	return idx
 }
+
+// BucketIndex is bucketIdx for callers outside the package — recovery
+// uses it to route tail-replay records around cold-backfilled buckets.
+func (a *Aggregator) BucketIndex(ts int64) int64 { return a.bucketIdx(ts) }
 
 // Ingest routes one batch into the ring: every record is validated,
 // resolved through the multi-scale assignment hot path exactly once, and
@@ -414,6 +453,7 @@ func (a *Aggregator) evictLocked() {
 			a.hasFloor = true
 		}
 	}
+	a.pruneTiersLocked()
 }
 
 // ensureSortedLocked establishes the canonical (user, time, id) order of
@@ -512,8 +552,10 @@ func (a *Aggregator) checkFloorLocked(lo int64) error {
 }
 
 // collect gathers, under the lock, the chronological partials covering
-// [lo, hi): the materialised partial of every fully covered bucket (built
-// on demand) plus freshly built residual partials for the at most two
+// [lo, hi): cached rollup-tier partials for every aligned group of
+// buckets the window fully covers (coarsest tier first), the
+// materialised partial of every remaining fully covered bucket (built on
+// demand), plus freshly built residual partials for the at most two
 // partially covered edge buckets.
 func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 	a.mu.Lock()
@@ -532,8 +574,49 @@ func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 		}
 	}
 	slices.Sort(idxs)
-	parts := make([]*partial, 0, len(idxs))
+	type span struct {
+		start int64
+		p     *partial
+	}
+	var spans []span
+	used := map[int64]bool{}
+	// Coarsest tier first: a group is usable only when the window covers
+	// its whole time range, so every live bucket inside it contributes
+	// fully and the cached merge is window-independent.
+	for t := len(a.tiers) - 1; t >= 0; t-- {
+		tier := a.tiers[t]
+		for g := floorDiv(loIdx, tier.factor); g <= floorDiv(hiIdx, tier.factor); g++ {
+			gLo, gHi := g*tier.factor, (g+1)*tier.factor
+			if !(lo == math.MinInt64 || lo <= gLo*a.width) || !(hi == math.MaxInt64 || hi >= gHi*a.width) {
+				continue
+			}
+			members := make([]int64, 0, tier.factor)
+			taken := false
+			for idx := gLo; idx < gHi; idx++ {
+				if used[idx] {
+					taken = true
+					break
+				}
+				if b := a.buckets[idx]; b != nil && len(b.tweets) > 0 {
+					members = append(members, idx)
+				}
+			}
+			if taken || len(members) < 2 {
+				continue
+			}
+			p := a.rollupLocked(tier, g, members)
+			if p.seen {
+				spans = append(spans, span{start: gLo, p: p})
+			}
+			for _, idx := range members {
+				used[idx] = true
+			}
+		}
+	}
 	for _, idx := range idxs {
+		if used[idx] {
+			continue
+		}
 		b := a.buckets[idx]
 		if len(b.tweets) == 0 {
 			continue
@@ -552,19 +635,39 @@ func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 				rHi = hi
 			}
 			if p := a.buildRange(b, rLo, rHi); p.seen {
-				parts = append(parts, p)
+				spans = append(spans, span{start: idx, p: p})
 			}
 			continue
 		}
-		if b.part == nil {
-			b.part = a.buildRange(b, math.MinInt64, math.MaxInt64)
-			a.builds.Add(1)
-		}
-		if b.part.seen {
-			parts = append(parts, b.part)
+		if p := a.bucketPartLocked(b); p.seen {
+			spans = append(spans, span{start: idx, p: p})
 		}
 	}
+	slices.SortFunc(spans, func(x, y span) int {
+		if x.start < y.start {
+			return -1
+		}
+		if x.start > y.start {
+			return 1
+		}
+		return 0
+	})
+	parts := make([]*partial, len(spans))
+	for i, sp := range spans {
+		parts[i] = sp.p
+	}
 	return parts, nil
+}
+
+// bucketPartLocked returns b's full materialised partial, building it on
+// demand. Caller holds a.mu.
+func (a *Aggregator) bucketPartLocked(b *bucket) *partial {
+	ensureSortedLocked(b, a.slots)
+	if b.part == nil {
+		b.part = a.buildRange(b, math.MinInt64, math.MaxInt64)
+		a.builds.Add(1)
+	}
+	return b.part
 }
 
 // CoverageKey fingerprints the bucket coverage of the record window

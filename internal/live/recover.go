@@ -1,0 +1,201 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"geomob/internal/tweet"
+	"geomob/internal/tweetdb"
+)
+
+// RecoverOpts tune Recover.
+type RecoverOpts struct {
+	// Keep filters records by author — cluster slot rings pass their
+	// placement predicate so a shared store hydrates each ring with only
+	// its own users. Nil keeps every record.
+	Keep func(userID int64) bool
+	// NoFullScan makes Recover report a needed full rescan (stats
+	// FullRescan) without performing it, so a caller owning several
+	// rings over one store can batch all their full rescans into a
+	// single scan.
+	NoFullScan bool
+}
+
+// RecoveryStats describes what a boot recovery actually did — the
+// numbers /healthz surfaces and the restart smoke test asserts on.
+type RecoveryStats struct {
+	// Restored counts buckets loaded intact from snapshot files;
+	// Backfilled counts buckets degraded to a windowed cold store scan
+	// by a missing/corrupt/mismatched file; SnapErrors counts those
+	// files. FullRescan reports the whole snapshot was unusable (no/
+	// corrupt manifest, foreign shape, or covered segments missing from
+	// the store) and the ring was hydrated by a full store scan.
+	Restored   int  `json:"restored"`
+	Backfilled int  `json:"backfilled"`
+	SnapErrors int  `json:"snapshot_errors"`
+	FullRescan bool `json:"full_rescan"`
+	// TailSegments/TailRecords describe the manifest tail — segments
+	// appended after the last snapshot commit — replayed at boot.
+	TailSegments int   `json:"tail_segments"`
+	TailRecords  int64 `json:"tail_records"`
+}
+
+// Merge accumulates another ring's recovery into s (cluster shards sum
+// their per-slot recoveries for health reporting).
+func (s *RecoveryStats) Merge(o RecoveryStats) {
+	s.Restored += o.Restored
+	s.Backfilled += o.Backfilled
+	s.SnapErrors += o.SnapErrors
+	s.FullRescan = s.FullRescan || o.FullRescan
+	s.TailSegments += o.TailSegments
+	s.TailRecords += o.TailRecords
+}
+
+// Recover hydrates an empty ring from its snapshot directory and store
+// (DESIGN.md §11). The state machine per boot:
+//
+//  1. Load the snapshot manifest. Missing/corrupt/foreign-shape
+//     manifest, or covered segments absent from the store catalogue
+//     (a compaction ran) → full cold backfill, exactly like a node
+//     that never snapshotted.
+//  2. Restore the eviction floor, then every bucket file that decodes
+//     and validates; any failure marks just that bucket for cold
+//     backfill.
+//  3. Replay the tail — store segments not covered by the manifest —
+//     routing records around the failed buckets.
+//  4. Cold-backfill each failed bucket with a windowed, segment-pruned
+//     store scan.
+//
+// Every path converges on a ring whose folds are bit-identical to a
+// cold Study.Execute over the store; corruption only ever costs time.
+func Recover(a *Aggregator, store *tweetdb.Store, snaps *SnapshotStore, opts RecoverOpts) (RecoveryStats, error) {
+	st := RecoveryStats{}
+	man, err := snaps.loadManifest()
+	usable := err == nil &&
+		man.ShapeHash == fmt.Sprintf("%016x", a.hash) &&
+		man.Width == a.width
+	segments := store.Segments()
+	current := make(map[string]bool, len(segments))
+	for _, m := range segments {
+		current[m.File] = true
+	}
+	if usable {
+		for _, f := range man.Covered {
+			if !current[f] {
+				// A covered segment vanished (compaction rewrote the
+				// catalogue): the tail can no longer be identified, so
+				// the snapshot cannot be trusted not to double-count.
+				usable = false
+				break
+			}
+		}
+	}
+	if !usable {
+		st.FullRescan = true
+		if opts.NoFullScan {
+			return st, nil
+		}
+		n, err := backfillFiltered(a, store, tweetdb.Query{}, opts.Keep, nil, nil)
+		st.TailRecords = n
+		return st, err
+	}
+
+	a.restoreFloor(man.HasFloor, man.FloorIdx)
+	covered := make(map[string]bool, len(man.Covered))
+	for _, f := range man.Covered {
+		covered[f] = true
+	}
+	failed := map[int64]bool{}
+	for _, bm := range man.Buckets {
+		blob, rerr := os.ReadFile(filepath.Join(snaps.dir, bm.File))
+		if rerr != nil {
+			failed[bm.Idx] = true
+			st.SnapErrors++
+			continue
+		}
+		bs, derr := a.DecodeBucketSnapshot(blob)
+		if derr != nil || bs.Idx != bm.Idx || bs.Count() != bm.Count {
+			failed[bm.Idx] = true
+			st.SnapErrors++
+			continue
+		}
+		a.restoreBucket(bs, true)
+		st.Restored++
+	}
+
+	var tail []string
+	for _, m := range segments {
+		if !covered[m.File] {
+			tail = append(tail, m.File)
+		}
+	}
+	if len(tail) > 0 {
+		st.TailSegments = len(tail)
+		n, err := backfillFiltered(a, store, tweetdb.Query{Files: tail}, opts.Keep, failed, nil)
+		st.TailRecords = n
+		if err != nil {
+			return st, err
+		}
+	}
+	for idx := range failed {
+		idx := idx
+		q := tweetdb.Query{FromTS: idx * a.width}
+		if hi := (idx + 1) * a.width; hi > 0 {
+			q.ToTS = hi
+		}
+		if _, err := backfillFiltered(a, store, q, opts.Keep, nil, &idx); err != nil {
+			return st, err
+		}
+		st.Backfilled++
+	}
+	return st, nil
+}
+
+// backfillFiltered scans the store with q and routes matching records
+// into the ring, dropping rows whose author fails keep, whose bucket is
+// in skip, or — when only is non-nil — whose bucket is not *only. It
+// returns how many records were routed.
+func backfillFiltered(a *Aggregator, store *tweetdb.Store, q tweetdb.Query, keep func(int64) bool, skip map[int64]bool, only *int64) (int64, error) {
+	it := store.Scan(q)
+	defer it.Close()
+	buf := &tweet.Batch{}
+	total := int64(0)
+	flush := func() error {
+		if buf.Len() == 0 {
+			return nil
+		}
+		err := a.IngestBatch(buf)
+		total += int64(buf.Len())
+		buf.Reset()
+		return err
+	}
+	for {
+		blk, ok := it.NextBlock()
+		if !ok {
+			break
+		}
+		for i := 0; i < blk.Len(); i++ {
+			if keep != nil && !keep(blk.UserID[i]) {
+				continue
+			}
+			idx := a.bucketIdx(blk.TS[i])
+			if skip != nil && skip[idx] {
+				continue
+			}
+			if only != nil && idx != *only {
+				continue
+			}
+			buf.Append(blk.Row(i))
+			if buf.Len() >= 1<<14 {
+				if err := flush(); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, it.Err()
+}

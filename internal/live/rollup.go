@@ -1,0 +1,244 @@
+package live
+
+import (
+	"hash/fnv"
+	"slices"
+	"sync/atomic"
+
+	"geomob/internal/geo"
+	"geomob/internal/mobility"
+)
+
+// Rollup tiers (DESIGN.md §11): cached partials merged over aligned
+// groups of base buckets, so a multi-year window at an hourly bucket
+// width folds dozens of day/month partials instead of tens of thousands
+// of hour partials. A tier partial is produced by mergePartials, which
+// reproduces exactly the stitching the fold itself performs — boundary
+// waits/displacements/flow transitions via the same single-sourced
+// mobility operations, order-preserving concatenation of the float
+// series — so folding [tier partial] is bit-identical to folding its
+// member bucket partials (property-tested).
+
+const dayMs = int64(24 * 60 * 60 * 1000)
+
+// rollupFactors picks the tier grouping factors for a bucket width:
+// one day and one (30-day) month, whenever the width divides them and
+// each tier nests the previous one. Hourly buckets get [24, 720].
+func rollupFactors(width int64) []int64 {
+	var fs []int64
+	for _, span := range []int64{dayMs, 30 * dayMs} {
+		if span <= width || span%width != 0 {
+			continue
+		}
+		f := span / width
+		if n := len(fs); n > 0 && (f <= fs[n-1] || f%fs[n-1] != 0) {
+			continue
+		}
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// rollupTier caches the merged partials of one grouping factor.
+type rollupTier struct {
+	factor int64
+	groups map[int64]*rollupGroup
+	builds atomic.Int64
+	hits   atomic.Int64
+}
+
+// rollupGroup is one aligned group's cached merge, valid exactly while
+// the fingerprint of its member buckets' (index, revision) pairs holds.
+type rollupGroup struct {
+	fp   uint64
+	part *partial
+}
+
+// floorDiv is exact floor division for possibly negative bucket indexes.
+func floorDiv(x, d int64) int64 {
+	q := x / d
+	if x%d != 0 && (x < 0) != (d < 0) {
+		q--
+	}
+	return q
+}
+
+// rollupLocked returns the cached merge of group g's member buckets,
+// rebuilding it when any member changed. Caller holds a.mu; members are
+// sorted non-empty live bucket indexes inside the group's range.
+func (a *Aggregator) rollupLocked(t *rollupTier, g int64, members []int64) *partial {
+	h := fnv.New64a()
+	var kb [16]byte
+	for _, idx := range members {
+		putI64(kb[:8], idx)
+		putU64(kb[8:], a.buckets[idx].rev)
+		h.Write(kb[:])
+	}
+	fp := h.Sum64()
+	if grp := t.groups[g]; grp != nil && grp.fp == fp {
+		t.hits.Add(1)
+		return grp.part
+	}
+	parts := make([]*partial, 0, len(members))
+	for _, idx := range members {
+		if p := a.bucketPartLocked(a.buckets[idx]); p.seen {
+			parts = append(parts, p)
+		}
+	}
+	merged := a.mergePartials(parts)
+	t.groups[g] = &rollupGroup{fp: fp, part: merged}
+	t.builds.Add(1)
+	return merged
+}
+
+// pruneTiersLocked drops cached groups wholly below the eviction floor.
+// Caller holds a.mu.
+func (a *Aggregator) pruneTiersLocked() {
+	if !a.hasFloor {
+		return
+	}
+	for _, t := range a.tiers {
+		for g := range t.groups {
+			if (g+1)*t.factor <= a.floorIdx {
+				delete(t.groups, g)
+			}
+		}
+	}
+}
+
+// RollupTierStats is one tier's health snapshot.
+type RollupTierStats struct {
+	// Factor is the group size in base buckets; Groups the cached
+	// merges currently held; Builds/Hits the lifetime cache counters.
+	Factor int64 `json:"factor"`
+	Groups int   `json:"groups"`
+	Builds int64 `json:"builds"`
+	Hits   int64 `json:"hits"`
+}
+
+// RollupStats reports the rollup tier caches, finest tier first.
+func (a *Aggregator) RollupStats() []RollupTierStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]RollupTierStats, len(a.tiers))
+	for i, t := range a.tiers {
+		out[i] = RollupTierStats{Factor: t.factor, Groups: len(t.groups), Builds: t.builds.Load(), Hits: t.hits.Load()}
+	}
+	return out
+}
+
+// mergePartials merges chronologically ordered, non-overlapping partials
+// into one partial covering their union, preserving the fold contract:
+// folding [..., M, ...] is bit-identical to folding [..., p1..pk, ...].
+// The construction is the fold's own per-user stitching — boundary
+// waiting times, displacements and flow transitions computed with the
+// same single mobility operations, interior float series concatenated in
+// serial order — re-emitted as a partial instead of observer state.
+func (a *Aggregator) mergePartials(parts []*partial) *partial {
+	m := &partial{bbox: geo.EmptyBBox(), flows: make([]flowAcc, len(a.scales))}
+	for s := range m.flows {
+		m.flows[s] = newFlowAcc(len(a.regions[s].Areas))
+	}
+	for _, p := range parts {
+		m.tweets += p.tweets
+		if p.seen {
+			m.bbox = m.bbox.Union(p.bbox)
+			if !m.seen || p.firstTS < m.firstTS {
+				m.firstTS = p.firstTS
+			}
+			if !m.seen || p.lastTS > m.lastTS {
+				m.lastTS = p.lastTS
+			}
+			m.seen = true
+		}
+	}
+	// Interior transitions are counts: they sum exactly in any order.
+	for s := range m.flows {
+		dst := m.flows[s]
+		for _, p := range parts {
+			src := p.flows[s]
+			for r := range src.flows {
+				row := dst.flows[r]
+				for c, v := range src.flows[r] {
+					row[c] += v
+				}
+				dst.stays[r] += src.stays[r]
+			}
+		}
+	}
+	slots := a.slots
+	heads := make([]int, len(parts))
+	var cellScratch []uint64
+	for {
+		u, found := int64(0), false
+		for pi, p := range parts {
+			if heads[pi] < len(p.users) && (!found || p.users[heads[pi]].id < u) {
+				u = p.users[heads[pi]].id
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		row := -1
+		cellScratch = cellScratch[:0]
+		for pi, p := range parts {
+			if heads[pi] >= len(p.users) || p.users[heads[pi]].id != u {
+				continue
+			}
+			prow := heads[pi]
+			r := &p.users[prow]
+			heads[pi]++
+			if row < 0 {
+				m.users = append(m.users, userPart{
+					id: u, firstTS: r.firstTS, firstPt: r.firstPt,
+					w0: len(m.waits), v0: len(m.vecs),
+				})
+				row = len(m.users) - 1
+				m.firstArea = append(m.firstArea, p.firstArea[prow*slots:(prow+1)*slots]...)
+				m.lastArea = append(m.lastArea, p.lastArea[prow*slots:(prow+1)*slots]...)
+				m.marks = append(m.marks, a.zeroWords...)
+			} else {
+				cu := &m.users[row]
+				// Boundary between the previous member's last tweet and
+				// this member's first — the exact stitch the fold does.
+				m.waits = append(m.waits, mobility.WaitingSecs(cu.lastTS, r.firstTS))
+				m.disps = append(m.disps, mobility.DisplacementKM(cu.lastPt, r.firstPt))
+				for s := range a.scales {
+					pa, ca := m.lastArea[row*slots+s], p.firstArea[prow*slots+s]
+					if pa >= 0 && ca >= 0 {
+						if pa == ca {
+							m.flows[s].stays[ca]++
+						} else {
+							m.flows[s].flows[pa][ca]++
+						}
+					}
+				}
+				copy(m.lastArea[row*slots:(row+1)*slots], p.lastArea[prow*slots:(prow+1)*slots])
+			}
+			m.waits = append(m.waits, p.waits[r.w0:r.w1]...)
+			m.disps = append(m.disps, p.disps[r.w0:r.w1]...)
+			m.vecs = append(m.vecs, p.vecs[r.v0:r.v0+3*int(r.n)]...)
+			cellScratch = append(cellScratch, p.cells[r.c0:r.c1]...)
+			mb, pb := row*a.totalWords, prow*a.totalWords
+			for w := 0; w < a.totalWords; w++ {
+				m.marks[mb+w] |= p.marks[pb+w]
+			}
+			cu := &m.users[row]
+			cu.n += r.n
+			cu.lastTS = r.lastTS
+			cu.lastPt = r.lastPt
+		}
+		cu := &m.users[row]
+		cu.w1 = len(m.waits)
+		slices.Sort(cellScratch)
+		cu.c0 = len(m.cells)
+		for i, c := range cellScratch {
+			if i == 0 || c != cellScratch[i-1] {
+				m.cells = append(m.cells, c)
+			}
+		}
+		cu.c1 = len(m.cells)
+	}
+	return m
+}

@@ -21,6 +21,11 @@ type Query struct {
 	// pipeline: ShardQueries splits a query into user-disjoint ranges
 	// that can be scanned concurrently.
 	MinUserID, MaxUserID *int64
+	// Files restricts the scan to the named segment files when non-nil.
+	// Recovery uses it to replay exactly the manifest tail — the
+	// segments appended after the last durable snapshot — without
+	// touching the (much larger) covered prefix.
+	Files []string
 }
 
 // matches reports whether a single record satisfies the query.
@@ -150,7 +155,21 @@ type Iterator struct {
 func (s *Store) Scan(q Query) *Iterator {
 	s.scans.Add(1)
 	s.activeScans.Add(1)
-	return &Iterator{store: s, query: q, segments: s.Segments()}
+	segments := s.Segments()
+	if q.Files != nil {
+		want := make(map[string]bool, len(q.Files))
+		for _, f := range q.Files {
+			want[f] = true
+		}
+		kept := segments[:0]
+		for _, m := range segments {
+			if want[m.File] {
+				kept = append(kept, m)
+			}
+		}
+		segments = kept
+	}
+	return &Iterator{store: s, query: q, segments: segments}
 }
 
 // release marks the iterator finished exactly once.

@@ -42,6 +42,11 @@ type Store struct {
 	// observability hook that lets callers (and tests) assert whether a
 	// request was answered from a cache or went back to the segments.
 	scans atomic.Int64
+	// segLoads counts segment payload decodes — the unit of real scan
+	// work. ScanCount says a reader went back to the store; SegmentLoads
+	// says how much of it was actually read, which is what distinguishes
+	// an O(tail) recovery replay from a full-store rescan.
+	segLoads atomic.Int64
 	// activeScans counts iterators that have not finished (or been
 	// closed) yet. Compact defers deleting retired segment files while
 	// any are live, because their catalogue snapshots may still
@@ -132,6 +137,10 @@ func (s *Store) Generation() uint64 {
 
 // ScanCount reports how many scans were started on this store.
 func (s *Store) ScanCount() int64 { return s.scans.Load() }
+
+// SegmentLoads reports how many segment payloads were decoded over the
+// store's lifetime (scans and compactions alike).
+func (s *Store) SegmentLoads() int64 { return s.segLoads.Load() }
 
 // Segments returns a snapshot of the segment catalogue.
 func (s *Store) Segments() []SegmentMeta {
@@ -341,6 +350,7 @@ func (s *Store) loadBlock(meta SegmentMeta) (*ColumnBlock, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tweetdb: read segment %s: %w", meta.File, err)
 	}
+	s.segLoads.Add(1)
 	h, err := unmarshalHeader(raw)
 	if err != nil {
 		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)

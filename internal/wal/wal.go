@@ -127,9 +127,9 @@ type Spool struct {
 	nextSeq    uint64
 	nextSeg    int
 	index      map[uint64]*prec
-	segPending map[int]int             // unacked data records per segment
-	rowsNode   map[int]int64           // pending rows per destination node
-	rowsSN     map[int]map[int]int64   // node -> slot -> pending rows
+	segPending map[int]int           // unacked data records per segment
+	rowsNode   map[int]int64         // pending rows per destination node
+	rowsSN     map[int]map[int]int64 // node -> slot -> pending rows
 	corrupt    bool
 
 	syncMu  sync.Mutex
@@ -531,6 +531,33 @@ func (s *Spool) Ack(seq uint64, node int) error {
 	le.PutUint32(payload[4:8], uint32(node))
 	le.PutUint64(payload[8:16], seq)
 	return s.appendRecordLocked(payload)
+}
+
+// AckBatch marks several sequences delivered to node in one locked
+// pass — the lane's companion to a batched shard delivery: one lock
+// acquisition and one contiguous run of ack records instead of one
+// round trip per frame. Like Ack, the records are logged but not
+// individually fsynced; a lost ack redelivers and deduplicates.
+func (s *Spool) AckBatch(seqs []uint64, node int) error {
+	if node < 0 || node >= 64 {
+		return fmt.Errorf("wal: node %d out of range", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	le := binary.LittleEndian
+	for _, seq := range seqs {
+		if !s.clearPendingLocked(seq, node) {
+			continue
+		}
+		payload := make([]byte, ackLen)
+		payload[0] = kindAck
+		le.PutUint32(payload[4:8], uint32(node))
+		le.PutUint64(payload[8:16], seq)
+		if err := s.appendRecordLocked(payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AckNode force-acks every pending record for node — used when a

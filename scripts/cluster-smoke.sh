@@ -27,13 +27,18 @@ BASE_PORT="${CLUSTER_SMOKE_PORT:-18180}"
 P_SHARD0=$BASE_PORT; P_SHARD1=$((BASE_PORT+1)); P_SHARD2=$((BASE_PORT+2))
 P_COORD=$((BASE_PORT+3)); P_SINGLE=$((BASE_PORT+4))
 PIDS=()
-trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+# The nodes drain on SIGTERM (flushing a final snapshot), so wait for
+# them before removing the workdir out from under the flush.
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; wait 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/mobserve" ./cmd/mobserve
 go build -o "$WORK/mobgen" ./cmd/mobgen
 
-start_shard() { # port dbdir logname
-  "$WORK/mobserve" -cluster-shard -db "$2" -addr "127.0.0.1:$1" >>"$WORK/$3.log" 2>&1 &
+start_shard() { # port dbdir logname — chaos shards get a snapshot dir
+  local flags=()
+  [ "$CHAOS" = 1 ] && flags=(-snapshot-dir "$2-snap")
+  "$WORK/mobserve" -cluster-shard -db "$2" -addr "127.0.0.1:$1" \
+    ${flags[@]+"${flags[@]}"} >>"$WORK/$3.log" 2>&1 &
   PIDS+=($!)
   eval "PID_$3=$!"
 }
@@ -154,6 +159,13 @@ tail -n +"$((HALF + 1))" "$WORK/batch.ndjson" >"$WORK/half2.ndjson"
 N1=$(curl -fsS -X POST --data-binary @"$WORK/half1.ndjson" "http://127.0.0.1:$P_COORD/v1/ingest" | jsonget ingested)
 echo "cluster-smoke: chaos: first half ingested ($N1 records)"
 
+# Commit a durable snapshot on the shard about to die: its restart must
+# come back through snapshot restore, not a full store rescan.
+wait_drained
+SNAP1=$(curl -fsS -X POST "http://127.0.0.1:$P_SHARD1/v1/snapshot" | jsonget buckets)
+echo "cluster-smoke: chaos: shard1 snapshotted ($SNAP1 buckets)"
+[ "$SNAP1" -gt 0 ] || { echo "cluster-smoke: chaos: shard1 snapshot empty"; exit 1; }
+
 # SIGKILL shard1 while the second half is in flight. The spool is the
 # acknowledgement point, so the ingest must still be fully accepted.
 curl -fsS -X POST --data-binary @"$WORK/half2.ndjson" "http://127.0.0.1:$P_COORD/v1/ingest" >"$WORK/ing2.json" &
@@ -176,11 +188,20 @@ STATUS=$(curl -fsS "http://127.0.0.1:$P_COORD/healthz" | jsonget status)
 [ "$STATUS" = "degraded" ] || { echo "cluster-smoke: chaos: health is $STATUS with a member down, want degraded"; exit 1; }
 compare_endpoints "shard1 down"
 
-# Restart shard1 over the same store and port. The coordinator's lanes
-# replay its spooled backlog (deduplicated by the delivery high-water
-# mark), pending drains to zero, and health returns to ok.
+# Restart shard1 over the same store, snapshot dir and port. The boot
+# must hydrate from the snapshot files (restored buckets, no full
+# rescan — a tail replay of post-snapshot segments is fine); then the
+# coordinator's lanes replay its spooled backlog (deduplicated by the
+# delivery high-water mark), pending drains to zero, and health
+# returns to ok.
 start_shard "$P_SHARD1" "$WORK/shard1" shard1
 wait_up "$P_SHARD1" shard1
+curl -fsS "http://127.0.0.1:$P_SHARD1/shard/v1/health" >"$WORK/shard1-health.json"
+S1_RESTORED=$(jsonget shard.recovery.restored <"$WORK/shard1-health.json")
+S1_RESCAN=$(jsonget shard.recovery.full_rescan <"$WORK/shard1-health.json")
+echo "cluster-smoke: chaos: shard1 recovery restored=$S1_RESTORED full_rescan=$S1_RESCAN"
+[ "$S1_RESTORED" -gt 0 ] || { echo "cluster-smoke: chaos: shard1 restored no buckets from snapshots"; exit 1; }
+[ "$S1_RESCAN" = "False" ] || { echo "cluster-smoke: chaos: shard1 fell back to a full rescan"; exit 1; }
 wait_drained
 for _ in $(seq 1 150); do
   STATUS=$(curl -fsS "http://127.0.0.1:$P_COORD/healthz" | jsonget status)

@@ -5,32 +5,62 @@
 # /v1/flows return non-empty results, and that repeat queries are served
 # from the snapshot cache with zero store scans — the bucket ring, not
 # the segment files, answers everything.
+#
+# With --restart (CI's e2e-restart job): the server runs with a durable
+# snapshot directory. After the ingest-and-query pass, one snapshot is
+# committed through POST /v1/snapshot and the server is killed with
+# SIGKILL — no drain, no warning. The restarted server must hydrate
+# from the snapshot files alone: /healthz proves zero store scans and a
+# recovery that restored every bucket with no full rescan and no tail
+# replay, and the /v1 answers are byte-identical to the pre-crash ones
+# (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RESTART=0
+[ "${1:-}" = "--restart" ] && RESTART=1
 
 WORK=$(mktemp -d)
 PORT="${SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
 SERVER_PID=""
-trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+# The server drains on SIGTERM (flushing a final snapshot in restart
+# mode), so wait for it before removing the workdir under the flush.
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/mobserve" ./cmd/mobserve
 go build -o "$WORK/mobgen" ./cmd/mobgen
 
-"$WORK/mobserve" -db "$WORK/store" -addr "127.0.0.1:$PORT" -live -bucket 1h >"$WORK/server.log" 2>&1 &
-SERVER_PID=$!
+start_server() {
+  local flags=()
+  [ "$RESTART" = 1 ] && flags=(-snapshot-dir "$WORK/snaps")
+  "$WORK/mobserve" -db "$WORK/store" -addr "127.0.0.1:$PORT" -live -bucket 1h \
+    ${flags[@]+"${flags[@]}"} >>"$WORK/server.log" 2>&1 &
+  SERVER_PID=$!
+}
 
-for _ in $(seq 1 100); do
-  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
-  sleep 0.2
-done
-curl -fsS "$BASE/healthz" >/dev/null || { echo "smoke: server did not come up"; cat "$WORK/server.log"; exit 1; }
+wait_up() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "smoke: server did not come up"; cat "$WORK/server.log"; exit 1
+}
+
+start_server
+wait_up
 
 "$WORK/mobgen" -users 500 -ndjson >"$WORK/batch.ndjson" 2>/dev/null
 
 jsonget() { python3 -c 'import json,sys; d=json.load(sys.stdin)
 for k in sys.argv[1].split("."): d=d[k]
 print(d)' "$1"; }
+
+# strip_cached drops the "cached" metadata before byte comparison: it
+# says whether this serving recomputed, not what the answer is.
+strip_cached() { python3 -c 'import json,sys
+d=json.load(sys.stdin); d.pop("cached",None)
+json.dump(d,sys.stdout,indent=2,sort_keys=True)'; }
 
 INGESTED=$(curl -fsS -X POST --data-binary @"$WORK/batch.ndjson" "$BASE/v1/ingest" | jsonget ingested)
 echo "smoke: ingested $INGESTED records"
@@ -57,4 +87,57 @@ python3 -c "import sys; sys.exit(0 if float('$FLOW_TOTAL') > 0 else 1)" || { ech
 SCANS1=$(curl -fsS "$BASE/healthz" | jsonget scans)
 [ "$SCANS0" = "$SCANS1" ] || { echo "smoke: /v1 queries scanned the store ($SCANS0 -> $SCANS1)"; exit 1; }
 
-echo "smoke: OK (cached repeats, zero scans: $SCANS1)"
+if [ "$RESTART" = 0 ]; then
+  echo "smoke: OK (cached repeats, zero scans: $SCANS1)"
+  exit 0
+fi
+
+# ---- restart mode: snapshot, SIGKILL, recover from the files alone ----
+strip_cached <"$WORK/pop1.json" >"$WORK/pop-before.json"
+strip_cached <"$WORK/flows1.json" >"$WORK/flows-before.json"
+curl -fsS "$BASE/v1/stats" | strip_cached >"$WORK/stats-before.json"
+
+SNAP_BUCKETS=$(curl -fsS -X POST "$BASE/v1/snapshot" | jsonget buckets)
+echo "smoke: snapshot committed ($SNAP_BUCKETS buckets)"
+[ "$SNAP_BUCKETS" -gt 0 ] || { echo "smoke: snapshot committed no buckets"; exit 1; }
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "smoke: server killed with SIGKILL"
+
+start_server
+wait_up
+
+curl -fsS "$BASE/healthz" >"$WORK/health.json"
+SCANS=$(jsonget scans <"$WORK/health.json")
+RESTORED=$(jsonget recovery.restored <"$WORK/health.json")
+RESCAN=$(jsonget recovery.full_rescan <"$WORK/health.json")
+TAIL=$(jsonget recovery.tail_records <"$WORK/health.json")
+echo "smoke: restart recovery restored=$RESTORED full_rescan=$RESCAN tail_records=$TAIL scans=$SCANS"
+SNAP_B=$(jsonget snapshot.buckets <"$WORK/health.json")
+SNAP_BYTES=$(jsonget snapshot.bytes <"$WORK/health.json")
+SNAP_AGE=$(jsonget snapshot.age_seconds <"$WORK/health.json")
+echo "smoke: healthz snapshot buckets=$SNAP_B bytes=$SNAP_BYTES age=${SNAP_AGE}s"
+[ "$SNAP_B" -gt 0 ] && [ "$SNAP_BYTES" -gt 0 ] || { echo "smoke: healthz snapshot block empty"; exit 1; }
+python3 -c "import sys; sys.exit(0 if float('$SNAP_AGE') >= 0 else 1)" || { echo "smoke: bad snapshot age"; exit 1; }
+jsonget live.rollups <"$WORK/health.json" >/dev/null || { echo "smoke: healthz live block lacks rollup tiers"; exit 1; }
+[ "$RESTORED" -gt 0 ] || { echo "smoke: restart restored no buckets"; exit 1; }
+[ "$RESCAN" = "False" ] || { echo "smoke: restart fell back to a full rescan"; exit 1; }
+[ "$TAIL" = "0" ] || { echo "smoke: restart replayed a tail after a covering snapshot"; exit 1; }
+[ "$SCANS" = "0" ] || { echo "smoke: restart scanned the store $SCANS times, want 0"; exit 1; }
+
+for pair in "v1/population?scale=national:pop" "v1/flows?scale=national:flows" "v1/stats:stats"; do
+  ep=${pair%:*}; name=${pair#*:}
+  curl -fsS "$BASE/$ep" | strip_cached >"$WORK/$name-after.json"
+  if ! cmp -s "$WORK/$name-before.json" "$WORK/$name-after.json"; then
+    echo "smoke: /$ep diverged across the crash restart:"
+    diff "$WORK/$name-before.json" "$WORK/$name-after.json" || true
+    exit 1
+  fi
+  echo "smoke: /$ep byte-identical across restart"
+done
+
+SCANS=$(curl -fsS "$BASE/healthz" | jsonget scans)
+[ "$SCANS" = "0" ] || { echo "smoke: post-restart /v1 queries scanned the store"; exit 1; }
+
+echo "smoke: restart OK (snapshot recovery, zero scans, identical answers)"
