@@ -229,18 +229,18 @@ func (d *downableShard) Flush() error {
 	return d.inner.Flush()
 }
 
-func (d *downableShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+func (d *downableShard) Partials(ctx context.Context, req core.Request, slots []int) ([]*live.ShardPartial, error) {
 	if d.down.Load() {
 		return nil, d.err()
 	}
-	return d.inner.Partials(req, slots)
+	return d.inner.Partials(ctx, req, slots)
 }
 
-func (d *downableShard) Coverage(req core.Request, slots []int) (string, error) {
+func (d *downableShard) Coverage(ctx context.Context, req core.Request, slots []int) (string, error) {
 	if d.down.Load() {
 		return "", d.err()
 	}
-	return d.inner.Coverage(req, slots)
+	return d.inner.Coverage(ctx, req, slots)
 }
 
 func (d *downableShard) Export(slot int, fn func(*tweet.Batch) error) error {

@@ -73,6 +73,7 @@ import (
 	"geomob/internal/heatmap"
 	"geomob/internal/live"
 	"geomob/internal/mobility"
+	"geomob/internal/obs"
 	"geomob/internal/svcache"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
@@ -120,6 +121,15 @@ type server struct {
 	// built once per process instead of once per /flows request.
 	mapperMu sync.Mutex
 	mappers  map[census.Scale]*mobility.AreaMapper
+
+	// obsReg holds this instance's state gauges (store size, ring and
+	// snapshot state, cache stats). /metrics renders it after the
+	// process-global obs.Def, and /healthz assembles its numbers from one
+	// coherent Snapshot() of it.
+	obsReg *obs.Registry
+	// slowQuery logs any traced query slower than this with its trace ID
+	// and per-stage breakdown (-slow-query); zero disables.
+	slowQuery time.Duration
 }
 
 func newServer(store *tweetdb.Store, workers int) *server {
@@ -130,6 +140,7 @@ func newServer(store *tweetdb.Store, workers int) *server {
 		baseCtx:        context.Background(),
 		mappers:        map[census.Scale]*mobility.AreaMapper{},
 		maxIngestBytes: cluster.DefaultMaxBodyBytes,
+		obsReg:         obs.NewRegistry(),
 	}
 }
 
@@ -262,8 +273,21 @@ func main() {
 
 		snapDir   = flag.String("snapshot-dir", "", "durable bucket-partial snapshot directory (with -live, -cluster-shard or -partitions): restart restores intact buckets and replays only the store tail")
 		snapEvery = flag.Duration("snapshot-interval", 0, "periodic snapshot commit interval (0 disables; needs -snapshot-dir); a final snapshot is always flushed on graceful drain")
+
+		slowQuery   = flag.Duration("slow-query", 0, "log /v1 queries slower than this as one structured line with trace ID and per-stage timings (0 disables)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty disables)")
+		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		b := obs.Build()
+		rev := b.Revision
+		if b.Modified {
+			rev += "+dirty"
+		}
+		fmt.Printf("mobserve %s (revision %s, %s)\n", b.Version, rev, b.GoVersion)
+		return
+	}
 	modes := 0
 	for _, on := range []bool{*shardMode, *coordsTo != "", *partsN > 0} {
 		if on {
@@ -330,15 +354,15 @@ func main() {
 				rec.Restored, rec.Backfilled, rec.FullRescan, rec.TailRecords, shard.Buckets(), *bucket)
 		}
 		node := cluster.NewNode(shard, cluster.NodeOptions{MaxBodyBytes: *maxBody})
-		if *snapDir == "" {
-			handler = node
-		} else {
+		obs.RegisterBuildMetrics(obs.Def)
+		mux := http.NewServeMux()
+		mux.Handle("/", node)
+		mux.Handle("GET /metrics", obs.Handler(obs.Def))
+		if *snapDir != "" {
 			snapFn = shard.Snapshot
-			mux := http.NewServeMux()
-			mux.Handle("/", node)
 			mux.Handle("POST /v1/snapshot", snapshotHandler(snapFn))
-			handler = mux
 		}
+		handler = mux
 
 	case *coordsTo != "", *partsN > 0:
 		var shards []cluster.Shard
@@ -392,6 +416,7 @@ func main() {
 		s.maxIngestBytes = *maxBody
 		s.baseCtx = ctx
 		s.localShards = locals
+		s.slowQuery = *slowQuery
 		if len(locals) > 0 {
 			snapFn = s.snapshotNow
 		}
@@ -407,6 +432,7 @@ func main() {
 		}
 		s := newServer(store, *workers)
 		s.maxIngestBytes = *maxBody
+		s.slowQuery = *slowQuery
 		if *liveMode {
 			if err := s.enableLiveSnap(*bucket, *snapDir); err != nil {
 				log.Fatal(err)
@@ -427,6 +453,14 @@ func main() {
 		}
 		s.baseCtx = ctx
 		handler = s.routes()
+	}
+
+	// The pprof listener is separate from the service address so profile
+	// endpoints are never reachable through the public port.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof on %s: %v", *pprofAddr, http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	// The periodic snapshot loop bounds the tail a crash restart must
@@ -489,16 +523,18 @@ func main() {
 
 // routes assembles the mux over the server's handlers.
 func (s *server) routes() *http.ServeMux {
+	s.registerInstanceMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler(obs.Def, s.obsReg))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /tweets", s.handleTweets)
 	mux.HandleFunc("GET /density.png", s.handleDensity)
 	mux.HandleFunc("GET /flows", s.handleFlows)
-	mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
-	mux.HandleFunc("GET /v1/population", s.handleV1Population)
-	mux.HandleFunc("GET /v1/models", s.handleV1Models)
-	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
+	mux.HandleFunc("GET /v1/stats", s.traced("/v1/stats", s.handleV1Stats))
+	mux.HandleFunc("GET /v1/population", s.traced("/v1/population", s.handleV1Population))
+	mux.HandleFunc("GET /v1/models", s.traced("/v1/models", s.handleV1Models))
+	mux.HandleFunc("GET /v1/flows", s.traced("/v1/flows", s.handleV1Flows))
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	if s.snaps != nil {
 		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
@@ -511,12 +547,14 @@ func (s *server) routes() *http.ServeMux {
 // /density.png, /flows) have no meaning here — the records live on the
 // shard nodes.
 func (s *server) clusterRoutes() *http.ServeMux {
+	s.registerInstanceMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
-	mux.HandleFunc("GET /v1/population", s.handleV1Population)
-	mux.HandleFunc("GET /v1/models", s.handleV1Models)
-	mux.HandleFunc("GET /v1/flows", s.handleV1Flows)
+	mux.Handle("GET /metrics", obs.Handler(obs.Def, s.obsReg))
+	mux.HandleFunc("GET /v1/stats", s.traced("/v1/stats", s.handleV1Stats))
+	mux.HandleFunc("GET /v1/population", s.traced("/v1/population", s.handleV1Population))
+	mux.HandleFunc("GET /v1/models", s.traced("/v1/models", s.handleV1Models))
+	mux.HandleFunc("GET /v1/flows", s.traced("/v1/flows", s.handleV1Flows))
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	if len(s.localShards) > 0 {
 		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
@@ -552,11 +590,17 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// handleHealthz reports liveness. Every numeric field is read back out
+// of one obsReg.Snapshot() — a single coherent scrape of the instance
+// gauges — rather than from each component ad hoc; the JSON shape is
+// unchanged from before the registry existed (pinned by
+// TestHealthzShape) with one addition, the "build" block.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.registerInstanceMetrics()
+	snap := s.obsReg.Snapshot()
 	if s.coord != nil {
 		// Cluster mode: the coordinator's cache is the live one (the
 		// server-level cache never sees a query).
-		hits, misses := s.coord.CacheStats()
 		shards := s.coord.Health()
 		degraded := false
 		for _, st := range shards {
@@ -572,41 +616,47 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"status":          status,
 			"ring":            s.coord.RingStatus(),
 			"shards":          shards,
-			"ingested":        s.coord.Ingested(),
-			"partial_fetches": s.coord.PartialFetches(),
-			"cache":           map[string]int64{"hits": hits, "misses": misses},
+			"ingested":        snap.Int("geomob_coord_ingested_rows"),
+			"partial_fetches": snap.Int("geomob_coord_partial_fetches"),
+			"cache": map[string]int64{
+				"hits":   snap.Int("geomob_coord_cache_hits"),
+				"misses": snap.Int("geomob_coord_cache_misses"),
+			},
+			"build": buildBlock(),
 		})
 		return
 	}
-	hits, misses := s.cache.Stats()
 	resp := map[string]any{
 		"status":     "ok",
-		"tweets":     s.store.Count(),
+		"tweets":     snap.Int("geomob_store_tweets"),
 		"generation": strconv.FormatUint(s.store.Generation(), 16),
-		"scans":      s.store.ScanCount(),
-		"cache":      map[string]int64{"hits": hits, "misses": misses},
+		"scans":      snap.Int("geomob_store_scans"),
+		"cache": map[string]int64{
+			"hits":   snap.Int("geomob_cache_hits"),
+			"misses": snap.Int("geomob_cache_misses"),
+		},
+		"build": buildBlock(),
 	}
 	if s.agg != nil {
 		resp["live"] = map[string]any{
-			"buckets":  s.agg.Buckets(),
+			"buckets":  snap.Int("geomob_live_buckets"),
 			"width":    s.agg.Width().String(),
-			"ingested": s.agg.Ingested(),
-			"builds":   s.agg.Builds(),
+			"ingested": snap.Int("geomob_live_ingested_rows"),
+			"builds":   snap.Int("geomob_live_builds"),
 			"rollups":  s.agg.RollupStats(),
 		}
 	}
 	if s.snaps != nil {
-		st := s.snaps.Stats()
-		snap := map[string]any{
-			"buckets": st.Buckets,
-			"bytes":   st.Bytes,
-			"written": st.Written,
+		sn := map[string]any{
+			"buckets": snap.Int("geomob_snapshot_buckets"),
+			"bytes":   snap.Int("geomob_snapshot_bytes"),
+			"written": snap.Int("geomob_snapshot_written"),
 		}
-		if st.LastUnixMs > 0 {
-			snap["last"] = time.UnixMilli(st.LastUnixMs).UTC()
-			snap["age_seconds"] = time.Since(time.UnixMilli(st.LastUnixMs)).Seconds()
+		if last := snap.Int("geomob_snapshot_last_unix_ms"); last > 0 {
+			sn["last"] = time.UnixMilli(last).UTC()
+			sn["age_seconds"] = time.Since(time.UnixMilli(last)).Seconds()
 		}
-		resp["snapshot"] = snap
+		resp["snapshot"] = sn
 		resp["recovery"] = s.recovery
 	}
 	writeJSON(w, resp)
@@ -915,17 +965,26 @@ func parseV1Request(r *http.Request, analysis core.Analysis, scaled bool) (core.
 // waiting on one computation, so a single client's disconnect must not
 // cancel it — the pass completes, populates the snapshot, and serves
 // everyone else.
-func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
+// ctx carries the request trace (obs.TraceFrom): the cache-key
+// construction is recorded as the cache_lookup stage, and the compute
+// callback (which only runs on a miss) as the fold/scan stage; in
+// cluster mode the coordinator records scatter/fold/merge/assemble
+// itself and propagates the trace ID to remote shards.
+func (s *server) executeCached(ctx context.Context, req core.Request) (*core.Result, bool, error) {
 	if s.coord != nil {
 		// Cluster mode: the coordinator owns both the scatter-gather
 		// computation and its coverage-fingerprint cache.
-		return s.coord.Query(req)
+		return s.coord.QueryCtx(ctx, req)
 	}
+	tr := obs.TraceFrom(ctx)
 	if s.agg != nil {
+		endKey := tr.StartStage("cache_lookup")
 		ckey, err := s.agg.CoverageKeyRequest(req)
+		endKey()
 		switch {
 		case err == nil:
 			return s.cache.Get(req.Key()+"|b="+ckey, func() (*core.Result, error) {
+				defer tr.StartStage("fold")()
 				return s.agg.Query(req)
 			})
 		case errors.Is(err, live.ErrNotCovered):
@@ -936,6 +995,7 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 			// would cache ring-stale data under a store-fresh key.
 			rev := strconv.FormatUint(s.agg.Revision(), 16)
 			return s.cache.Get(req.Key()+"|rr="+rev, func() (*core.Result, error) {
+				defer tr.StartStage("ring_scan")()
 				tweets, err := s.agg.WindowTweetsRequest(req)
 				if err != nil {
 					return nil, err
@@ -952,6 +1012,7 @@ func (s *server) executeCached(req core.Request) (*core.Result, bool, error) {
 	}
 	gen := strconv.FormatUint(s.store.Generation(), 16)
 	return s.cache.Get(req.Key()+"|g="+gen, func() (*core.Result, error) {
+		defer tr.StartStage("store_scan")()
 		study := core.NewStudyWithOptions(
 			core.StoreSource{Store: s.store},
 			core.StudyOptions{Workers: s.scanWorkers()},
@@ -979,12 +1040,16 @@ func writeExecuteError(w http.ResponseWriter, err error) {
 		// client to retry, and name exactly which user-hash ranges are
 		// affected so a partial-tolerance client can re-scope.
 		w.Header().Set("Retry-After", "5")
-		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
+		body := map[string]any{
 			"error":       "degraded: no live replica for part of the user space",
 			"slots":       unavail.Slots,
 			"user_ranges": unavail.UserRanges(),
 			"retry_after": 5,
-		})
+		}
+		if unavail.TraceID != "" {
+			body["trace_id"] = unavail.TraceID
+		}
+		writeJSONStatus(w, http.StatusServiceUnavailable, body)
 	case errors.Is(err, core.ErrEmptyDataset):
 		httpError(w, http.StatusNotFound, "no tweets in the requested window")
 	case errors.Is(err, live.ErrNotCovered):
@@ -1003,7 +1068,7 @@ func (s *server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(req)
+	res, cached, err := s.executeCached(r.Context(), req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1030,7 +1095,7 @@ func (s *server) handleV1Population(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(req)
+	res, cached, err := s.executeCached(r.Context(), req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1070,7 +1135,7 @@ func (s *server) handleV1Models(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(req)
+	res, cached, err := s.executeCached(r.Context(), req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1104,7 +1169,7 @@ func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(req)
+	res, cached, err := s.executeCached(r.Context(), req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return

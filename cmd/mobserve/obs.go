@@ -1,0 +1,119 @@
+// Observability wiring: the per-instance gauge registry behind GET
+// /metrics and /healthz, the request-trace middleware with its
+// per-endpoint latency histograms, and the structured slow-query log
+// (DESIGN.md §12).
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served by -pprof-addr
+
+	"geomob/internal/obs"
+)
+
+// mSlowQueries counts /v1 requests that crossed the -slow-query
+// threshold and were logged.
+var mSlowQueries = obs.Def.Counter("geomob_slow_queries_total", "Queries slower than the -slow-query threshold.")
+
+// registerInstanceMetrics publishes this server instance's state gauges
+// on its own registry: /healthz reads them back through one Snapshot()
+// so its numbers form one coherent scrape, and /metrics renders them
+// after the process-global obs.Def series. Registration is idempotent
+// (GaugeFunc replaces the callback), so routes() may run repeatedly.
+func (s *server) registerInstanceMetrics() {
+	obs.RegisterBuildMetrics(obs.Def)
+	r := s.obsReg
+	if s.coord != nil {
+		r.GaugeFunc("geomob_coord_ingested_rows", "Rows accepted by this coordinator since boot.",
+			func() float64 { return float64(s.coord.Ingested()) })
+		r.GaugeFunc("geomob_coord_partial_fetches", "Shard fold RPCs issued by this coordinator.",
+			func() float64 { return float64(s.coord.PartialFetches()) })
+		r.GaugeFunc("geomob_coord_cache_hits", "Coordinator snapshot-cache hits.",
+			func() float64 { h, _ := s.coord.CacheStats(); return float64(h) })
+		r.GaugeFunc("geomob_coord_cache_misses", "Coordinator snapshot-cache misses.",
+			func() float64 { _, m := s.coord.CacheStats(); return float64(m) })
+		return
+	}
+	r.GaugeFunc("geomob_store_tweets", "Durable records in this instance's store.",
+		func() float64 { return float64(s.store.Count()) })
+	r.GaugeFunc("geomob_store_scans", "Segment scans served by this instance's store.",
+		func() float64 { return float64(s.store.ScanCount()) })
+	r.GaugeFunc("geomob_cache_hits", "Snapshot-cache hits on this instance.",
+		func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	r.GaugeFunc("geomob_cache_misses", "Snapshot-cache misses on this instance.",
+		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	if s.agg != nil {
+		r.GaugeFunc("geomob_live_buckets", "Live buckets materialised in the ring.",
+			func() float64 { return float64(s.agg.Buckets()) })
+		r.GaugeFunc("geomob_live_ingested_rows", "Records routed into the bucket ring since boot.",
+			func() float64 { return float64(s.agg.Ingested()) })
+		r.GaugeFunc("geomob_live_builds", "Bucket partial materialisations performed.",
+			func() float64 { return float64(s.agg.Builds()) })
+	}
+	if s.snaps != nil {
+		r.GaugeFunc("geomob_snapshot_buckets", "Buckets present in the durable snapshot set.",
+			func() float64 { return float64(s.snaps.Stats().Buckets) })
+		r.GaugeFunc("geomob_snapshot_bytes", "Bytes held by the durable snapshot set.",
+			func() float64 { return float64(s.snaps.Stats().Bytes) })
+		r.GaugeFunc("geomob_snapshot_written", "Snapshot files written since boot.",
+			func() float64 { return float64(s.snaps.Stats().Written) })
+		r.GaugeFunc("geomob_snapshot_last_unix_ms", "Wall time of the last snapshot commit (ms since epoch).",
+			func() float64 { return float64(s.snaps.Stats().LastUnixMs) })
+	}
+}
+
+// buildBlock is the /healthz build-and-uptime report.
+func buildBlock() map[string]any {
+	b := obs.Build()
+	return map[string]any{
+		"version":        b.Version,
+		"revision":       b.Revision,
+		"modified":       b.Modified,
+		"go":             b.GoVersion,
+		"uptime_seconds": obs.Uptime().Seconds(),
+	}
+}
+
+// traced wraps a query handler with the request-scoped trace: the
+// X-Geomob-Trace header (or a fresh random ID) becomes the context
+// trace carried through executeCached into the coordinator and its
+// shard hops, the endpoint's end-to-end latency lands in
+// geomob_query_duration_seconds{endpoint=...}, and any request slower
+// than -slow-query logs one structured line with the per-stage
+// breakdown.
+func (s *server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := obs.Def.Histogram("geomob_query_duration_seconds", "End-to-end latency of one query endpoint request.", nil, "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		w.Header().Set(obs.TraceHeader, tr.ID)
+		h(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := tr.Total()
+		hist.Observe(d.Seconds())
+		if s.slowQuery > 0 && d >= s.slowQuery {
+			mSlowQueries.Inc()
+			logSlowQuery(endpoint, r.URL.RequestURI(), tr)
+		}
+	}
+}
+
+// logSlowQuery emits one structured JSON line on the standard logger
+// (stderr) with the trace ID and per-stage timings, greppable as
+// `"slow_query":true`.
+func logSlowQuery(endpoint, uri string, tr *obs.Trace) {
+	entry := map[string]any{
+		"slow_query": true,
+		"trace_id":   tr.ID,
+		"endpoint":   endpoint,
+		"url":        uri,
+		"total_ms":   float64(tr.Total().Microseconds()) / 1000,
+		"stages":     tr.Stages(),
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		log.Printf("slow query trace=%s endpoint=%s total=%v", tr.ID, endpoint, tr.Total())
+		return
+	}
+	log.Printf("%s", b)
+}

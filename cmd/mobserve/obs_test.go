@@ -1,0 +1,402 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geomob/internal/cluster"
+	"geomob/internal/live"
+	"geomob/internal/obs"
+	"geomob/internal/synth"
+	"geomob/internal/tweet"
+)
+
+// genTweets builds a small synthetic corpus.
+func genTweets(t *testing.T, n int, s1, s2 uint64) []tweet.Tweet {
+	t.Helper()
+	gen, err := synth.NewGenerator(synth.DefaultConfig(n, s1, s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets, err := gen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tweets
+}
+
+// ingestNDJSON posts the corpus through POST /v1/ingest.
+func ingestNDJSON(t *testing.T, base string, tweets []tweet.Tweet) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/ingest", "application/x-ndjson", corpusNDJSON(t, tweets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+}
+
+// scrapeMetrics fetches /metrics and validates the exposition format
+// while parsing it: every sample line must carry a parseable float and
+// resolve (directly or via a histogram _bucket/_sum/_count suffix) to a
+// family announced by a # TYPE header with a legal type. Returns the
+// samples keyed `name` or `name{labels}` plus the family→type map.
+func scrapeMetrics(t *testing.T, base string) (map[string]float64, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics: Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]float64{}
+	types := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case line == "" || strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("illegal type in %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		key := line[:i]
+		samples[key] = v
+		name := key
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				fam = trimmed
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("sample %q has no TYPE header", line)
+		}
+	}
+	return samples, types
+}
+
+// checkBucketsMonotone asserts the family's cumulative buckets are
+// non-decreasing in le order within every label set.
+func checkBucketsMonotone(t *testing.T, samples map[string]float64, family string) {
+	t.Helper()
+	type bkt struct {
+		le float64
+		v  float64
+	}
+	series := map[string][]bkt{}
+	for k, v := range samples {
+		if !strings.HasPrefix(k, family+"_bucket{") {
+			continue
+		}
+		j := strings.Index(k, `le="`)
+		if j < 0 {
+			t.Fatalf("bucket sample without le: %q", k)
+		}
+		end := strings.IndexByte(k[j+4:], '"')
+		leRaw := k[j+4 : j+4+end]
+		le := float64(0)
+		if leRaw == "+Inf" {
+			le = 1e308
+		} else {
+			f, err := strconv.ParseFloat(leRaw, 64)
+			if err != nil {
+				t.Fatalf("bad le %q in %q", leRaw, k)
+			}
+			le = f
+		}
+		ident := k[:j] + k[j+4+end:]
+		series[ident] = append(series[ident], bkt{le, v})
+	}
+	if len(series) == 0 {
+		t.Fatalf("no %s_bucket series found", family)
+	}
+	for ident, bs := range series {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].v < bs[i-1].v {
+				t.Fatalf("%s buckets not cumulative at le=%g: %g < %g", ident, bs[i].le, bs[i].v, bs[i-1].v)
+			}
+		}
+	}
+}
+
+// TestHealthzShape pins the /healthz JSON contract: the registry-backed
+// rewrite must keep every pre-existing key (plus the build block).
+func TestHealthzShape(t *testing.T) {
+	_, ts := newLiveTestServer(t)
+	corpus := genTweets(t, 200, 7, 8)
+	ingestNDJSON(t, ts.URL, corpus)
+	body := fetchJSON(t, ts.URL+"/healthz")
+	for _, k := range []string{"status", "tweets", "generation", "scans", "cache", "live", "build"} {
+		if _, ok := body[k]; !ok {
+			t.Errorf("healthz missing key %q: %v", k, body)
+		}
+	}
+	if body["status"] != "ok" {
+		t.Errorf("status = %v", body["status"])
+	}
+	if got := body["tweets"].(float64); got != float64(len(corpus)) {
+		t.Errorf("tweets = %v, want %d", got, len(corpus))
+	}
+	cache, ok := body["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("cache block: %v", body["cache"])
+	}
+	for _, k := range []string{"hits", "misses"} {
+		if _, ok := cache[k]; !ok {
+			t.Errorf("cache block missing %q", k)
+		}
+	}
+	lv, ok := body["live"].(map[string]any)
+	if !ok {
+		t.Fatalf("live block: %v", body["live"])
+	}
+	for _, k := range []string{"buckets", "width", "ingested", "builds", "rollups"} {
+		if _, ok := lv[k]; !ok {
+			t.Errorf("live block missing %q", k)
+		}
+	}
+	bld, ok := body["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("build block: %v", body["build"])
+	}
+	for _, k := range []string{"version", "revision", "go", "uptime_seconds"} {
+		if _, ok := bld[k]; !ok {
+			t.Errorf("build block missing %q", k)
+		}
+	}
+}
+
+// TestMetricsEndToEnd scrapes /metrics around an ingest + query cycle:
+// the exposition stays parseable, ingest and query series move by the
+// expected amounts, histogram buckets are cumulative, and no counter
+// ever decreases.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, ts := newLiveTestServer(t)
+	before, beforeTypes := scrapeMetrics(t, ts.URL)
+
+	tweets := genTweets(t, 300, 9, 10)
+	ingestNDJSON(t, ts.URL, tweets)
+	fetchJSON(t, ts.URL+"/v1/population?scale=national")
+	fetchJSON(t, ts.URL+"/v1/population?scale=national") // warm repeat → cache hit
+
+	after, _ := scrapeMetrics(t, ts.URL)
+
+	if got := after["geomob_ingest_records_total"] - before["geomob_ingest_records_total"]; got < float64(len(tweets)) {
+		t.Errorf("geomob_ingest_records_total moved by %g, want >= %d", got, len(tweets))
+	}
+	durCount := `geomob_query_duration_seconds_count{endpoint="/v1/population"}`
+	if after[durCount]-before[durCount] < 2 {
+		t.Errorf("%s moved by %g, want >= 2", durCount, after[durCount]-before[durCount])
+	}
+	found := false
+	for k := range after {
+		if strings.HasPrefix(k, `geomob_query_duration_seconds_bucket{endpoint="/v1/population"`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no geomob_query_duration_seconds_bucket series for /v1/population")
+	}
+	if after["geomob_cache_hits"] < 1 {
+		t.Errorf("geomob_cache_hits = %g, want >= 1", after["geomob_cache_hits"])
+	}
+	checkBucketsMonotone(t, after, "geomob_query_duration_seconds")
+	checkBucketsMonotone(t, after, "geomob_ingest_flush_seconds")
+
+	// Counters only ever go up.
+	for k, v := range before {
+		name := k
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && beforeTypes[trimmed] == "histogram" {
+				fam = trimmed
+			}
+		}
+		monotone := beforeTypes[fam] == "counter" || beforeTypes[fam] == "histogram"
+		if av, ok := after[k]; ok && monotone && av < v {
+			t.Errorf("series %s decreased: %g -> %g", k, v, av)
+		}
+	}
+}
+
+// TestMetricsConcurrentScrape hammers /metrics while batches ingest —
+// meaningful chiefly under -race, where any unsynchronised registry
+// read fails the run.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	_, ts := newLiveTestServer(t)
+	tweets := genTweets(t, 150, 11, 12)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		ingestNDJSON(t, ts.URL, tweets)
+		fetchJSON(t, ts.URL+"/healthz")
+	}
+	close(stop)
+	wg.Wait()
+	scrapeMetrics(t, ts.URL)
+}
+
+// TestSlowQueryLog drops the threshold to one nanosecond so every query
+// logs, and asserts the line is structured JSON carrying the caller's
+// trace ID and a stage breakdown — and that the trace ID echoes on the
+// response header.
+func TestSlowQueryLog(t *testing.T) {
+	s, ts := newLiveTestServer(t)
+	ingestNDJSON(t, ts.URL, genTweets(t, 200, 13, 14))
+	s.slowQuery = time.Nanosecond
+
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(os.Stderr)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tid = "feedbeef00112233"
+	req.Header.Set(obs.TraceHeader, tid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != tid {
+		t.Errorf("response trace header = %q, want %q", got, tid)
+	}
+	line := buf.String()
+	for _, want := range []string{`"slow_query":true`, `"trace_id":"` + tid + `"`, `"stages":[`, `"endpoint":"/v1/stats"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query log missing %s:\n%s", want, line)
+		}
+	}
+}
+
+// TestDegraded503CarriesTraceID: an unavailable cluster read answers
+// 503 with the caller's trace ID in the JSON body, so the failure is
+// correlatable with coordinator and shard logs.
+func TestDegraded503CarriesTraceID(t *testing.T) {
+	var shards []cluster.Shard
+	var flaky []*downableShard
+	for i := 0; i < 2; i++ {
+		inner, err := cluster.NewLocalShard(nil, live.Options{BucketWidth: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &downableShard{inner: inner}
+		flaky = append(flaky, d)
+		shards = append(shards, d)
+	}
+	coord, err := cluster.NewCoordinator(shards, cluster.CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	s := newServer(nil, 0)
+	s.coord = coord
+	ts := httptest.NewServer(s.clusterRoutes())
+	t.Cleanup(ts.Close)
+
+	ingestNDJSON(t, ts.URL, genTweets(t, 300, 15, 16))
+	if err := coord.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With R == 1, shard 0's slots have no surviving replica.
+	flaky[0].down.Store(true)
+	req, err := http.NewRequest("GET", ts.URL+"/v1/population?scale=national", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tid = "0123456789abcdef"
+	req.Header.Set(obs.TraceHeader, tid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %v)", resp.StatusCode, body)
+	}
+	if got, _ := body["trace_id"].(string); got != tid {
+		t.Fatalf("503 body trace_id = %q, want %q (body %v)", got, tid, body)
+	}
+}

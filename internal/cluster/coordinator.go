@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -12,10 +14,28 @@ import (
 
 	"geomob/internal/core"
 	"geomob/internal/live"
+	"geomob/internal/obs"
 	"geomob/internal/ring"
 	"geomob/internal/svcache"
 	"geomob/internal/tweet"
 	"geomob/internal/wal"
+)
+
+// Coordinator-side series (DESIGN.md §12). Stage histograms share one
+// family labelled by pipeline stage; the scatter stage includes every
+// failover retry round, so scatter_seconds − fold_seconds exposes
+// probe/assignment overhead directly.
+var (
+	mClusterIngested  = obs.Def.Counter("geomob_cluster_ingested_rows_total", "Rows accepted into the replication spool by coordinators.")
+	mClusterFetches   = obs.Def.Counter("geomob_cluster_partial_fetches_total", "Shard fold RPCs issued by coordinators.")
+	mClusterProbes    = obs.Def.Counter("geomob_cluster_coverage_probes_total", "Shard coverage RPCs issued by coordinators.")
+	mClusterFailovers = obs.Def.Counter("geomob_cluster_failovers_total", "Nodes banned mid-query after an unavailable response.")
+	mClusterUnavail   = obs.Def.Counter("geomob_cluster_unavailable_total", "Queries failed because some slot had no live, current replica.")
+
+	mStageScatter  = obs.Def.Histogram("geomob_query_stage_seconds", "Per-stage latency of a coordinator scatter-gather query.", nil, "stage", "scatter")
+	mStageFold     = obs.Def.Histogram("geomob_query_stage_seconds", "Per-stage latency of a coordinator scatter-gather query.", nil, "stage", "fold")
+	mStageMerge    = obs.Def.Histogram("geomob_query_stage_seconds", "Per-stage latency of a coordinator scatter-gather query.", nil, "stage", "merge")
+	mStageAssemble = obs.Def.Histogram("geomob_query_stage_seconds", "Per-stage latency of a coordinator scatter-gather query.", nil, "stage", "assemble")
 )
 
 // CoordinatorOptions configure a Coordinator.
@@ -284,6 +304,7 @@ func (c *Coordinator) shipLocked(k int) error {
 		lanes[nd].enqueue(seq, k, rows, frame)
 	}
 	c.ingested.Add(int64(rows))
+	mClusterIngested.Add(int64(rows))
 	b.Reset()
 	return nil
 }
@@ -360,6 +381,10 @@ func (c *Coordinator) IngestBinary(r io.Reader) (int, error) {
 // it as 503 + Retry-After, naming the missing user-hash ranges.
 type UnavailableError struct {
 	Slots []int
+	// TraceID is the query trace the failure belongs to when the request
+	// carried one, so a 503 body correlates with the slow-query log and
+	// shard-side errors.
+	TraceID string
 }
 
 // UserRanges renders the unavailable slots' contiguous user-hash
@@ -374,8 +399,12 @@ func (e *UnavailableError) UserRanges() []string {
 }
 
 func (e *UnavailableError) Error() string {
-	return fmt.Sprintf("cluster: no live replica for %d of %d user-ranges (%s)",
+	msg := fmt.Sprintf("cluster: no live replica for %d of %d user-ranges (%s)",
 		len(e.Slots), ring.Slots, strings.Join(e.UserRanges(), ", "))
+	if e.TraceID != "" {
+		msg += " [trace " + e.TraceID + "]"
+	}
+	return msg
 }
 
 // assignSlots picks the replica to serve each slot: the first
@@ -430,9 +459,20 @@ func groupAssign(assign [ring.Slots]int, skip map[int]bool) map[int][]int {
 // with no live replica at all fails the query (*UnavailableError).
 // cached reports a warm hit, which costs the probes and nothing else.
 func (c *Coordinator) Query(req core.Request) (*core.Result, bool, error) {
+	return c.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query carrying a request context: the context's trace
+// (obs.TraceFrom) records per-stage timings — scatter (assignment +
+// coverage probes, including failover rounds), fold (shard partial
+// fetches), merge, assemble — and its ID travels to remote shards in
+// the obs.TraceHeader header and is stamped onto any UnavailableError.
+func (c *Coordinator) QueryCtx(ctx context.Context, req core.Request) (*core.Result, bool, error) {
 	if _, err := core.PlanRequest(req); err != nil {
 		return nil, false, err
 	}
+	tr := obs.TraceFrom(ctx)
+	tid := obs.TraceID(ctx)
 	c.topoMu.RLock()
 	rg := c.ring
 	shards := append([]Shard(nil), c.shards...)
@@ -441,42 +481,82 @@ func (c *Coordinator) Query(req core.Request) (*core.Result, bool, error) {
 	banned := map[int]bool{}
 	var assign [ring.Slots]int
 	var keys map[int]string
+	endScatter := tr.StartStage("scatter")
+	tScatter := time.Now()
 	for {
 		a, uerr := c.assignSlots(rg, banned)
 		if uerr != nil {
+			endScatter()
+			uerr.TraceID = tid
+			mClusterUnavail.Inc()
 			return nil, false, uerr
 		}
-		ks, failed, err := c.coverageScatter(shards, req, groupAssign(a, nil))
+		ks, failed, err := c.coverageScatter(ctx, shards, req, groupAssign(a, nil))
 		if err != nil {
+			endScatter()
 			return nil, false, err
 		}
 		if failed >= 0 {
 			banned[failed] = true
+			mClusterFailovers.Inc()
 			continue
 		}
 		assign, keys = a, ks
 		break
 	}
+	mStageScatter.Observe(time.Since(tScatter).Seconds())
+	endScatter()
 
 	fp := coverageFingerprint(rg.Version(), assign, keys)
-	return c.cache.Get(req.Key()+"|cf="+fp, func() (*core.Result, error) {
-		parts, err := c.fetchPartials(shards, rg, req, assign, banned)
+	res, cached, err := c.cache.Get(req.Key()+"|cf="+fp, func() (*core.Result, error) {
+		endFold := tr.StartStage("fold")
+		tFold := time.Now()
+		parts, err := c.fetchPartials(ctx, shards, rg, req, assign, banned)
+		endFold()
 		if err != nil {
 			return nil, err
 		}
+		mStageFold.Observe(time.Since(tFold).Seconds())
+
+		endMerge := tr.StartStage("merge")
+		tMerge := time.Now()
 		merged, err := MergePartials(req, parts)
+		endMerge()
 		if err != nil {
 			return nil, err
 		}
-		return core.AssembleFolded(req, merged)
+		mStageMerge.Observe(time.Since(tMerge).Seconds())
+
+		endAsm := tr.StartStage("assemble")
+		tAsm := time.Now()
+		out, err := core.AssembleFolded(req, merged)
+		endAsm()
+		if err == nil {
+			mStageAssemble.Observe(time.Since(tAsm).Seconds())
+		}
+		return out, err
 	})
+	if err != nil {
+		var uerr *UnavailableError
+		if errors.As(err, &uerr) {
+			mClusterUnavail.Inc()
+			if tid != "" && uerr.TraceID == "" {
+				// Stamp a copy: the original may be shared by the cache
+				// with concurrent callers carrying other traces.
+				stamped := *uerr
+				stamped.TraceID = tid
+				err = &stamped
+			}
+		}
+	}
+	return res, cached, err
 }
 
 // coverageScatter probes each chosen node's coverage over its slot set,
 // concurrently. An unavailable node is reported back for failover;
 // sentinel fold errors propagate as-is (every replica would answer
 // identically, so failing over is pointless).
-func (c *Coordinator) coverageScatter(shards []Shard, req core.Request, groups map[int][]int) (map[int]string, int, error) {
+func (c *Coordinator) coverageScatter(ctx context.Context, shards []Shard, req core.Request, groups map[int][]int) (map[int]string, int, error) {
 	type probe struct {
 		node int
 		key  string
@@ -485,8 +565,9 @@ func (c *Coordinator) coverageScatter(shards []Shard, req core.Request, groups m
 	ch := make(chan probe, len(groups))
 	for nd, slots := range groups {
 		c.coverageProbes.Add(1)
+		mClusterProbes.Inc()
 		go func(nd int, slots []int) {
-			key, err := shards[nd].Coverage(req, slots)
+			key, err := shards[nd].Coverage(ctx, req, slots)
 			ch <- probe{nd, key, err}
 		}(nd, slots)
 	}
@@ -520,7 +601,7 @@ func (c *Coordinator) coverageScatter(shards []Shard, req core.Request, groups m
 // fetchPartials gathers every slot's partial from its assigned replica,
 // failing over slot by slot if a node drops between the coverage probe
 // and the fetch.
-func (c *Coordinator) fetchPartials(shards []Shard, rg *ring.Ring, req core.Request, assign [ring.Slots]int, banned map[int]bool) ([]*live.ShardPartial, error) {
+func (c *Coordinator) fetchPartials(ctx context.Context, shards []Shard, rg *ring.Ring, req core.Request, assign [ring.Slots]int, banned map[int]bool) ([]*live.ShardPartial, error) {
 	parts := make([]*live.ShardPartial, ring.Slots)
 	done := map[int]bool{}
 	for len(done) < ring.Slots {
@@ -534,8 +615,9 @@ func (c *Coordinator) fetchPartials(shards []Shard, rg *ring.Ring, req core.Requ
 		ch := make(chan fetched, len(groups))
 		for nd, slots := range groups {
 			c.partialFetches.Add(1)
+			mClusterFetches.Inc()
 			go func(nd int, slots []int) {
-				ps, err := shards[nd].Partials(req, slots)
+				ps, err := shards[nd].Partials(ctx, req, slots)
 				ch <- fetched{nd, slots, ps, err}
 			}(nd, slots)
 		}
@@ -560,6 +642,7 @@ func (c *Coordinator) fetchPartials(shards []Shard, rg *ring.Ring, req core.Requ
 		if len(failedNodes) > 0 {
 			for _, nd := range failedNodes {
 				banned[nd] = true
+				mClusterFailovers.Inc()
 			}
 			// Reassign the slots still missing to surviving replicas.
 			a, uerr := c.assignSlots(rg, banned)

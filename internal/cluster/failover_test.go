@@ -79,20 +79,20 @@ func (c *chaosShard) Flush() error {
 	return s.Flush()
 }
 
-func (c *chaosShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+func (c *chaosShard) Partials(ctx context.Context, req core.Request, slots []int) ([]*live.ShardPartial, error) {
 	s, err := c.get()
 	if err != nil {
 		return nil, err
 	}
-	return s.Partials(req, slots)
+	return s.Partials(ctx, req, slots)
 }
 
-func (c *chaosShard) Coverage(req core.Request, slots []int) (string, error) {
+func (c *chaosShard) Coverage(ctx context.Context, req core.Request, slots []int) (string, error) {
 	s, err := c.get()
 	if err != nil {
 		return "", err
 	}
-	return s.Coverage(req, slots)
+	return s.Coverage(ctx, req, slots)
 }
 
 func (c *chaosShard) Export(slot int, fn func(*tweet.Batch) error) error {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"geomob/internal/live"
+	"geomob/internal/obs"
 )
 
 // ErrUnavailable marks a shard that cannot currently be reached — a
@@ -68,6 +69,12 @@ type lane struct {
 	lastErr   string
 	errAt     time.Time
 
+	// Per-node series on the process registry (DESIGN.md §12), labelled
+	// by positional member name so every coordinator over the same shard
+	// order feeds the same series.
+	mRows, mFrames, mRetries, mFailures, mDropped *obs.Counter
+	mDeliverSecs                                  *obs.Histogram
+
 	closeCh chan struct{}
 }
 
@@ -78,6 +85,15 @@ func newLane(node int, shard Shard, sp spool, depth int, base, max time.Duration
 		closeCh: make(chan struct{}),
 	}
 	l.cv = sync.NewCond(&l.mu)
+	nd := memberName(node)
+	l.mRows = obs.Def.Counter("geomob_lane_delivered_rows_total", "Rows delivered (and spool-acked) per shard lane.", "node", nd)
+	l.mFrames = obs.Def.Counter("geomob_lane_delivered_frames_total", "Frames delivered per shard lane.", "node", nd)
+	l.mRetries = obs.Def.Counter("geomob_lane_retries_total", "Delivery attempts deferred to backoff per shard lane.", "node", nd)
+	l.mFailures = obs.Def.Counter("geomob_lane_failures_total", "Failed delivery attempts per shard lane.", "node", nd)
+	l.mDropped = obs.Def.Counter("geomob_lane_dropped_frames_total", "Frames permanently rejected and abandoned per shard lane.", "node", nd)
+	l.mDeliverSecs = obs.Def.Histogram("geomob_lane_deliver_seconds", "Latency of one delivery attempt (single frame or whole drain).", nil, "node", nd)
+	obs.Def.GaugeFunc("geomob_lane_queue_depth", "Frames currently staged per shard lane.",
+		func() float64 { return float64(l.status().queued) }, "node", nd)
 	return l
 }
 
@@ -171,6 +187,7 @@ func (l *lane) run(wg *sync.WaitGroup) {
 		l.attempting = true
 		l.mu.Unlock()
 
+		t0 := time.Now()
 		var err error
 		if len(ents) > 1 {
 			ds := make([]Delivery, len(ents))
@@ -188,6 +205,8 @@ func (l *lane) run(wg *sync.WaitGroup) {
 			err = l.shard.Deliver(l.sender, ents[0].seq, ents[0].slot, ents[0].frame)
 		}
 
+		l.mDeliverSecs.Observe(time.Since(t0).Seconds())
+
 		l.mu.Lock()
 		l.attempting = false
 		if err == nil {
@@ -202,9 +221,11 @@ func (l *lane) run(wg *sync.WaitGroup) {
 			}
 			for _, e := range ents {
 				l.delivered += int64(e.rows)
+				l.mRows.Add(int64(e.rows))
 			}
 			l.q = l.q[len(ents):]
 			l.batches += int64(len(ents))
+			l.mFrames.Add(int64(len(ents)))
 			l.down = false
 			backoff = 0
 			l.cv.Broadcast()
@@ -212,6 +233,7 @@ func (l *lane) run(wg *sync.WaitGroup) {
 			continue
 		}
 		l.failures++
+		l.mFailures.Inc()
 		l.lastErr = err.Error()
 		l.errAt = time.Now()
 		if permanentDeliveryError(err) {
@@ -221,12 +243,14 @@ func (l *lane) run(wg *sync.WaitGroup) {
 			_ = l.sp.Ack(ents[0].seq, l.node)
 			l.q = l.q[1:]
 			l.dropped++
+			l.mDropped.Inc()
 			l.cv.Broadcast()
 			l.mu.Unlock()
 			continue
 		}
 		l.down = true
 		l.retries++
+		l.mRetries.Inc()
 		l.cv.Broadcast()
 		l.mu.Unlock()
 		if backoff < l.base {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -16,6 +17,7 @@ import (
 
 	"geomob/internal/core"
 	"geomob/internal/live"
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
 )
 
@@ -379,14 +381,36 @@ func foldStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// traceCtx lifts the propagated obs.TraceHeader into the request
+// context (so shard folds record against the coordinator's trace) and
+// echoes it on the response for end-to-end correlation.
+func traceCtx(w http.ResponseWriter, r *http.Request) (context.Context, string) {
+	id := r.Header.Get(obs.TraceHeader)
+	ctx := r.Context()
+	if id != "" {
+		ctx = obs.WithTrace(ctx, obs.NewTrace(id))
+		w.Header().Set(obs.TraceHeader, id)
+	}
+	return ctx, id
+}
+
+// traceSuffix tags an error message with the trace it belongs to.
+func traceSuffix(id string) string {
+	if id == "" {
+		return ""
+	}
+	return " (trace " + id + ")"
+}
+
 func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
+	ctx, tid := traceCtx(w, r)
 	req, ok := n.decodeSlotRequest(w, r)
 	if !ok {
 		return
 	}
-	ps, err := n.shard.Partials(req.Request, req.Slots)
+	ps, err := n.shard.Partials(ctx, req.Request, req.Slots)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("shard partials: %v", err), foldStatus(err))
+		http.Error(w, fmt.Sprintf("shard partials: %v%s", err, traceSuffix(tid)), foldStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -394,13 +418,14 @@ func (n *Node) handlePartials(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	ctx, tid := traceCtx(w, r)
 	req, ok := n.decodeSlotRequest(w, r)
 	if !ok {
 		return
 	}
-	key, err := n.shard.Coverage(req.Request, req.Slots)
+	key, err := n.shard.Coverage(ctx, req.Request, req.Slots)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("shard coverage: %v", err), foldStatus(err))
+		http.Error(w, fmt.Sprintf("shard coverage: %v%s", err, traceSuffix(tid)), foldStatus(err))
 		return
 	}
 	writeJSON(w, map[string]string{"coverage": key})
@@ -606,12 +631,26 @@ func (s *HTTPShard) DeliverSnap(sender string, seq uint64, slot int, blob []byte
 }
 
 // post sends a JSON slot request and returns the successful response.
-func (s *HTTPShard) post(path string, req core.Request, slots []int) (*http.Response, error) {
+// The context's trace ID (if any) travels in the obs.TraceHeader header
+// so the remote node's logs and errors correlate with the
+// coordinator's trace.
+func (s *HTTPShard) post(ctx context.Context, path string, req core.Request, slots []int) (*http.Response, error) {
 	body, err := json.Marshal(slotRequest{Request: req, Slots: slots})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.hc.Post(s.base+path, "application/json", bytes.NewReader(body))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceID(ctx); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
+	resp, err := s.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("%w: shard %s %s: %v", ErrUnavailable, s.base, path, err)
 	}
@@ -641,8 +680,8 @@ func (s *HTTPShard) statusError(what string, resp *http.Response) error {
 }
 
 // Partials implements Shard.
-func (s *HTTPShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
-	resp, err := s.post(pathPartials, req, slots)
+func (s *HTTPShard) Partials(ctx context.Context, req core.Request, slots []int) ([]*live.ShardPartial, error) {
+	resp, err := s.post(ctx, pathPartials, req, slots)
 	if err != nil {
 		return nil, err
 	}
@@ -655,8 +694,8 @@ func (s *HTTPShard) Partials(req core.Request, slots []int) ([]*live.ShardPartia
 }
 
 // Coverage implements Shard.
-func (s *HTTPShard) Coverage(req core.Request, slots []int) (string, error) {
-	resp, err := s.post(pathCoverage, req, slots)
+func (s *HTTPShard) Coverage(ctx context.Context, req core.Request, slots []int) (string, error) {
+	resp, err := s.post(ctx, pathCoverage, req, slots)
 	if err != nil {
 		return "", err
 	}

@@ -2,18 +2,31 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
 	"sync"
+	"time"
 
 	"path/filepath"
 
 	"geomob/internal/core"
 	"geomob/internal/live"
+	"geomob/internal/obs"
 	"geomob/internal/ring"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
+)
+
+// Shard-side series (DESIGN.md §12). Fold latency covers one Partials
+// call over its whole slot set; deliver latency covers one replicated
+// frame batch landing durably.
+var (
+	mShardFoldSecs    = obs.Def.Histogram("geomob_shard_fold_seconds", "Latency of one shard Partials fold over its requested slots.", nil)
+	mShardFolds       = obs.Def.Counter("geomob_shard_folds_total", "Shard Partials folds served.")
+	mShardDeliverSecs = obs.Def.Histogram("geomob_shard_deliver_seconds", "Latency of one replicated frame batch landing durably on a shard.", nil)
+	mShardFrames      = obs.Def.Counter("geomob_shard_delivered_frames_total", "Fresh replicated frames applied by shards (duplicates excluded).")
 )
 
 // Shard is one cluster member behind a uniform interface: the
@@ -38,11 +51,13 @@ type Shard interface {
 	Flush() error
 	// Partials folds the shard's materialised bucket partials covering
 	// req's window for each requested placement slot, in slot order.
-	Partials(req core.Request, slots []int) ([]*live.ShardPartial, error)
+	// ctx carries the query's trace (obs.TraceFrom); remote transports
+	// propagate its ID via the obs.TraceHeader HTTP header.
+	Partials(ctx context.Context, req core.Request, slots []int) ([]*live.ShardPartial, error)
 	// Coverage fingerprints the shard's bucket coverage of req's window
 	// over the requested slots — the coordinator's cache key component
 	// that moves exactly when an ingest lands in a covered bucket.
-	Coverage(req core.Request, slots []int) (string, error)
+	Coverage(ctx context.Context, req core.Request, slots []int) (string, error)
 	// Export streams slot's full substream in canonical (user, time)
 	// order as bounded batches — the handoff source when the slot moves
 	// to another member.
@@ -342,6 +357,7 @@ func (s *LocalShard) Deliver(sender string, seq uint64, slot int, frame []byte) 
 // the top acknowledges them all. Duplicate frames (at or below the
 // current mark) are dropped before the commit.
 func (s *LocalShard) DeliverBatch(sender string, ds []Delivery) error {
+	t0 := time.Now()
 	batches := make([]*tweet.Batch, len(ds))
 	for i, d := range ds {
 		if d.Slot < 0 || d.Slot >= ring.Slots {
@@ -401,6 +417,8 @@ func (s *LocalShard) DeliverBatch(sender string, ds []Delivery) error {
 	if sender != "" {
 		s.hwm[sender] = maxSeq
 	}
+	mShardFrames.Add(int64(len(ds)))
+	mShardDeliverSecs.Observe(time.Since(t0).Seconds())
 	return nil
 }
 
@@ -426,25 +444,32 @@ func (s *LocalShard) Ingest(b *tweet.Batch) error {
 func (s *LocalShard) Flush() error { return nil }
 
 // Partials implements Shard.
-func (s *LocalShard) Partials(req core.Request, slots []int) ([]*live.ShardPartial, error) {
+func (s *LocalShard) Partials(ctx context.Context, req core.Request, slots []int) ([]*live.ShardPartial, error) {
+	end := obs.TraceFrom(ctx).StartStage("shard_fold")
+	t0 := time.Now()
 	out := make([]*live.ShardPartial, 0, len(slots))
 	for _, k := range slots {
 		if k < 0 || k >= ring.Slots {
+			end()
 			return nil, fmt.Errorf("cluster: slot %d out of range", k)
 		}
 		p, err := s.aggs[k].FoldPartial(req)
 		if err != nil {
+			end()
 			return nil, err
 		}
 		out = append(out, p)
 	}
+	mShardFolds.Inc()
+	mShardFoldSecs.Observe(time.Since(t0).Seconds())
+	end()
 	return out, nil
 }
 
 // Coverage implements Shard: a fingerprint over the per-slot coverage
 // keys, in slot order, so it moves exactly when any requested slot's
 // covered buckets change.
-func (s *LocalShard) Coverage(req core.Request, slots []int) (string, error) {
+func (s *LocalShard) Coverage(_ context.Context, req core.Request, slots []int) (string, error) {
 	var buf bytes.Buffer
 	for _, k := range slots {
 		if k < 0 || k >= ring.Slots {

@@ -6,9 +6,21 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
+)
+
+// Ingest-path metrics (DESIGN.md §12). All per-batch, never per-record:
+// one counter add and one histogram observation per flush keeps the
+// binary ingest hot path at 0 allocs/op per record.
+var (
+	mIngestRecords = obs.Def.Counter("geomob_ingest_records_total", "Records flushed durably through the ingest path.")
+	mIngestBatches = obs.Def.Counter("geomob_ingest_batches_total", "Ingest batch flushes (store append + ring route).")
+	mIngestFlush   = obs.Def.Histogram("geomob_ingest_flush_seconds", "Latency of one ingest batch flush.", nil)
+	mIngestBad     = obs.Def.Counter("geomob_ingest_bad_input_total", "Ingest streams rejected for malformed records or frames.")
 )
 
 // Ingestor is the streaming write path: it buffers records and, per
@@ -131,6 +143,7 @@ func (i *Ingestor) flushLocked() error {
 	if n == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	// Hand the pending records to the appender exactly once: the appender
 	// copies them into its own buffer before attempting any write and
 	// keeps that buffer across failures, so a retried Flush resumes at
@@ -159,6 +172,9 @@ func (i *Ingestor) flushLocked() error {
 	i.total.Add(int64(n))
 	i.batch.Reset()
 	i.handed = 0
+	mIngestRecords.Add(int64(n))
+	mIngestBatches.Inc()
+	mIngestFlush.Observe(time.Since(t0).Seconds())
 	return routeErr
 }
 
@@ -229,6 +245,7 @@ func DrainNDJSON(r io.Reader, add func(tweet.Tweet) error, flush func() error) (
 			break
 		}
 		if err != nil {
+			mIngestBad.Inc()
 			if ferr := flush(); ferr != nil {
 				return n, ferr
 			}
@@ -269,6 +286,7 @@ func DrainBinary(r io.Reader, maxFrame int64, add func(*tweet.Batch) error, flus
 			break
 		}
 		if err != nil {
+			mIngestBad.Inc()
 			if ferr := flush(); ferr != nil {
 				return n, ferr
 			}

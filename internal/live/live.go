@@ -46,7 +46,18 @@ import (
 	"geomob/internal/core"
 	"geomob/internal/geo"
 	"geomob/internal/mobility"
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
+)
+
+// Bucket-ring metrics (DESIGN.md §12). Ring counters are per-batch
+// (one add per IngestBatch) so the hot path cost stays one atomic per
+// batch, not per record.
+var (
+	mRingRecords = obs.Def.Counter("geomob_ring_records_total", "Records routed into the bucket ring.")
+	mRingDropped = obs.Def.Counter("geomob_ring_dropped_total", "Records dropped below the ring's eviction floor.")
+	mRingBuilds  = obs.Def.Counter("geomob_ring_builds_total", "Full-bucket partial materialisations.")
+	mRingFold    = obs.Def.Histogram("geomob_ring_fold_seconds", "Latency of a windowed bucket-fold query (collect + fold + assemble).", nil)
 )
 
 // ErrNotCovered reports that a request's shape (scales or radius) is not
@@ -382,6 +393,7 @@ func (a *Aggregator) IngestBatch(b *tweet.Batch) error {
 		}
 		if a.hasFloor && idx < a.floorIdx {
 			a.dropped.Add(int64(j - i))
+			mRingDropped.Add(int64(j - i))
 			i = j
 			continue
 		}
@@ -409,6 +421,7 @@ func (a *Aggregator) IngestBatch(b *tweet.Batch) error {
 		bk.part = nil
 	}
 	a.ingested.Add(accepted)
+	mRingRecords.Add(accepted)
 	a.evictLocked()
 	return nil
 }
@@ -666,6 +679,7 @@ func (a *Aggregator) bucketPartLocked(b *bucket) *partial {
 	if b.part == nil {
 		b.part = a.buildRange(b, math.MinInt64, math.MaxInt64)
 		a.builds.Add(1)
+		mRingBuilds.Inc()
 	}
 	return b.part
 }
@@ -744,11 +758,16 @@ func (a *Aggregator) Query(req core.Request) (*core.Result, error) {
 		return nil, err
 	}
 	lo, hi := window(info)
+	t0 := time.Now()
 	parts, err := a.collect(lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	return core.AssembleFolded(req, a.fold(info, parts))
+	res, err := core.AssembleFolded(req, a.fold(info, parts))
+	if err == nil {
+		mRingFold.Observe(time.Since(t0).Seconds())
+	}
+	return res, err
 }
 
 // WindowTweetsRequest is WindowTweets for a request's window — the

@@ -4,9 +4,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
 	"geomob/internal/tweetdb"
+)
+
+// Boot-recovery metrics (DESIGN.md §12): cumulative across every ring
+// recovered in this process (cluster shards recover one ring per slot).
+var (
+	mRecovRestored   = obs.Def.Counter("geomob_recovery_restored_buckets_total", "Buckets restored intact from snapshot files at boot.")
+	mRecovBackfilled = obs.Def.Counter("geomob_recovery_backfilled_buckets_total", "Buckets degraded to a windowed cold store backfill at boot.")
+	mRecovSnapErrors = obs.Def.Counter("geomob_recovery_snapshot_errors_total", "Snapshot bucket files rejected during recovery.")
+	mRecovFullScans  = obs.Def.Counter("geomob_recovery_full_rescans_total", "Boot recoveries that fell back to a full store rescan.")
+	mRecovTailRecs   = obs.Def.Counter("geomob_recovery_tail_records_total", "Store-tail records replayed into rings at boot.")
+	mRecovSeconds    = obs.Def.Histogram("geomob_recovery_seconds", "Latency of one ring recovery at boot.", nil)
 )
 
 // RecoverOpts tune Recover.
@@ -70,6 +83,20 @@ func (s *RecoveryStats) Merge(o RecoveryStats) {
 // Every path converges on a ring whose folds are bit-identical to a
 // cold Study.Execute over the store; corruption only ever costs time.
 func Recover(a *Aggregator, store *tweetdb.Store, snaps *SnapshotStore, opts RecoverOpts) (RecoveryStats, error) {
+	t0 := time.Now()
+	st, err := recoverRing(a, store, snaps, opts)
+	mRecovRestored.Add(int64(st.Restored))
+	mRecovBackfilled.Add(int64(st.Backfilled))
+	mRecovSnapErrors.Add(int64(st.SnapErrors))
+	mRecovTailRecs.Add(st.TailRecords)
+	if st.FullRescan {
+		mRecovFullScans.Inc()
+	}
+	mRecovSeconds.Observe(time.Since(t0).Seconds())
+	return st, err
+}
+
+func recoverRing(a *Aggregator, store *tweetdb.Store, snaps *SnapshotStore, opts RecoverOpts) (RecoveryStats, error) {
 	st := RecoveryStats{}
 	man, err := snaps.loadManifest()
 	usable := err == nil &&

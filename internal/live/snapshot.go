@@ -14,7 +14,16 @@ import (
 	"sync"
 	"time"
 
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
+)
+
+// Snapshot-commit metrics (DESIGN.md §12).
+var (
+	mSnapCommits    = obs.Def.Counter("geomob_snapshot_commits_total", "Snapshot manifest commits that wrote at least the manifest.")
+	mSnapFiles      = obs.Def.Counter("geomob_snapshot_files_written_total", "Bucket blob files written by snapshot commits.")
+	mSnapBytes      = obs.Def.Counter("geomob_snapshot_bytes_written_total", "Bucket blob bytes written by snapshot commits.")
+	mSnapCommitSecs = obs.Def.Histogram("geomob_snapshot_commit_seconds", "Latency of one snapshot commit.", nil)
 )
 
 // Durable bucket snapshots (DESIGN.md §11): each bucket's pre-resolved
@@ -547,6 +556,7 @@ func (s *SnapshotStore) Stats() SnapshotStats {
 // are deleted afterwards. On success the caller marks the capture's
 // revisions snapshotted.
 func (s *SnapshotStore) Commit(c *RingCapture, covered []string) (SnapshotStats, error) {
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(c.dirty) == 0 && s.man != nil &&
@@ -574,6 +584,7 @@ func (s *SnapshotStore) Commit(c *RingCapture, covered []string) (SnapshotStats,
 		Covered:   covered,
 	}
 	written := 0
+	var blobBytes int64
 	for _, ref := range c.live {
 		if cb := dirty[ref.Idx]; cb != nil {
 			name := fmt.Sprintf("bk-%d-%016x%s", cb.idx, cb.rev, snapSuffix)
@@ -581,6 +592,7 @@ func (s *SnapshotStore) Commit(c *RingCapture, covered []string) (SnapshotStats,
 			if err := atomicWriteFile(filepath.Join(s.dir, name), blob); err != nil {
 				return SnapshotStats{}, fmt.Errorf("live: write snapshot bucket %d: %w", cb.idx, err)
 			}
+			blobBytes += int64(len(blob))
 			man.Buckets = append(man.Buckets, snapBucketMeta{Idx: cb.idx, Rev: cb.rev, Count: len(cb.tweets), File: name})
 			written++
 			continue
@@ -615,6 +627,10 @@ func (s *SnapshotStore) Commit(c *RingCapture, covered []string) (SnapshotStats,
 	s.bytes = s.manifestBytes(man)
 	s.written = written
 	s.last = time.Now().UnixMilli()
+	mSnapCommits.Inc()
+	mSnapFiles.Add(int64(written))
+	mSnapBytes.Add(blobBytes)
+	mSnapCommitSecs.Observe(time.Since(t0).Seconds())
 	return SnapshotStats{Buckets: len(man.Buckets), Bytes: s.bytes, Written: written, LastUnixMs: s.last}, nil
 }
 

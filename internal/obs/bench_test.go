@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkObsOverhead prices the per-event cost instrumentation adds
+// to hot paths: a counter add plus a histogram observation. The report
+// must stay 0 allocs/op — the ingest path's 0-alloc gate depends on it.
+func BenchmarkObsOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_events_total", "h")
+	h := r.Histogram("bench_lat_seconds", "h", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(0.0042)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("count drift")
+	}
+}
+
+func BenchmarkObsOverheadParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("benchp_events_total", "h")
+	h := r.Histogram("benchp_lat_seconds", "h", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+			h.Observe(0.0042)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo is the process identity surfaced in /healthz and as the
+// geomob_build_info gauge.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+	GoVersion string `json:"go"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+	procStart = time.Now()
+)
+
+// Build reads module/VCS identity once via debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Uptime is the time since process start (more precisely, since the obs
+// package was initialised — first in any main that imports it).
+func Uptime() time.Duration { return time.Since(procStart) }
+
+// RegisterBuildMetrics publishes geomob_build_info{version,revision,
+// goversion} = 1 and a live geomob_uptime_seconds gauge on r.
+// Idempotent; mobserve calls it once at startup.
+func RegisterBuildMetrics(r *Registry) {
+	b := Build()
+	r.Gauge("geomob_build_info", "Build identity; value is always 1.",
+		"version", b.Version, "revision", b.Revision, "goversion", b.GoVersion).Set(1)
+	r.GaugeFunc("geomob_uptime_seconds", "Seconds since process start.",
+		func() float64 { return Uptime().Seconds() })
+}

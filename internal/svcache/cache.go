@@ -22,6 +22,16 @@ import (
 	"sync"
 
 	"geomob/internal/core"
+	"geomob/internal/obs"
+)
+
+// Process-wide cache metrics (DESIGN.md §12). Every Cache instance
+// feeds the same series: /metrics wants the service-level hit rate, and
+// instances also keep their own hit/miss counters for /healthz.
+var (
+	mHits      = obs.Def.Counter("geomob_cache_hits_total", "Snapshot cache lookups served without recomputation.")
+	mMisses    = obs.Def.Counter("geomob_cache_misses_total", "Snapshot cache lookups that invoked compute.")
+	mEvictions = obs.Def.Counter("geomob_cache_evictions_total", "Snapshot cache entries dropped by oldest-first eviction.")
 )
 
 // DefaultMaxSnapshots bounds the entry count when New is given zero.
@@ -80,6 +90,7 @@ func (c *Cache) evictLocked() {
 		c.order = c.order[1:]
 		if c.entries[slot.key] == slot.e {
 			delete(c.entries, slot.key)
+			mEvictions.Inc()
 		}
 	}
 }
@@ -94,10 +105,12 @@ func (c *Cache) Get(key string, compute func() (*core.Result, error)) (res *core
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
+		mHits.Inc()
 		<-e.ready
 		return e.res, true, e.err
 	}
 	c.misses++
+	mMisses.Inc()
 	c.evictLocked()
 	e := &snapshot{ready: make(chan struct{})}
 	c.entries[key] = e

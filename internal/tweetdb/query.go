@@ -154,6 +154,7 @@ type Iterator struct {
 // only via Close, which lets the store reclaim compacted-away files.
 func (s *Store) Scan(q Query) *Iterator {
 	s.scans.Add(1)
+	mScans.Inc()
 	s.activeScans.Add(1)
 	segments := s.Segments()
 	if q.Files != nil {
@@ -338,6 +339,7 @@ func (s *Store) Compact() error {
 		s.garbage = append(s.garbage, meta.File)
 	}
 	s.dropGarbageLocked()
+	mCompactions.Inc()
 	return nil
 }
 

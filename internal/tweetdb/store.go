@@ -9,9 +9,21 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"geomob/internal/geo"
+	"geomob/internal/obs"
 	"geomob/internal/tweet"
+)
+
+// Store metrics (DESIGN.md §12): cumulative over every Store in the
+// process (cluster shards open one per node).
+var (
+	mScans       = obs.Def.Counter("geomob_store_scans_total", "Store scans started (cache misses that went back to segments).")
+	mSegLoads    = obs.Def.Counter("geomob_store_segment_loads_total", "Segment payloads decoded — the unit of real scan work.")
+	mAppends     = obs.Def.Counter("geomob_store_appends_total", "Durable batch appends (segment writes + manifest rename).")
+	mAppendSecs  = obs.Def.Histogram("geomob_store_append_seconds", "Latency of one durable batch append.", nil)
+	mCompactions = obs.Def.Counter("geomob_store_compactions_total", "Store compactions completed.")
 )
 
 const manifestName = "MANIFEST.json"
@@ -188,6 +200,7 @@ func (s *Store) AppendBatchMeta(b *tweet.Batch, meta map[string]string) error {
 		}
 		b.Sort()
 	}
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for off := 0; off < b.Len(); off += s.segRecords {
@@ -207,7 +220,12 @@ func (s *Store) AppendBatchMeta(b *tweet.Batch, meta map[string]string) error {
 			s.man.Meta[k] = v
 		}
 	}
-	return s.saveManifestLocked()
+	err := s.saveManifestLocked()
+	if err == nil {
+		mAppends.Inc()
+		mAppendSecs.Observe(time.Since(t0).Seconds())
+	}
+	return err
 }
 
 // Meta returns the manifest meta value for key ("" when absent).
@@ -351,6 +369,7 @@ func (s *Store) loadBlock(meta SegmentMeta) (*ColumnBlock, error) {
 		return nil, fmt.Errorf("tweetdb: read segment %s: %w", meta.File, err)
 	}
 	s.segLoads.Add(1)
+	mSegLoads.Inc()
 	h, err := unmarshalHeader(raw)
 	if err != nil {
 		return nil, fmt.Errorf("tweetdb: segment %s: %w", meta.File, err)

@@ -41,6 +41,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"geomob/internal/obs"
+)
+
+// Spool metrics (DESIGN.md §12). Appends time the full durability path
+// including the group-commit fsync; fsyncs count Sync calls actually
+// issued, so appends/fsyncs is the group-commit sharing ratio. Ack
+// counters cover delivery acknowledgements only — boot replay restores
+// pending state without touching them.
+var (
+	mWalAppends     = obs.Def.Counter("geomob_wal_appends_total", "Batch frames durably appended to the ingest spool.")
+	mWalAppendBytes = obs.Def.Counter("geomob_wal_append_bytes_total", "Payload bytes durably appended to the ingest spool.")
+	mWalAppendSecs  = obs.Def.Histogram("geomob_wal_append_seconds", "Latency of one durable spool append including fsync.", nil)
+	mWalFsyncs      = obs.Def.Counter("geomob_wal_fsyncs_total", "fsync calls issued by the spool (group commit shares them).")
+	mWalAcks        = obs.Def.Counter("geomob_wal_acks_total", "Per-node delivery acknowledgements recorded in the spool.")
+	mWalReplayed    = obs.Def.Counter("geomob_wal_replayed_frames_total", "Still-pending frames restored from spool segments at boot.")
 )
 
 const (
@@ -311,6 +328,7 @@ func (s *Spool) scanSegment(idx int) (floor uint64, clean bool) {
 				s.index[seq] = rec
 				s.segPending[idx]++
 				s.addPending(rec, mask)
+				mWalReplayed.Inc()
 			}
 		case kindAck:
 			if plen != ackLen {
@@ -443,6 +461,7 @@ func (s *Spool) Append(slot int, destMask uint64, frame []byte) (uint64, error) 
 	if slot < 0 || slot > 255 {
 		return 0, fmt.Errorf("wal: slot %d out of range", slot)
 	}
+	t0 := time.Now()
 	rows := FrameRows(frame)
 	payload := make([]byte, dataHeader+len(frame))
 	le := binary.LittleEndian
@@ -476,7 +495,13 @@ func (s *Spool) Append(slot int, destMask uint64, frame []byte) (uint64, error) 
 	f, fileIdx, target := s.f, s.fIdx, s.fSize
 	s.mu.Unlock()
 
-	return seq, s.syncTo(f, fileIdx, target)
+	err := s.syncTo(f, fileIdx, target)
+	if err == nil {
+		mWalAppends.Inc()
+		mWalAppendBytes.Add(int64(len(payload)))
+		mWalAppendSecs.Observe(time.Since(t0).Seconds())
+	}
+	return seq, err
 }
 
 // syncTo implements group commit: returns once bytes [0, target) of
@@ -508,6 +533,7 @@ func (s *Spool) syncTo(f *os.File, fileIdx int, target int64) error {
 		}
 		return err
 	}
+	mWalFsyncs.Inc()
 	s.syncIdx, s.syncOff = curIdx, curSize
 	return nil
 }
@@ -525,6 +551,7 @@ func (s *Spool) Ack(seq uint64, node int) error {
 	if !s.clearPendingLocked(seq, node) {
 		return nil
 	}
+	mWalAcks.Inc()
 	payload := make([]byte, ackLen)
 	le := binary.LittleEndian
 	payload[0] = kindAck
@@ -549,6 +576,7 @@ func (s *Spool) AckBatch(seqs []uint64, node int) error {
 		if !s.clearPendingLocked(seq, node) {
 			continue
 		}
+		mWalAcks.Inc()
 		payload := make([]byte, ackLen)
 		payload[0] = kindAck
 		le.PutUint32(payload[4:8], uint32(node))
@@ -580,6 +608,7 @@ func (s *Spool) AckNode(node int) error {
 		if !s.clearPendingLocked(seq, node) {
 			continue
 		}
+		mWalAcks.Inc()
 		payload := make([]byte, ackLen)
 		payload[0] = kindAck
 		le.PutUint32(payload[4:8], uint32(node))

@@ -106,6 +106,10 @@ if [ "$CHAOS" = 0 ]; then
 
   "$WORK/mobgen" -users 400 -ndjson >"$WORK/batch.ndjson" 2>/dev/null
 
+  # mval pulls one (possibly labelled) series value from a scrape.
+  mval() { awk -v n="$2" '$0 !~ /^#/ && index($0, n) == 1 { print $NF; exit }' "$1"; }
+  curl -fsS "http://127.0.0.1:$P_COORD/metrics" >"$WORK/coord-metrics-before.txt"
+
   # The coordinator splits the corpus across the shards; the single node
   # keeps it whole.
   N_CLUSTER=$(curl -fsS -X POST --data-binary @"$WORK/batch.ndjson" "http://127.0.0.1:$P_COORD/v1/ingest" | jsonget ingested)
@@ -128,6 +132,24 @@ if [ "$CHAOS" = 0 ]; then
     || { echo "cluster-smoke: repeat not cached"; exit 1; }
   STATUS=$(curl -fsS "http://127.0.0.1:$P_COORD/healthz" | jsonget status)
   [ "$STATUS" = "ok" ] || { echo "cluster-smoke: coordinator health is $STATUS"; exit 1; }
+
+  # Coordinator and shard /metrics moved with the traffic: the rows the
+  # coordinator accepted, the per-node lane deliveries, the per-stage
+  # query histogram, and a shard's fold counter (DESIGN.md §12).
+  curl -fsS "http://127.0.0.1:$P_COORD/metrics" >"$WORK/coord-metrics-after.txt"
+  ROWS0=$(mval "$WORK/coord-metrics-before.txt" geomob_cluster_ingested_rows_total)
+  ROWS1=$(mval "$WORK/coord-metrics-after.txt" geomob_cluster_ingested_rows_total)
+  [ "$((ROWS1 - ROWS0))" -ge "$N_CLUSTER" ] \
+    || { echo "cluster-smoke: geomob_cluster_ingested_rows_total moved $ROWS0 -> $ROWS1, want +$N_CLUSTER"; exit 1; }
+  LANE=$(mval "$WORK/coord-metrics-after.txt" 'geomob_lane_delivered_rows_total{node="member-000"}')
+  [ -n "$LANE" ] && [ "$LANE" -gt 0 ] \
+    || { echo "cluster-smoke: lane delivery series missing or zero"; exit 1; }
+  grep -q 'geomob_query_stage_seconds_bucket{stage="scatter"' "$WORK/coord-metrics-after.txt" \
+    || { echo "cluster-smoke: no scatter stage histogram on the coordinator"; exit 1; }
+  FOLDS=$(curl -fsS "http://127.0.0.1:$P_SHARD0/metrics" | awk '$1 == "geomob_shard_folds_total" { print $2 }')
+  [ -n "$FOLDS" ] && [ "$FOLDS" -gt 0 ] \
+    || { echo "cluster-smoke: shard0 served no folds per its /metrics"; exit 1; }
+  echo "cluster-smoke: metrics moved (rows +$((ROWS1 - ROWS0)), lane member-000 $LANE, shard0 folds $FOLDS)"
 
   echo "cluster-smoke: OK"
   exit 0

@@ -62,6 +62,13 @@ strip_cached() { python3 -c 'import json,sys
 d=json.load(sys.stdin); d.pop("cached",None)
 json.dump(d,sys.stdout,indent=2,sort_keys=True)'; }
 
+# mval pulls one unlabeled series value from a /metrics scrape.
+mval() { awk -v n="$2" '$1 == n { print $2; exit }' "$1"; }
+
+curl -fsS "$BASE/metrics" >"$WORK/metrics-before.txt"
+grep -q '^# TYPE geomob_ingest_records_total counter' "$WORK/metrics-before.txt" \
+  || { echo "smoke: /metrics missing typed ingest counter"; exit 1; }
+
 INGESTED=$(curl -fsS -X POST --data-binary @"$WORK/batch.ndjson" "$BASE/v1/ingest" | jsonget ingested)
 echo "smoke: ingested $INGESTED records"
 [ "$INGESTED" -gt 0 ] || { echo "smoke: nothing ingested"; exit 1; }
@@ -86,6 +93,22 @@ python3 -c "import sys; sys.exit(0 if float('$FLOW_TOTAL') > 0 else 1)" || { ech
 [ "$(curl -fsS "$BASE/v1/flows?scale=national" | jsonget cached)" = "True" ] || { echo "smoke: repeat flows not cached"; exit 1; }
 SCANS1=$(curl -fsS "$BASE/healthz" | jsonget scans)
 [ "$SCANS0" = "$SCANS1" ] || { echo "smoke: /v1 queries scanned the store ($SCANS0 -> $SCANS1)"; exit 1; }
+
+# /metrics moved with the traffic: the ingest counter advanced by the
+# batch, the query latency histogram has per-endpoint buckets, and the
+# cached repeats registered as cache hits (DESIGN.md §12).
+curl -fsS "$BASE/metrics" >"$WORK/metrics-after.txt"
+ING_M0=$(mval "$WORK/metrics-before.txt" geomob_ingest_records_total)
+ING_M1=$(mval "$WORK/metrics-after.txt" geomob_ingest_records_total)
+[ "$((ING_M1 - ING_M0))" -ge "$INGESTED" ] \
+  || { echo "smoke: geomob_ingest_records_total moved $ING_M0 -> $ING_M1, want +$INGESTED"; exit 1; }
+grep -q 'geomob_query_duration_seconds_bucket{endpoint="/v1/population"' "$WORK/metrics-after.txt" \
+  || { echo "smoke: no query duration buckets for /v1/population"; exit 1; }
+HITS0=$(mval "$WORK/metrics-before.txt" geomob_cache_hits_total)
+HITS1=$(mval "$WORK/metrics-after.txt" geomob_cache_hits_total)
+[ "$HITS1" -gt "$HITS0" ] \
+  || { echo "smoke: geomob_cache_hits_total did not move ($HITS0 -> $HITS1)"; exit 1; }
+echo "smoke: metrics moved (ingest +$((ING_M1 - ING_M0)), cache hits $HITS0 -> $HITS1)"
 
 if [ "$RESTART" = 0 ]; then
   echo "smoke: OK (cached repeats, zero scans: $SCANS1)"
