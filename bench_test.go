@@ -28,6 +28,7 @@ import (
 	"geomob/internal/live"
 	"geomob/internal/mobility"
 	"geomob/internal/models"
+	"geomob/internal/obs"
 	"geomob/internal/randx"
 	"geomob/internal/stats"
 	"geomob/internal/synth"
@@ -881,4 +882,24 @@ func makeBenchTweets(n int) []tweet.Tweet {
 		}
 	}
 	return tweets
+}
+
+// BenchmarkObsOverhead prices the per-event cost instrumentation adds to
+// hot paths — one counter add plus one histogram observation — in the
+// default mobbench trajectory, so a regression in the metrics layer
+// shows up next to the ingest numbers it would silently tax. Must stay
+// 0 allocs/op (internal/obs pins the same gate in its own bench).
+func BenchmarkObsOverhead(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_events_total", "h")
+	h := r.Histogram("bench_lat_seconds", "h", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		h.Observe(0.0042)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("count drift")
+	}
 }

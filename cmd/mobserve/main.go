@@ -106,6 +106,10 @@ type server struct {
 	recovery    live.RecoveryStats
 	localShards []*cluster.LocalShard
 
+	// traces retains recent completed request traces (slow and error
+	// traces with priority) for GET /debug/traces (DESIGN.md §13).
+	traces *obs.TraceStore
+
 	// coord replaces the local execution paths entirely in cluster mode
 	// (-cluster-coordinator, -partitions): /v1 queries scatter-gather
 	// across the shards and /v1/ingest routes by user hash.
@@ -141,6 +145,7 @@ func newServer(store *tweetdb.Store, workers int) *server {
 		mappers:        map[census.Scale]*mobility.AreaMapper{},
 		maxIngestBytes: cluster.DefaultMaxBodyBytes,
 		obsReg:         obs.NewRegistry(),
+		traces:         obs.NewTraceStore(0),
 	}
 }
 
@@ -275,6 +280,7 @@ func main() {
 		snapEvery = flag.Duration("snapshot-interval", 0, "periodic snapshot commit interval (0 disables; needs -snapshot-dir); a final snapshot is always flushed on graceful drain")
 
 		slowQuery   = flag.Duration("slow-query", 0, "log /v1 queries slower than this as one structured line with trace ID and per-stage timings (0 disables)")
+		traceRetain = flag.Int("trace-retain", obs.DefaultTraceCapacity, "completed request traces retained for GET /debug/traces (slow and error traces kept preferentially)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
@@ -417,6 +423,7 @@ func main() {
 		s.baseCtx = ctx
 		s.localShards = locals
 		s.slowQuery = *slowQuery
+		s.traces = obs.NewTraceStore(*traceRetain)
 		if len(locals) > 0 {
 			snapFn = s.snapshotNow
 		}
@@ -433,6 +440,7 @@ func main() {
 		s := newServer(store, *workers)
 		s.maxIngestBytes = *maxBody
 		s.slowQuery = *slowQuery
+		s.traces = obs.NewTraceStore(*traceRetain)
 		if *liveMode {
 			if err := s.enableLiveSnap(*bucket, *snapDir); err != nil {
 				log.Fatal(err)
@@ -535,7 +543,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/population", s.traced("/v1/population", s.handleV1Population))
 	mux.HandleFunc("GET /v1/models", s.traced("/v1/models", s.handleV1Models))
 	mux.HandleFunc("GET /v1/flows", s.traced("/v1/flows", s.handleV1Flows))
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/ingest", s.traced("ingest", s.handleIngest))
+	mux.HandleFunc("GET /debug/traces", s.handleTracesList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	if s.snaps != nil {
 		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
 	}
@@ -555,7 +565,10 @@ func (s *server) clusterRoutes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/population", s.traced("/v1/population", s.handleV1Population))
 	mux.HandleFunc("GET /v1/models", s.traced("/v1/models", s.handleV1Models))
 	mux.HandleFunc("GET /v1/flows", s.traced("/v1/flows", s.handleV1Flows))
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/ingest", s.traced("ingest", s.handleIngest))
+	mux.HandleFunc("GET /debug/traces", s.handleTracesList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /metrics/cluster", s.handleMetricsCluster)
 	if len(s.localShards) > 0 {
 		mux.Handle("POST /v1/snapshot", snapshotHandler(s.snapshotNow))
 	}
@@ -622,7 +635,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 				"hits":   snap.Int("geomob_coord_cache_hits"),
 				"misses": snap.Int("geomob_coord_cache_misses"),
 			},
-			"build": buildBlock(),
+			"build":   buildBlock(),
+			"latency": latencyBlock(),
 		})
 		return
 	}
@@ -635,7 +649,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"hits":   snap.Int("geomob_cache_hits"),
 			"misses": snap.Int("geomob_cache_misses"),
 		},
-		"build": buildBlock(),
+		"build":   buildBlock(),
+		"latency": latencyBlock(),
 	}
 	if s.agg != nil {
 		resp["live"] = map[string]any{
@@ -974,7 +989,11 @@ func (s *server) executeCached(ctx context.Context, req core.Request) (*core.Res
 	if s.coord != nil {
 		// Cluster mode: the coordinator owns both the scatter-gather
 		// computation and its coverage-fingerprint cache.
-		return s.coord.QueryCtx(ctx, req)
+		res, hit, err := s.coord.QueryCtx(ctx, req)
+		if err == nil {
+			obs.ExplainFrom(ctx).Set("cache", map[string]any{"source": "cluster", "hit": hit})
+		}
+		return res, hit, err
 	}
 	tr := obs.TraceFrom(ctx)
 	if s.agg != nil {
@@ -983,7 +1002,7 @@ func (s *server) executeCached(ctx context.Context, req core.Request) (*core.Res
 		endKey()
 		switch {
 		case err == nil:
-			return s.cache.Get(req.Key()+"|b="+ckey, func() (*core.Result, error) {
+			return s.cachedGet(ctx, req.Key()+"|b="+ckey, "bucket_fold", ckey, func() (*core.Result, error) {
 				defer tr.StartStage("fold")()
 				return s.agg.Query(req)
 			})
@@ -994,7 +1013,7 @@ func (s *server) executeCached(ctx context.Context, req core.Request) (*core.Res
 			// ring routes the batch — a generation key taken in that gap
 			// would cache ring-stale data under a store-fresh key.
 			rev := strconv.FormatUint(s.agg.Revision(), 16)
-			return s.cache.Get(req.Key()+"|rr="+rev, func() (*core.Result, error) {
+			return s.cachedGet(ctx, req.Key()+"|rr="+rev, "ring_scan", "", func() (*core.Result, error) {
 				defer tr.StartStage("ring_scan")()
 				tweets, err := s.agg.WindowTweetsRequest(req)
 				if err != nil {
@@ -1011,7 +1030,7 @@ func (s *server) executeCached(ctx context.Context, req core.Request) (*core.Res
 		}
 	}
 	gen := strconv.FormatUint(s.store.Generation(), 16)
-	return s.cache.Get(req.Key()+"|g="+gen, func() (*core.Result, error) {
+	return s.cachedGet(ctx, req.Key()+"|g="+gen, "store_scan", "", func() (*core.Result, error) {
 		defer tr.StartStage("store_scan")()
 		study := core.NewStudyWithOptions(
 			core.StoreSource{Store: s.store},
@@ -1068,13 +1087,13 @@ func (s *server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(r.Context(), req)
+	res, cached, explain, err := s.execV1(r, req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
 	}
 	st := res.Stats
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"tweets":              st.Tweets,
 		"users":               st.Users,
 		"avg_tweets_per_user": st.AvgTweetsPerUser,
@@ -1086,7 +1105,11 @@ func (s *server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		"first":               st.First,
 		"last":                st.Last,
 		"cached":              cached,
-	})
+	}
+	if explain != nil {
+		resp["explain"] = explain
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleV1Population(w http.ResponseWriter, r *http.Request) {
@@ -1095,7 +1118,7 @@ func (s *server) handleV1Population(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(r.Context(), req)
+	res, cached, explain, err := s.execV1(r, req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1126,6 +1149,9 @@ func (s *server) handleV1Population(w http.ResponseWriter, r *http.Request) {
 		resp["pearson_log_r"] = corr.R
 		resp["pearson_log_p"] = corr.P
 	}
+	if explain != nil {
+		resp["explain"] = explain
+	}
 	writeJSON(w, resp)
 }
 
@@ -1135,7 +1161,7 @@ func (s *server) handleV1Models(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(r.Context(), req)
+	res, cached, explain, err := s.execV1(r, req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1154,13 +1180,17 @@ func (s *server) handleV1Models(w http.ResponseWriter, r *http.Request) {
 			"metrics": f.Metrics,
 		})
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"scale":      scale.String(),
 		"total_flow": mr.TotalFlow,
 		"flow_pairs": mr.FlowPairs,
 		"fits":       fits,
 		"cached":     cached,
-	})
+	}
+	if explain != nil {
+		resp["explain"] = explain
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
@@ -1169,7 +1199,7 @@ func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, cached, err := s.executeCached(r.Context(), req)
+	res, cached, explain, err := s.execV1(r, req)
 	if err != nil {
 		writeExecuteError(w, err)
 		return
@@ -1184,7 +1214,7 @@ func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
 	if radius == 0 {
 		radius = scale.SearchRadius()
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"scale":  scale.String(),
 		"areas":  areaNames(mr.Flows.Areas),
 		"flows":  mr.Flows.Flows,
@@ -1193,5 +1223,9 @@ func (s *server) handleV1Flows(w http.ResponseWriter, r *http.Request) {
 		"pairs":  mr.FlowPairs,
 		"radius": radius,
 		"cached": cached,
-	})
+	}
+	if explain != nil {
+		resp["explain"] = explain
+	}
+	writeJSON(w, resp)
 }

@@ -9,6 +9,8 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux, served by -pprof-addr
+	"strconv"
+	"time"
 
 	"geomob/internal/obs"
 )
@@ -88,14 +90,112 @@ func (s *server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
 		w.Header().Set(obs.TraceHeader, tr.ID)
-		h(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		d := tr.Total()
 		hist.Observe(d.Seconds())
-		if s.slowQuery > 0 && d >= s.slowQuery {
+		slow := s.slowQuery > 0 && d >= s.slowQuery
+		if slow {
 			mSlowQueries.Inc()
 			logSlowQuery(endpoint, r.URL.RequestURI(), tr)
 		}
+		s.traces.Add(obs.TraceRecord{
+			ID:       tr.ID,
+			Endpoint: endpoint,
+			URL:      r.URL.RequestURI(),
+			Status:   sw.status,
+			Start:    start.UTC(),
+			TotalMs:  float64(d.Microseconds()) / 1000,
+			Stages:   tr.Stages(),
+			Slow:     slow,
+			Error:    sw.status >= 500,
+		})
 	}
+}
+
+// statusWriter captures the response status for trace retention.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleTracesList serves GET /debug/traces: retained completed traces,
+// newest first, bounded by ?limit (default 100).
+func (s *server) handleTracesList(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	traces := s.traces.List(limit)
+	if traces == nil {
+		traces = []obs.TraceRecord{}
+	}
+	writeJSON(w, map[string]any{
+		"retained": s.traces.Len(),
+		"traces":   traces,
+	})
+}
+
+// handleTraceGet serves GET /debug/traces/{id}: one retained trace by
+// the ID that slow-query log lines, X-Geomob-Trace echoes and 503
+// bodies carry.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.traces.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no retained trace %q (the store keeps the most recent %d, slow/error preferentially)", id, s.traces.Len())
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// handleMetricsCluster serves GET /metrics/cluster on the coordinator:
+// every member's shard /metrics scraped concurrently and re-rendered as
+// one exposition with a node label per series plus member-up markers —
+// a down member degrades to geomob_member_up{node=...} 0, never to an
+// error response (DESIGN.md §13).
+func (s *server) handleMetricsCluster(w http.ResponseWriter, r *http.Request) {
+	results := s.coord.Federate(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.MergeExpositions(w, results); err != nil {
+		log.Printf("metrics federation: %v", err)
+	}
+}
+
+// latencyBlock is /healthz's quantile summary over the endpoint latency
+// and coordinator stage histograms — the p50/p95/p99 an operator wants
+// before reaching for raw histogram buckets. The histograms are
+// registered at route construction (endpoints) and package init
+// (stages), so the lookups here re-fetch existing series and never
+// create empty ones.
+func latencyBlock() map[string]any {
+	quantiles := func(h *obs.Histogram) map[string]float64 {
+		return map[string]float64{
+			"p50_ms": h.Quantile(0.50) * 1000,
+			"p95_ms": h.Quantile(0.95) * 1000,
+			"p99_ms": h.Quantile(0.99) * 1000,
+		}
+	}
+	query := map[string]any{}
+	for _, ep := range []string{"/v1/stats", "/v1/population", "/v1/models", "/v1/flows", "ingest"} {
+		query[ep] = quantiles(obs.Def.Histogram("geomob_query_duration_seconds", "End-to-end latency of one query endpoint request.", nil, "endpoint", ep))
+	}
+	stages := map[string]any{}
+	for _, st := range []string{"scatter", "fold", "merge", "assemble"} {
+		stages[st] = quantiles(obs.Def.Histogram("geomob_query_stage_seconds", "Per-stage latency of a coordinator scatter-gather query.", nil, "stage", st))
+	}
+	return map[string]any{"query": query, "stages": stages}
 }
 
 // logSlowQuery emits one structured JSON line on the standard logger

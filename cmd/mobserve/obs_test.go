@@ -170,8 +170,9 @@ func TestHealthzShape(t *testing.T) {
 	_, ts := newLiveTestServer(t)
 	corpus := genTweets(t, 200, 7, 8)
 	ingestNDJSON(t, ts.URL, corpus)
+	fetchJSON(t, ts.URL+"/v1/stats") // populate the query latency histogram
 	body := fetchJSON(t, ts.URL+"/healthz")
-	for _, k := range []string{"status", "tweets", "generation", "scans", "cache", "live", "build"} {
+	for _, k := range []string{"status", "tweets", "generation", "scans", "cache", "live", "build", "latency"} {
 		if _, ok := body[k]; !ok {
 			t.Errorf("healthz missing key %q: %v", k, body)
 		}
@@ -207,6 +208,35 @@ func TestHealthzShape(t *testing.T) {
 	for _, k := range []string{"version", "revision", "go", "uptime_seconds"} {
 		if _, ok := bld[k]; !ok {
 			t.Errorf("build block missing %q", k)
+		}
+	}
+	lat, ok := body["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency block: %v", body["latency"])
+	}
+	for _, k := range []string{"query", "stages"} {
+		if _, ok := lat[k]; !ok {
+			t.Errorf("latency block missing %q", k)
+		}
+	}
+	query, _ := lat["query"].(map[string]any)
+	for _, ep := range []string{"/v1/stats", "/v1/population", "/v1/models", "/v1/flows", "ingest"} {
+		qs, ok := query[ep].(map[string]any)
+		if !ok {
+			t.Errorf("latency.query missing endpoint %q: %v", ep, query)
+			continue
+		}
+		for _, k := range []string{"p50_ms", "p95_ms", "p99_ms"} {
+			if _, ok := qs[k].(float64); !ok {
+				t.Errorf("latency.query[%q] missing %q: %v", ep, k, qs)
+			}
+		}
+	}
+	// The /v1/stats request above observed into its histogram, so its
+	// quantiles must be positive; never-hit endpoints report zero.
+	if q, _ := query["/v1/stats"].(map[string]any); q != nil {
+		if p50, _ := q["p50_ms"].(float64); p50 <= 0 {
+			t.Errorf("latency.query[/v1/stats].p50_ms = %v, want > 0", q["p50_ms"])
 		}
 	}
 }

@@ -29,13 +29,20 @@ import (
 //	if users:  u32 count | per user:
 //	           i64 id, i64 tweets, f64 sx,sy,sz, i64 cells,
 //	           u32 nw, f64×nw waits, u32 nd, f64×nd disps
+//	v2 only:   u8 ntiers | per tier: i64 factor, u32 groups, u32 buckets
+//	           u32 buckets | u32 full | u32 residual | i64 residualRecords
 //
 // Flow matrices travel as bare numbers; the decoder re-attaches the area
 // lists from its own embedded gazetteer (every node bakes in the same
 // one), keeping user-count-independent metadata off the wire.
+//
+// Version 2 appends the fold-coverage accounting EXPLAIN ANALYZE
+// surfaces per shard; a v1 payload still decodes (zero coverage), so a
+// coordinator ahead of its members during a rolling upgrade keeps
+// answering — only the explain breakdown degrades.
 const (
 	partialMagic   uint32 = 0x50434d47 // "GMCP" little-endian
-	partialVersion uint16 = 1
+	partialVersion uint16 = 2
 
 	flagSeen  byte = 1 << 0
 	flagUsers byte = 1 << 1
@@ -108,6 +115,16 @@ func EncodePartial(p *live.ShardPartial) []byte {
 			w.f64s(u.Disps)
 		}
 	}
+	w.u8(byte(len(p.Coverage.TierFolds)))
+	for _, tf := range p.Coverage.TierFolds {
+		w.i64(tf.Factor)
+		w.u32(uint32(tf.Groups))
+		w.u32(uint32(tf.Buckets))
+	}
+	w.u32(uint32(p.Coverage.Buckets))
+	w.u32(uint32(p.Coverage.FullBuckets))
+	w.u32(uint32(p.Coverage.ResidualBuckets))
+	w.i64(p.Coverage.ResidualRecords)
 	return w.buf
 }
 
@@ -118,8 +135,9 @@ func DecodePartial(data []byte) (*live.ShardPartial, error) {
 	if m := r.u32(); m != partialMagic && r.err == nil {
 		return nil, fmt.Errorf("cluster: partial codec: bad magic %#x", m)
 	}
-	if v := r.u16(); v != partialVersion && r.err == nil {
-		return nil, fmt.Errorf("cluster: partial codec: unsupported version %d", v)
+	ver := r.u16()
+	if ver != 1 && ver != partialVersion && r.err == nil {
+		return nil, fmt.Errorf("cluster: partial codec: unsupported version %d", ver)
 	}
 	flags := r.u8()
 	p := &live.ShardPartial{}
@@ -206,6 +224,26 @@ func DecodePartial(data []byte) (*live.ShardPartial, error) {
 				return nil, r.err
 			}
 		}
+	}
+	if ver >= 2 {
+		ntiers := int(r.u8())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if ntiers > 8 {
+			return nil, fmt.Errorf("cluster: partial codec: implausible tier count %d", ntiers)
+		}
+		for i := 0; i < ntiers; i++ {
+			p.Coverage.TierFolds = append(p.Coverage.TierFolds, live.TierFold{
+				Factor:  r.i64(),
+				Groups:  int(r.u32()),
+				Buckets: int(r.u32()),
+			})
+		}
+		p.Coverage.Buckets = int(r.u32())
+		p.Coverage.FullBuckets = int(r.u32())
+		p.Coverage.ResidualBuckets = int(r.u32())
+		p.Coverage.ResidualRecords = r.i64()
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -96,6 +96,43 @@ func TestPartialCodecRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestPartialCodecV1Compat: a version-1 payload (no coverage section)
+// still decodes — everything but the coverage accounting round-trips,
+// so a rolling upgrade degrades only the explain breakdown.
+func TestPartialCodecV1Compat(t *testing.T) {
+	agg, _, _ := codecAggregator(t)
+	p, err := agg.FoldPartial(core.Request{Analyses: []core.Analysis{core.AnalysisStats}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Coverage.Buckets == 0 {
+		t.Fatal("fold recorded no coverage; v1 strip test would be vacuous")
+	}
+	data := EncodePartial(p)
+	// Strip the trailing v2 coverage section (u8 ntiers + 16 bytes per
+	// tier + 3×u32 + i64) and patch the version field back to 1.
+	covLen := 1 + 16*len(p.Coverage.TierFolds) + 4 + 4 + 4 + 8
+	v1 := append([]byte(nil), data[:len(data)-covLen]...)
+	v1[4], v1[5] = 1, 0
+	q, err := DecodePartial(v1)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if q.Coverage.Buckets != 0 || q.Coverage.TierFolds != nil {
+		t.Fatalf("v1 decode invented coverage: %+v", q.Coverage)
+	}
+	q.Coverage = p.Coverage
+	if !testx.ValuesBitEqual(p, q) {
+		t.Fatal("v1 decode lost non-coverage fields")
+	}
+	// An unknown future version still errors.
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5] = 9, 0
+	if _, err := DecodePartial(bad); err == nil {
+		t.Fatal("version 9 accepted")
+	}
+}
+
 // TestMergeRejectsDuplicateUsers: the same user appearing on two shards
 // violates the partitioning contract and must be an error, not a silent
 // double count.

@@ -508,10 +508,14 @@ func (c *Coordinator) QueryCtx(ctx context.Context, req core.Request) (*core.Res
 	endScatter()
 
 	fp := coverageFingerprint(rg.Version(), assign, keys)
+	// Explain recording rides the triggering request's context only: a
+	// caller coalesced onto another request's compute (or served from
+	// cache) gets topology but no shard fragments.
+	rec := newShardExplainRecorder(ctx)
 	res, cached, err := c.cache.Get(req.Key()+"|cf="+fp, func() (*core.Result, error) {
 		endFold := tr.StartStage("fold")
 		tFold := time.Now()
-		parts, err := c.fetchPartials(ctx, shards, rg, req, assign, banned)
+		parts, err := c.fetchPartials(ctx, shards, rg, req, assign, banned, rec)
 		endFold()
 		if err != nil {
 			return nil, err
@@ -548,6 +552,15 @@ func (c *Coordinator) QueryCtx(ctx context.Context, req core.Request) (*core.Res
 				err = &stamped
 			}
 		}
+	}
+	if ex := obs.ExplainFrom(ctx); ex != nil && err == nil {
+		ex.Set("cluster", ClusterExplain{
+			RingVersion: fmt.Sprintf("%016x", rg.Version()),
+			Fingerprint: fp,
+			Members:     len(shards),
+			Failovers:   len(banned),
+			Shards:      rec.fragments(),
+		})
 	}
 	return res, cached, err
 }
@@ -601,7 +614,7 @@ func (c *Coordinator) coverageScatter(ctx context.Context, shards []Shard, req c
 // fetchPartials gathers every slot's partial from its assigned replica,
 // failing over slot by slot if a node drops between the coverage probe
 // and the fetch.
-func (c *Coordinator) fetchPartials(ctx context.Context, shards []Shard, rg *ring.Ring, req core.Request, assign [ring.Slots]int, banned map[int]bool) ([]*live.ShardPartial, error) {
+func (c *Coordinator) fetchPartials(ctx context.Context, shards []Shard, rg *ring.Ring, req core.Request, assign [ring.Slots]int, banned map[int]bool, rec *shardExplainRecorder) ([]*live.ShardPartial, error) {
 	parts := make([]*live.ShardPartial, ring.Slots)
 	done := map[int]bool{}
 	for len(done) < ring.Slots {
@@ -617,7 +630,11 @@ func (c *Coordinator) fetchPartials(ctx context.Context, shards []Shard, rg *rin
 			c.partialFetches.Add(1)
 			mClusterFetches.Inc()
 			go func(nd int, slots []int) {
+				t0 := time.Now()
 				ps, err := shards[nd].Partials(ctx, req, slots)
+				if err == nil {
+					rec.add(nd, slots, ps, float64(time.Since(t0).Nanoseconds())/1e6)
+				}
 				ch <- fetched{nd, slots, ps, err}
 			}(nd, slots)
 		}

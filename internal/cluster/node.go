@@ -502,6 +502,26 @@ func NewHTTPShard(base string, hc *http.Client) *HTTPShard {
 // Base returns the shard node's base URL.
 func (s *HTTPShard) Base() string { return s.base }
 
+// ScrapeMetrics implements MetricsScraper: it fetches the member's raw
+// /metrics exposition for federation. The delivery client's short
+// timeout applies — a federated scrape must fail fast and render the
+// member down rather than stall the whole /metrics/cluster response.
+func (s *HTTPShard) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.dc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard %s metrics: %v", ErrUnavailable, s.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, s.statusError("metrics", resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
 // Ingest implements Shard: the batch travels as one binary frame POST —
 // the columns are framed directly, never re-encoded as text — flushed
 // server-side on arrival.

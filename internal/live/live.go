@@ -571,6 +571,15 @@ func (a *Aggregator) checkFloorLocked(lo int64) error {
 // demand), plus freshly built residual partials for the at most two
 // partially covered edge buckets.
 func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
+	return a.collectCov(lo, hi, nil, false)
+}
+
+// collectCov is collect with optional coverage accounting: a non-nil
+// cov records which spans served the window (FoldCoverage). With dry
+// set the same span selection runs in counting-only mode — no partials
+// are built, merged, or returned and no build caches or counters are
+// touched — which is what keeps EXPLAIN ANALYZE side-effect-free.
+func (a *Aggregator) collectCov(lo, hi int64, cov *FoldCoverage, dry bool) ([]*partial, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.checkFloorLocked(lo); err != nil {
@@ -617,9 +626,19 @@ func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 			if taken || len(members) < 2 {
 				continue
 			}
+			if dry {
+				// Every member bucket holds records, so the merged
+				// rollup partial is necessarily seen.
+				cov.addTier(tier.factor, len(members))
+				for _, idx := range members {
+					used[idx] = true
+				}
+				continue
+			}
 			p := a.rollupLocked(tier, g, members)
 			if p.seen {
 				spans = append(spans, span{start: gLo, p: p})
+				cov.addTier(tier.factor, len(members))
 			}
 			for _, idx := range members {
 				used[idx] = true
@@ -635,7 +654,9 @@ func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 			continue
 		}
 		start, end := idx*a.width, (idx+1)*a.width
-		ensureSortedLocked(b, a.slots)
+		if !dry {
+			ensureSortedLocked(b, a.slots)
+		}
 		if lo > start || hi < end {
 			// Partially covered edge bucket: residual partial over the
 			// in-window slice, built fresh (it depends on the request
@@ -647,13 +668,33 @@ func (a *Aggregator) collect(lo, hi int64) ([]*partial, error) {
 			if hi < rHi {
 				rHi = hi
 			}
+			if dry {
+				var n int64
+				for i := range b.tweets {
+					if ts := b.tweets[i].TS; ts >= rLo && ts < rHi {
+						n++
+					}
+				}
+				if n > 0 {
+					cov.addResidual(n)
+				}
+				continue
+			}
 			if p := a.buildRange(b, rLo, rHi); p.seen {
 				spans = append(spans, span{start: idx, p: p})
+				cov.addResidual(p.tweets)
 			}
+			continue
+		}
+		if dry {
+			// len(b.tweets) > 0 was gated above, so the full bucket
+			// partial is necessarily seen.
+			cov.addFull()
 			continue
 		}
 		if p := a.bucketPartLocked(b); p.seen {
 			spans = append(spans, span{start: idx, p: p})
+			cov.addFull()
 		}
 	}
 	slices.SortFunc(spans, func(x, y span) int {

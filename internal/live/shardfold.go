@@ -58,6 +58,11 @@ type ShardPartial struct {
 	// Users holds the per-user trajectory state in ascending id order.
 	// Nil unless the plan wants stats.
 	Users []UserTrajectory
+	// Coverage is the shard's bucket-coverage accounting for this fold
+	// (rollup-tier groups, full buckets, residual edge records) — free
+	// to record during the fold, carried on the wire for EXPLAIN
+	// ANALYZE's per-shard breakdown (DESIGN.md §13).
+	Coverage FoldCoverage
 }
 
 // FoldPartial folds the materialised partials covering req's window into
@@ -76,7 +81,8 @@ func (a *Aggregator) FoldPartial(req core.Request) (*ShardPartial, error) {
 		return nil, err
 	}
 	lo, hi := window(info)
-	parts, err := a.collect(lo, hi)
+	var cov FoldCoverage
+	parts, err := a.collectCov(lo, hi, &cov, false)
 	if err != nil {
 		return nil, err
 	}
@@ -85,5 +91,6 @@ func (a *Aggregator) FoldPartial(req core.Request) (*ShardPartial, error) {
 		FoldedPass: *fp,
 		Scales:     append([]census.Scale(nil), info.Scales...),
 		Users:      users,
+		Coverage:   cov,
 	}, nil
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// Explain is a request-scoped carrier for EXPLAIN ANALYZE sections
+// (DESIGN.md §13). Like Trace, every method is nil-safe: instrumented
+// layers call Set unconditionally and a request without ?explain=1
+// simply carries no Explain, so the non-explain path does not branch —
+// and cannot diverge. The carrier only collects; it never influences
+// the computation it describes, which is what keeps explain observably
+// side-effect-free.
+type Explain struct {
+	mu       sync.Mutex
+	sections map[string]any
+}
+
+// NewExplain starts an empty explain collection.
+func NewExplain() *Explain {
+	return &Explain{sections: map[string]any{}}
+}
+
+// Set records one named section, replacing any previous value. Nil-safe.
+func (e *Explain) Set(section string, v any) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.sections[section] = v
+	e.mu.Unlock()
+}
+
+// Sections returns a copy of the recorded sections. Nil-safe (returns
+// nil).
+func (e *Explain) Sections() map[string]any {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]any, len(e.sections))
+	for k, v := range e.sections {
+		out[k] = v
+	}
+	return out
+}
+
+type explainKey struct{}
+
+// WithExplain attaches e to ctx.
+func WithExplain(ctx context.Context, e *Explain) context.Context {
+	return context.WithValue(ctx, explainKey{}, e)
+}
+
+// ExplainFrom returns the explain carrier attached to ctx, or nil.
+func ExplainFrom(ctx context.Context) *Explain {
+	if ctx == nil {
+		return nil
+	}
+	e, _ := ctx.Value(explainKey{}).(*Explain)
+	return e
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestExplainNilSafe(t *testing.T) {
+	var e *Explain
+	e.Set("plan", 1) // must not panic
+	if got := e.Sections(); got != nil {
+		t.Fatalf("nil explain Sections() = %v, want nil", got)
+	}
+	if got := ExplainFrom(context.Background()); got != nil {
+		t.Fatalf("ExplainFrom(bare ctx) = %v, want nil", got)
+	}
+	if got := ExplainFrom(nil); got != nil { //nolint:staticcheck // nil ctx tolerance is the point
+		t.Fatalf("ExplainFrom(nil) = %v, want nil", got)
+	}
+}
+
+func TestExplainRoundTrip(t *testing.T) {
+	e := NewExplain()
+	ctx := WithExplain(context.Background(), e)
+	if got := ExplainFrom(ctx); got != e {
+		t.Fatalf("ExplainFrom returned %p, want %p", got, e)
+	}
+	e.Set("cache", map[string]any{"hit": true})
+	e.Set("cache", map[string]any{"hit": false}) // replace
+	e.Set("plan", "x")
+	secs := e.Sections()
+	if len(secs) != 2 {
+		t.Fatalf("Sections() has %d entries, want 2: %v", len(secs), secs)
+	}
+	if m, ok := secs["cache"].(map[string]any); !ok || m["hit"] != false {
+		t.Fatalf("cache section = %v, want replaced value", secs["cache"])
+	}
+	// Sections is a copy: mutating it must not leak back.
+	secs["plan"] = "mutated"
+	if e.Sections()["plan"] != "x" {
+		t.Fatal("Sections() copy leaked a mutation back into the carrier")
+	}
+}
+
+func TestExplainConcurrentSet(t *testing.T) {
+	e := NewExplain()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				e.Set("shared", i)
+				_ = e.Sections()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, ok := e.Sections()["shared"]; !ok {
+		t.Fatal("concurrent Set lost the section")
+	}
+}

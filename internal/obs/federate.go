@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ScrapeResult is one member's /metrics scrape as collected by the
+// coordinator before federation. Err non-nil (or a nil Body with no
+// error, for members that expose no scrapeable endpoint) marks the
+// member down/unscrapeable; Body is the raw text exposition otherwise.
+type ScrapeResult struct {
+	Node string
+	Body []byte
+	Err  error
+}
+
+// mergedFamily accumulates one metric family across all scraped nodes.
+type mergedFamily struct {
+	name  string
+	typ   string
+	help  string
+	lines []string // fully rendered sample lines, node label applied
+}
+
+// MergeExpositions re-renders per-node Prometheus text expositions as
+// one valid exposition document (DESIGN.md §13): families are merged by
+// name with a single # HELP/# TYPE header each, every sample line gains
+// a leading node="…" label, and two synthesized gauge families report
+// scrape health — geomob_member_up{node=…} 0|1 and
+// geomob_member_scrape_errors{node=…}. A failed scrape degrades to its
+// down markers; the healthy members' series still render.
+func MergeExpositions(w io.Writer, results []ScrapeResult) error {
+	fams := map[string]*mergedFamily{}
+	var order []string
+	family := func(name string) *mergedFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &mergedFamily{name: name}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	for _, res := range results {
+		if res.Err != nil || res.Body == nil {
+			continue
+		}
+		if err := mergeOne(res.Node, res.Body, family); err != nil {
+			return fmt.Errorf("federate %s: %w", res.Node, err)
+		}
+	}
+
+	sort.Strings(order)
+	var buf bytes.Buffer
+	for _, name := range order {
+		f := fams[name]
+		if len(f.lines) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, f.help)
+		}
+		typ := f.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, typ)
+		for _, ln := range f.lines {
+			buf.WriteString(ln)
+			buf.WriteByte('\n')
+		}
+	}
+
+	// Scrape-health gauges, one series per member regardless of outcome.
+	fmt.Fprintf(&buf, "# HELP geomob_member_up Whether the member's metrics endpoint answered the federated scrape.\n")
+	fmt.Fprintf(&buf, "# TYPE geomob_member_up gauge\n")
+	for _, res := range results {
+		up := 0
+		if res.Err == nil && res.Body != nil {
+			up = 1
+		}
+		fmt.Fprintf(&buf, "geomob_member_up{node=%q} %d\n", res.Node, up)
+	}
+	fmt.Fprintf(&buf, "# HELP geomob_member_scrape_errors Whether the federated scrape of the member failed.\n")
+	fmt.Fprintf(&buf, "# TYPE geomob_member_scrape_errors gauge\n")
+	for _, res := range results {
+		errv := 0
+		if res.Err != nil {
+			errv = 1
+		}
+		fmt.Fprintf(&buf, "geomob_member_scrape_errors{node=%q} %d\n", res.Node, errv)
+	}
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// mergeOne streams one node's exposition into the family accumulator.
+// HELP/TYPE comments set the current family; sample lines attach to the
+// family whose name they carry (resolving histogram/summary suffixes
+// _bucket/_sum/_count to their base family when typed).
+func mergeOne(node string, body []byte, family func(string) *mergedFamily) error {
+	histos := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				f := family(fields[2])
+				if f.help == "" && len(fields) == 4 {
+					f.help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) < 4 {
+					continue
+				}
+				f := family(fields[2])
+				if f.typ == "" {
+					f.typ = fields[3]
+				}
+				if fields[3] == "histogram" || fields[3] == "summary" {
+					histos[fields[2]] = true
+				}
+			}
+			continue
+		}
+		name, rest, ok := splitSample(line)
+		if !ok {
+			return fmt.Errorf("malformed sample line %q", line)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, found := strings.CutSuffix(name, suf); found && histos[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		f := family(base)
+		f.lines = append(f.lines, relabel(name, rest, node))
+	}
+	return sc.Err()
+}
+
+// splitSample splits a sample line into the series name and the
+// remainder (label block, if any, plus value). The name ends at the
+// first '{' or space.
+func splitSample(line string) (name, rest string, ok bool) {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '{':
+			return line[:i], line[i:], i > 0
+		case ' ':
+			return line[:i], line[i:], i > 0
+		}
+	}
+	return "", "", false
+}
+
+// relabel renders one sample line with node="…" injected as the first
+// label. Values are carried through as raw strings — federation must
+// not reformat a member's numbers.
+func relabel(name, rest, node string) string {
+	nodeLabel := fmt.Sprintf("node=%q", node)
+	if strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, "{}") {
+		return name + "{" + nodeLabel + "," + rest[1:]
+	}
+	rest = strings.TrimPrefix(rest, "{}")
+	return name + "{" + nodeLabel + "}" + rest
+}

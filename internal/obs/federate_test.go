@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMergeExpositionsTwoNodes(t *testing.T) {
+	a := []byte(`# HELP geomob_store_tweets Tweets in the store.
+# TYPE geomob_store_tweets gauge
+geomob_store_tweets 100
+# TYPE geomob_shard_folds_total counter
+geomob_shard_folds_total 7
+# TYPE geomob_query_duration_seconds histogram
+geomob_query_duration_seconds_bucket{endpoint="/v1/stats",le="0.01"} 3
+geomob_query_duration_seconds_bucket{endpoint="/v1/stats",le="+Inf"} 4
+geomob_query_duration_seconds_sum{endpoint="/v1/stats"} 0.05
+geomob_query_duration_seconds_count{endpoint="/v1/stats"} 4
+`)
+	b := []byte(`# TYPE geomob_store_tweets gauge
+geomob_store_tweets 250
+# TYPE geomob_shard_folds_total counter
+geomob_shard_folds_total 9
+`)
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []ScrapeResult{
+		{Node: "member-000", Body: a},
+		{Node: "member-001", Body: b},
+	})
+	if err != nil {
+		t.Fatalf("MergeExpositions: %v", err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`geomob_store_tweets{node="member-000"} 100`,
+		`geomob_store_tweets{node="member-001"} 250`,
+		`geomob_shard_folds_total{node="member-000"} 7`,
+		`geomob_shard_folds_total{node="member-001"} 9`,
+		`geomob_query_duration_seconds_bucket{node="member-000",endpoint="/v1/stats",le="0.01"} 3`,
+		`geomob_query_duration_seconds_sum{node="member-000",endpoint="/v1/stats"} 0.05`,
+		`geomob_member_up{node="member-000"} 1`,
+		`geomob_member_up{node="member-001"} 1`,
+		`geomob_member_scrape_errors{node="member-000"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("merged exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even though both nodes declared it.
+	if n := strings.Count(out, "# TYPE geomob_store_tweets gauge\n"); n != 1 {
+		t.Errorf("geomob_store_tweets TYPE header appears %d times, want 1", n)
+	}
+	// HELP from the node that provided it survives.
+	if !strings.Contains(out, "# HELP geomob_store_tweets Tweets in the store.\n") {
+		t.Error("HELP line lost in merge")
+	}
+	validateExposition(t, out)
+}
+
+func TestMergeExpositionsDownMember(t *testing.T) {
+	up := []byte("# TYPE geomob_store_tweets gauge\ngeomob_store_tweets 5\n")
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []ScrapeResult{
+		{Node: "member-000", Body: up},
+		{Node: "member-001", Err: errors.New("connection refused")},
+	})
+	if err != nil {
+		t.Fatalf("MergeExpositions with down member: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`geomob_store_tweets{node="member-000"} 5`,
+		`geomob_member_up{node="member-000"} 1`,
+		`geomob_member_up{node="member-001"} 0`,
+		`geomob_member_scrape_errors{node="member-001"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `geomob_store_tweets{node="member-001"`) {
+		t.Error("down member contributed data series")
+	}
+	validateExposition(t, out)
+}
+
+func TestMergeExpositionsAllDown(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []ScrapeResult{
+		{Node: "member-000", Err: errors.New("x")},
+		{Node: "member-001", Err: errors.New("y")},
+	})
+	if err != nil {
+		t.Fatalf("MergeExpositions all down: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `geomob_member_up{node="member-000"} 0`) ||
+		!strings.Contains(out, `geomob_member_up{node="member-001"} 0`) {
+		t.Fatalf("all-down exposition lacks down markers:\n%s", out)
+	}
+	validateExposition(t, out)
+}
+
+func TestMergeExpositionsBareNameGetsNodeLabel(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []ScrapeResult{
+		{Node: "n0", Body: []byte("geomob_untyped_thing 3\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `geomob_untyped_thing{node="n0"} 3`) {
+		t.Fatalf("bare series not relabelled:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE geomob_untyped_thing untyped\n") {
+		t.Fatalf("untyped family lacks TYPE header:\n%s", out)
+	}
+}
+
+func TestMergeExpositionsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []ScrapeResult{
+		{Node: "n0", Body: []byte("{oops} 3\n")},
+	})
+	if err == nil {
+		t.Fatal("malformed sample line accepted")
+	}
+}
+
+// validateExposition enforces text-format invariants on the merged
+// output: every sample line parses, every series belongs to a family
+// whose TYPE header preceded it, and no family name is declared twice.
+func validateExposition(t *testing.T, doc string) {
+	t.Helper()
+	typed := map[string]string{}
+	for _, line := range strings.Split(doc, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := typed[fields[2]]; dup {
+				t.Fatalf("family %s declared twice", fields[2])
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := splitSample(line)
+		if !ok {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, found := strings.CutSuffix(name, suf); found {
+				if typ, ok := typed[cut]; ok && (typ == "histogram" || typ == "summary") {
+					base = cut
+					break
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE header", line)
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.LastIndex(val, "}"); i >= 0 {
+			val = strings.TrimSpace(val[i+1:])
+		}
+		if val == "" {
+			t.Fatalf("sample %q has no value", line)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed request trace as retained by TraceStore
+// and served from GET /debug/traces. It is a flattened, JSON-ready copy
+// of what the traced() middleware saw: identity, outcome, and the
+// per-stage timings the Trace accumulated while the request ran.
+type TraceRecord struct {
+	ID       string        `json:"id"`
+	Endpoint string        `json:"endpoint"`
+	URL      string        `json:"url"`
+	Status   int           `json:"status"`
+	Start    time.Time     `json:"start"`
+	TotalMs  float64       `json:"total_ms"`
+	Stages   []StageTiming `json:"stages,omitempty"`
+	Slow     bool          `json:"slow"`
+	Error    bool          `json:"error"`
+
+	seq uint64
+}
+
+// TraceStore is a bounded in-memory ring of recent completed traces
+// with priority retention: slow and error traces survive normal churn.
+// The store holds at most cap records split across two FIFO queues —
+// when full, the oldest *normal* trace is evicted first, so a burst of
+// healthy traffic cannot flush out the interesting outliers; only when
+// no normal traces remain does the oldest priority trace go. At most
+// a quarter of capacity is reserved for priority traces so a pathological
+// error storm cannot pin the store forever either (oldest priority
+// evicts once the reserve is exceeded).
+type TraceStore struct {
+	mu       sync.Mutex
+	capacity int
+	seq      uint64
+	normal   []*TraceRecord // FIFO, oldest first
+	priority []*TraceRecord // FIFO, oldest first (slow/error)
+	byID     map[string]*TraceRecord
+}
+
+// DefaultTraceCapacity is the retention bound used when NewTraceStore
+// is given a non-positive capacity.
+const DefaultTraceCapacity = 512
+
+// NewTraceStore returns a store retaining at most capacity traces.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{
+		capacity: capacity,
+		byID:     map[string]*TraceRecord{},
+	}
+}
+
+// Add retains one completed trace, evicting per the retention policy.
+// Records with an empty ID are dropped (nothing could look them up).
+// Nil-safe, so servers without a store wired just skip retention.
+func (s *TraceStore) Add(rec TraceRecord) {
+	if s == nil || rec.ID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	rec.seq = s.seq
+	r := &rec
+	// An ID collision (client re-sent the same X-Geomob-Trace) keeps
+	// the newest record findable; the stale entry ages out of its queue
+	// normally but no longer owns the ID.
+	s.byID[r.ID] = r
+	if r.Slow || r.Error {
+		s.priority = append(s.priority, r)
+	} else {
+		s.normal = append(s.normal, r)
+	}
+	reserve := s.capacity / 4
+	if reserve < 1 {
+		reserve = 1
+	}
+	for len(s.normal)+len(s.priority) > s.capacity {
+		switch {
+		case len(s.priority) > reserve && len(s.priority) > 0:
+			s.evictLocked(&s.priority)
+		case len(s.normal) > 0:
+			s.evictLocked(&s.normal)
+		default:
+			s.evictLocked(&s.priority)
+		}
+	}
+}
+
+func (s *TraceStore) evictLocked(q *[]*TraceRecord) {
+	old := (*q)[0]
+	*q = (*q)[1:]
+	if cur, ok := s.byID[old.ID]; ok && cur == old {
+		delete(s.byID, old.ID)
+	}
+}
+
+// Get returns the retained trace with the given ID.
+func (s *TraceStore) Get(id string) (TraceRecord, bool) {
+	if s == nil {
+		return TraceRecord{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return *r, true
+}
+
+// List returns up to limit retained traces, newest first (limit <= 0
+// means all).
+func (s *TraceStore) List(limit int) []TraceRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	all := make([]*TraceRecord, 0, len(s.normal)+len(s.priority))
+	all = append(all, s.normal...)
+	all = append(all, s.priority...)
+	s.mu.Unlock()
+	// Merge the two FIFO queues into one newest-first view by sequence.
+	out := make([]TraceRecord, 0, len(all))
+	for _, r := range all {
+		out = append(out, *r)
+	}
+	sortTracesBySeqDesc(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.normal) + len(s.priority)
+}
+
+func sortTracesBySeqDesc(recs []TraceRecord) {
+	// Insertion sort: queues are already mostly ordered and the store
+	// is small (hundreds), so this avoids pulling in sort for a hot
+	// debug path that is anything but hot.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].seq > recs[j-1].seq; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}

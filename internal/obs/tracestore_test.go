@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, slow, errt bool) TraceRecord {
+	return TraceRecord{
+		ID:       id,
+		Endpoint: "/v1/stats",
+		URL:      "/v1/stats?scale=national",
+		Status:   200,
+		Start:    time.Unix(1420070400, 0),
+		TotalMs:  1.5,
+		Slow:     slow,
+		Error:    errt,
+	}
+}
+
+func TestTraceStoreAddGetList(t *testing.T) {
+	s := NewTraceStore(8)
+	for i := 0; i < 5; i++ {
+		s.Add(mkTrace(fmt.Sprintf("t%d", i), false, false))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if r, ok := s.Get("t3"); !ok || r.ID != "t3" {
+		t.Fatalf("Get(t3) = %v %v", r, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) found a trace")
+	}
+	list := s.List(0)
+	if len(list) != 5 || list[0].ID != "t4" || list[4].ID != "t0" {
+		t.Fatalf("List not newest-first: %v", ids(list))
+	}
+	if got := s.List(2); len(got) != 2 || got[0].ID != "t4" || got[1].ID != "t3" {
+		t.Fatalf("List(2) = %v", ids(got))
+	}
+}
+
+func TestTraceStorePriorityRetention(t *testing.T) {
+	s := NewTraceStore(8)
+	// Two outliers early, then a flood of healthy traces.
+	s.Add(mkTrace("slow", true, false))
+	s.Add(mkTrace("err", false, true))
+	for i := 0; i < 50; i++ {
+		s.Add(mkTrace(fmt.Sprintf("ok%d", i), false, false))
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want capacity 8", s.Len())
+	}
+	if _, ok := s.Get("slow"); !ok {
+		t.Fatal("slow trace evicted by healthy churn")
+	}
+	if _, ok := s.Get("err"); !ok {
+		t.Fatal("error trace evicted by healthy churn")
+	}
+	// Newest normals survive, oldest were evicted.
+	if _, ok := s.Get("ok49"); !ok {
+		t.Fatal("newest normal trace missing")
+	}
+	if _, ok := s.Get("ok0"); ok {
+		t.Fatal("oldest normal trace should have been evicted")
+	}
+}
+
+func TestTraceStorePriorityStormBounded(t *testing.T) {
+	s := NewTraceStore(8)
+	for i := 0; i < 50; i++ {
+		s.Add(mkTrace(fmt.Sprintf("e%d", i), false, true))
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d after error storm, want 8", s.Len())
+	}
+	// Some normal headroom must remain usable after the storm.
+	s.Add(mkTrace("fresh", false, false))
+	if _, ok := s.Get("fresh"); !ok {
+		t.Fatal("normal trace could not enter after an error storm")
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+}
+
+func TestTraceStoreIDCollision(t *testing.T) {
+	s := NewTraceStore(8)
+	first := mkTrace("dup", false, false)
+	first.Status = 200
+	second := mkTrace("dup", false, false)
+	second.Status = 204
+	s.Add(first)
+	s.Add(second)
+	if r, ok := s.Get("dup"); !ok || r.Status != 204 {
+		t.Fatalf("Get(dup) = %v %v, want newest record", r, ok)
+	}
+}
+
+func TestTraceStoreNilAndEmptyID(t *testing.T) {
+	var s *TraceStore
+	s.Add(mkTrace("x", false, false)) // must not panic
+	if s.Len() != 0 || s.List(0) != nil {
+		t.Fatal("nil store should be inert")
+	}
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("nil store returned a trace")
+	}
+	real := NewTraceStore(4)
+	real.Add(TraceRecord{ID: ""})
+	if real.Len() != 0 {
+		t.Fatal("empty-ID trace was retained")
+	}
+}
+
+func ids(recs []TraceRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -63,6 +63,9 @@ strip_cached() { python3 -c 'import json,sys
 d=json.load(sys.stdin); d.pop("cached",None)
 json.dump(d,sys.stdout,indent=2,sort_keys=True)'; }
 
+# mval pulls one (possibly labelled) series value from a scrape.
+mval() { awk -v n="$2" '$0 !~ /^#/ && index($0, n) == 1 { print $NF; exit }' "$1"; }
+
 compare_endpoints() { # label
   for ep in "v1/population?scale=national" "v1/flows?scale=national" "v1/stats" "v1/population?scale=metro"; do
     curl -fsS "http://127.0.0.1:$P_COORD/$ep" | strip_cached >"$WORK/cluster.json"
@@ -106,8 +109,6 @@ if [ "$CHAOS" = 0 ]; then
 
   "$WORK/mobgen" -users 400 -ndjson >"$WORK/batch.ndjson" 2>/dev/null
 
-  # mval pulls one (possibly labelled) series value from a scrape.
-  mval() { awk -v n="$2" '$0 !~ /^#/ && index($0, n) == 1 { print $NF; exit }' "$1"; }
   curl -fsS "http://127.0.0.1:$P_COORD/metrics" >"$WORK/coord-metrics-before.txt"
 
   # The coordinator splits the corpus across the shards; the single node
@@ -150,6 +151,18 @@ if [ "$CHAOS" = 0 ]; then
   [ -n "$FOLDS" ] && [ "$FOLDS" -gt 0 ] \
     || { echo "cluster-smoke: shard0 served no folds per its /metrics"; exit 1; }
   echo "cluster-smoke: metrics moved (rows +$((ROWS1 - ROWS0)), lane member-000 $LANE, shard0 folds $FOLDS)"
+
+  # /metrics/cluster federates both members' expositions: every member
+  # reports up, and node-labelled shard series from both shards appear
+  # in one valid scrape (DESIGN.md §13).
+  curl -fsS "http://127.0.0.1:$P_COORD/metrics/cluster" >"$WORK/fed-metrics.txt"
+  for node in member-000 member-001; do
+    UP=$(mval "$WORK/fed-metrics.txt" "geomob_member_up{node=\"$node\"}")
+    [ "$UP" = "1" ] || { echo "cluster-smoke: federated $node not up (got '$UP')"; exit 1; }
+    grep -q "geomob_shard_folds_total{node=\"$node\"}" "$WORK/fed-metrics.txt" \
+      || { echo "cluster-smoke: no node-labelled fold counter for $node on /metrics/cluster"; exit 1; }
+  done
+  echo "cluster-smoke: /metrics/cluster federates both members with node labels"
 
   echo "cluster-smoke: OK"
   exit 0
@@ -209,6 +222,20 @@ wait_drained
 STATUS=$(curl -fsS "http://127.0.0.1:$P_COORD/healthz" | jsonget status)
 [ "$STATUS" = "degraded" ] || { echo "cluster-smoke: chaos: health is $STATUS with a member down, want degraded"; exit 1; }
 compare_endpoints "shard1 down"
+
+# Federation degrades, never errors: with shard1 SIGKILLed the scrape
+# still answers 200 with a valid exposition, the dead member marked
+# geomob_member_up 0 and the survivors' series still present.
+curl -fsS "http://127.0.0.1:$P_COORD/metrics/cluster" >"$WORK/fed-degraded.txt"
+[ "$(mval "$WORK/fed-degraded.txt" 'geomob_member_up{node="member-001"}')" = "0" ] \
+  || { echo "cluster-smoke: chaos: killed member not marked down on /metrics/cluster"; exit 1; }
+for node in member-000 member-002; do
+  [ "$(mval "$WORK/fed-degraded.txt" "geomob_member_up{node=\"$node\"}")" = "1" ] \
+    || { echo "cluster-smoke: chaos: surviving $node not up on /metrics/cluster"; exit 1; }
+done
+grep -q 'geomob_shard_folds_total{node="member-000"}' "$WORK/fed-degraded.txt" \
+  || { echo "cluster-smoke: chaos: surviving member series missing from degraded federation"; exit 1; }
+echo "cluster-smoke: chaos: /metrics/cluster degraded gracefully (member-001 down)"
 
 # Restart shard1 over the same store, snapshot dir and port. The boot
 # must hydrate from the snapshot files (restored buckets, no full

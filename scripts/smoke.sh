@@ -110,6 +110,45 @@ HITS1=$(mval "$WORK/metrics-after.txt" geomob_cache_hits_total)
   || { echo "smoke: geomob_cache_hits_total did not move ($HITS0 -> $HITS1)"; exit 1; }
 echo "smoke: metrics moved (ingest +$((ING_M1 - ING_M0)), cache hits $HITS0 -> $HITS1)"
 
+# ?explain=1 carries the introspection block and is observably
+# side-effect-free: the explain'd response minus the block matches a
+# plain serving, plain responses before and after it are byte-identical,
+# and the store is never scanned (DESIGN.md §13).
+strip_explain() { python3 -c 'import json,sys
+d=json.load(sys.stdin); d.pop("cached",None); d.pop("explain",None)
+json.dump(d,sys.stdout,indent=2,sort_keys=True)'; }
+
+SCANS_E0=$(curl -fsS "$BASE/healthz" | jsonget scans)
+curl -fsS "$BASE/v1/population?scale=national" >"$WORK/pop-plain1.raw"
+curl -fsS "$BASE/v1/population?scale=national&explain=1" >"$WORK/pop-explain.json"
+curl -fsS "$BASE/v1/population?scale=national" >"$WORK/pop-plain2.raw"
+
+COV_BUCKETS=$(jsonget explain.coverage.buckets <"$WORK/pop-explain.json")
+echo "smoke: explain coverage buckets=$COV_BUCKETS"
+[ "$COV_BUCKETS" -gt 0 ] || { echo "smoke: explain reports no bucket coverage"; exit 1; }
+[ "$(jsonget explain.cache.hit <"$WORK/pop-explain.json")" = "True" ] \
+  || { echo "smoke: explain'd warm repeat not a cache hit"; exit 1; }
+TID=$(jsonget explain.trace_id <"$WORK/pop-explain.json")
+[ -n "$TID" ] || { echo "smoke: explain lacks trace_id"; exit 1; }
+
+cmp -s "$WORK/pop-plain1.raw" "$WORK/pop-plain2.raw" \
+  || { echo "smoke: plain response changed across an explain'd request"; exit 1; }
+strip_cached <"$WORK/pop-plain1.raw" >"$WORK/pop-plain-stripped.json"
+strip_explain <"$WORK/pop-explain.json" >"$WORK/pop-explain-stripped.json"
+if ! cmp -s "$WORK/pop-plain-stripped.json" "$WORK/pop-explain-stripped.json"; then
+  echo "smoke: explain'd result diverges from the plain result:"
+  diff "$WORK/pop-plain-stripped.json" "$WORK/pop-explain-stripped.json" || true
+  exit 1
+fi
+SCANS_E1=$(curl -fsS "$BASE/healthz" | jsonget scans)
+[ "$SCANS_E0" = "$SCANS_E1" ] || { echo "smoke: explain scanned the store ($SCANS_E0 -> $SCANS_E1)"; exit 1; }
+
+# The trace ID explain reported resolves in the retained trace store —
+# the README's slow-query walkthrough end to end.
+[ "$(curl -fsS "$BASE/debug/traces/$TID" | jsonget endpoint)" = "/v1/population" ] \
+  || { echo "smoke: explain trace_id $TID not retained in /debug/traces"; exit 1; }
+echo "smoke: explain OK (side-effect-free, coverage=$COV_BUCKETS buckets, trace $TID retained)"
+
 if [ "$RESTART" = 0 ]; then
   echo "smoke: OK (cached repeats, zero scans: $SCANS1)"
   exit 0
